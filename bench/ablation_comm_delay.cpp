@@ -1,0 +1,91 @@
+// Ablation: scheduling under explicit communication delays (the
+// P|prec,c|Cmax-style model from the paper's Related Work [4,13], with the
+// sweep same-processor constraint). The paper analyzes c=0 and measures C1 /
+// C2 as proxies; this harness closes the loop by re-running the list
+// scheduler with per-message delays c and comparing per-cell random vs block
+// assignments, plus the edge-coloring realization of the communication
+// rounds (reference [11]).
+
+#include "core/assignment.hpp"
+#include "core/comm_cost.hpp"
+#include "core/comm_rounds.hpp"
+#include "core/list_scheduler.hpp"
+#include "core/priorities.hpp"
+#include "bench_common.hpp"
+
+using namespace sweep;
+
+int main(int argc, char** argv) {
+  util::CliParser cli("ablation_comm_delay",
+                      "Makespan under per-message delays c; cell vs block");
+  bench::add_common_options(cli);
+  cli.add_option("mesh", "tetonly", "zoo mesh name");
+  cli.add_option("m", "32", "processor count");
+  cli.add_option("delays", "0,1,2,4,8,16", "message delays c to sweep");
+  if (!cli.parse(argc, argv)) return 1;
+
+  const auto setup =
+      bench::make_instance(cli.str("mesh"), bench::resolve_scale(cli), 4);
+  const auto trials = static_cast<std::size_t>(cli.integer("trials"));
+  const auto seed = static_cast<std::uint64_t>(cli.integer("seed"));
+  const auto m = static_cast<std::size_t>(cli.integer("m"));
+  const auto block_size =
+      bench::scaled_block_size(64, bench::resolve_scale(cli));
+  const auto blocks = bench::make_blocks(setup.graph, block_size, seed);
+  const auto priorities = [&] {
+    util::Rng rng(seed);
+    const auto delays = core::random_delays(setup.instance.n_directions(), rng);
+    return core::random_delay_priorities(setup.instance, delays);
+  }();
+
+  util::Table table({"c", "cell_makespan", "block_makespan", "cell/c0",
+                     "block/c0", "cell_rounds", "block_rounds"});
+  table.mirror_csv(cli.str("csv"));
+  double cell_c0 = 0.0;
+  double block_c0 = 0.0;
+  for (std::int64_t c64 : cli.int_list("delays")) {
+    const auto c = static_cast<core::TimeStep>(c64);
+    util::OnlineStats cell_stats;
+    util::OnlineStats block_stats;
+    util::OnlineStats cell_rounds;
+    util::OnlineStats block_rounds;
+    for (std::size_t trial = 0; trial < trials; ++trial) {
+      util::Rng rng(seed + trial * 65537);
+      const auto cell_assign =
+          core::random_assignment(setup.mesh.n_cells(), m, rng);
+      const auto block_assign = core::block_assignment(blocks, m, rng);
+      core::ListScheduleOptions options;
+      options.priorities = priorities;
+      options.cross_message_delay = c;
+      const auto s_cell =
+          core::list_schedule(setup.instance, cell_assign, m, options);
+      const auto s_block =
+          core::list_schedule(setup.instance, block_assign, m, options);
+      cell_stats.add(static_cast<double>(s_cell.makespan()));
+      block_stats.add(static_cast<double>(s_block.makespan()));
+      cell_rounds.add(static_cast<double>(
+          core::realize_c2_rounds(setup.instance, s_cell).total_rounds));
+      block_rounds.add(static_cast<double>(
+          core::realize_c2_rounds(setup.instance, s_block).total_rounds));
+    }
+    if (c == 0) {
+      cell_c0 = cell_stats.mean();
+      block_c0 = block_stats.mean();
+    }
+    table.add_row({util::Table::fmt(c64),
+                   util::Table::fmt(cell_stats.mean(), 0),
+                   util::Table::fmt(block_stats.mean(), 0),
+                   util::Table::fmt(cell_c0 > 0 ? cell_stats.mean() / cell_c0 : 1.0, 2),
+                   util::Table::fmt(block_c0 > 0 ? block_stats.mean() / block_c0 : 1.0, 2),
+                   util::Table::fmt(cell_rounds.mean(), 0),
+                   util::Table::fmt(block_rounds.mean(), 0)});
+  }
+  table.print("Ablation: per-message delay sweep (" + cli.str("mesh") +
+              ", m=" + cli.str("m") + ", block " + std::to_string(block_size) +
+              ")");
+  std::printf("\nExpected shape: abundant ready work hides latency (growth "
+              "<< 1+c for both); block assignment's advantage shows in the "
+              "realized communication rounds (last two columns), which track "
+              "C1, not in the latency-only makespan.\n");
+  return 0;
+}

@@ -1,0 +1,77 @@
+// Ablation: Algorithm 1 (Random Delay) vs Algorithm 3 (Improved Random
+// Delay, greedy-preprocessing) vs Algorithm 2 (priorities). Algorithm 3's
+// O(log m log log log m) analysis needs width-<=m layers; this harness shows
+// what the preprocessing buys in practice on geometric and adversarial
+// instances.
+
+#include "core/lower_bounds.hpp"
+#include "sweep/random_dag.hpp"
+#include "bench_common.hpp"
+
+using namespace sweep;
+
+int main(int argc, char** argv) {
+  util::CliParser cli("ablation_improved_rd",
+                      "Algorithm 1 vs Algorithm 3 vs Algorithm 2");
+  bench::add_common_options(cli);
+  cli.add_option("procs", "16,64,256", "processor counts");
+  if (!cli.parse(argc, argv)) return 1;
+
+  const auto trials = static_cast<std::size_t>(cli.integer("trials"));
+  const auto seed = static_cast<std::uint64_t>(cli.integer("seed"));
+  const bool validate = cli.flag("validate");
+
+  util::Table table({"instance", "m", "LB", "Alg1_RD", "Alg3_improved",
+                     "Alg2_priorities", "Alg1/Alg3"});
+  table.mirror_csv(cli.str("csv"));
+
+  auto run_rows = [&](const std::string& label,
+                      const dag::SweepInstance& instance) {
+    for (std::int64_t m64 : cli.int_list("procs")) {
+      const auto m = static_cast<std::size_t>(m64);
+      const double lb = core::compute_lower_bounds(instance, m).value();
+      const double a1 =
+          bench::mean_makespan(core::Algorithm::kRandomDelay, instance, m,
+                               trials, seed, nullptr, validate);
+      const double a3 =
+          bench::mean_makespan(core::Algorithm::kImprovedRandomDelay, instance,
+                               m, trials, seed, nullptr, validate);
+      const double a2 =
+          bench::mean_makespan(core::Algorithm::kRandomDelayPriorities,
+                               instance, m, trials, seed, nullptr, validate);
+      table.add_row({label, util::Table::fmt(static_cast<std::int64_t>(m)),
+                     util::Table::fmt(lb, 0), util::Table::fmt(a1, 0),
+                     util::Table::fmt(a3, 0), util::Table::fmt(a2, 0),
+                     util::Table::fmt(a1 / a3, 2)});
+    }
+  };
+
+  // Geometric instance.
+  const auto setup =
+      bench::make_instance("tetonly", bench::resolve_scale(cli), 4);
+  run_rows("tetonly/S4", setup.instance);
+
+  // Wide synthetic instance (few, very wide levels) — the regime where
+  // Algorithm 3's width-reduction preprocessing matters most.
+  const double scale = bench::resolve_scale(cli);
+  const auto n_wide = static_cast<std::size_t>(4000 * scale * scale);
+  const auto wide = dag::random_instance(std::max<std::size_t>(n_wide, 500),
+                                         16, 5, 2.0, seed);
+  run_rows("wide/random", wide);
+
+  // Deep chain-heavy instance.
+  const auto deep = dag::chain_instance(
+      std::max<std::size_t>(static_cast<std::size_t>(800 * scale), 200), 16,
+      seed + 1);
+  run_rows("chains", deep);
+
+  table.print("Ablation: effect of Algorithm 3 preprocessing");
+  std::printf("\nExpected shape: Alg3's preprocessing trades layer width for "
+              "layer count — it guarantees width<=m for the improved "
+              "analysis but typically costs makespan in practice (equal on "
+              "chains, where levels are already width 1). Alg2 (list "
+              "compaction) beats both everywhere, matching the paper's "
+              "choice to evaluate Algorithms 1-2 empirically and keep "
+              "Algorithm 3 as the theoretical result.\n");
+  return 0;
+}

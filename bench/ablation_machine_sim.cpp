@@ -1,0 +1,84 @@
+// Ablation: end-to-end simulated execution time on a modeled machine
+// (alpha-beta network, overlappable sends). The paper measures C1 and C2 as
+// proxies because "in reality, interprocessor communication will increase
+// the time ... in a way that is hard to model"; this harness runs the
+// discrete-event machine simulator on the same schedules and shows where
+// between the two extremes various networks land — and that block
+// partitioning pays off precisely when the network (not the CPU) is the
+// bottleneck.
+
+#include "core/assignment.hpp"
+#include "core/comm_cost.hpp"
+#include "sim/machine.hpp"
+#include "bench_common.hpp"
+
+using namespace sweep;
+
+int main(int argc, char** argv) {
+  util::CliParser cli("ablation_machine_sim",
+                      "Simulated wall-clock on alpha-beta machines");
+  bench::add_common_options(cli);
+  cli.add_option("mesh", "tetonly", "zoo mesh name");
+  cli.add_option("m", "32", "processor count");
+  if (!cli.parse(argc, argv)) return 1;
+
+  const auto setup =
+      bench::make_instance(cli.str("mesh"), bench::resolve_scale(cli), 4);
+  const auto trials = static_cast<std::size_t>(cli.integer("trials"));
+  const auto seed = static_cast<std::uint64_t>(cli.integer("seed"));
+  const auto m = static_cast<std::size_t>(cli.integer("m"));
+  const auto block_size =
+      bench::scaled_block_size(64, bench::resolve_scale(cli));
+  const auto blocks = bench::make_blocks(setup.graph, block_size, seed);
+
+  struct Network {
+    const char* name;
+    sim::MachineModel model;
+  };
+  std::vector<Network> networks;
+  networks.push_back({"free", {1.0, 0.0, 0.0, 4}});
+  networks.push_back({"latency-bound", {1.0, 2.0, 0.01, 4}});
+  networks.push_back({"bandwidth-bound", {1.0, 0.1, 1.0, 4}});
+  networks.push_back({"sync-sends", {1.0, 0.5, 0.2, 0}});
+
+  util::Table table({"network", "assignment", "makespan", "sim_time",
+                     "stretch", "efficiency", "messages"});
+  table.mirror_csv(cli.str("csv"));
+  for (const auto& network : networks) {
+    for (const bool use_blocks : {false, true}) {
+      util::OnlineStats makespan_stats;
+      util::OnlineStats time_stats;
+      util::OnlineStats eff_stats;
+      util::OnlineStats msg_stats;
+      for (std::size_t trial = 0; trial < trials; ++trial) {
+        util::Rng rng(seed + trial * 48611);
+        core::Assignment assignment;
+        if (use_blocks) assignment = core::block_assignment(blocks, m, rng);
+        const auto schedule =
+            core::run_algorithm(core::Algorithm::kRandomDelayPriorities,
+                                setup.instance, m, rng, std::move(assignment));
+        const auto sim = sim::simulate_execution(setup.instance, schedule,
+                                                 network.model);
+        makespan_stats.add(static_cast<double>(schedule.makespan()));
+        time_stats.add(sim.completion_time);
+        eff_stats.add(sim.efficiency(m));
+        msg_stats.add(static_cast<double>(sim.messages_sent));
+      }
+      table.add_row({network.name, use_blocks ? "block64" : "per-cell",
+                     util::Table::fmt(makespan_stats.mean(), 0),
+                     util::Table::fmt(time_stats.mean(), 0),
+                     util::Table::fmt(time_stats.mean() / makespan_stats.mean(), 2),
+                     util::Table::fmt(eff_stats.mean(), 2),
+                     util::Table::fmt(msg_stats.mean(), 0)});
+    }
+  }
+  table.print("Ablation: simulated machine execution (" + cli.str("mesh") +
+              ", m=" + cli.str("m") + ")");
+  std::printf("\nExpected shape: 'free' sim_time == makespan; latency-bound "
+              "networks stretch both assignments mildly (list scheduling "
+              "hides latency); bandwidth-bound and sync-send networks punish "
+              "the per-cell assignment's ~(m-1)/m message volume, and the "
+              "block assignment wins end-to-end — the paper's reason for "
+              "partitioning.\n");
+  return 0;
+}

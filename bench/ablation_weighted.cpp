@@ -1,0 +1,79 @@
+// Ablation: non-uniform task costs. The paper assumes unit task times; real
+// mixed-element meshes (prismtet!) have per-cell costs that differ by element
+// type. This harness runs the weighted event-driven engine with
+// face-count-proportional cell costs on the mixed prism+tet mesh and checks
+// that the paper's qualitative conclusions (priorities ~ small constant of
+// the weighted lower bound) survive heterogeneity.
+
+#include "core/assignment.hpp"
+#include "core/priorities.hpp"
+#include "core/weighted_scheduler.hpp"
+#include "bench_common.hpp"
+
+using namespace sweep;
+
+int main(int argc, char** argv) {
+  util::CliParser cli("ablation_weighted",
+                      "Weighted (per-element-cost) sweep scheduling");
+  bench::add_common_options(cli);
+  cli.add_option("mesh", "prismtet", "zoo mesh name (prismtet is mixed-type)");
+  cli.add_option("procs", "8,32,128", "processor counts");
+  if (!cli.parse(argc, argv)) return 1;
+
+  const auto setup =
+      bench::make_instance(cli.str("mesh"), bench::resolve_scale(cli), 4);
+  const auto trials = static_cast<std::size_t>(cli.integer("trials"));
+  const auto seed = static_cast<std::uint64_t>(cli.integer("seed"));
+  const auto weights = core::face_count_weights(setup.mesh);
+  {
+    util::OnlineStats ws;
+    for (double w : weights) ws.add(w);
+    std::printf("[setup] cell weights: min %.2f max %.2f mean %.3f\n",
+                ws.min(), ws.max(), ws.mean());
+  }
+
+  util::Table table({"m", "weighted_LB", "level_prio", "rd_prio",
+                     "level/LB", "rd/LB"});
+  table.mirror_csv(cli.str("csv"));
+  for (std::int64_t m64 : cli.int_list("procs")) {
+    const auto m = static_cast<std::size_t>(m64);
+    const double lb = core::weighted_lower_bound(setup.instance, m, weights);
+    util::OnlineStats level_stats;
+    util::OnlineStats rd_stats;
+    for (std::size_t trial = 0; trial < trials; ++trial) {
+      util::Rng rng(seed + trial * 2741);
+      const auto assignment =
+          core::random_assignment(setup.mesh.n_cells(), m, rng);
+      {
+        const auto priorities = core::level_priorities(setup.instance);
+        core::WeightedScheduleOptions options;
+        options.priorities = priorities;
+        level_stats.add(core::weighted_list_schedule(setup.instance, assignment,
+                                                     m, weights, options)
+                            .makespan);
+      }
+      {
+        const auto delays =
+            core::random_delays(setup.instance.n_directions(), rng);
+        const auto priorities =
+            core::random_delay_priorities(setup.instance, delays);
+        core::WeightedScheduleOptions options;
+        options.priorities = priorities;
+        rd_stats.add(core::weighted_list_schedule(setup.instance, assignment,
+                                                  m, weights, options)
+                         .makespan);
+      }
+    }
+    table.add_row({util::Table::fmt(m64), util::Table::fmt(lb, 0),
+                   util::Table::fmt(level_stats.mean(), 0),
+                   util::Table::fmt(rd_stats.mean(), 0),
+                   util::Table::fmt(level_stats.mean() / lb, 2),
+                   util::Table::fmt(rd_stats.mean() / lb, 2)});
+  }
+  table.print("Ablation: weighted tasks on " + cli.str("mesh"));
+  std::printf("\nExpected shape: ratios to the weighted lower bound stay in "
+              "the same small-constant band as the unit-cost experiments — "
+              "the randomized approach is insensitive to moderate task-cost "
+              "heterogeneity.\n");
+  return 0;
+}

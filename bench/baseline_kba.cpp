@@ -1,0 +1,88 @@
+// Baseline comparison on KBA's home turf (paper Related Work: "When the
+// mesh is very regular, the KBA algorithm [6] is known to be essentially
+// optimal"): a structured grid, KBA column assignment + octant-pipelined
+// wavefronts vs the randomized algorithms, over a processor sweep. On the
+// regular mesh KBA should win or tie; the unstructured zoo meshes are where
+// the paper's algorithms earn their keep.
+
+#include "core/comm_cost.hpp"
+#include "core/kba.hpp"
+#include "core/lower_bounds.hpp"
+#include "core/validate.hpp"
+#include "mesh/structured.hpp"
+#include "bench_common.hpp"
+
+using namespace sweep;
+
+int main(int argc, char** argv) {
+  util::CliParser cli("baseline_kba",
+                      "KBA vs randomized algorithms on a regular grid");
+  bench::add_common_options(cli);
+  cli.add_option("nx", "24", "grid cells per side (nx = ny = nz)");
+  cli.add_option("procs", "4,16,64", "processor counts (KBA grid factors)");
+  if (!cli.parse(argc, argv)) return 1;
+
+  const double scale = bench::resolve_scale(cli);
+  const auto side = std::max<std::size_t>(
+      4, static_cast<std::size_t>(static_cast<double>(cli.integer("nx")) *
+                                  scale * 2.0));
+  const mesh::StructuredDims dims{side, side, side};
+  const auto grid = mesh::make_structured_grid(dims);
+  const auto dirs = dag::level_symmetric(4);
+  const auto instance = dag::build_instance(grid, dirs);
+  std::printf("[setup] structured %zu^3 grid: %zu cells, k=%zu, %zu tasks\n",
+              side, grid.n_cells(), dirs.size(), instance.n_tasks());
+
+  const auto trials = static_cast<std::size_t>(cli.integer("trials"));
+  const auto seed = static_cast<std::uint64_t>(cli.integer("seed"));
+
+  util::Table table({"m", "LB", "KBA", "KBA/LB", "RD+prio", "RD+prio/LB",
+                     "KBA_C1", "RDprio_C1"});
+  table.mirror_csv(cli.str("csv"));
+  for (std::int64_t m64 : cli.int_list("procs")) {
+    const auto m = static_cast<std::size_t>(m64);
+    const auto [px, py] = core::kba_processor_grid(m);
+    if (px > dims.nx || py > dims.ny) {
+      std::printf("skipping m=%zu (grid too small for %zux%zu columns)\n", m,
+                  px, py);
+      continue;
+    }
+    const double lb = core::compute_lower_bounds(instance, m).value();
+
+    const auto kba = core::kba_schedule(instance, dirs, dims, px, py);
+    const auto kba_valid = core::validate_schedule(instance, kba);
+    if (!kba_valid) {
+      std::fprintf(stderr, "KBA invalid: %s\n", kba_valid.error.c_str());
+      return 1;
+    }
+    const auto kba_c1 = core::comm_cost_c1(instance, kba.assignment());
+
+    util::OnlineStats rd_stats;
+    util::OnlineStats rd_c1_stats;
+    for (std::size_t trial = 0; trial < trials; ++trial) {
+      util::Rng rng(seed + trial * 7919);
+      const auto schedule = core::run_algorithm(
+          core::Algorithm::kRandomDelayPriorities, instance, m, rng);
+      rd_stats.add(static_cast<double>(schedule.makespan()));
+      rd_c1_stats.add(static_cast<double>(
+          core::comm_cost_c1(instance, schedule.assignment()).cross_edges));
+    }
+
+    table.add_row({util::Table::fmt(m64), util::Table::fmt(lb, 0),
+                   util::Table::fmt(kba.makespan()),
+                   util::Table::fmt(static_cast<double>(kba.makespan()) / lb, 2),
+                   util::Table::fmt(rd_stats.mean(), 0),
+                   util::Table::fmt(rd_stats.mean() / lb, 2),
+                   util::Table::fmt(kba_c1.cross_edges),
+                   util::Table::fmt(rd_c1_stats.mean(), 0)});
+  }
+  table.print("Baseline: KBA vs Random Delays with Priorities (regular grid)");
+  std::printf("\nExpected shape: both stay within a small factor of the "
+              "lower bound on makespan (KBA pays octant pipeline fill/drain), "
+              "but KBA's column assignment cuts C1 by an order of magnitude "
+              "versus random assignment — communication locality is what "
+              "makes KBA 'essentially optimal' on regular meshes (Related "
+              "Work [6]); on unstructured meshes no such columns exist, "
+              "which is the gap the paper's algorithms fill.\n");
+  return 0;
+}

@@ -1,0 +1,126 @@
+#pragma once
+// Shared plumbing for the figure-reproduction harnesses: common CLI options,
+// instance construction, and trial averaging. Every binary accepts:
+//   --scale S    mesh linear-scale multiplier (default 0.5; cells ~ S^3)
+//   --full       paper-scale meshes (equivalent to --scale 1.0)
+//   --trials T   trials per randomized data point (default 3)
+//   --seed X     base RNG seed
+//   --csv PATH   mirror the printed table to a CSV file
+//   --validate   validate every schedule (slower)
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "core/algorithms.hpp"
+#include "core/assignment.hpp"
+#include "core/validate.hpp"
+#include "mesh/mesh_stats.hpp"
+#include "mesh/zoo.hpp"
+#include "partition/multilevel.hpp"
+#include "sweep/instance.hpp"
+#include "util/cli.hpp"
+#include "util/rng.hpp"
+#include "util/stats.hpp"
+#include "util/table.hpp"
+#include "util/timer.hpp"
+
+namespace sweep::bench {
+
+inline void add_common_options(util::CliParser& cli) {
+  cli.add_option("scale", "0.5", "mesh linear scale (1.0 = paper size)");
+  cli.add_flag("full", "run at paper scale (--scale 1.0)");
+  cli.add_option("trials", "3", "trials per randomized data point");
+  cli.add_option("seed", "12345", "base RNG seed");
+  cli.add_option("csv", "", "mirror table to CSV file");
+  cli.add_flag("validate", "validate every schedule produced");
+}
+
+inline double resolve_scale(const util::CliParser& cli) {
+  return cli.flag("full") ? 1.0 : cli.real("scale");
+}
+
+struct BenchInstance {
+  mesh::UnstructuredMesh mesh;
+  dag::DirectionSet directions;
+  dag::SweepInstance instance;
+  partition::Graph graph;
+};
+
+/// Builds mesh + S_n directions + DAGs + adjacency graph; prints a summary.
+inline BenchInstance make_instance(const std::string& mesh_name, double scale,
+                                   std::size_t sn_order,
+                                   std::uint64_t seed = 100) {
+  util::Timer timer;
+  mesh::UnstructuredMesh m = mesh::MeshZoo::by_name(mesh_name, scale, seed);
+  dag::DirectionSet dirs = dag::level_symmetric(sn_order);
+  dag::InstanceBuildStats stats;
+  dag::SweepInstance inst = dag::build_instance(m, dirs, 1e-9, &stats);
+  partition::Graph graph = partition::graph_from_mesh(m);
+  std::printf("[setup] mesh=%s %s\n", mesh_name.c_str(),
+              to_string(mesh::compute_stats(m)).c_str());
+  std::printf("[setup] k=%zu directions, %zu tasks, %zu edges, "
+              "%zu cycle-broken, built in %.2fs\n",
+              dirs.size(), inst.n_tasks(), inst.total_edges(),
+              stats.total_dropped_edges, timer.seconds());
+  return BenchInstance{std::move(m), std::move(dirs), std::move(inst),
+                       std::move(graph)};
+}
+
+/// The paper's block sizes (64/128/256) are calibrated to its 31k-118k cell
+/// meshes. At reduced scale the same absolute block size would leave far
+/// fewer blocks than processors and the figures would only show granularity
+/// starvation. Scaling the block size by scale^3 keeps the number of blocks
+/// (and hence blocks-per-processor) in the paper's regime at any scale.
+inline std::size_t scaled_block_size(std::size_t paper_block, double scale) {
+  const double scaled = static_cast<double>(paper_block) * scale * scale * scale;
+  return std::max<std::size_t>(1, static_cast<std::size_t>(scaled + 0.5));
+}
+
+/// Block partition via the multilevel partitioner (the METIS substitute).
+inline partition::Partition make_blocks(const partition::Graph& graph,
+                                        std::size_t block_size,
+                                        std::uint64_t seed = 7) {
+  partition::MultilevelOptions options;
+  options.seed = seed;
+  return partition::partition_into_blocks(graph, block_size, options);
+}
+
+/// Runs `algorithm` `trials` times with per-trial RNGs (and fresh random
+/// assignments unless `blocks` is non-null, in which case a fresh random
+/// block->processor map per trial); returns mean makespan. Optionally
+/// validates each schedule and aborts on infeasibility.
+inline double mean_makespan(core::Algorithm algorithm,
+                            const dag::SweepInstance& instance, std::size_t m,
+                            std::size_t trials, std::uint64_t seed,
+                            const partition::Partition* blocks,
+                            bool validate) {
+  util::OnlineStats stats;
+  for (std::size_t trial = 0; trial < trials; ++trial) {
+    util::Rng rng(seed + trial * 1000003);
+    core::Assignment assignment;
+    if (blocks != nullptr) {
+      assignment = core::block_assignment(*blocks, m, rng);
+    }
+    const core::Schedule schedule =
+        core::run_algorithm(algorithm, instance, m, rng, std::move(assignment));
+    if (validate) {
+      const auto result = core::validate_schedule(instance, schedule);
+      if (!result) {
+        std::fprintf(stderr, "FATAL: invalid schedule (%s, m=%zu): %s\n",
+                     core::algorithm_name(algorithm).c_str(), m,
+                     result.error.c_str());
+        std::abort();
+      }
+    }
+    stats.add(static_cast<double>(schedule.makespan()));
+  }
+  return stats.mean();
+}
+
+inline std::vector<std::int64_t> default_proc_sweep() {
+  return {8, 16, 32, 64, 128, 256, 512};
+}
+
+}  // namespace sweep::bench

@@ -1,0 +1,63 @@
+// Figure 2(a): Random Delay scheduling on mesh `tetonly` with 24 directions.
+// Plots makespan vs. number of processors for the per-cell ("regular")
+// random assignment and for block assignments (the paper shows block
+// partitioning barely hurts makespan). We print the same series: makespan of
+// Algorithm 1 for regular / block-64 / block-256 assignment, plus the nk/m
+// lower bound and Algorithm 2 for reference.
+
+#include "bench_common.hpp"
+
+using namespace sweep;
+
+int main(int argc, char** argv) {
+  util::CliParser cli("fig2a_makespan",
+                      "Figure 2(a): makespan vs processors, regular vs block "
+                      "assignment (tetonly, 24 directions)");
+  bench::add_common_options(cli);
+  cli.add_option("mesh", "tetonly", "zoo mesh name");
+  cli.add_option("procs", "8,16,32,64,128,256,512", "processor counts");
+  if (!cli.parse(argc, argv)) return 1;
+
+  const auto setup =
+      bench::make_instance(cli.str("mesh"), bench::resolve_scale(cli), 4);
+  const auto trials = static_cast<std::size_t>(cli.integer("trials"));
+  const auto seed = static_cast<std::uint64_t>(cli.integer("seed"));
+  const bool validate = cli.flag("validate");
+
+  const auto bs64 = bench::scaled_block_size(64, bench::resolve_scale(cli));
+  const auto bs256 = bench::scaled_block_size(256, bench::resolve_scale(cli));
+  std::printf("[setup] effective block sizes %zu / %zu\n", bs64, bs256);
+  const auto blocks64 = bench::make_blocks(setup.graph, bs64, seed);
+  const auto blocks256 = bench::make_blocks(setup.graph, bs256, seed + 1);
+
+  util::Table table({"m", "LB=nk/m", "RD_cell", "RD_block64", "RD_block256",
+                     "RDprio_cell", "RD_cell/LB"});
+  table.mirror_csv(cli.str("csv"));
+  for (std::int64_t m64 : cli.int_list("procs")) {
+    const auto m = static_cast<std::size_t>(m64);
+    const double lb = static_cast<double>(setup.instance.n_tasks()) /
+                      static_cast<double>(m);
+    const double rd_cell =
+        bench::mean_makespan(core::Algorithm::kRandomDelay, setup.instance, m,
+                             trials, seed, nullptr, validate);
+    const double rd_b64 =
+        bench::mean_makespan(core::Algorithm::kRandomDelay, setup.instance, m,
+                             trials, seed, &blocks64, validate);
+    const double rd_b256 =
+        bench::mean_makespan(core::Algorithm::kRandomDelay, setup.instance, m,
+                             trials, seed, &blocks256, validate);
+    const double rdp_cell =
+        bench::mean_makespan(core::Algorithm::kRandomDelayPriorities,
+                             setup.instance, m, trials, seed, nullptr, validate);
+    table.add_row({util::Table::fmt(static_cast<std::int64_t>(m)),
+                   util::Table::fmt(lb, 0), util::Table::fmt(rd_cell, 0),
+                   util::Table::fmt(rd_b64, 0), util::Table::fmt(rd_b256, 0),
+                   util::Table::fmt(rdp_cell, 0),
+                   util::Table::fmt(rd_cell / lb, 2)});
+  }
+  table.print("Figure 2(a): makespan vs processors (" + cli.str("mesh") +
+              ", k=24)");
+  std::printf("\nExpected shape: block assignment increases makespan only "
+              "modestly; ratio to nk/m stays small until m is very large.\n");
+  return 0;
+}

@@ -1,0 +1,91 @@
+// Figure 2(b): communication costs on mesh `tetonly` with 24 directions.
+// C1 = number of interprocessor edges; C2 = "Max Off-Proc-Outdegree" summed
+// per round (the paper's label). The paper's observations: per-cell random
+// assignment crosses ~ (m-1)/m of all edges; block partitioning slashes C1;
+// C2 is much smaller than C1 and barely moves with blocking.
+
+#include "core/comm_cost.hpp"
+#include "core/assignment.hpp"
+#include "core/list_scheduler.hpp"
+#include "core/priorities.hpp"
+#include "bench_common.hpp"
+
+using namespace sweep;
+
+namespace {
+
+struct CommPoint {
+  double c1 = 0.0;
+  double c2 = 0.0;
+  double fraction = 0.0;
+};
+
+CommPoint measure(const dag::SweepInstance& instance, std::size_t m,
+                  std::size_t trials, std::uint64_t seed,
+                  const partition::Partition* blocks) {
+  CommPoint point;
+  for (std::size_t trial = 0; trial < trials; ++trial) {
+    util::Rng rng(seed + trial * 7919);
+    core::Assignment assignment =
+        blocks ? core::block_assignment(*blocks, m, rng)
+               : core::random_assignment(instance.n_cells(), m, rng);
+    const auto c1 = core::comm_cost_c1(instance, assignment);
+    // C2 needs a schedule: use Algorithm 2 under this assignment.
+    const auto delays = core::random_delays(instance.n_directions(), rng);
+    const auto priorities = core::random_delay_priorities(instance, delays);
+    core::ListScheduleOptions options;
+    options.priorities = priorities;
+    const auto schedule = core::list_schedule(instance, assignment, m, options);
+    const auto c2 = core::comm_cost_c2(instance, schedule);
+    point.c1 += static_cast<double>(c1.cross_edges) / static_cast<double>(trials);
+    point.c2 += static_cast<double>(c2.total_delay) / static_cast<double>(trials);
+    point.fraction += c1.fraction() / static_cast<double>(trials);
+  }
+  return point;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  util::CliParser cli("fig2b_comm",
+                      "Figure 2(b): interprocessor edges (C1) and max "
+                      "off-proc outdegree cost (C2) vs processors");
+  bench::add_common_options(cli);
+  cli.add_option("mesh", "tetonly", "zoo mesh name");
+  cli.add_option("procs", "8,16,32,64,128,256,512", "processor counts");
+  if (!cli.parse(argc, argv)) return 1;
+
+  const auto setup =
+      bench::make_instance(cli.str("mesh"), bench::resolve_scale(cli), 4);
+  const auto trials = static_cast<std::size_t>(cli.integer("trials"));
+  const auto seed = static_cast<std::uint64_t>(cli.integer("seed"));
+
+  const auto bs64 = bench::scaled_block_size(64, bench::resolve_scale(cli));
+  const auto bs256 = bench::scaled_block_size(256, bench::resolve_scale(cli));
+  std::printf("[setup] effective block sizes %zu / %zu\n", bs64, bs256);
+  const auto blocks64 = bench::make_blocks(setup.graph, bs64, seed);
+  const auto blocks256 = bench::make_blocks(setup.graph, bs256, seed + 1);
+
+  util::Table table({"m", "C1_cell", "frac_cell", "(m-1)/m", "C1_block64",
+                     "C1_block256", "C2_cell", "C2_block64", "C2_block256"});
+  table.mirror_csv(cli.str("csv"));
+  for (std::int64_t m64 : cli.int_list("procs")) {
+    const auto m = static_cast<std::size_t>(m64);
+    const auto cell = measure(setup.instance, m, trials, seed, nullptr);
+    const auto b64 = measure(setup.instance, m, trials, seed, &blocks64);
+    const auto b256 = measure(setup.instance, m, trials, seed, &blocks256);
+    table.add_row(
+        {util::Table::fmt(static_cast<std::int64_t>(m)),
+         util::Table::fmt(cell.c1, 0), util::Table::fmt(cell.fraction, 3),
+         util::Table::fmt(static_cast<double>(m - 1) / static_cast<double>(m), 3),
+         util::Table::fmt(b64.c1, 0), util::Table::fmt(b256.c1, 0),
+         util::Table::fmt(cell.c2, 0), util::Table::fmt(b64.c2, 0),
+         util::Table::fmt(b256.c2, 0)});
+  }
+  table.print("Figure 2(b): communication costs vs processors (" +
+              cli.str("mesh") + ", k=24)");
+  std::printf("\nExpected shape: frac_cell ~ (m-1)/m; blocks cut C1 by a "
+              "large factor (more with bigger blocks); C2 << C1 and changes "
+              "much less with blocking.\n");
+  return 0;
+}

@@ -1,0 +1,82 @@
+#pragma once
+// Shared driver for the Figure 3 panels. Each panel compares the paper's
+// "random delays algorithm" (Algorithm 2) against one heuristic without and
+// with random delays, all under the SAME block partitioning (the paper fixes
+// the block assignment so C1 is identical and only makespans differ).
+// Plotted quantity: makespan / (nk/m) approximation ratio, for a grid of
+// direction counts and processor counts.
+
+#include "bench_common.hpp"
+#include "core/lower_bounds.hpp"
+
+namespace sweep::bench {
+
+struct Fig3Config {
+  std::string figure;            ///< e.g. "Figure 3(a)"
+  std::string mesh;              ///< default zoo mesh
+  std::size_t block_size;        ///< paper's block size for this panel
+  core::Algorithm heuristic;     ///< without delays
+  core::Algorithm heuristic_delayed;  ///< with delays
+  std::string heuristic_label;
+};
+
+inline int run_fig3(const Fig3Config& config, int argc, const char* const* argv) {
+  util::CliParser cli(config.figure,
+                      config.figure + ": random delays vs " +
+                          config.heuristic_label +
+                          " priorities (ratio to nk/m lower bound)");
+  add_common_options(cli);
+  cli.add_option("mesh", config.mesh, "zoo mesh name");
+  cli.add_option("block", std::to_string(config.block_size),
+                 "paper block size (scaled by scale^3 unless --block-absolute)");
+  cli.add_flag("block-absolute", "use --block verbatim, without scaling");
+  cli.add_option("procs", "32,64,128,256,512", "processor counts");
+  cli.add_option("orders", "2,4,6", "S_n orders (k = 8, 24, 48)");
+  if (!cli.parse(argc, argv)) return 1;
+
+  const auto trials = static_cast<std::size_t>(cli.integer("trials"));
+  const auto seed = static_cast<std::uint64_t>(cli.integer("seed"));
+  const bool validate = cli.flag("validate");
+
+  util::Table table({"k", "m", "RD+prio/LB",
+                     config.heuristic_label + "/LB",
+                     config.heuristic_label + "+delays/LB"});
+  table.mirror_csv(cli.str("csv"));
+  for (std::int64_t order : cli.int_list("orders")) {
+    const auto setup =
+        make_instance(cli.str("mesh"), resolve_scale(cli),
+                      static_cast<std::size_t>(order));
+    const auto block_size =
+        cli.flag("block-absolute")
+            ? static_cast<std::size_t>(cli.integer("block"))
+            : scaled_block_size(static_cast<std::size_t>(cli.integer("block")),
+                                resolve_scale(cli));
+    std::printf("[setup] effective block size %zu (~%zu blocks)\n", block_size,
+                (setup.mesh.n_cells() + block_size - 1) / block_size);
+    const auto blocks = make_blocks(setup.graph, block_size, seed);
+    const std::size_t k = setup.directions.size();
+    for (std::int64_t m64 : cli.int_list("procs")) {
+      const auto m = static_cast<std::size_t>(m64);
+      const double lb =
+          core::compute_lower_bounds(setup.instance, m).value();
+      const double rd = mean_makespan(core::Algorithm::kRandomDelayPriorities,
+                                      setup.instance, m, trials, seed, &blocks,
+                                      validate);
+      const double heur = mean_makespan(config.heuristic, setup.instance, m,
+                                        trials, seed, &blocks, validate);
+      const double heur_delay =
+          mean_makespan(config.heuristic_delayed, setup.instance, m, trials,
+                        seed, &blocks, validate);
+      table.add_row({util::Table::fmt(static_cast<std::int64_t>(k)),
+                     util::Table::fmt(static_cast<std::int64_t>(m)),
+                     util::Table::fmt(rd / lb, 2),
+                     util::Table::fmt(heur / lb, 2),
+                     util::Table::fmt(heur_delay / lb, 2)});
+    }
+  }
+  table.print(config.figure + ": approximation ratios (" + cli.str("mesh") +
+              ", block " + cli.str("block") + ")");
+  return 0;
+}
+
+}  // namespace sweep::bench

@@ -1,0 +1,20 @@
+// Figure 3(b): descendant priorities (Plimpton et al.) without/with random
+// delays vs Algorithm 2, mesh `tetonly`, block size 256. Expected shape:
+// equal at small m; descendants win at large m & small k; delays help the
+// descendant heuristic only at very large m & small k.
+
+#include "fig3_common.hpp"
+
+int main(int argc, char** argv) {
+  sweep::bench::Fig3Config config;
+  config.figure = "fig3b";
+  config.mesh = "tetonly";
+  config.block_size = 256;
+  config.heuristic = sweep::core::Algorithm::kDescendantPriorities;
+  config.heuristic_delayed = sweep::core::Algorithm::kDescendantDelays;
+  config.heuristic_label = "descendant";
+  const int rc = sweep::bench::run_fig3(config, argc, argv);
+  std::printf("\nExpected shape: all close at small m or large k; "
+              "descendants edge out RD at large m & small k (Figure 3(b)).\n");
+  return rc;
+}

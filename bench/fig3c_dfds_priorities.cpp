@@ -1,0 +1,20 @@
+// Figure 3(c): DFDS priorities (Pautz) without/with random delays vs
+// Algorithm 2, mesh `well_logging`, block size 128. Expected shape: equal at
+// small m; DFDS wins at large m & small k; delays barely change DFDS except
+// at very large m & small k.
+
+#include "fig3_common.hpp"
+
+int main(int argc, char** argv) {
+  sweep::bench::Fig3Config config;
+  config.figure = "fig3c";
+  config.mesh = "well_logging";
+  config.block_size = 128;
+  config.heuristic = sweep::core::Algorithm::kDfdsPriorities;
+  config.heuristic_delayed = sweep::core::Algorithm::kDfdsDelays;
+  config.heuristic_label = "DFDS";
+  const int rc = sweep::bench::run_fig3(config, argc, argv);
+  std::printf("\nExpected shape: DFDS ~= RD at small m; DFDS ahead at large "
+              "m & small k; delays help DFDS only there (Figure 3(c)).\n");
+  return rc;
+}

@@ -1,0 +1,119 @@
+// Google-benchmark microbenchmarks for the performance-critical kernels:
+// mesh generation, DAG induction, level computation, the list-scheduling
+// engine, Algorithm 1's layered construction, and the multilevel
+// partitioner. These back the paper's remark that the algorithms run in
+// near-linear time in the schedule length.
+
+#include <benchmark/benchmark.h>
+
+#include "core/assignment.hpp"
+#include "core/list_scheduler.hpp"
+#include "core/priorities.hpp"
+#include "core/random_delay.hpp"
+#include "mesh/zoo.hpp"
+#include "partition/multilevel.hpp"
+#include "sweep/dag_builder.hpp"
+#include "sweep/instance.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using namespace sweep;
+
+const mesh::UnstructuredMesh& bench_mesh() {
+  static const mesh::UnstructuredMesh m = mesh::MeshZoo::tetonly_like(0.5);
+  return m;
+}
+
+const dag::SweepInstance& bench_instance() {
+  static const dag::SweepInstance inst =
+      dag::build_instance(bench_mesh(), dag::level_symmetric(4));
+  return inst;
+}
+
+void BM_MeshGeneration(benchmark::State& state) {
+  for (auto _ : state) {
+    const auto m = mesh::MeshZoo::tetonly_like(
+        0.1 * static_cast<double>(state.range(0)));
+    benchmark::DoNotOptimize(m.n_cells());
+  }
+}
+BENCHMARK(BM_MeshGeneration)->Arg(2)->Arg(4)->Arg(6);
+
+void BM_DagInduction(benchmark::State& state) {
+  const auto& m = bench_mesh();
+  const mesh::Vec3 dir = mesh::normalized({0.5, 0.3, 0.8});
+  for (auto _ : state) {
+    auto result = dag::build_sweep_dag(m, dir);
+    benchmark::DoNotOptimize(result.dag.n_edges());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(m.n_cells()));
+}
+BENCHMARK(BM_DagInduction);
+
+void BM_Levels(benchmark::State& state) {
+  const auto& inst = bench_instance();
+  for (auto _ : state) {
+    auto levels = inst.dag(0).levels();
+    benchmark::DoNotOptimize(levels.data());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(inst.n_cells()));
+}
+BENCHMARK(BM_Levels);
+
+void BM_ListScheduler(benchmark::State& state) {
+  const auto& inst = bench_instance();
+  const auto m = static_cast<std::size_t>(state.range(0));
+  util::Rng rng(1);
+  const auto assignment = core::random_assignment(inst.n_cells(), m, rng);
+  const auto delays = core::random_delays(inst.n_directions(), rng);
+  const auto priorities = core::random_delay_priorities(inst, delays);
+  core::ListScheduleOptions options;
+  options.priorities = priorities;
+  for (auto _ : state) {
+    auto schedule = core::list_schedule(inst, assignment, m, options);
+    benchmark::DoNotOptimize(schedule.makespan());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(inst.n_tasks()));
+}
+BENCHMARK(BM_ListScheduler)->Arg(8)->Arg(64)->Arg(512);
+
+void BM_RandomDelaySchedule(benchmark::State& state) {
+  const auto& inst = bench_instance();
+  util::Rng rng(2);
+  for (auto _ : state) {
+    auto result = core::random_delay_schedule(inst, 64, rng);
+    benchmark::DoNotOptimize(result.schedule.makespan());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(inst.n_tasks()));
+}
+BENCHMARK(BM_RandomDelaySchedule);
+
+void BM_ImprovedRandomDelaySchedule(benchmark::State& state) {
+  const auto& inst = bench_instance();
+  util::Rng rng(3);
+  for (auto _ : state) {
+    auto result = core::improved_random_delay_schedule(inst, 64, rng);
+    benchmark::DoNotOptimize(result.schedule.makespan());
+  }
+}
+BENCHMARK(BM_ImprovedRandomDelaySchedule);
+
+void BM_MultilevelPartition(benchmark::State& state) {
+  const auto graph = partition::graph_from_mesh(bench_mesh());
+  partition::MultilevelOptions options;
+  options.n_parts = static_cast<std::size_t>(state.range(0));
+  for (auto _ : state) {
+    auto part = partition::multilevel_partition(graph, options);
+    benchmark::DoNotOptimize(part.data());
+  }
+}
+BENCHMARK(BM_MultilevelPartition)->Arg(8)->Arg(64);
+
+}  // namespace
+
+BENCHMARK_MAIN();

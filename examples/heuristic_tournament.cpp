@@ -1,0 +1,110 @@
+// heuristic_tournament: run every scheduling algorithm in the library on one
+// instance and rank them — the quickest way to see the landscape the paper's
+// Section 5.2 explores (and to test your own mesh via --load, see mesh/io).
+
+#include <algorithm>
+#include <cstdio>
+#include <vector>
+
+#include "core/algorithms.hpp"
+#include "core/comm_cost.hpp"
+#include "core/lower_bounds.hpp"
+#include "core/validate.hpp"
+#include "core/assignment.hpp"
+#include "mesh/io.hpp"
+#include "mesh/zoo.hpp"
+#include "partition/multilevel.hpp"
+#include "sweep/instance.hpp"
+#include "util/cli.hpp"
+#include "util/table.hpp"
+#include "util/timer.hpp"
+
+int main(int argc, char** argv) {
+  using namespace sweep;
+  util::CliParser cli("heuristic_tournament",
+                      "Rank all scheduling algorithms on one instance");
+  cli.add_option("mesh", "long", "zoo mesh name");
+  cli.add_option("load", "", "load a mesh file instead (see mesh/io.hpp)");
+  cli.add_option("scale", "0.5", "mesh scale");
+  cli.add_option("m", "64", "number of processors");
+  cli.add_option("sn", "4", "S_n order");
+  cli.add_option("block", "0", "block size (0 = per-cell assignment)");
+  cli.add_option("trials", "3", "trials per algorithm");
+  if (!cli.parse(argc, argv)) return 1;
+
+  const mesh::UnstructuredMesh m =
+      cli.str("load").empty()
+          ? mesh::MeshZoo::by_name(cli.str("mesh"), cli.real("scale"))
+          : mesh::load_mesh(cli.str("load"));
+  const auto dirs = dag::level_symmetric(static_cast<std::size_t>(cli.integer("sn")));
+  const auto instance = dag::build_instance(m, dirs);
+  const auto n_procs = static_cast<std::size_t>(cli.integer("m"));
+  const auto trials = static_cast<std::size_t>(cli.integer("trials"));
+  const auto lb = core::compute_lower_bounds(instance, n_procs);
+  std::printf("%s: %zu cells, k=%zu, m=%zu, LB=%.0f\n", m.name().c_str(),
+              m.n_cells(), dirs.size(), n_procs, lb.value());
+
+  // Optional common block partition (as in the paper's Section 5.2 setup).
+  partition::Partition blocks;
+  if (cli.integer("block") > 0) {
+    const auto graph = partition::graph_from_mesh(m);
+    blocks = partition::partition_into_blocks(
+        graph, static_cast<std::size_t>(cli.integer("block")));
+    std::printf("block assignment: %zu blocks of ~%lld cells\n",
+                partition::count_blocks(blocks),
+                static_cast<long long>(cli.integer("block")));
+  }
+
+  struct Row {
+    std::string name;
+    double makespan;
+    double ratio;
+    double c1;
+    double seconds;
+  };
+  std::vector<Row> rows;
+  for (core::Algorithm algorithm : core::all_algorithms()) {
+    double mean_makespan = 0.0;
+    double mean_c1 = 0.0;
+    util::Timer timer;
+    for (std::size_t trial = 0; trial < trials; ++trial) {
+      util::Rng rng(7000 + trial);
+      core::Assignment assignment;
+      if (!blocks.empty()) {
+        assignment = core::block_assignment(blocks, n_procs, rng);
+      }
+      const auto schedule = core::run_algorithm(algorithm, instance, n_procs,
+                                                rng, std::move(assignment));
+      const auto valid = core::validate_schedule(instance, schedule);
+      if (!valid) {
+        std::fprintf(stderr, "%s produced an invalid schedule: %s\n",
+                     core::algorithm_name(algorithm).c_str(),
+                     valid.error.c_str());
+        return 1;
+      }
+      mean_makespan += static_cast<double>(schedule.makespan()) /
+                       static_cast<double>(trials);
+      mean_c1 += static_cast<double>(
+                     core::comm_cost_c1(instance, schedule.assignment())
+                         .cross_edges) /
+                 static_cast<double>(trials);
+    }
+    rows.push_back({core::algorithm_name(algorithm), mean_makespan,
+                    mean_makespan / lb.value(), mean_c1,
+                    timer.seconds() / static_cast<double>(trials)});
+  }
+  std::sort(rows.begin(), rows.end(),
+            [](const Row& a, const Row& b) { return a.makespan < b.makespan; });
+
+  util::Table table({"rank", "algorithm", "makespan", "ratio_to_LB", "C1",
+                     "seconds/run"});
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    table.add_row({util::Table::fmt(i + 1), rows[i].name,
+                   util::Table::fmt(rows[i].makespan, 0),
+                   util::Table::fmt(rows[i].ratio, 2),
+                   util::Table::fmt(rows[i].c1, 0),
+                   util::Table::fmt(rows[i].seconds, 3)});
+  }
+  table.print("Tournament results");
+  return 0;
+}

@@ -1,0 +1,80 @@
+// partition_explorer: interactively explore the communication/makespan
+// trade-off of Section 5.1 — choose a mesh, sweep block sizes across
+// partitioners, and see edge cut, C1, C2 and makespan side by side. This is
+// the tool you would use to pick a block size for a new mesh before a
+// production run.
+
+#include <cstdio>
+
+#include "core/assignment.hpp"
+#include "core/comm_cost.hpp"
+#include "core/list_scheduler.hpp"
+#include "core/priorities.hpp"
+#include "mesh/mesh_stats.hpp"
+#include "mesh/zoo.hpp"
+#include "partition/multilevel.hpp"
+#include "partition/simple_partitioners.hpp"
+#include "sweep/instance.hpp"
+#include "util/cli.hpp"
+#include "util/table.hpp"
+
+int main(int argc, char** argv) {
+  using namespace sweep;
+  util::CliParser cli("partition_explorer",
+                      "Explore block partitioning trade-offs for a mesh");
+  cli.add_option("mesh", "prismtet", "zoo mesh name");
+  cli.add_option("scale", "0.4", "mesh scale");
+  cli.add_option("m", "32", "number of processors");
+  cli.add_option("sn", "4", "S_n order");
+  cli.add_option("blocks", "1,8,32,128,512", "block sizes to explore");
+  cli.add_option("partitioner", "multilevel",
+                 "multilevel | rcb | bfs | random");
+  if (!cli.parse(argc, argv)) return 1;
+
+  const auto m = mesh::MeshZoo::by_name(cli.str("mesh"), cli.real("scale"));
+  std::printf("%s\n", to_string(mesh::compute_stats(m)).c_str());
+  const auto dirs = dag::level_symmetric(static_cast<std::size_t>(cli.integer("sn")));
+  const auto instance = dag::build_instance(m, dirs);
+  const auto graph = partition::graph_from_mesh(m);
+  const auto n_procs = static_cast<std::size_t>(cli.integer("m"));
+  const double lb = static_cast<double>(instance.n_tasks()) /
+                    static_cast<double>(n_procs);
+
+  auto build_blocks = [&](std::size_t block_size) -> partition::Partition {
+    const std::size_t n_blocks =
+        (m.n_cells() + block_size - 1) / block_size;
+    const std::string which = cli.str("partitioner");
+    if (which == "rcb") return partition::coordinate_bisection(m.centroids(), n_blocks);
+    if (which == "bfs") return partition::bfs_blocks(graph, block_size);
+    if (which == "random") return partition::random_partition(m.n_cells(), n_blocks, 5);
+    return partition::partition_into_blocks(graph, block_size);
+  };
+
+  util::Table table({"block_size", "blocks", "edge_cut", "imbalance", "C1",
+                     "C1_frac", "C2", "makespan", "makespan/LB"});
+  for (std::int64_t bs : cli.int_list("blocks")) {
+    const auto block_size = static_cast<std::size_t>(bs);
+    const auto blocks = build_blocks(block_size);
+    const std::size_t n_blocks = partition::count_blocks(blocks);
+    util::Rng rng(99);
+    const auto assignment = core::block_assignment(blocks, n_procs, rng);
+    const auto delays = core::random_delays(instance.n_directions(), rng);
+    const auto priorities = core::random_delay_priorities(instance, delays);
+    core::ListScheduleOptions options;
+    options.priorities = priorities;
+    const auto schedule = core::list_schedule(instance, assignment, n_procs, options);
+    const auto c1 = core::comm_cost_c1(instance, assignment);
+    const auto c2 = core::comm_cost_c2(instance, schedule);
+    table.add_row({util::Table::fmt(bs), util::Table::fmt(n_blocks),
+                   util::Table::fmt(partition::edge_cut(graph, blocks)),
+                   util::Table::fmt(partition::imbalance(graph, blocks, n_blocks), 2),
+                   util::Table::fmt(c1.cross_edges),
+                   util::Table::fmt(c1.fraction(), 3),
+                   util::Table::fmt(c2.total_delay),
+                   util::Table::fmt(schedule.makespan()),
+                   util::Table::fmt(static_cast<double>(schedule.makespan()) / lb, 2)});
+  }
+  table.print("Partition exploration (" + cli.str("partitioner") + ", " +
+              m.name() + ", m=" + cli.str("m") + ")");
+  return 0;
+}

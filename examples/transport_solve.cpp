@@ -1,0 +1,87 @@
+// transport_solve: the motivating application end to end.
+//
+// Solves a single-group, isotropically scattering radiation transport
+// problem on an unstructured mesh by source iteration, where every sweep is
+// executed in the order produced by a parallel sweep schedule — first with
+// the serial order, then with Algorithm 2's schedule — and verifies that the
+// two agree bitwise (a feasible schedule changes *when* cells are solved,
+// never *what* is computed). Also reports the simulated parallel time:
+// makespan plus the C2 communication rounds.
+
+#include <cmath>
+#include <cstdio>
+
+#include "core/algorithms.hpp"
+#include "core/comm_cost.hpp"
+#include "core/lower_bounds.hpp"
+#include "mesh/zoo.hpp"
+#include "sweep/instance.hpp"
+#include "transport/transport.hpp"
+#include "util/cli.hpp"
+#include "util/timer.hpp"
+
+int main(int argc, char** argv) {
+  using namespace sweep;
+  util::CliParser cli("transport_solve",
+                      "Source-iteration transport solve driven by a sweep schedule");
+  cli.add_option("mesh", "well_logging", "zoo mesh name");
+  cli.add_option("scale", "0.4", "mesh scale");
+  cli.add_option("m", "32", "number of processors");
+  cli.add_option("sn", "4", "S_n order (k = n(n+2))");
+  cli.add_option("sigma-t", "2.0", "total cross section");
+  cli.add_option("sigma-s", "1.2", "scattering cross section");
+  cli.add_option("source", "1.0", "volumetric source");
+  if (!cli.parse(argc, argv)) return 1;
+
+  const auto m = mesh::MeshZoo::by_name(cli.str("mesh"), cli.real("scale"));
+  const auto dirs = dag::level_symmetric(static_cast<std::size_t>(cli.integer("sn")));
+  const auto instance = dag::build_instance(m, dirs);
+  std::printf("mesh %s: %zu cells, %zu directions, %zu tasks\n",
+              m.name().c_str(), m.n_cells(), dirs.size(), instance.n_tasks());
+
+  transport::TransportOptions topts;
+  topts.sigma_t = cli.real("sigma-t");
+  topts.sigma_s = cli.real("sigma-s");
+  topts.volumetric_source = cli.real("source");
+
+  // Serial reference sweep.
+  util::Timer timer;
+  const auto serial = transport::solve_transport(
+      m, dirs, instance, transport::sequential_order(instance), topts);
+  std::printf("serial solve: %zu source iterations, residual %.2e, %.2fs\n",
+              serial.iterations, serial.residual, timer.seconds());
+
+  // Parallel schedule (Algorithm 2).
+  const auto n_procs = static_cast<std::size_t>(cli.integer("m"));
+  util::Rng rng(2024);
+  const auto schedule = core::run_algorithm(
+      core::Algorithm::kRandomDelayPriorities, instance, n_procs, rng);
+  const auto lb = core::compute_lower_bounds(instance, n_procs);
+  const auto c2 = core::comm_cost_c2(instance, schedule);
+  std::printf("schedule on %zu processors: makespan %zu (lower bound %.0f, "
+              "ratio %.2f), C2 comm rounds add %zu\n",
+              n_procs, schedule.makespan(), lb.value(),
+              core::approximation_ratio(schedule, lb), c2.total_delay);
+
+  timer.reset();
+  const auto parallel = transport::solve_transport(
+      m, dirs, instance, transport::execution_order(schedule), topts);
+  std::printf("schedule-ordered solve: %zu iterations, %.2fs\n",
+              parallel.iterations, timer.seconds());
+
+  double max_diff = 0.0;
+  double max_flux = 0.0;
+  for (std::size_t c = 0; c < m.n_cells(); ++c) {
+    max_diff = std::max(max_diff,
+                        std::abs(parallel.scalar_flux[c] - serial.scalar_flux[c]));
+    max_flux = std::max(max_flux, serial.scalar_flux[c]);
+  }
+  std::printf("max |phi_parallel - phi_serial| = %.3e (max flux %.4f)\n",
+              max_diff, max_flux);
+  std::printf("infinite-medium check: interior flux should approach q/sigma_a "
+              "= %.4f\n", transport::infinite_medium_flux(topts));
+
+  const bool identical = max_diff == 0.0;
+  std::printf("bitwise identical: %s\n", identical ? "yes" : "NO");
+  return identical && serial.converged ? 0 : 1;
+}

@@ -1,0 +1,57 @@
+#include "core/assignment.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace sweep::core {
+
+Assignment random_assignment(std::size_t n_cells, std::size_t n_processors,
+                             util::Rng& rng) {
+  if (n_processors == 0) {
+    throw std::invalid_argument("random_assignment: need >= 1 processor");
+  }
+  Assignment assignment(n_cells);
+  for (auto& p : assignment) {
+    p = static_cast<ProcessorId>(rng.next_below(n_processors));
+  }
+  return assignment;
+}
+
+Assignment block_assignment(const partition::Partition& blocks,
+                            std::size_t n_processors, util::Rng& rng) {
+  if (n_processors == 0) {
+    throw std::invalid_argument("block_assignment: need >= 1 processor");
+  }
+  std::uint32_t max_block = 0;
+  for (std::uint32_t b : blocks) max_block = std::max(max_block, b);
+  std::vector<ProcessorId> block_proc(static_cast<std::size_t>(max_block) + 1);
+  for (auto& p : block_proc) {
+    p = static_cast<ProcessorId>(rng.next_below(n_processors));
+  }
+  Assignment assignment(blocks.size());
+  for (std::size_t v = 0; v < blocks.size(); ++v) {
+    assignment[v] = block_proc[blocks[v]];
+  }
+  return assignment;
+}
+
+Assignment round_robin_block_assignment(const partition::Partition& blocks,
+                                        std::size_t n_processors) {
+  if (n_processors == 0) {
+    throw std::invalid_argument("round_robin_block_assignment: need >= 1 processor");
+  }
+  Assignment assignment(blocks.size());
+  for (std::size_t v = 0; v < blocks.size(); ++v) {
+    assignment[v] = static_cast<ProcessorId>(blocks[v] % n_processors);
+  }
+  return assignment;
+}
+
+std::vector<std::size_t> assignment_loads(const Assignment& assignment,
+                                          std::size_t n_processors) {
+  std::vector<std::size_t> loads(n_processors, 0);
+  for (ProcessorId p : assignment) ++loads[p];
+  return loads;
+}
+
+}  // namespace sweep::core

@@ -1,0 +1,35 @@
+#pragma once
+// Processor assignments for cells.
+//
+// The paper's two assignment modes (Section 5.1): per-cell uniform random
+// (used by the provable algorithms) and block-based — partition the mesh into
+// blocks (METIS in the paper, our multilevel partitioner here) and pick a
+// uniform random processor per *block*, which slashes the number of
+// inter-processor edges at a small makespan cost.
+
+#include <cstdint>
+
+#include "core/schedule.hpp"
+#include "partition/graph.hpp"
+#include "util/rng.hpp"
+
+namespace sweep::core {
+
+/// Each cell independently to a uniform random processor (Algorithms 1-3).
+Assignment random_assignment(std::size_t n_cells, std::size_t n_processors,
+                             util::Rng& rng);
+
+/// Each block of `blocks` (block id per cell) to a uniform random processor.
+Assignment block_assignment(const partition::Partition& blocks,
+                            std::size_t n_processors, util::Rng& rng);
+
+/// Round-robin over blocks (deterministic comparator; not used by the
+/// provable algorithms but handy for ablations).
+Assignment round_robin_block_assignment(const partition::Partition& blocks,
+                                        std::size_t n_processors);
+
+/// Histogram: cells per processor.
+std::vector<std::size_t> assignment_loads(const Assignment& assignment,
+                                          std::size_t n_processors);
+
+}  // namespace sweep::core

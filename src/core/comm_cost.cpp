@@ -1,0 +1,72 @@
+#include "core/comm_cost.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+#include <unordered_map>
+#include <vector>
+
+namespace sweep::core {
+
+C1Cost comm_cost_c1(const dag::SweepInstance& instance,
+                    const Assignment& assignment) {
+  if (assignment.size() != instance.n_cells()) {
+    throw std::invalid_argument("comm_cost_c1: assignment size != n_cells");
+  }
+  C1Cost cost;
+  for (const dag::SweepDag& g : instance.dags()) {
+    cost.total_edges += g.n_edges();
+    for (dag::NodeId u = 0; u < g.n_nodes(); ++u) {
+      for (dag::NodeId v : g.successors(u)) {
+        if (assignment[u] != assignment[v]) ++cost.cross_edges;
+      }
+    }
+  }
+  return cost;
+}
+
+C2Cost comm_cost_c2(const dag::SweepInstance& instance,
+                    const Schedule& schedule) {
+  const std::size_t n = instance.n_cells();
+  const std::size_t k = instance.n_directions();
+  const std::size_t horizon = schedule.makespan();
+
+  // sends[t * m + p] would be O(T*m) memory; use per-step accumulation
+  // keyed by (step, sender) in a flat hash map instead, then reduce.
+  std::unordered_map<std::uint64_t, std::uint32_t> sends;
+  sends.reserve(n * k / 4 + 16);
+  for (DirectionId i = 0; i < k; ++i) {
+    const dag::SweepDag& g = instance.dag(i);
+    for (dag::NodeId u = 0; u < n; ++u) {
+      const ProcessorId pu = schedule.processor_of_cell(u);
+      const TimeStep tu = schedule.start(u, i);
+      if (tu == kUnscheduled) {
+        throw std::invalid_argument("comm_cost_c2: schedule is incomplete");
+      }
+      std::uint32_t messages = 0;
+      for (dag::NodeId v : g.successors(u)) {
+        if (schedule.processor_of_cell(v) != pu) ++messages;
+      }
+      if (messages > 0) {
+        const std::uint64_t key =
+            static_cast<std::uint64_t>(tu) * schedule.n_processors() + pu;
+        sends[key] += messages;
+      }
+    }
+  }
+
+  // Reduce: per step, the round length is the max over senders.
+  std::vector<std::uint32_t> step_max(horizon, 0);
+  for (const auto& [key, count] : sends) {
+    const auto step = static_cast<std::size_t>(key / schedule.n_processors());
+    step_max[step] = std::max(step_max[step], count);
+  }
+  C2Cost cost;
+  for (std::uint32_t mx : step_max) {
+    cost.total_delay += mx;
+    cost.max_step_degree = std::max<std::size_t>(cost.max_step_degree, mx);
+    if (mx > 0) ++cost.busy_steps;
+  }
+  return cost;
+}
+
+}  // namespace sweep::core

@@ -1,0 +1,46 @@
+#pragma once
+// The paper's two extreme communication-cost measures (Section 5,
+// "Objective functions"):
+//
+//   C1 — static: the number of DAG edges ((u,i),(v,i)) whose endpoints are
+//        assigned to different processors (each such edge is a message that
+//        must cross the network at some point).
+//   C2 — synchronous-round: after every computation step there is a
+//        communication round whose duration is the maximum number of
+//        messages any single processor must send in that round; C2 is the
+//        sum of those maxima over the schedule. (An optimistic model — the
+//        paper notes it can be realized with distributed edge coloring.)
+
+#include <cstdint>
+
+#include "core/schedule.hpp"
+#include "sweep/instance.hpp"
+
+namespace sweep::core {
+
+struct C1Cost {
+  std::size_t cross_edges = 0;  ///< interprocessor edges over all DAGs
+  std::size_t total_edges = 0;
+  [[nodiscard]] double fraction() const {
+    return total_edges == 0
+               ? 0.0
+               : static_cast<double>(cross_edges) / static_cast<double>(total_edges);
+  }
+};
+
+/// C1 depends only on the assignment, not on start times.
+C1Cost comm_cost_c1(const dag::SweepInstance& instance,
+                    const Assignment& assignment);
+
+struct C2Cost {
+  std::size_t total_delay = 0;       ///< sum over steps of max per-proc sends
+  std::size_t max_step_degree = 0;   ///< worst single round
+  std::size_t busy_steps = 0;        ///< steps with at least one message
+};
+
+/// C2 requires the schedule (who finishes what when). A message is one cross-
+/// processor DAG edge, charged to the sender at the step its source finishes.
+C2Cost comm_cost_c2(const dag::SweepInstance& instance,
+                    const Schedule& schedule);
+
+}  // namespace sweep::core

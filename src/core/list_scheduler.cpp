@@ -1,0 +1,207 @@
+#include "core/list_scheduler.hpp"
+
+#include <algorithm>
+#include <queue>
+#include <stdexcept>
+#include <vector>
+
+namespace sweep::core {
+
+Schedule list_schedule(const dag::SweepInstance& instance,
+                       const Assignment& assignment, std::size_t n_processors,
+                       const ListScheduleOptions& options) {
+  const std::size_t n = instance.n_cells();
+  const std::size_t k = instance.n_directions();
+  const std::size_t total = n * k;
+  if (assignment.size() != n) {
+    throw std::invalid_argument("list_schedule: assignment size != n_cells");
+  }
+  if (n_processors == 0) {
+    throw std::invalid_argument("list_schedule: need >= 1 processor");
+  }
+  for (ProcessorId p : assignment) {
+    if (p >= n_processors) {
+      throw std::invalid_argument("list_schedule: assignment out of range");
+    }
+  }
+  if (!options.priorities.empty() && options.priorities.size() != total) {
+    throw std::invalid_argument("list_schedule: priorities size != n*k");
+  }
+  if (!options.release_times.empty() && options.release_times.size() != total) {
+    throw std::invalid_argument("list_schedule: release_times size != n*k");
+  }
+
+  auto priority_of = [&](TaskId t) -> std::int64_t {
+    return options.priorities.empty() ? 0 : options.priorities[t];
+  };
+  auto release_of = [&](TaskId t) -> TimeStep {
+    return options.release_times.empty() ? 0 : options.release_times[t];
+  };
+
+  Schedule schedule(n, k, n_processors, assignment);
+
+  // Remaining predecessor counts per task.
+  std::vector<std::uint32_t> indegree(total);
+  for (std::size_t i = 0; i < k; ++i) {
+    const dag::SweepDag& g = instance.dag(i);
+    for (dag::NodeId v = 0; v < n; ++v) {
+      indegree[task_id(v, static_cast<DirectionId>(i), n)] =
+          static_cast<std::uint32_t>(g.in_degree(v));
+    }
+  }
+
+  // Per-processor ready min-heaps keyed by (priority, task id).
+  using Entry = std::pair<std::int64_t, TaskId>;
+  using MinHeap = std::priority_queue<Entry, std::vector<Entry>, std::greater<>>;
+  std::vector<MinHeap> ready(n_processors);
+
+  // Ready-but-not-yet-released tasks, keyed by release time.
+  using Release = std::pair<TimeStep, TaskId>;
+  std::priority_queue<Release, std::vector<Release>, std::greater<>> pending;
+
+  // Earliest start induced by cross-processor predecessor messages.
+  std::vector<TimeStep> earliest;
+  if (options.cross_message_delay > 0) earliest.assign(total, 0);
+
+  std::vector<char> active_flag(n_processors, 0);
+  std::vector<ProcessorId> active;
+  active.reserve(n_processors);
+
+  auto enqueue_ready = [&](TaskId t, TimeStep now) {
+    TimeStep release = release_of(t);
+    if (!earliest.empty()) release = std::max(release, earliest[t]);
+    if (release > now) {
+      pending.push({release, t});
+      return;
+    }
+    const ProcessorId p = schedule.processor_of(t);
+    ready[p].push({priority_of(t), t});
+    if (!active_flag[p]) {
+      active_flag[p] = 1;
+      active.push_back(p);
+    }
+  };
+
+  for (TaskId t = 0; t < total; ++t) {
+    if (indegree[t] == 0) enqueue_ready(t, 0);
+  }
+
+  std::size_t done = 0;
+  std::vector<TaskId> finished;
+  finished.reserve(n_processors);
+  std::vector<ProcessorId> still_active;
+  still_active.reserve(n_processors);
+
+  TimeStep t = 0;
+  while (done < total) {
+    // Releases that have come due.
+    while (!pending.empty() && pending.top().first <= t) {
+      const TaskId task = pending.top().second;
+      pending.pop();
+      const ProcessorId p = schedule.processor_of(task);
+      ready[p].push({priority_of(task), task});
+      if (!active_flag[p]) {
+        active_flag[p] = 1;
+        active.push_back(p);
+      }
+    }
+    if (active.empty()) {
+      if (pending.empty()) {
+        throw std::logic_error(
+            "list_schedule: deadlock — instance DAG has a cycle");
+      }
+      t = pending.top().first;
+      continue;
+    }
+
+    // Each active processor runs its best ready task this step.
+    finished.clear();
+    still_active.clear();
+    for (ProcessorId p : active) {
+      const TaskId task = ready[p].top().second;
+      ready[p].pop();
+      schedule.set_start(task, t);
+      finished.push_back(task);
+      if (ready[p].empty()) {
+        active_flag[p] = 0;
+      } else {
+        still_active.push_back(p);
+      }
+    }
+    active.swap(still_active);
+    done += finished.size();
+
+    // Newly ready successors become available from t+1 (or their release;
+    // or t+1+c if the message must cross processors).
+    for (TaskId task : finished) {
+      const CellId v = task_cell(task, n);
+      const DirectionId dir = task_direction(task, n);
+      const dag::SweepDag& g = instance.dag(dir);
+      const ProcessorId pv = schedule.processor_of(task);
+      for (dag::NodeId w : g.successors(v)) {
+        const TaskId succ = task_id(w, dir, n);
+        if (!earliest.empty() && assignment[w] != pv) {
+          earliest[succ] = std::max(
+              earliest[succ], t + 1 + options.cross_message_delay);
+        }
+        if (--indegree[succ] == 0) enqueue_ready(succ, t + 1);
+      }
+    }
+    ++t;
+  }
+  return schedule;
+}
+
+std::vector<TimeStep> greedy_union_schedule(const dag::SweepInstance& instance,
+                                            std::size_t n_processors,
+                                            std::size_t* makespan) {
+  const std::size_t n = instance.n_cells();
+  const std::size_t k = instance.n_directions();
+  const std::size_t total = n * k;
+  if (n_processors == 0) {
+    throw std::invalid_argument("greedy_union_schedule: need >= 1 processor");
+  }
+
+  std::vector<TimeStep> step(total, kUnscheduled);
+  std::vector<std::uint32_t> indegree(total);
+  std::vector<TaskId> frontier;
+  for (std::size_t i = 0; i < k; ++i) {
+    const dag::SweepDag& g = instance.dag(i);
+    for (dag::NodeId v = 0; v < n; ++v) {
+      const TaskId t = task_id(v, static_cast<DirectionId>(i), n);
+      indegree[t] = static_cast<std::uint32_t>(g.in_degree(v));
+      if (indegree[t] == 0) frontier.push_back(t);
+    }
+  }
+
+  std::size_t done = 0;
+  TimeStep now = 0;
+  std::vector<TaskId> next_frontier;
+  while (done < total) {
+    if (frontier.empty()) {
+      throw std::logic_error("greedy_union_schedule: instance DAG has a cycle");
+    }
+    // Run up to m tasks from the frontier; the overflow stays ready.
+    const std::size_t run = std::min(frontier.size(), n_processors);
+    next_frontier.assign(frontier.begin() + static_cast<std::ptrdiff_t>(run),
+                         frontier.end());
+    for (std::size_t i = 0; i < run; ++i) {
+      const TaskId task = frontier[i];
+      step[task] = now;
+      const CellId v = task_cell(task, n);
+      const DirectionId dir = task_direction(task, n);
+      const dag::SweepDag& g = instance.dag(dir);
+      for (dag::NodeId w : g.successors(v)) {
+        const TaskId succ = task_id(w, dir, n);
+        if (--indegree[succ] == 0) next_frontier.push_back(succ);
+      }
+    }
+    done += run;
+    frontier.swap(next_frontier);
+    ++now;
+  }
+  if (makespan != nullptr) *makespan = now;
+  return step;
+}
+
+}  // namespace sweep::core

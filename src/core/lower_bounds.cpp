@@ -1,0 +1,15 @@
+#include "core/lower_bounds.hpp"
+
+namespace sweep::core {
+
+LowerBounds compute_lower_bounds(const dag::SweepInstance& instance,
+                                 std::size_t n_processors) {
+  LowerBounds lb;
+  lb.average_load = static_cast<double>(instance.n_tasks()) /
+                    static_cast<double>(n_processors);
+  lb.directions = instance.n_directions();
+  lb.depth = instance.max_depth();
+  return lb;
+}
+
+}  // namespace sweep::core

@@ -1,0 +1,30 @@
+#pragma once
+// Lower bounds on the optimal sweep-schedule makespan (paper Sections 4-5):
+//   - average load nk/m (the paper's main empirical yardstick),
+//   - k (every direction's DAGs share cells, so some processor sees >= k tasks
+//     ... more precisely OPT >= k because all k copies of one cell run on one
+//     processor),
+//   - D = max level count over directions (critical path of unit tasks).
+// OPT >= max of all three; the experiments report makespan / lower_bound.
+
+#include "sweep/instance.hpp"
+
+namespace sweep::core {
+
+struct LowerBounds {
+  double average_load = 0.0;   ///< nk/m
+  std::size_t directions = 0;  ///< k
+  std::size_t depth = 0;       ///< D, max #levels over directions
+
+  [[nodiscard]] double value() const {
+    double lb = average_load;
+    lb = std::max(lb, static_cast<double>(directions));
+    lb = std::max(lb, static_cast<double>(depth));
+    return lb;
+  }
+};
+
+LowerBounds compute_lower_bounds(const dag::SweepInstance& instance,
+                                 std::size_t n_processors);
+
+}  // namespace sweep::core

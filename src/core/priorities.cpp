@@ -1,0 +1,141 @@
+#include "core/priorities.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "sweep/descendants.hpp"
+
+namespace sweep::core {
+
+std::vector<TimeStep> random_delays(std::size_t n_directions, util::Rng& rng) {
+  std::vector<TimeStep> delays(n_directions);
+  for (auto& x : delays) {
+    x = static_cast<TimeStep>(rng.next_below(n_directions));
+  }
+  return delays;
+}
+
+std::vector<std::int64_t> level_priorities(const dag::SweepInstance& instance) {
+  const std::size_t n = instance.n_cells();
+  const std::size_t k = instance.n_directions();
+  std::vector<std::int64_t> priorities(n * k);
+  const auto& levels = instance.levels();
+  for (DirectionId i = 0; i < k; ++i) {
+    for (CellId v = 0; v < n; ++v) {
+      priorities[task_id(v, i, n)] = levels[i][v];
+    }
+  }
+  return priorities;
+}
+
+std::vector<std::int64_t> random_delay_priorities(
+    const dag::SweepInstance& instance, const std::vector<TimeStep>& delays) {
+  if (delays.size() != instance.n_directions()) {
+    throw std::invalid_argument("random_delay_priorities: delays size != k");
+  }
+  const std::size_t n = instance.n_cells();
+  const std::size_t k = instance.n_directions();
+  std::vector<std::int64_t> priorities(n * k);
+  const auto& levels = instance.levels();
+  for (DirectionId i = 0; i < k; ++i) {
+    for (CellId v = 0; v < n; ++v) {
+      priorities[task_id(v, i, n)] =
+          static_cast<std::int64_t>(levels[i][v]) + delays[i];
+    }
+  }
+  return priorities;
+}
+
+std::vector<std::int64_t> descendant_priorities(
+    const dag::SweepInstance& instance, util::Rng& rng) {
+  const std::size_t n = instance.n_cells();
+  const std::size_t k = instance.n_directions();
+  std::vector<std::int64_t> priorities(n * k);
+  for (DirectionId i = 0; i < k; ++i) {
+    const std::vector<double> counts =
+        dag::descendant_counts(instance.dag(i), rng);
+    for (CellId v = 0; v < n; ++v) {
+      // Higher descendant count runs first -> negate for the min-first engine.
+      priorities[task_id(v, i, n)] =
+          -static_cast<std::int64_t>(std::llround(counts[v]));
+    }
+  }
+  return priorities;
+}
+
+std::vector<std::int64_t> blevel_priorities(const dag::SweepInstance& instance) {
+  const std::size_t n = instance.n_cells();
+  const std::size_t k = instance.n_directions();
+  std::vector<std::int64_t> priorities(n * k);
+  for (DirectionId i = 0; i < k; ++i) {
+    const std::vector<std::uint32_t> blevel = instance.dag(i).b_levels();
+    for (CellId v = 0; v < n; ++v) {
+      // Deeper remaining path runs first -> negate for the min-first engine.
+      priorities[task_id(v, i, n)] = -static_cast<std::int64_t>(blevel[v]);
+    }
+  }
+  return priorities;
+}
+
+std::vector<std::int64_t> dfds_priorities(const dag::SweepInstance& instance,
+                                          const Assignment& assignment) {
+  const std::size_t n = instance.n_cells();
+  const std::size_t k = instance.n_directions();
+  if (assignment.size() != n) {
+    throw std::invalid_argument("dfds_priorities: assignment size != n_cells");
+  }
+  std::vector<std::int64_t> priorities(n * k);
+  for (DirectionId i = 0; i < k; ++i) {
+    const dag::SweepDag& g = instance.dag(i);
+    const std::vector<std::uint32_t> blevel = g.b_levels();
+    std::uint32_t depth = 0;
+    for (std::uint32_t b : blevel) depth = std::max(depth, b);
+    const auto big_c = static_cast<std::int64_t>(depth);  // C >= #levels
+
+    // Reverse topological order so children are finalized before parents.
+    const std::vector<dag::NodeId> topo = g.topological_order();
+    std::vector<std::int64_t> prio(n, 0);
+    for (auto it = topo.rbegin(); it != topo.rend(); ++it) {
+      const dag::NodeId v = *it;
+      std::int64_t max_offproc_blevel = -1;
+      std::int64_t max_child_prio = -1;
+      for (dag::NodeId w : g.successors(v)) {
+        if (assignment[w] != assignment[v]) {
+          max_offproc_blevel =
+              std::max(max_offproc_blevel, static_cast<std::int64_t>(blevel[w]));
+        }
+        max_child_prio = std::max(max_child_prio, prio[w]);
+      }
+      if (max_offproc_blevel >= 0) {
+        prio[v] = big_c + max_offproc_blevel;
+      } else if (max_child_prio > 0) {
+        prio[v] = max_child_prio - 1;
+      } else {
+        prio[v] = 0;  // no off-processor descendants
+      }
+    }
+    for (CellId v = 0; v < n; ++v) {
+      priorities[task_id(v, i, n)] = -prio[v];  // higher preferred
+    }
+  }
+  return priorities;
+}
+
+std::vector<TimeStep> delay_release_times(const dag::SweepInstance& instance,
+                                          const std::vector<TimeStep>& delays) {
+  if (delays.size() != instance.n_directions()) {
+    throw std::invalid_argument("delay_release_times: delays size != k");
+  }
+  const std::size_t n = instance.n_cells();
+  const std::size_t k = instance.n_directions();
+  std::vector<TimeStep> releases(n * k);
+  for (DirectionId i = 0; i < k; ++i) {
+    for (CellId v = 0; v < n; ++v) {
+      releases[task_id(v, i, n)] = delays[i];
+    }
+  }
+  return releases;
+}
+
+}  // namespace sweep::core

@@ -1,0 +1,128 @@
+#include "core/random_delay.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+#include <vector>
+
+#include "core/assignment.hpp"
+#include "core/list_scheduler.hpp"
+#include "core/priorities.hpp"
+
+namespace sweep::core {
+namespace {
+
+/// Shared core of Algorithms 1 and 3: given per-task layer indices
+/// (combined-DAG layers, already including the random delays), execute the
+/// layers synchronously — within a layer each processor runs its tasks
+/// back-to-back, and layer r+1 starts after the slowest processor of layer r.
+RandomDelayResult execute_layered(const dag::SweepInstance& instance,
+                                  std::size_t n_processors,
+                                  const std::vector<std::uint32_t>& task_layer,
+                                  std::vector<TimeStep> delays,
+                                  Assignment assignment) {
+  const std::size_t n = instance.n_cells();
+  const std::size_t k = instance.n_directions();
+  const std::size_t total = n * k;
+
+  std::uint32_t max_layer = 0;
+  for (std::uint32_t l : task_layer) max_layer = std::max(max_layer, l);
+  const std::size_t n_layers = total == 0 ? 0 : max_layer + 1;
+
+  // Bucket tasks by layer (counting sort to keep it linear).
+  std::vector<std::uint32_t> layer_offsets(n_layers + 1, 0);
+  for (std::uint32_t l : task_layer) ++layer_offsets[l + 1];
+  for (std::size_t r = 0; r < n_layers; ++r) {
+    layer_offsets[r + 1] += layer_offsets[r];
+  }
+  std::vector<TaskId> layer_tasks(total);
+  {
+    std::vector<std::uint32_t> cursor(layer_offsets.begin(),
+                                      layer_offsets.end() - 1);
+    for (TaskId t = 0; t < total; ++t) {
+      layer_tasks[cursor[task_layer[t]]++] = t;
+    }
+  }
+
+  RandomDelayResult result{
+      Schedule(n, k, n_processors, std::move(assignment)), std::move(delays),
+      n_layers, 0};
+  Schedule& schedule = result.schedule;
+
+  std::vector<TimeStep> proc_cursor(n_processors, 0);
+  TimeStep layer_start = 0;
+  for (std::size_t r = 0; r < n_layers; ++r) {
+    std::fill(proc_cursor.begin(), proc_cursor.end(), layer_start);
+    TimeStep layer_end = layer_start;
+    for (std::uint32_t idx = layer_offsets[r]; idx < layer_offsets[r + 1];
+         ++idx) {
+      const TaskId t = layer_tasks[idx];
+      const ProcessorId p = schedule.processor_of(t);
+      schedule.set_start(t, proc_cursor[p]);
+      ++proc_cursor[p];
+      layer_end = std::max(layer_end, proc_cursor[p]);
+      result.max_layer_load =
+          std::max<std::size_t>(result.max_layer_load,
+                                proc_cursor[p] - layer_start);
+    }
+    layer_start = layer_end;
+  }
+  return result;
+}
+
+}  // namespace
+
+RandomDelayResult random_delay_schedule(const dag::SweepInstance& instance,
+                                        std::size_t n_processors,
+                                        util::Rng& rng, Assignment assignment) {
+  const std::size_t n = instance.n_cells();
+  const std::size_t k = instance.n_directions();
+  if (assignment.empty()) {
+    assignment = random_assignment(n, n_processors, rng);
+  } else if (assignment.size() != n) {
+    throw std::invalid_argument("random_delay_schedule: bad assignment size");
+  }
+
+  std::vector<TimeStep> delays = random_delays(k, rng);
+  // Combined layer of task (v,i) = level_i(v) + X_i (step 2 of Algorithm 1).
+  std::vector<std::uint32_t> task_layer(n * k);
+  const auto& levels = instance.levels();
+  for (DirectionId i = 0; i < k; ++i) {
+    for (CellId v = 0; v < n; ++v) {
+      task_layer[task_id(v, i, n)] = levels[i][v] + delays[i];
+    }
+  }
+  return execute_layered(instance, n_processors, task_layer, std::move(delays),
+                         std::move(assignment));
+}
+
+RandomDelayResult improved_random_delay_schedule(
+    const dag::SweepInstance& instance, std::size_t n_processors,
+    util::Rng& rng, Assignment assignment) {
+  const std::size_t n = instance.n_cells();
+  const std::size_t k = instance.n_directions();
+  if (assignment.empty()) {
+    assignment = random_assignment(n, n_processors, rng);
+  } else if (assignment.size() != n) {
+    throw std::invalid_argument(
+        "improved_random_delay_schedule: bad assignment size");
+  }
+
+  // Preprocessing (step 1 of Algorithm 3): greedy list schedule of the union
+  // DAG H on m machines; L'_{i,j} = direction-i tasks run at step j. Every
+  // new level has at most m tasks, which is what the improved analysis needs.
+  const std::vector<TimeStep> new_level =
+      greedy_union_schedule(instance, n_processors);
+
+  std::vector<TimeStep> delays = random_delays(k, rng);
+  std::vector<std::uint32_t> task_layer(n * k);
+  for (DirectionId i = 0; i < k; ++i) {
+    for (CellId v = 0; v < n; ++v) {
+      const TaskId t = task_id(v, i, n);
+      task_layer[t] = new_level[t] + delays[i];
+    }
+  }
+  return execute_layered(instance, n_processors, task_layer, std::move(delays),
+                         std::move(assignment));
+}
+
+}  // namespace sweep::core

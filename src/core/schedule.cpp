@@ -1,0 +1,40 @@
+#include "core/schedule.hpp"
+
+#include <algorithm>
+
+namespace sweep::core {
+
+bool Schedule::complete() const {
+  return std::none_of(start_.begin(), start_.end(),
+                      [](TimeStep t) { return t == kUnscheduled; });
+}
+
+std::size_t Schedule::makespan() const {
+  std::size_t last = 0;
+  bool any = false;
+  for (TimeStep t : start_) {
+    if (t == kUnscheduled) continue;
+    last = std::max<std::size_t>(last, t);
+    any = true;
+  }
+  return any ? last + 1 : 0;
+}
+
+std::size_t Schedule::idle_slots() const {
+  const std::size_t total_slots = makespan() * n_processors_;
+  std::size_t scheduled = 0;
+  for (TimeStep t : start_) {
+    if (t != kUnscheduled) ++scheduled;
+  }
+  return total_slots >= scheduled ? total_slots - scheduled : 0;
+}
+
+std::vector<std::size_t> Schedule::processor_loads() const {
+  std::vector<std::size_t> loads(n_processors_, 0);
+  for (TaskId t = 0; t < start_.size(); ++t) {
+    if (start_[t] != kUnscheduled) ++loads[processor_of(t)];
+  }
+  return loads;
+}
+
+}  // namespace sweep::core

@@ -1,0 +1,68 @@
+#pragma once
+// Schedule: the output of every scheduling algorithm in this library.
+// Stores, for each task, its (unit-length) start timestep, plus the per-cell
+// processor assignment; the processor of task (v,i) is assignment[v] by the
+// sweep-scheduling same-processor constraint.
+
+#include <cstdint>
+#include <vector>
+
+#include "core/types.hpp"
+
+namespace sweep::core {
+
+/// Per-cell processor assignment.
+using Assignment = std::vector<ProcessorId>;
+
+class Schedule {
+ public:
+  Schedule() = default;
+  Schedule(std::size_t n_cells, std::size_t n_directions,
+           std::size_t n_processors, Assignment assignment)
+      : n_cells_(n_cells),
+        n_directions_(n_directions),
+        n_processors_(n_processors),
+        assignment_(std::move(assignment)),
+        start_(n_cells * n_directions, kUnscheduled) {}
+
+  [[nodiscard]] std::size_t n_cells() const { return n_cells_; }
+  [[nodiscard]] std::size_t n_directions() const { return n_directions_; }
+  [[nodiscard]] std::size_t n_processors() const { return n_processors_; }
+  [[nodiscard]] std::size_t n_tasks() const { return start_.size(); }
+
+  [[nodiscard]] const Assignment& assignment() const { return assignment_; }
+  [[nodiscard]] ProcessorId processor_of_cell(CellId v) const {
+    return assignment_[v];
+  }
+  [[nodiscard]] ProcessorId processor_of(TaskId t) const {
+    return assignment_[task_cell(t, n_cells_)];
+  }
+
+  void set_start(TaskId t, TimeStep time) { start_[t] = time; }
+  [[nodiscard]] TimeStep start(TaskId t) const { return start_[t]; }
+  [[nodiscard]] TimeStep start(CellId v, DirectionId i) const {
+    return start_[task_id(v, i, n_cells_)];
+  }
+  [[nodiscard]] const std::vector<TimeStep>& starts() const { return start_; }
+
+  /// True iff every task has been given a start time.
+  [[nodiscard]] bool complete() const;
+
+  /// Makespan = 1 + max start time (unit tasks); 0 if nothing scheduled.
+  [[nodiscard]] std::size_t makespan() const;
+
+  /// Number of (processor, timestep) slots left idle below the makespan.
+  [[nodiscard]] std::size_t idle_slots() const;
+
+  /// Per-processor task counts (load balance diagnostics).
+  [[nodiscard]] std::vector<std::size_t> processor_loads() const;
+
+ private:
+  std::size_t n_cells_ = 0;
+  std::size_t n_directions_ = 0;
+  std::size_t n_processors_ = 0;
+  Assignment assignment_;
+  std::vector<TimeStep> start_;
+};
+
+}  // namespace sweep::core

@@ -1,0 +1,115 @@
+#include "core/schedule_io.hpp"
+
+#include <algorithm>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+namespace sweep::core {
+
+void save_schedule(const Schedule& schedule, std::ostream& out) {
+  out << "sweepsched 1\n";
+  out << schedule.n_cells() << ' ' << schedule.n_directions() << ' '
+      << schedule.n_processors() << "\n";
+  for (CellId v = 0; v < schedule.n_cells(); ++v) {
+    out << schedule.assignment()[v] << (v + 1 == schedule.n_cells() ? "\n" : " ");
+  }
+  for (TaskId t = 0; t < schedule.n_tasks(); ++t) {
+    out << schedule.start(t) << (t + 1 == schedule.n_tasks() ? "\n" : " ");
+  }
+}
+
+void save_schedule(const Schedule& schedule, const std::string& path) {
+  std::ofstream out(path);
+  if (!out) throw std::runtime_error("save_schedule: cannot open " + path);
+  save_schedule(schedule, out);
+}
+
+Schedule load_schedule(std::istream& in) {
+  std::string magic;
+  int version = 0;
+  if (!(in >> magic >> version) || magic != "sweepsched" || version != 1) {
+    throw std::runtime_error("load_schedule: bad header");
+  }
+  std::size_t n = 0;
+  std::size_t k = 0;
+  std::size_t m = 0;
+  if (!(in >> n >> k >> m)) {
+    throw std::runtime_error("load_schedule: bad shape line");
+  }
+  Assignment assignment(n);
+  for (auto& p : assignment) {
+    if (!(in >> p)) throw std::runtime_error("load_schedule: truncated assignment");
+  }
+  Schedule schedule(n, k, m, std::move(assignment));
+  for (TaskId t = 0; t < schedule.n_tasks(); ++t) {
+    TimeStep start = 0;
+    if (!(in >> start)) throw std::runtime_error("load_schedule: truncated starts");
+    schedule.set_start(t, start);
+  }
+  return schedule;
+}
+
+Schedule load_schedule(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw std::runtime_error("load_schedule: cannot open " + path);
+  return load_schedule(in);
+}
+
+std::vector<double> utilization_profile(const Schedule& schedule) {
+  const std::size_t horizon = schedule.makespan();
+  std::vector<double> profile(horizon, 0.0);
+  if (horizon == 0 || schedule.n_processors() == 0) return profile;
+  for (TaskId t = 0; t < schedule.n_tasks(); ++t) {
+    const TimeStep s = schedule.start(t);
+    if (s != kUnscheduled) profile[s] += 1.0;
+  }
+  const auto m = static_cast<double>(schedule.n_processors());
+  for (double& p : profile) p /= m;
+  return profile;
+}
+
+std::string utilization_strip(const Schedule& schedule, std::size_t width) {
+  static const char kLevels[] = " .:-=+*#%@";
+  const auto profile = utilization_profile(schedule);
+  if (profile.empty() || width == 0) return "";
+  std::string strip;
+  strip.reserve(width);
+  const double bucket = static_cast<double>(profile.size()) /
+                        static_cast<double>(width);
+  for (std::size_t c = 0; c < width; ++c) {
+    const auto begin = static_cast<std::size_t>(static_cast<double>(c) * bucket);
+    auto end = static_cast<std::size_t>(static_cast<double>(c + 1) * bucket);
+    end = std::max(end, begin + 1);
+    end = std::min(end, profile.size());
+    double mean = 0.0;
+    for (std::size_t i = begin; i < end; ++i) mean += profile[i];
+    mean /= static_cast<double>(end - begin);
+    const auto idx = static_cast<std::size_t>(mean * 9.999);
+    strip.push_back(kLevels[std::min<std::size_t>(idx, 9)]);
+  }
+  return strip;
+}
+
+std::string ascii_gantt(const Schedule& schedule, std::size_t max_procs,
+                        std::size_t max_steps) {
+  const std::size_t procs = std::min(max_procs, schedule.n_processors());
+  const std::size_t steps = std::min(max_steps, schedule.makespan());
+  std::vector<std::string> rows(procs, std::string(steps, '.'));
+  for (TaskId t = 0; t < schedule.n_tasks(); ++t) {
+    const TimeStep s = schedule.start(t);
+    const ProcessorId p = schedule.processor_of(t);
+    if (s != kUnscheduled && s < steps && p < procs) rows[p][s] = '#';
+  }
+  std::ostringstream out;
+  for (std::size_t p = 0; p < procs; ++p) {
+    out << "P" << p << (p < 10 ? "  |" : " |") << rows[p] << "\n";
+  }
+  if (schedule.n_processors() > procs || schedule.makespan() > steps) {
+    out << "(truncated to " << procs << " processors x " << steps
+        << " steps)\n";
+  }
+  return out.str();
+}
+
+}  // namespace sweep::core

@@ -1,0 +1,35 @@
+#pragma once
+// Schedule serialization and lightweight terminal visualization — snapshot a
+// schedule for exact replay, eyeball its pipelining structure, and extract
+// per-step utilization profiles for the harnesses.
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "core/schedule.hpp"
+
+namespace sweep::core {
+
+/// Format: "sweepsched 1", shape line, assignment line, start-times line.
+void save_schedule(const Schedule& schedule, std::ostream& out);
+void save_schedule(const Schedule& schedule, const std::string& path);
+
+/// Throws std::runtime_error on malformed input.
+Schedule load_schedule(std::istream& in);
+Schedule load_schedule(const std::string& path);
+
+/// fraction of busy (processor, step) slots per timestep, length = makespan.
+std::vector<double> utilization_profile(const Schedule& schedule);
+
+/// ASCII utilization strip: one character per bucket of timesteps,
+/// ' .:-=+*#%@' from idle to fully busy. `width` characters total.
+std::string utilization_strip(const Schedule& schedule, std::size_t width = 80);
+
+/// Per-processor ASCII Gantt chart for SMALL schedules (first `max_procs`
+/// processors, first `max_steps` steps): '#' busy, '.' idle. Each row is one
+/// processor. Intended for examples/debugging, not big instances.
+std::string ascii_gantt(const Schedule& schedule, std::size_t max_procs = 16,
+                        std::size_t max_steps = 100);
+
+}  // namespace sweep::core

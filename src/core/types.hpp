@@ -1,0 +1,32 @@
+#pragma once
+// Shared identifiers for the scheduling core.
+//
+// A *task* is a (cell, direction) pair (paper Section 3). Tasks are flattened
+// to ids `tid = direction * n_cells + cell` so per-task arrays are contiguous
+// and the same-processor constraint ("every copy of v runs on the processor
+// of v") reduces to indexing one per-cell assignment array.
+
+#include <cstdint>
+#include <limits>
+
+namespace sweep::core {
+
+using CellId = std::uint32_t;
+using DirectionId = std::uint32_t;
+using ProcessorId = std::uint32_t;
+using TaskId = std::uint64_t;
+using TimeStep = std::uint32_t;
+
+inline constexpr TimeStep kUnscheduled = std::numeric_limits<TimeStep>::max();
+
+constexpr TaskId task_id(CellId cell, DirectionId direction, std::size_t n_cells) {
+  return static_cast<TaskId>(direction) * n_cells + cell;
+}
+constexpr CellId task_cell(TaskId tid, std::size_t n_cells) {
+  return static_cast<CellId>(tid % n_cells);
+}
+constexpr DirectionId task_direction(TaskId tid, std::size_t n_cells) {
+  return static_cast<DirectionId>(tid / n_cells);
+}
+
+}  // namespace sweep::core

@@ -1,0 +1,277 @@
+#include "mesh/extrude.hpp"
+
+#include <algorithm>
+#include <array>
+#include <cmath>
+#include <stdexcept>
+#include <unordered_map>
+
+#include "util/rng.hpp"
+
+namespace sweep::mesh {
+namespace {
+
+constexpr std::uint32_t kNoVertex = 0xffffffffu;
+
+/// Canonical (sorted, padded) face key for matching faces between cells.
+struct FaceKey {
+  std::array<std::uint32_t, 4> v{kNoVertex, kNoVertex, kNoVertex, kNoVertex};
+  bool operator==(const FaceKey&) const = default;
+};
+
+struct FaceKeyHash {
+  std::size_t operator()(const FaceKey& k) const noexcept {
+    std::uint64_t h = 0x9e3779b97f4a7c15ULL;
+    for (std::uint32_t x : k.v) {
+      h ^= x + 0x9e3779b97f4a7c15ULL + (h << 6) + (h >> 2);
+    }
+    return static_cast<std::size_t>(h);
+  }
+};
+
+FaceKey make_key(const std::uint32_t* ids, std::size_t count) {
+  FaceKey key;
+  std::copy_n(ids, count, key.v.begin());
+  std::sort(key.v.begin(), key.v.begin() + static_cast<std::ptrdiff_t>(count));
+  return key;
+}
+
+/// Incrementally assembles faces: registers each cell's faces, pairs up
+/// interior faces, computes geometry and divergence-theorem volumes.
+class FaceAssembler {
+ public:
+  FaceAssembler(const std::vector<Vec3>& positions, std::size_t n_cells)
+      : positions_(positions), volumes_(n_cells, 0.0) {
+    by_key_.reserve(n_cells * 2);
+  }
+
+  /// Registers one face of `cell` given by `count` (3 or 4) vertex ids.
+  /// `cell_centroid` orients the normal outward on first registration.
+  void add_face(CellId cell, const Vec3& cell_centroid, const std::uint32_t* ids,
+                std::size_t count) {
+    const FaceKey key = make_key(ids, count);
+    // Face centroid and area normal from the vertex loop (quads are handled
+    // as two triangles so warped quads still get a well-defined normal).
+    Vec3 centroid{};
+    for (std::size_t i = 0; i < count; ++i) centroid += positions_[ids[i]];
+    centroid = centroid / static_cast<double>(count);
+    Vec3 area_normal{};
+    double volume_flux = 0.0;  // sum of dot(tri centroid, tri area normal)
+    const Vec3& base = positions_[ids[0]];
+    for (std::size_t i = 1; i + 1 < count; ++i) {
+      const Vec3& p = positions_[ids[i]];
+      const Vec3& q = positions_[ids[i + 1]];
+      const Vec3 tri_an = triangle_area_normal(base, p, q);
+      area_normal += tri_an;
+      volume_flux += dot((base + p + q) / 3.0, tri_an);
+    }
+    const double area = norm(area_normal);
+    if (area <= 0.0) throw std::runtime_error("extrude: degenerate face");
+    Vec3 unit = area_normal / area;
+    // Orient outward from this cell.
+    double sign = 1.0;
+    if (dot(unit, centroid - cell_centroid) < 0.0) sign = -1.0;
+
+    auto [it, inserted] = by_key_.try_emplace(key, faces_.size());
+    if (inserted) {
+      Face face;
+      face.cell_a = cell;
+      face.unit_normal = unit * sign;
+      face.area = area;
+      face.centroid = centroid;
+      faces_.push_back(face);
+    } else {
+      Face& face = faces_[it->second];
+      if (!face.is_boundary()) {
+        throw std::runtime_error("extrude: non-manifold face (3+ cells)");
+      }
+      if (face.cell_a == cell) {
+        throw std::runtime_error("extrude: face registered twice by one cell");
+      }
+      face.cell_b = cell;
+      // Stored normal points from cell_a to cell_b, so from cell_b's side it
+      // must point back toward cell_b's own centroid direction reversed:
+      // dot(n, face_centroid - centroid_b) should be negative.
+      if (dot(face.unit_normal, centroid - cell_centroid) > 0.0) {
+        throw std::runtime_error("extrude: inconsistent face orientation");
+      }
+    }
+    // Divergence theorem accumulation with the outward sign for this cell.
+    volumes_[cell] += sign * volume_flux / 3.0;
+  }
+
+  [[nodiscard]] std::vector<Face> take_faces() { return std::move(faces_); }
+  [[nodiscard]] std::vector<double> take_volumes() { return std::move(volumes_); }
+
+ private:
+  const std::vector<Vec3>& positions_;
+  std::vector<Face> faces_;
+  std::vector<double> volumes_;
+  std::unordered_map<FaceKey, std::size_t, FaceKeyHash> by_key_;
+};
+
+/// Splits prism v[0..5] (bottom triangle v0,v1,v2; top v3,v4,v5; v(i+3) above
+/// v(i)) into 3 tets using the min-global-index diagonal rule on the three
+/// quad faces. Returns tets as global vertex quadruples.
+std::array<std::array<std::uint32_t, 4>, 3> split_prism(
+    std::array<std::uint32_t, 6> v) {
+  // Diagonal choice per quad: the diagonal containing the quad's min vertex.
+  // Quads (local ids): Q0=(0,1,4,3) diag {0,4} or {1,3};
+  //                    Q1=(1,2,5,4) diag {1,5} or {2,4};
+  //                    Q2=(2,0,3,5) diag {2,3} or {0,5}.
+  auto diag_hits_first = [&](int a, int b, int c, int d) {
+    // Quad corners in order (a,b,c,d) with candidate diagonals {a,c}/{b,d};
+    // returns true if the min-id corner lies on {a,c}.
+    const std::uint32_t lo =
+        std::min(std::min(v[static_cast<std::size_t>(a)], v[static_cast<std::size_t>(b)]),
+                 std::min(v[static_cast<std::size_t>(c)], v[static_cast<std::size_t>(d)]));
+    return lo == v[static_cast<std::size_t>(a)] || lo == v[static_cast<std::size_t>(c)];
+  };
+
+  // Find an apex vertex incident to the chosen diagonals of both of its
+  // quads. The global-min vertex of the prism always qualifies, so this
+  // search cannot fail for min-index-rule diagonals.
+  int apex = -1;
+  {
+    const bool d0 = diag_hits_first(0, 1, 4, 3);  // true: {0,4}
+    const bool d1 = diag_hits_first(1, 2, 5, 4);  // true: {1,5}
+    const bool d2 = diag_hits_first(2, 0, 3, 5);  // true: {2,3}
+    int count[6] = {0, 0, 0, 0, 0, 0};
+    if (d0) { ++count[0]; ++count[4]; } else { ++count[1]; ++count[3]; }
+    if (d1) { ++count[1]; ++count[5]; } else { ++count[2]; ++count[4]; }
+    if (d2) { ++count[2]; ++count[3]; } else { ++count[0]; ++count[5]; }
+    for (int i = 0; i < 6; ++i) {
+      if (count[i] == 2) { apex = i; break; }
+    }
+  }
+  if (apex < 0) {
+    throw std::runtime_error("split_prism: cyclic diagonal configuration "
+                             "(min-index rule violated)");
+  }
+
+  // Normalize: if the apex is a top vertex, flip the prism upside down
+  // (bottom<->top); then rotate so the apex is local vertex 0.
+  if (apex >= 3) {
+    v = {v[3], v[4], v[5], v[0], v[1], v[2]};
+    apex -= 3;
+  }
+  if (apex != 0) {
+    const auto r = static_cast<std::size_t>(apex);
+    v = {v[r % 3], v[(r + 1) % 3], v[(r + 2) % 3],
+         v[3 + r % 3], v[3 + (r + 1) % 3], v[3 + (r + 2) % 3]};
+  }
+  // Now the diagonals of Q0 and Q2 both pass through local vertex 0, i.e.
+  // they are {0,4} and {0,5}. Tet 1 caps the top; the remaining wedge is
+  // split by Q1's diagonal.
+  const bool q1_through_1 = diag_hits_first(1, 2, 5, 4);
+  std::array<std::array<std::uint32_t, 4>, 3> tets;
+  tets[0] = {v[0], v[3], v[4], v[5]};
+  if (q1_through_1) {
+    tets[1] = {v[0], v[1], v[2], v[5]};
+    tets[2] = {v[0], v[1], v[5], v[4]};
+  } else {
+    tets[1] = {v[0], v[1], v[2], v[4]};
+    tets[2] = {v[0], v[2], v[5], v[4]};
+  }
+  return tets;
+}
+
+}  // namespace
+
+std::size_t extruded_cell_count(const TriMesh2D& base,
+                                const ExtrudeOptions& opts) {
+  const std::size_t prisms =
+      base.n_triangles() * std::min(opts.prism_layers, opts.layers);
+  const std::size_t tet_layers = opts.layers - std::min(opts.prism_layers, opts.layers);
+  return prisms + 3 * base.n_triangles() * tet_layers;
+}
+
+UnstructuredMesh extrude_to_3d(const TriMesh2D& base, const ExtrudeOptions& opts) {
+  if (opts.layers == 0) throw std::invalid_argument("extrude: layers must be >= 1");
+  if (opts.height <= 0.0) throw std::invalid_argument("extrude: height must be > 0");
+  if (base.n_triangles() == 0) throw std::invalid_argument("extrude: empty base");
+  if (opts.z_jitter < 0.0 || opts.z_jitter > 0.45) {
+    throw std::invalid_argument("extrude: z_jitter must be in [0, 0.45]");
+  }
+
+  const std::size_t nv2 = base.n_vertices();
+  const std::size_t planes = opts.layers + 1;
+  const double hz = opts.height / static_cast<double>(opts.layers);
+  util::Rng rng(opts.seed);
+
+  // 3D vertex positions: plane-major layout, interior planes jittered in z.
+  std::vector<Vec3> positions;
+  positions.reserve(nv2 * planes);
+  for (std::size_t l = 0; l < planes; ++l) {
+    for (std::size_t i = 0; i < nv2; ++i) {
+      double z = static_cast<double>(l) * hz;
+      if (l > 0 && l + 1 < planes) z += opts.z_jitter * hz * rng.next_double(-1.0, 1.0);
+      positions.emplace_back(base.vertices[i][0], base.vertices[i][1], z);
+    }
+  }
+  auto gid = [nv2](std::size_t plane, std::uint32_t v2d) {
+    return static_cast<std::uint32_t>(plane * nv2 + v2d);
+  };
+
+  const std::size_t prism_layers = std::min(opts.prism_layers, opts.layers);
+  const std::size_t n_cells = extruded_cell_count(base, opts);
+
+  std::vector<Vec3> centroids;
+  centroids.reserve(n_cells);
+  FaceAssembler assembler(positions, n_cells);
+
+  auto cell_centroid = [&](const std::uint32_t* ids, std::size_t count) {
+    Vec3 c{};
+    for (std::size_t i = 0; i < count; ++i) c += positions[ids[i]];
+    return c / static_cast<double>(count);
+  };
+
+  CellId next_cell = 0;
+  for (std::size_t l = 0; l < opts.layers; ++l) {
+    for (const auto& t : base.triangles) {
+      const std::array<std::uint32_t, 6> pv = {gid(l, t[0]),     gid(l, t[1]),
+                                               gid(l, t[2]),     gid(l + 1, t[0]),
+                                               gid(l + 1, t[1]), gid(l + 1, t[2])};
+      if (l < prism_layers) {
+        const CellId cell = next_cell++;
+        const Vec3 cc = cell_centroid(pv.data(), 6);
+        centroids.push_back(cc);
+        const std::uint32_t bottom[3] = {pv[0], pv[1], pv[2]};
+        const std::uint32_t top[3] = {pv[3], pv[4], pv[5]};
+        const std::uint32_t q0[4] = {pv[0], pv[1], pv[4], pv[3]};
+        const std::uint32_t q1[4] = {pv[1], pv[2], pv[5], pv[4]};
+        const std::uint32_t q2[4] = {pv[2], pv[0], pv[3], pv[5]};
+        assembler.add_face(cell, cc, bottom, 3);
+        assembler.add_face(cell, cc, top, 3);
+        assembler.add_face(cell, cc, q0, 4);
+        assembler.add_face(cell, cc, q1, 4);
+        assembler.add_face(cell, cc, q2, 4);
+      } else {
+        for (const auto& tet : split_prism(pv)) {
+          const CellId cell = next_cell++;
+          const Vec3 cc = cell_centroid(tet.data(), 4);
+          centroids.push_back(cc);
+          const std::uint32_t f0[3] = {tet[1], tet[2], tet[3]};
+          const std::uint32_t f1[3] = {tet[0], tet[2], tet[3]};
+          const std::uint32_t f2[3] = {tet[0], tet[1], tet[3]};
+          const std::uint32_t f3[3] = {tet[0], tet[1], tet[2]};
+          assembler.add_face(cell, cc, f0, 3);
+          assembler.add_face(cell, cc, f1, 3);
+          assembler.add_face(cell, cc, f2, 3);
+          assembler.add_face(cell, cc, f3, 3);
+        }
+      }
+    }
+  }
+
+  std::vector<double> volumes = assembler.take_volumes();
+  for (double v : volumes) {
+    if (!(v > 0.0)) {
+      throw std::runtime_error("extrude: non-positive cell volume (inverted element)");
+    }
+  }
+  return UnstructuredMesh(std::move(centroids), std::move(volumes),
+                          assembler.take_faces(), opts.name);
+}
+
+}  // namespace sweep::mesh

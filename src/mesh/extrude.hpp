@@ -1,0 +1,41 @@
+#pragma once
+// Extrusion of a 2D triangulation into an unstructured 3D mesh of
+// tetrahedra and/or triangular prisms.
+//
+// Each (triangle, layer) pair forms a prism. Prisms in the bottom
+// `prism_layers` layers are kept as prism cells; the rest are split into
+// three tetrahedra using the minimum-global-vertex-index diagonal rule, which
+// guarantees that the triangulations of shared quad faces agree between
+// neighboring prisms (so the resulting mesh is conforming).
+//
+// Face geometry (area, unit normal, centroid) and cell volumes (divergence
+// theorem, exact for planar faces) are computed during assembly; the result
+// is a ready-to-sweep UnstructuredMesh.
+
+#include <cstdint>
+#include <string>
+
+#include "mesh/mesh.hpp"
+#include "mesh/tri2d.hpp"
+
+namespace sweep::mesh {
+
+struct ExtrudeOptions {
+  std::size_t layers = 1;        ///< number of cell layers in z
+  double height = 1.0;           ///< total extrusion height
+  double z_jitter = 0.0;         ///< vertex z perturbation, fraction of layer height
+  std::size_t prism_layers = 0;  ///< bottom layers kept as prisms (rest become tets)
+  std::uint64_t seed = 1;        ///< jitter seed
+  std::string name = "extruded";
+};
+
+/// Extrudes `base` according to `opts`. Throws std::invalid_argument on bad
+/// options and std::runtime_error if assembly detects a non-conforming or
+/// inverted configuration (which would indicate a generator bug).
+UnstructuredMesh extrude_to_3d(const TriMesh2D& base, const ExtrudeOptions& opts);
+
+/// Number of cells extrude_to_3d will produce for the given base/options:
+/// prisms in the bottom `prism_layers` layers, 3 tets per prism elsewhere.
+std::size_t extruded_cell_count(const TriMesh2D& base, const ExtrudeOptions& opts);
+
+}  // namespace sweep::mesh

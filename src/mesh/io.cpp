@@ -1,0 +1,80 @@
+#include "mesh/io.hpp"
+
+#include <fstream>
+#include <iomanip>
+#include <sstream>
+#include <stdexcept>
+
+namespace sweep::mesh {
+
+void save_mesh(const UnstructuredMesh& mesh, std::ostream& out) {
+  out << "sweepmesh 1\n";
+  out << "name " << (mesh.name().empty() ? "unnamed" : mesh.name()) << "\n";
+  out << std::setprecision(17);
+  out << "cells " << mesh.n_cells() << "\n";
+  for (CellId c = 0; c < mesh.n_cells(); ++c) {
+    const Vec3& p = mesh.centroid(c);
+    out << p.x << ' ' << p.y << ' ' << p.z << ' ' << mesh.volume(c) << "\n";
+  }
+  out << "faces " << mesh.n_faces() << "\n";
+  for (const Face& f : mesh.faces()) {
+    const long long b = f.is_boundary() ? -1 : static_cast<long long>(f.cell_b);
+    out << f.cell_a << ' ' << b << ' ' << f.unit_normal.x << ' '
+        << f.unit_normal.y << ' ' << f.unit_normal.z << ' ' << f.area << ' '
+        << f.centroid.x << ' ' << f.centroid.y << ' ' << f.centroid.z << "\n";
+  }
+}
+
+void save_mesh(const UnstructuredMesh& mesh, const std::string& path) {
+  std::ofstream out(path);
+  if (!out) throw std::runtime_error("save_mesh: cannot open " + path);
+  save_mesh(mesh, out);
+}
+
+UnstructuredMesh load_mesh(std::istream& in) {
+  std::string magic;
+  int version = 0;
+  if (!(in >> magic >> version) || magic != "sweepmesh" || version != 1) {
+    throw std::runtime_error("load_mesh: bad header");
+  }
+  std::string key, name;
+  if (!(in >> key >> name) || key != "name") {
+    throw std::runtime_error("load_mesh: expected 'name'");
+  }
+  std::size_t n = 0;
+  if (!(in >> key >> n) || key != "cells") {
+    throw std::runtime_error("load_mesh: expected 'cells'");
+  }
+  std::vector<Vec3> centroids(n);
+  std::vector<double> volumes(n);
+  for (std::size_t c = 0; c < n; ++c) {
+    if (!(in >> centroids[c].x >> centroids[c].y >> centroids[c].z >> volumes[c])) {
+      throw std::runtime_error("load_mesh: truncated cell record");
+    }
+  }
+  std::size_t nf = 0;
+  if (!(in >> key >> nf) || key != "faces") {
+    throw std::runtime_error("load_mesh: expected 'faces'");
+  }
+  std::vector<Face> faces(nf);
+  for (std::size_t i = 0; i < nf; ++i) {
+    Face& f = faces[i];
+    long long b = 0;
+    if (!(in >> f.cell_a >> b >> f.unit_normal.x >> f.unit_normal.y >>
+          f.unit_normal.z >> f.area >> f.centroid.x >> f.centroid.y >>
+          f.centroid.z)) {
+      throw std::runtime_error("load_mesh: truncated face record");
+    }
+    f.cell_b = b < 0 ? kInvalidCell : static_cast<CellId>(b);
+  }
+  return UnstructuredMesh(std::move(centroids), std::move(volumes),
+                          std::move(faces), name);
+}
+
+UnstructuredMesh load_mesh(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw std::runtime_error("load_mesh: cannot open " + path);
+  return load_mesh(in);
+}
+
+}  // namespace sweep::mesh

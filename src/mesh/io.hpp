@@ -1,0 +1,26 @@
+#pragma once
+// Plain-text mesh serialization: lets experiments snapshot generated meshes
+// and reload them for exact replay across runs or tools.
+
+#include <iosfwd>
+#include <string>
+
+#include "mesh/mesh.hpp"
+
+namespace sweep::mesh {
+
+/// Format (whitespace separated):
+///   sweepmesh 1
+///   name <string-without-spaces>
+///   cells <n>
+///   x y z volume            (n lines)
+///   faces <f>
+///   a b nx ny nz area cx cy cz   (f lines; b = -1 for boundary faces)
+void save_mesh(const UnstructuredMesh& mesh, std::ostream& out);
+void save_mesh(const UnstructuredMesh& mesh, const std::string& path);
+
+/// Throws std::runtime_error on malformed input.
+UnstructuredMesh load_mesh(std::istream& in);
+UnstructuredMesh load_mesh(const std::string& path);
+
+}  // namespace sweep::mesh

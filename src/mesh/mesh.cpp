@@ -1,0 +1,102 @@
+#include "mesh/mesh.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace sweep::mesh {
+
+UnstructuredMesh::UnstructuredMesh(std::vector<Vec3> centroids,
+                                   std::vector<double> volumes,
+                                   std::vector<Face> faces, std::string name)
+    : centroids_(std::move(centroids)),
+      volumes_(std::move(volumes)),
+      faces_(std::move(faces)),
+      name_(std::move(name)) {
+  const auto n = static_cast<CellId>(centroids_.size());
+  if (volumes_.size() != centroids_.size()) {
+    throw std::invalid_argument("mesh: centroid/volume size mismatch");
+  }
+  for (const Face& f : faces_) {
+    if (f.cell_a >= n) throw std::invalid_argument("mesh: face cell_a out of range");
+    if (f.cell_b != kInvalidCell) {
+      if (f.cell_b >= n) throw std::invalid_argument("mesh: face cell_b out of range");
+      if (f.cell_b == f.cell_a) throw std::invalid_argument("mesh: self-adjacent face");
+      if (f.area <= 0.0) throw std::invalid_argument("mesh: interior face with non-positive area");
+      ++n_interior_faces_;
+    }
+    const double nn = norm(f.unit_normal);
+    if (std::abs(nn - 1.0) > 1e-6) {
+      throw std::invalid_argument("mesh: face normal is not unit length");
+    }
+  }
+
+  // CSR construction: count incident faces, prefix-sum, fill.
+  cell_face_offsets_.assign(n + 1, 0);
+  for (const Face& f : faces_) {
+    ++cell_face_offsets_[f.cell_a + 1];
+    if (!f.is_boundary()) ++cell_face_offsets_[f.cell_b + 1];
+  }
+  for (CellId c = 0; c < n; ++c) {
+    cell_face_offsets_[c + 1] += cell_face_offsets_[c];
+  }
+  cell_faces_.resize(cell_face_offsets_[n]);
+  std::vector<std::uint32_t> cursor(cell_face_offsets_.begin(),
+                                    cell_face_offsets_.end() - 1);
+  for (FaceId fid = 0; fid < faces_.size(); ++fid) {
+    const Face& f = faces_[fid];
+    cell_faces_[cursor[f.cell_a]++] = fid;
+    if (!f.is_boundary()) cell_faces_[cursor[f.cell_b]++] = fid;
+  }
+}
+
+std::size_t UnstructuredMesh::degree(CellId c) const {
+  std::size_t deg = 0;
+  for (FaceId f : faces_of(c)) {
+    if (!faces_[f].is_boundary()) ++deg;
+  }
+  return deg;
+}
+
+UnstructuredMesh::AdjacencyCsr UnstructuredMesh::adjacency() const {
+  AdjacencyCsr csr;
+  const auto n = static_cast<CellId>(n_cells());
+  csr.offsets.assign(n + 1, 0);
+  for (const Face& f : faces_) {
+    if (f.is_boundary()) continue;
+    ++csr.offsets[f.cell_a + 1];
+    ++csr.offsets[f.cell_b + 1];
+  }
+  for (CellId c = 0; c < n; ++c) csr.offsets[c + 1] += csr.offsets[c];
+  csr.neighbors.resize(csr.offsets[n]);
+  std::vector<std::uint32_t> cursor(csr.offsets.begin(), csr.offsets.end() - 1);
+  for (const Face& f : faces_) {
+    if (f.is_boundary()) continue;
+    csr.neighbors[cursor[f.cell_a]++] = f.cell_b;
+    csr.neighbors[cursor[f.cell_b]++] = f.cell_a;
+  }
+  return csr;
+}
+
+double UnstructuredMesh::total_volume() const {
+  double total = 0.0;
+  for (double v : volumes_) total += v;
+  return total;
+}
+
+std::pair<Vec3, Vec3> UnstructuredMesh::centroid_bounds() const {
+  if (centroids_.empty()) return {Vec3{}, Vec3{}};
+  Vec3 lo = centroids_.front();
+  Vec3 hi = centroids_.front();
+  for (const Vec3& c : centroids_) {
+    lo.x = std::min(lo.x, c.x);
+    lo.y = std::min(lo.y, c.y);
+    lo.z = std::min(lo.z, c.z);
+    hi.x = std::max(hi.x, c.x);
+    hi.y = std::max(hi.y, c.y);
+    hi.z = std::max(hi.z, c.z);
+  }
+  return {lo, hi};
+}
+
+}  // namespace sweep::mesh

@@ -1,0 +1,106 @@
+#pragma once
+// UnstructuredMesh: the cell-adjacency view of an unstructured mesh that the
+// sweep-scheduling pipeline consumes.
+//
+// Only cell-level information is retained: centroids, volumes, and faces with
+// oriented unit normals. Vertices are generator-internal. Faces are stored
+// once; interior faces reference both incident cells, boundary faces have an
+// invalid second cell. A CSR cell->face index supports O(deg) neighbor
+// iteration.
+
+#include <cstdint>
+#include <limits>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "mesh/vec3.hpp"
+
+namespace sweep::mesh {
+
+using CellId = std::uint32_t;
+using FaceId = std::uint32_t;
+inline constexpr CellId kInvalidCell = std::numeric_limits<CellId>::max();
+
+struct Face {
+  CellId cell_a = kInvalidCell;  ///< always valid
+  CellId cell_b = kInvalidCell;  ///< kInvalidCell for boundary faces
+  Vec3 unit_normal;              ///< unit normal oriented from cell_a to cell_b
+  double area = 0.0;
+  Vec3 centroid;
+
+  [[nodiscard]] bool is_boundary() const { return cell_b == kInvalidCell; }
+};
+
+class UnstructuredMesh {
+ public:
+  UnstructuredMesh() = default;
+
+  /// Builds the CSR adjacency from raw cell and face arrays.
+  /// Throws std::invalid_argument on malformed input (bad cell ids, zero-area
+  /// interior faces, self-adjacent faces).
+  UnstructuredMesh(std::vector<Vec3> centroids, std::vector<double> volumes,
+                   std::vector<Face> faces, std::string name = "");
+
+  [[nodiscard]] std::size_t n_cells() const { return centroids_.size(); }
+  [[nodiscard]] std::size_t n_faces() const { return faces_.size(); }
+  [[nodiscard]] std::size_t n_interior_faces() const { return n_interior_faces_; }
+  [[nodiscard]] std::size_t n_boundary_faces() const {
+    return faces_.size() - n_interior_faces_;
+  }
+  [[nodiscard]] const std::string& name() const { return name_; }
+
+  [[nodiscard]] const Vec3& centroid(CellId c) const { return centroids_[c]; }
+  [[nodiscard]] double volume(CellId c) const { return volumes_[c]; }
+  [[nodiscard]] const Face& face(FaceId f) const { return faces_[f]; }
+  [[nodiscard]] const std::vector<Face>& faces() const { return faces_; }
+  [[nodiscard]] const std::vector<Vec3>& centroids() const { return centroids_; }
+  [[nodiscard]] const std::vector<double>& volumes() const { return volumes_; }
+
+  /// Face ids incident to cell c (interior and boundary).
+  [[nodiscard]] std::span<const FaceId> faces_of(CellId c) const {
+    return {cell_faces_.data() + cell_face_offsets_[c],
+            cell_face_offsets_[c + 1] - cell_face_offsets_[c]};
+  }
+
+  /// Neighbor of cell c across face f; kInvalidCell if f is a boundary face.
+  [[nodiscard]] CellId neighbor_across(CellId c, FaceId f) const {
+    const Face& face = faces_[f];
+    if (face.cell_a == c) return face.cell_b;
+    return face.cell_a;
+  }
+
+  /// Outward-oriented unit normal of face f as seen from cell c.
+  [[nodiscard]] Vec3 outward_normal(CellId c, FaceId f) const {
+    const Face& face = faces_[f];
+    return face.cell_a == c ? face.unit_normal : -face.unit_normal;
+  }
+
+  /// Number of interior neighbors of a cell.
+  [[nodiscard]] std::size_t degree(CellId c) const;
+
+  /// Undirected cell-adjacency graph in CSR form (interior faces only):
+  /// `offsets[c]..offsets[c+1]` indexes `neighbors`. Used by the partitioner.
+  struct AdjacencyCsr {
+    std::vector<std::uint32_t> offsets;
+    std::vector<CellId> neighbors;
+  };
+  [[nodiscard]] AdjacencyCsr adjacency() const;
+
+  /// Total mesh volume.
+  [[nodiscard]] double total_volume() const;
+
+  /// Axis-aligned bounding box over centroids: {min, max}.
+  [[nodiscard]] std::pair<Vec3, Vec3> centroid_bounds() const;
+
+ private:
+  std::vector<Vec3> centroids_;
+  std::vector<double> volumes_;
+  std::vector<Face> faces_;
+  std::vector<std::uint32_t> cell_face_offsets_;
+  std::vector<FaceId> cell_faces_;
+  std::size_t n_interior_faces_ = 0;
+  std::string name_;
+};
+
+}  // namespace sweep::mesh

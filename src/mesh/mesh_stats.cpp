@@ -1,0 +1,69 @@
+#include "mesh/mesh_stats.hpp"
+
+#include <algorithm>
+#include <sstream>
+#include <tuple>
+#include <vector>
+
+namespace sweep::mesh {
+
+MeshStats compute_stats(const UnstructuredMesh& mesh) {
+  MeshStats s;
+  s.n_cells = mesh.n_cells();
+  s.n_faces = mesh.n_faces();
+  s.n_interior_faces = mesh.n_interior_faces();
+  s.n_boundary_faces = mesh.n_boundary_faces();
+  if (s.n_cells == 0) return s;
+
+  s.min_degree = mesh.degree(0);
+  s.max_degree = s.min_degree;
+  std::size_t degree_sum = 0;
+  s.min_volume = mesh.volume(0);
+  s.max_volume = s.min_volume;
+  for (CellId c = 0; c < s.n_cells; ++c) {
+    const std::size_t d = mesh.degree(c);
+    s.min_degree = std::min(s.min_degree, d);
+    s.max_degree = std::max(s.max_degree, d);
+    degree_sum += d;
+    s.min_volume = std::min(s.min_volume, mesh.volume(c));
+    s.max_volume = std::max(s.max_volume, mesh.volume(c));
+    s.total_volume += mesh.volume(c);
+  }
+  s.mean_degree = static_cast<double>(degree_sum) / static_cast<double>(s.n_cells);
+  std::tie(s.bbox_lo, s.bbox_hi) = mesh.centroid_bounds();
+  return s;
+}
+
+std::string to_string(const MeshStats& s) {
+  std::ostringstream out;
+  out << "cells=" << s.n_cells << " faces=" << s.n_faces << " (interior "
+      << s.n_interior_faces << ", boundary " << s.n_boundary_faces << ")"
+      << " degree[min/mean/max]=" << s.min_degree << "/" << s.mean_degree
+      << "/" << s.max_degree << " volume[min/max/total]=" << s.min_volume
+      << "/" << s.max_volume << "/" << s.total_volume;
+  return out.str();
+}
+
+bool is_connected(const UnstructuredMesh& mesh) {
+  const std::size_t n = mesh.n_cells();
+  if (n == 0) return true;
+  std::vector<char> seen(n, 0);
+  std::vector<CellId> stack = {0};
+  seen[0] = 1;
+  std::size_t visited = 1;
+  while (!stack.empty()) {
+    const CellId c = stack.back();
+    stack.pop_back();
+    for (FaceId f : mesh.faces_of(c)) {
+      const CellId nb = mesh.neighbor_across(c, f);
+      if (nb != kInvalidCell && !seen[nb]) {
+        seen[nb] = 1;
+        ++visited;
+        stack.push_back(nb);
+      }
+    }
+  }
+  return visited == n;
+}
+
+}  // namespace sweep::mesh

@@ -1,0 +1,33 @@
+#pragma once
+// Descriptive statistics of a mesh's cell-adjacency structure — used by the
+// harnesses to report the instances and by tests to validate generators.
+
+#include <string>
+
+#include "mesh/mesh.hpp"
+
+namespace sweep::mesh {
+
+struct MeshStats {
+  std::size_t n_cells = 0;
+  std::size_t n_faces = 0;
+  std::size_t n_interior_faces = 0;
+  std::size_t n_boundary_faces = 0;
+  std::size_t min_degree = 0;
+  std::size_t max_degree = 0;
+  double mean_degree = 0.0;
+  double min_volume = 0.0;
+  double max_volume = 0.0;
+  double total_volume = 0.0;
+  Vec3 bbox_lo;
+  Vec3 bbox_hi;
+};
+
+MeshStats compute_stats(const UnstructuredMesh& mesh);
+
+std::string to_string(const MeshStats& stats);
+
+/// True iff the interior-face adjacency graph is connected (BFS).
+bool is_connected(const UnstructuredMesh& mesh);
+
+}  // namespace sweep::mesh

@@ -1,0 +1,85 @@
+#include "mesh/structured.hpp"
+
+#include <stdexcept>
+
+namespace sweep::mesh {
+
+UnstructuredMesh make_structured_grid(const StructuredDims& dims, double lx,
+                                      double ly, double lz) {
+  if (dims.nx == 0 || dims.ny == 0 || dims.nz == 0) {
+    throw std::invalid_argument("make_structured_grid: zero dimension");
+  }
+  if (lx <= 0.0 || ly <= 0.0 || lz <= 0.0) {
+    throw std::invalid_argument("make_structured_grid: non-positive extent");
+  }
+  const double hx = lx / static_cast<double>(dims.nx);
+  const double hy = ly / static_cast<double>(dims.ny);
+  const double hz = lz / static_cast<double>(dims.nz);
+  const double cell_volume = hx * hy * hz;
+
+  auto id = [&](std::size_t i, std::size_t j, std::size_t k) {
+    return static_cast<CellId>(i + dims.nx * (j + dims.ny * k));
+  };
+
+  std::vector<Vec3> centroids;
+  centroids.reserve(dims.n_cells());
+  std::vector<double> volumes(dims.n_cells(), cell_volume);
+  for (std::size_t k = 0; k < dims.nz; ++k) {
+    for (std::size_t j = 0; j < dims.ny; ++j) {
+      for (std::size_t i = 0; i < dims.nx; ++i) {
+        centroids.push_back({(static_cast<double>(i) + 0.5) * hx,
+                             (static_cast<double>(j) + 0.5) * hy,
+                             (static_cast<double>(k) + 0.5) * hz});
+      }
+    }
+  }
+
+  std::vector<Face> faces;
+  faces.reserve(3 * dims.n_cells() + dims.nx * dims.ny + dims.ny * dims.nz +
+                dims.nx * dims.nz);
+  auto add_face = [&](CellId a, CellId b, const Vec3& normal, double area,
+                      const Vec3& centroid) {
+    Face f;
+    f.cell_a = a;
+    f.cell_b = b;
+    f.unit_normal = normal;
+    f.area = area;
+    f.centroid = centroid;
+    faces.push_back(f);
+  };
+
+  const double ax = hy * hz;
+  const double ay = hx * hz;
+  const double az = hx * hy;
+  for (std::size_t k = 0; k < dims.nz; ++k) {
+    for (std::size_t j = 0; j < dims.ny; ++j) {
+      for (std::size_t i = 0; i < dims.nx; ++i) {
+        const CellId c = id(i, j, k);
+        const Vec3 cc = centroids[c];
+        // +x face (interior when i+1 < nx, boundary otherwise); -x boundary
+        // faces emitted at i == 0 so every boundary face appears once.
+        const CellId xp = i + 1 < dims.nx ? id(i + 1, j, k) : kInvalidCell;
+        add_face(c, xp, {1, 0, 0}, ax, cc + Vec3{hx / 2, 0, 0});
+        if (i == 0) add_face(c, kInvalidCell, {-1, 0, 0}, ax, cc - Vec3{hx / 2, 0, 0});
+        const CellId yp = j + 1 < dims.ny ? id(i, j + 1, k) : kInvalidCell;
+        add_face(c, yp, {0, 1, 0}, ay, cc + Vec3{0, hy / 2, 0});
+        if (j == 0) add_face(c, kInvalidCell, {0, -1, 0}, ay, cc - Vec3{0, hy / 2, 0});
+        const CellId zp = k + 1 < dims.nz ? id(i, j, k + 1) : kInvalidCell;
+        add_face(c, zp, {0, 0, 1}, az, cc + Vec3{0, 0, hz / 2});
+        if (k == 0) add_face(c, kInvalidCell, {0, 0, -1}, az, cc - Vec3{0, 0, hz / 2});
+      }
+    }
+  }
+  return UnstructuredMesh(std::move(centroids), std::move(volumes),
+                          std::move(faces), "structured");
+}
+
+std::array<std::size_t, 3> structured_cell_coords(CellId cell,
+                                                  const StructuredDims& dims) {
+  const std::size_t i = cell % dims.nx;
+  const std::size_t j = (cell / dims.nx) % dims.ny;
+  const std::size_t k = cell / (dims.nx * dims.ny);
+  return {i, j, k};
+}
+
+}  // namespace sweep::mesh

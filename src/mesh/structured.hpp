@@ -1,0 +1,33 @@
+#pragma once
+// Structured hexahedral grid meshes. The paper's Related Work notes that on
+// *regular* meshes the KBA algorithm [6] is essentially optimal — this
+// generator provides the regular counterpart of the unstructured zoo so the
+// KBA baseline (core/kba.hpp) can be compared against the randomized
+// algorithms on its home turf.
+
+#include <array>
+#include <cstdint>
+
+#include "mesh/mesh.hpp"
+
+namespace sweep::mesh {
+
+struct StructuredDims {
+  std::size_t nx = 1;
+  std::size_t ny = 1;
+  std::size_t nz = 1;
+
+  [[nodiscard]] std::size_t n_cells() const { return nx * ny * nz; }
+};
+
+/// Regular nx x ny x nz hex grid over [0,lx] x [0,ly] x [0,lz]; cell (i,j,k)
+/// has id i + nx*(j + ny*k). All faces are axis-aligned.
+UnstructuredMesh make_structured_grid(const StructuredDims& dims,
+                                      double lx = 1.0, double ly = 1.0,
+                                      double lz = 1.0);
+
+/// Inverse of the id formula above.
+std::array<std::size_t, 3> structured_cell_coords(CellId cell,
+                                                  const StructuredDims& dims);
+
+}  // namespace sweep::mesh

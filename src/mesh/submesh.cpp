@@ -1,0 +1,70 @@
+#include "mesh/submesh.hpp"
+
+#include <stdexcept>
+
+namespace sweep::mesh {
+
+UnstructuredMesh extract_submesh(const UnstructuredMesh& mesh,
+                                 const std::vector<bool>& keep,
+                                 std::vector<CellId>* old_to_new) {
+  if (keep.size() != mesh.n_cells()) {
+    throw std::invalid_argument("extract_submesh: keep mask size mismatch");
+  }
+  std::vector<CellId> remap(mesh.n_cells(), kInvalidCell);
+  std::vector<Vec3> centroids;
+  std::vector<double> volumes;
+  for (CellId c = 0; c < mesh.n_cells(); ++c) {
+    if (!keep[c]) continue;
+    remap[c] = static_cast<CellId>(centroids.size());
+    centroids.push_back(mesh.centroid(c));
+    volumes.push_back(mesh.volume(c));
+  }
+  if (centroids.empty()) {
+    throw std::invalid_argument("extract_submesh: no cells kept");
+  }
+
+  std::vector<Face> faces;
+  faces.reserve(mesh.n_faces());
+  for (const Face& f : mesh.faces()) {
+    const bool keep_a = remap[f.cell_a] != kInvalidCell;
+    const bool keep_b = !f.is_boundary() && remap[f.cell_b] != kInvalidCell;
+    if (!keep_a && !keep_b) continue;
+    Face nf = f;
+    if (keep_a && keep_b) {
+      nf.cell_a = remap[f.cell_a];
+      nf.cell_b = remap[f.cell_b];
+    } else if (keep_a) {
+      nf.cell_a = remap[f.cell_a];
+      nf.cell_b = kInvalidCell;  // neighbor dropped -> boundary face
+    } else {
+      // Only cell_b kept: it becomes the owner; flip the normal so it still
+      // points away from the owning cell.
+      nf.cell_a = remap[f.cell_b];
+      nf.cell_b = kInvalidCell;
+      nf.unit_normal = -f.unit_normal;
+    }
+    faces.push_back(nf);
+  }
+  if (old_to_new != nullptr) *old_to_new = std::move(remap);
+  return UnstructuredMesh(std::move(centroids), std::move(volumes),
+                          std::move(faces), mesh.name() + "_sub");
+}
+
+UnstructuredMesh punch_void(const UnstructuredMesh& mesh,
+                            const std::function<bool(const Vec3&)>& inside_void) {
+  std::vector<bool> keep(mesh.n_cells());
+  for (CellId c = 0; c < mesh.n_cells(); ++c) {
+    keep[c] = !inside_void(mesh.centroid(c));
+  }
+  return extract_submesh(mesh, keep);
+}
+
+UnstructuredMesh punch_spherical_void(const UnstructuredMesh& mesh,
+                                      const Vec3& center, double radius) {
+  const double r2 = radius * radius;
+  return punch_void(mesh, [&](const Vec3& p) {
+    return norm2(p - center) < r2;
+  });
+}
+
+}  // namespace sweep::mesh

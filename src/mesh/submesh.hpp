@@ -1,0 +1,31 @@
+#pragma once
+// Submesh extraction: drop cells from a mesh and rebuild a consistent
+// UnstructuredMesh (faces between kept and dropped cells become boundary
+// faces). Used to punch voids/obstacles into the synthetic meshes — real
+// engineering meshes (the paper's well_logging, prismtet) have exactly this
+// kind of irregular topology, and it exercises the schedulers on meshes with
+// holes, concavities and (optionally) multiple components.
+
+#include <functional>
+#include <vector>
+
+#include "mesh/mesh.hpp"
+
+namespace sweep::mesh {
+
+/// Keeps exactly the cells with keep[c] == true. Returns the new mesh and,
+/// via `old_to_new` (if non-null), the cell id remapping (kInvalidCell for
+/// dropped cells). Throws if nothing is kept.
+UnstructuredMesh extract_submesh(const UnstructuredMesh& mesh,
+                                 const std::vector<bool>& keep,
+                                 std::vector<CellId>* old_to_new = nullptr);
+
+/// Convenience: drop every cell whose centroid satisfies `inside_void`.
+UnstructuredMesh punch_void(const UnstructuredMesh& mesh,
+                            const std::function<bool(const Vec3&)>& inside_void);
+
+/// Convenience: drop cells inside a sphere.
+UnstructuredMesh punch_spherical_void(const UnstructuredMesh& mesh,
+                                      const Vec3& center, double radius);
+
+}  // namespace sweep::mesh

@@ -1,0 +1,129 @@
+#include "mesh/tri2d.hpp"
+
+#include <cmath>
+#include <numbers>
+#include <stdexcept>
+
+#include "util/rng.hpp"
+
+namespace sweep::mesh {
+namespace {
+
+double tri_area2(const std::array<double, 2>& a, const std::array<double, 2>& b,
+                 const std::array<double, 2>& c) {
+  return (b[0] - a[0]) * (c[1] - a[1]) - (b[1] - a[1]) * (c[0] - a[0]);
+}
+
+/// Emit the two triangles of quad (v00,v10,v11,v01), cutting along the
+/// diagonal that contains the minimum vertex id. Triangle winding follows the
+/// quad's winding, so CCW quads yield CCW triangles.
+void split_quad(std::uint32_t v00, std::uint32_t v10, std::uint32_t v11,
+                std::uint32_t v01,
+                std::vector<std::array<std::uint32_t, 3>>& out) {
+  const std::uint32_t lo = std::min(std::min(v00, v10), std::min(v11, v01));
+  if (lo == v00 || lo == v11) {
+    out.push_back({v00, v10, v11});
+    out.push_back({v00, v11, v01});
+  } else {
+    out.push_back({v00, v10, v01});
+    out.push_back({v10, v11, v01});
+  }
+}
+
+}  // namespace
+
+TriMesh2D make_grid_triangulation(std::size_t nu, std::size_t nv, double width,
+                                  double height, double jitter,
+                                  std::uint64_t seed) {
+  if (nu < 2 || nv < 2) throw std::invalid_argument("grid: need nu,nv >= 2");
+  util::Rng rng(seed);
+  TriMesh2D tri;
+  tri.vertices.reserve(nu * nv);
+  const double hx = width / static_cast<double>(nu - 1);
+  const double hy = height / static_cast<double>(nv - 1);
+  for (std::size_t j = 0; j < nv; ++j) {
+    for (std::size_t i = 0; i < nu; ++i) {
+      double x = static_cast<double>(i) * hx;
+      double y = static_cast<double>(j) * hy;
+      const bool interior_x = i > 0 && i + 1 < nu;
+      const bool interior_y = j > 0 && j + 1 < nv;
+      // Jitter only where it cannot invert a triangle or deform the boundary:
+      // interior vertices get full 2D jitter, edge vertices slide along the
+      // boundary tangent.
+      if (interior_x) x += jitter * hx * rng.next_double(-0.5, 0.5);
+      if (interior_y) y += jitter * hy * rng.next_double(-0.5, 0.5);
+      tri.vertices.push_back({x, y});
+    }
+  }
+  auto id = [nu](std::size_t i, std::size_t j) {
+    return static_cast<std::uint32_t>(j * nu + i);
+  };
+  tri.triangles.reserve(2 * (nu - 1) * (nv - 1));
+  for (std::size_t j = 0; j + 1 < nv; ++j) {
+    for (std::size_t i = 0; i + 1 < nu; ++i) {
+      split_quad(id(i, j), id(i + 1, j), id(i + 1, j + 1), id(i, j + 1),
+                 tri.triangles);
+    }
+  }
+  return tri;
+}
+
+TriMesh2D make_annulus_triangulation(std::size_t sectors, std::size_t rings,
+                                     double r_inner, double r_outer,
+                                     double jitter, std::uint64_t seed) {
+  if (sectors < 3 || rings < 2) {
+    throw std::invalid_argument("annulus: need sectors >= 3, rings >= 2");
+  }
+  if (r_inner <= 0.0 || r_outer <= r_inner) {
+    throw std::invalid_argument("annulus: need 0 < r_inner < r_outer");
+  }
+  util::Rng rng(seed);
+  TriMesh2D tri;
+  tri.vertices.reserve(sectors * rings);
+  const double dtheta = 2.0 * std::numbers::pi / static_cast<double>(sectors);
+  const double dr = (r_outer - r_inner) / static_cast<double>(rings - 1);
+  for (std::size_t j = 0; j < rings; ++j) {
+    for (std::size_t i = 0; i < sectors; ++i) {
+      double theta = static_cast<double>(i) * dtheta;
+      double r = r_inner + static_cast<double>(j) * dr;
+      // Angular jitter everywhere (the ring is periodic); radial jitter only
+      // on interior rings so the inner/outer boundaries stay circular.
+      theta += jitter * dtheta * rng.next_double(-0.5, 0.5);
+      if (j > 0 && j + 1 < rings) r += jitter * dr * rng.next_double(-0.5, 0.5);
+      tri.vertices.push_back({r * std::cos(theta), r * std::sin(theta)});
+    }
+  }
+  auto id = [sectors](std::size_t i, std::size_t j) {
+    return static_cast<std::uint32_t>(j * sectors + (i % sectors));
+  };
+  tri.triangles.reserve(2 * sectors * (rings - 1));
+  for (std::size_t j = 0; j + 1 < rings; ++j) {
+    for (std::size_t i = 0; i < sectors; ++i) {
+      // CCW in Cartesian coordinates: radius increases first, then angle.
+      split_quad(id(i, j), id(i, j + 1), id(i + 1, j + 1), id(i + 1, j),
+                 tri.triangles);
+    }
+  }
+  return tri;
+}
+
+double total_area(const TriMesh2D& tri) {
+  double area = 0.0;
+  for (const auto& t : tri.triangles) {
+    area += 0.5 * tri_area2(tri.vertices[t[0]], tri.vertices[t[1]],
+                            tri.vertices[t[2]]);
+  }
+  return area;
+}
+
+bool all_triangles_positive(const TriMesh2D& tri) {
+  for (const auto& t : tri.triangles) {
+    if (tri_area2(tri.vertices[t[0]], tri.vertices[t[1]], tri.vertices[t[2]]) <=
+        0.0) {
+      return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace sweep::mesh

@@ -1,0 +1,46 @@
+#pragma once
+// Unstructured 2D triangulation generators. These are the planar bases that
+// extrude.hpp lifts into 3D tetrahedral / prism meshes.
+//
+// Construction: a logical quad grid over a parametric domain, vertices
+// jittered (interior only, so the domain boundary stays intact), each quad
+// split along the diagonal through its minimum-global-index corner. The
+// min-index rule makes diagonal choices consistent between neighboring quads
+// and — crucially — consistent with the prism tetrahedralization used by the
+// extruder, yielding conforming 3D meshes.
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+namespace sweep::mesh {
+
+struct TriMesh2D {
+  std::vector<std::array<double, 2>> vertices;
+  std::vector<std::array<std::uint32_t, 3>> triangles;  ///< CCW vertex ids
+
+  [[nodiscard]] std::size_t n_vertices() const { return vertices.size(); }
+  [[nodiscard]] std::size_t n_triangles() const { return triangles.size(); }
+};
+
+/// Jittered triangulated grid over [0,width] x [0,height] with nu x nv
+/// vertices (nu, nv >= 2). jitter is the fraction of the local spacing by
+/// which interior vertices are perturbed (0 = structured, 0.3 = typical).
+TriMesh2D make_grid_triangulation(std::size_t nu, std::size_t nv, double width,
+                                  double height, double jitter,
+                                  std::uint64_t seed);
+
+/// Jittered triangulated annulus (full 2*pi, seam-free via wrap-around):
+/// `sectors` columns around, `rings` vertex rows from r_inner to r_outer.
+/// Models well-logging-style cylindrical shell geometries.
+TriMesh2D make_annulus_triangulation(std::size_t sectors, std::size_t rings,
+                                     double r_inner, double r_outer,
+                                     double jitter, std::uint64_t seed);
+
+/// Total signed area (positive when all triangles are CCW).
+double total_area(const TriMesh2D& tri);
+
+/// True if every triangle has positive area (no inverted elements).
+bool all_triangles_positive(const TriMesh2D& tri);
+
+}  // namespace sweep::mesh

@@ -1,0 +1,64 @@
+#pragma once
+// Small 3D vector type used for cell centroids, face normals and sweep
+// directions. Header-only and constexpr-friendly.
+
+#include <cmath>
+
+namespace sweep::mesh {
+
+struct Vec3 {
+  double x = 0.0;
+  double y = 0.0;
+  double z = 0.0;
+
+  constexpr Vec3() = default;
+  constexpr Vec3(double xx, double yy, double zz) : x(xx), y(yy), z(zz) {}
+
+  constexpr Vec3 operator+(const Vec3& o) const { return {x + o.x, y + o.y, z + o.z}; }
+  constexpr Vec3 operator-(const Vec3& o) const { return {x - o.x, y - o.y, z - o.z}; }
+  constexpr Vec3 operator*(double s) const { return {x * s, y * s, z * s}; }
+  constexpr Vec3 operator/(double s) const { return {x / s, y / s, z / s}; }
+  constexpr Vec3 operator-() const { return {-x, -y, -z}; }
+  constexpr Vec3& operator+=(const Vec3& o) {
+    x += o.x; y += o.y; z += o.z;
+    return *this;
+  }
+  constexpr Vec3& operator*=(double s) {
+    x *= s; y *= s; z *= s;
+    return *this;
+  }
+  constexpr bool operator==(const Vec3& o) const = default;
+};
+
+constexpr Vec3 operator*(double s, const Vec3& v) { return v * s; }
+
+constexpr double dot(const Vec3& a, const Vec3& b) {
+  return a.x * b.x + a.y * b.y + a.z * b.z;
+}
+
+constexpr Vec3 cross(const Vec3& a, const Vec3& b) {
+  return {a.y * b.z - a.z * b.y, a.z * b.x - a.x * b.z, a.x * b.y - a.y * b.x};
+}
+
+inline double norm(const Vec3& v) { return std::sqrt(dot(v, v)); }
+
+constexpr double norm2(const Vec3& v) { return dot(v, v); }
+
+inline Vec3 normalized(const Vec3& v) {
+  const double n = norm(v);
+  return n > 0.0 ? v / n : Vec3{};
+}
+
+/// Signed volume of tetrahedron (a,b,c,d): dot(b-a, cross(c-a, d-a)) / 6.
+inline double tet_volume(const Vec3& a, const Vec3& b, const Vec3& c,
+                         const Vec3& d) {
+  return dot(b - a, cross(c - a, d - a)) / 6.0;
+}
+
+/// Area-weighted normal of triangle (a,b,c); |result| = area, direction by
+/// right-hand rule.
+inline Vec3 triangle_area_normal(const Vec3& a, const Vec3& b, const Vec3& c) {
+  return cross(b - a, c - a) * 0.5;
+}
+
+}  // namespace sweep::mesh

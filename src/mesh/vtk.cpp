@@ -1,0 +1,47 @@
+#include "mesh/vtk.hpp"
+
+#include <fstream>
+#include <stdexcept>
+
+namespace sweep::mesh {
+
+void save_vtk_points(const UnstructuredMesh& mesh,
+                     const std::vector<VtkField>& fields, std::ostream& out) {
+  for (const VtkField& field : fields) {
+    if (field.values.size() != mesh.n_cells()) {
+      throw std::invalid_argument("save_vtk_points: field '" + field.name +
+                                  "' size != n_cells");
+    }
+    if (field.name.find(' ') != std::string::npos) {
+      throw std::invalid_argument("save_vtk_points: field name has spaces");
+    }
+  }
+  const std::size_t n = mesh.n_cells();
+  out << "# vtk DataFile Version 3.0\n";
+  out << "sweep-sched mesh '" << mesh.name() << "' cell centroids\n";
+  out << "ASCII\nDATASET POLYDATA\n";
+  out << "POINTS " << n << " double\n";
+  for (CellId c = 0; c < n; ++c) {
+    const Vec3& p = mesh.centroid(c);
+    out << p.x << ' ' << p.y << ' ' << p.z << "\n";
+  }
+  out << "VERTICES " << n << ' ' << 2 * n << "\n";
+  for (CellId c = 0; c < n; ++c) out << "1 " << c << "\n";
+  if (!fields.empty()) {
+    out << "POINT_DATA " << n << "\n";
+    for (const VtkField& field : fields) {
+      out << "SCALARS " << field.name << " double 1\nLOOKUP_TABLE default\n";
+      for (double v : field.values) out << v << "\n";
+    }
+  }
+}
+
+void save_vtk_points(const UnstructuredMesh& mesh,
+                     const std::vector<VtkField>& fields,
+                     const std::string& path) {
+  std::ofstream out(path);
+  if (!out) throw std::runtime_error("save_vtk_points: cannot open " + path);
+  save_vtk_points(mesh, fields, out);
+}
+
+}  // namespace sweep::mesh

@@ -1,0 +1,29 @@
+#pragma once
+// Legacy-VTK export for visualization in ParaView/VisIt. The mesh container
+// keeps cell centroids (not vertex topology), so cells are exported as a
+// point cloud with per-cell scalar fields — ample for eyeballing partitions,
+// processor assignments and sweep wavefronts (color by start time).
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "mesh/mesh.hpp"
+
+namespace sweep::mesh {
+
+struct VtkField {
+  std::string name;            ///< no spaces (VTK identifier)
+  std::vector<double> values;  ///< one per cell
+};
+
+/// Writes "# vtk DataFile Version 3.0" POLYDATA with one point per cell and
+/// the given per-cell fields as POINT_DATA scalars.
+/// Throws std::invalid_argument on field-size mismatch.
+void save_vtk_points(const UnstructuredMesh& mesh,
+                     const std::vector<VtkField>& fields, std::ostream& out);
+void save_vtk_points(const UnstructuredMesh& mesh,
+                     const std::vector<VtkField>& fields,
+                     const std::string& path);
+
+}  // namespace sweep::mesh

@@ -1,0 +1,103 @@
+#include "mesh/zoo.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "mesh/extrude.hpp"
+#include "mesh/tri2d.hpp"
+
+namespace sweep::mesh {
+namespace {
+
+std::size_t scaled(std::size_t base, double scale, std::size_t floor_value) {
+  const auto v = static_cast<std::size_t>(
+      std::llround(static_cast<double>(base) * scale));
+  return std::max(v, floor_value);
+}
+
+}  // namespace
+
+UnstructuredMesh MeshZoo::tetonly_like(double scale, std::uint64_t seed) {
+  // Full scale: 2*19*19 triangles x 15 layers x 3 tets = 32,490 cells.
+  const std::size_t nu = scaled(20, scale, 3);
+  const std::size_t nv = scaled(20, scale, 3);
+  const TriMesh2D base =
+      make_grid_triangulation(nu, nv, 1.0, 1.0, 0.35, seed);
+  ExtrudeOptions opts;
+  opts.layers = scaled(15, scale, 2);
+  opts.height = 0.8;
+  opts.z_jitter = 0.25;
+  opts.prism_layers = 0;
+  opts.seed = seed ^ 0xabcdULL;
+  opts.name = "tetonly";
+  return extrude_to_3d(base, opts);
+}
+
+UnstructuredMesh MeshZoo::well_logging_like(double scale, std::uint64_t seed) {
+  // Full scale: 2*48*10 triangles x 15 layers x 3 tets = 43,200 cells,
+  // cylindrical shell geometry (borehole-logging style).
+  const std::size_t sectors = scaled(48, scale, 6);
+  const std::size_t rings = scaled(11, scale, 3);
+  const TriMesh2D base =
+      make_annulus_triangulation(sectors, rings, 0.5, 2.0, 0.3, seed);
+  ExtrudeOptions opts;
+  opts.layers = scaled(15, scale, 2);
+  opts.height = 3.0;
+  opts.z_jitter = 0.25;
+  opts.prism_layers = 0;
+  opts.seed = seed ^ 0xabcdULL;
+  opts.name = "well_logging";
+  return extrude_to_3d(base, opts);
+}
+
+UnstructuredMesh MeshZoo::long_like(double scale, std::uint64_t seed) {
+  // Full scale: 2*61*8 triangles x 21 layers x 3 tets = 61,488 cells in an
+  // 8:1:1 elongated box (deep dependency chains along x).
+  const std::size_t nu = scaled(62, scale, 4);
+  const std::size_t nv = scaled(9, scale, 3);
+  const TriMesh2D base =
+      make_grid_triangulation(nu, nv, 8.0, 1.0, 0.35, seed);
+  ExtrudeOptions opts;
+  opts.layers = scaled(21, scale, 2);
+  opts.height = 1.0;
+  opts.z_jitter = 0.25;
+  opts.prism_layers = 0;
+  opts.seed = seed ^ 0xabcdULL;
+  opts.name = "long";
+  return extrude_to_3d(base, opts);
+}
+
+UnstructuredMesh MeshZoo::prismtet_like(double scale, std::uint64_t seed) {
+  // Full scale: 2*32*32 = 2048 triangles, 25 layers of which the bottom 8
+  // stay prisms: 2048*8 + 2048*3*17 = 120,832 cells, mixed element types.
+  const std::size_t nu = scaled(33, scale, 4);
+  const std::size_t nv = scaled(33, scale, 4);
+  const TriMesh2D base =
+      make_grid_triangulation(nu, nv, 1.0, 1.0, 0.3, seed);
+  ExtrudeOptions opts;
+  opts.layers = scaled(25, scale, 3);
+  opts.height = 1.0;
+  opts.z_jitter = 0.2;
+  opts.prism_layers = std::min(scaled(8, scale, 1), opts.layers / 2 + 1);
+  opts.seed = seed ^ 0xabcdULL;
+  opts.name = "prismtet";
+  return extrude_to_3d(base, opts);
+}
+
+const std::vector<std::string>& MeshZoo::names() {
+  static const std::vector<std::string> kNames = {"tetonly", "well_logging",
+                                                  "long", "prismtet"};
+  return kNames;
+}
+
+UnstructuredMesh MeshZoo::by_name(const std::string& name, double scale,
+                                  std::uint64_t seed) {
+  if (name == "tetonly") return tetonly_like(scale, seed);
+  if (name == "well_logging") return well_logging_like(scale, seed);
+  if (name == "long") return long_like(scale, seed);
+  if (name == "prismtet") return prismtet_like(scale, seed);
+  throw std::invalid_argument("MeshZoo: unknown mesh name '" + name + "'");
+}
+
+}  // namespace sweep::mesh

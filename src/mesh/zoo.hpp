@@ -1,0 +1,38 @@
+#pragma once
+// MeshZoo: named synthetic stand-ins for the four proprietary meshes used in
+// the paper's experiments (Section 5):
+//
+//   paper mesh      cells     zoo stand-in
+//   tetonly         31,481    jittered tetrahedralized box       (~32.5k)
+//   well_logging    43,012    tetrahedralized cylindrical shell  (~43.2k)
+//   long            61,737    high-aspect-ratio tetrahedralized box (~61.5k)
+//   prismtet       118,211    mixed prism+tet extruded box       (~120.8k)
+//
+// `scale` multiplies the linear resolution in every dimension, so cell counts
+// scale roughly with scale^3; scale=1 reproduces the paper-size instances and
+// benches default to smaller scales for single-core turnaround.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "mesh/mesh.hpp"
+
+namespace sweep::mesh {
+
+class MeshZoo {
+ public:
+  static UnstructuredMesh tetonly_like(double scale = 1.0, std::uint64_t seed = 101);
+  static UnstructuredMesh well_logging_like(double scale = 1.0, std::uint64_t seed = 102);
+  static UnstructuredMesh long_like(double scale = 1.0, std::uint64_t seed = 103);
+  static UnstructuredMesh prismtet_like(double scale = 1.0, std::uint64_t seed = 104);
+
+  /// Names accepted by by_name (the paper's mesh names).
+  static const std::vector<std::string>& names();
+
+  /// Throws std::invalid_argument for unknown names.
+  static UnstructuredMesh by_name(const std::string& name, double scale = 1.0,
+                                  std::uint64_t seed = 100);
+};
+
+}  // namespace sweep::mesh

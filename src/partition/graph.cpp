@@ -1,0 +1,112 @@
+#include "partition/graph.hpp"
+
+#include <algorithm>
+#include <map>
+#include <stdexcept>
+
+namespace sweep::partition {
+
+Graph::Graph(std::size_t n_vertices,
+             std::span<const std::pair<VertexId, VertexId>> edges) {
+  vertex_weights_.assign(n_vertices, 1);
+  // Merge parallel edges: canonicalize, sort, accumulate.
+  std::vector<std::pair<VertexId, VertexId>> canon;
+  canon.reserve(edges.size());
+  for (auto [u, v] : edges) {
+    if (u >= n_vertices || v >= n_vertices) {
+      throw std::invalid_argument("Graph: edge endpoint out of range");
+    }
+    if (u == v) continue;  // ignore self loops
+    canon.emplace_back(std::min(u, v), std::max(u, v));
+  }
+  std::sort(canon.begin(), canon.end());
+  std::vector<std::pair<std::pair<VertexId, VertexId>, std::int64_t>> merged;
+  for (const auto& e : canon) {
+    if (!merged.empty() && merged.back().first == e) {
+      ++merged.back().second;
+    } else {
+      merged.push_back({e, 1});
+    }
+  }
+
+  offsets_.assign(n_vertices + 1, 0);
+  for (const auto& [e, w] : merged) {
+    ++offsets_[e.first + 1];
+    ++offsets_[e.second + 1];
+  }
+  for (std::size_t i = 0; i < n_vertices; ++i) offsets_[i + 1] += offsets_[i];
+  neighbors_.resize(offsets_[n_vertices]);
+  edge_weights_.resize(offsets_[n_vertices]);
+  std::vector<std::uint32_t> cursor(offsets_.begin(), offsets_.end() - 1);
+  for (const auto& [e, w] : merged) {
+    neighbors_[cursor[e.first]] = e.second;
+    edge_weights_[cursor[e.first]++] = w;
+    neighbors_[cursor[e.second]] = e.first;
+    edge_weights_[cursor[e.second]++] = w;
+  }
+  compute_total();
+}
+
+Graph::Graph(std::vector<std::uint32_t> offsets, std::vector<VertexId> neighbors,
+             std::vector<std::int64_t> edge_weights,
+             std::vector<std::int64_t> vertex_weights)
+    : offsets_(std::move(offsets)),
+      neighbors_(std::move(neighbors)),
+      edge_weights_(std::move(edge_weights)),
+      vertex_weights_(std::move(vertex_weights)) {
+  if (offsets_.size() != vertex_weights_.size() + 1 ||
+      neighbors_.size() != edge_weights_.size() ||
+      offsets_.back() != neighbors_.size()) {
+    throw std::invalid_argument("Graph: inconsistent CSR arrays");
+  }
+  compute_total();
+}
+
+void Graph::compute_total() {
+  total_weight_ = 0;
+  for (std::int64_t w : vertex_weights_) total_weight_ += w;
+}
+
+Graph graph_from_mesh(const mesh::UnstructuredMesh& mesh) {
+  std::vector<std::pair<VertexId, VertexId>> edges;
+  edges.reserve(mesh.n_interior_faces());
+  for (const mesh::Face& f : mesh.faces()) {
+    if (!f.is_boundary()) edges.emplace_back(f.cell_a, f.cell_b);
+  }
+  return Graph(mesh.n_cells(), edges);
+}
+
+std::int64_t edge_cut(const Graph& graph, const Partition& part) {
+  std::int64_t cut = 0;
+  for (VertexId v = 0; v < graph.n_vertices(); ++v) {
+    const auto nbrs = graph.neighbors(v);
+    const auto weights = graph.edge_weights(v);
+    for (std::size_t i = 0; i < nbrs.size(); ++i) {
+      if (nbrs[i] > v && part[nbrs[i]] != part[v]) cut += weights[i];
+    }
+  }
+  return cut;
+}
+
+double imbalance(const Graph& graph, const Partition& part, std::size_t n_parts) {
+  if (n_parts == 0) return 0.0;
+  std::vector<std::int64_t> weight(n_parts, 0);
+  for (VertexId v = 0; v < graph.n_vertices(); ++v) {
+    weight[part[v] % n_parts] += graph.vertex_weight(v);
+  }
+  const double avg = static_cast<double>(graph.total_vertex_weight()) /
+                     static_cast<double>(n_parts);
+  std::int64_t max_weight = 0;
+  for (std::int64_t w : weight) max_weight = std::max(max_weight, w);
+  return avg > 0.0 ? static_cast<double>(max_weight) / avg : 0.0;
+}
+
+std::size_t count_blocks(const Partition& part) {
+  if (part.empty()) return 0;
+  std::vector<std::uint32_t> sorted(part);
+  std::sort(sorted.begin(), sorted.end());
+  return static_cast<std::size_t>(
+      std::unique(sorted.begin(), sorted.end()) - sorted.begin());
+}
+
+}  // namespace sweep::partition

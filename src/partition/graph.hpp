@@ -1,0 +1,77 @@
+#pragma once
+// Weighted undirected graph in CSR form — the input to the partitioners.
+// Built from a mesh's cell adjacency or assembled directly from edge lists
+// (as coarsening does).
+
+#include <cstdint>
+#include <span>
+#include <utility>
+#include <vector>
+
+#include "mesh/mesh.hpp"
+
+namespace sweep::partition {
+
+using VertexId = std::uint32_t;
+
+class Graph {
+ public:
+  Graph() = default;
+
+  /// From an undirected edge list (each pair stored once). Vertex weights
+  /// default to 1, edge weights to 1. Parallel edges are merged by weight.
+  Graph(std::size_t n_vertices,
+        std::span<const std::pair<VertexId, VertexId>> edges);
+
+  /// Full constructor used by coarsening (adjacency supplied directly;
+  /// `neighbors`/`edge_weights` must list each undirected edge from both
+  /// endpoints).
+  Graph(std::vector<std::uint32_t> offsets, std::vector<VertexId> neighbors,
+        std::vector<std::int64_t> edge_weights,
+        std::vector<std::int64_t> vertex_weights);
+
+  [[nodiscard]] std::size_t n_vertices() const {
+    return vertex_weights_.size();
+  }
+  [[nodiscard]] std::size_t n_edges() const { return neighbors_.size() / 2; }
+
+  [[nodiscard]] std::span<const VertexId> neighbors(VertexId v) const {
+    return {neighbors_.data() + offsets_[v], offsets_[v + 1] - offsets_[v]};
+  }
+  [[nodiscard]] std::span<const std::int64_t> edge_weights(VertexId v) const {
+    return {edge_weights_.data() + offsets_[v], offsets_[v + 1] - offsets_[v]};
+  }
+  [[nodiscard]] std::int64_t vertex_weight(VertexId v) const {
+    return vertex_weights_[v];
+  }
+  [[nodiscard]] std::int64_t total_vertex_weight() const { return total_weight_; }
+  [[nodiscard]] std::size_t degree(VertexId v) const {
+    return offsets_[v + 1] - offsets_[v];
+  }
+
+ private:
+  void compute_total();
+
+  std::vector<std::uint32_t> offsets_ = {0};
+  std::vector<VertexId> neighbors_;
+  std::vector<std::int64_t> edge_weights_;
+  std::vector<std::int64_t> vertex_weights_;
+  std::int64_t total_weight_ = 0;
+};
+
+/// The cell-adjacency graph of a mesh (unit weights).
+Graph graph_from_mesh(const mesh::UnstructuredMesh& mesh);
+
+/// Partition = block id per vertex.
+using Partition = std::vector<std::uint32_t>;
+
+/// Sum of weights of edges whose endpoints lie in different blocks.
+std::int64_t edge_cut(const Graph& graph, const Partition& part);
+
+/// max block weight / (total weight / n_parts); 1.0 = perfectly balanced.
+double imbalance(const Graph& graph, const Partition& part, std::size_t n_parts);
+
+/// Number of distinct non-empty blocks.
+std::size_t count_blocks(const Partition& part);
+
+}  // namespace sweep::partition

@@ -1,0 +1,36 @@
+#pragma once
+// Multilevel k-way graph partitioner — the from-scratch METIS substitute
+// (DESIGN.md, substitution table). Pipeline per bisection:
+//
+//   coarsen (heavy-edge matching)  ->  initial partition (greedy graph
+//   growing, best of several seeds)  ->  uncoarsen + boundary FM refinement
+//
+// k-way partitions come from recursive bisection with proportional weight
+// targets, so any k (not just powers of two) is supported — the paper's
+// experiments sweep block counts derived from block sizes 64/128/256.
+
+#include <cstdint>
+
+#include "partition/graph.hpp"
+
+namespace sweep::partition {
+
+struct MultilevelOptions {
+  std::size_t n_parts = 2;
+  double balance_tolerance = 1.05;  ///< max part weight vs. proportional target
+  std::size_t coarsest_size = 96;   ///< stop coarsening below this many vertices
+  std::size_t initial_tries = 6;    ///< greedy-graph-growing restarts
+  std::size_t fm_passes = 6;        ///< refinement passes per level
+  std::uint64_t seed = 12345;
+};
+
+/// Partitions `graph` into options.n_parts blocks (ids 0..n_parts-1).
+Partition multilevel_partition(const Graph& graph,
+                               const MultilevelOptions& options);
+
+/// Convenience used by the paper's experiments: partition into
+/// ceil(n / block_size) blocks of ~block_size cells each.
+Partition partition_into_blocks(const Graph& graph, std::size_t block_size,
+                                MultilevelOptions options = {});
+
+}  // namespace sweep::partition

@@ -1,0 +1,121 @@
+#include "partition/simple_partitioners.hpp"
+
+#include <algorithm>
+#include <numeric>
+#include <queue>
+#include <stdexcept>
+
+#include "util/rng.hpp"
+
+namespace sweep::partition {
+
+Partition random_partition(std::size_t n_vertices, std::size_t n_parts,
+                           std::uint64_t seed) {
+  if (n_parts == 0) {
+    throw std::invalid_argument("random_partition: n_parts must be >= 1");
+  }
+  util::Rng rng(seed);
+  Partition part(n_vertices);
+  for (auto& p : part) p = static_cast<std::uint32_t>(rng.next_below(n_parts));
+  return part;
+}
+
+Partition bfs_blocks(const Graph& graph, std::size_t block_size) {
+  if (block_size == 0) {
+    throw std::invalid_argument("bfs_blocks: block_size must be >= 1");
+  }
+  const std::size_t n = graph.n_vertices();
+  Partition part(n, 0);
+  std::vector<char> visited(n, 0);
+  std::uint32_t block = 0;
+  std::size_t in_block = 0;
+  std::queue<VertexId> queue;
+  std::size_t scan = 0;
+
+  auto next_unvisited = [&]() -> VertexId {
+    while (scan < n && visited[scan]) ++scan;
+    return static_cast<VertexId>(scan);
+  };
+
+  for (;;) {
+    if (queue.empty()) {
+      const VertexId v = next_unvisited();
+      if (v >= n) break;
+      queue.push(v);
+      visited[v] = 1;
+    }
+    const VertexId v = queue.front();
+    queue.pop();
+    if (in_block == block_size) {
+      ++block;
+      in_block = 0;
+    }
+    part[v] = block;
+    ++in_block;
+    for (VertexId w : graph.neighbors(v)) {
+      if (!visited[w]) {
+        visited[w] = 1;
+        queue.push(w);
+      }
+    }
+  }
+  return part;
+}
+
+namespace {
+
+void rcb_recurse(const std::vector<mesh::Vec3>& points,
+                 std::vector<VertexId>& ids, std::size_t begin, std::size_t end,
+                 std::size_t n_parts, std::uint32_t first_block,
+                 Partition& part) {
+  if (n_parts <= 1 || end - begin <= 1) {
+    for (std::size_t i = begin; i < end; ++i) part[ids[i]] = first_block;
+    return;
+  }
+  // Widest axis of the current point set.
+  mesh::Vec3 lo = points[ids[begin]];
+  mesh::Vec3 hi = lo;
+  for (std::size_t i = begin; i < end; ++i) {
+    const mesh::Vec3& p = points[ids[i]];
+    lo.x = std::min(lo.x, p.x); hi.x = std::max(hi.x, p.x);
+    lo.y = std::min(lo.y, p.y); hi.y = std::max(hi.y, p.y);
+    lo.z = std::min(lo.z, p.z); hi.z = std::max(hi.z, p.z);
+  }
+  const mesh::Vec3 span = hi - lo;
+  int axis = 0;
+  if (span.y > span.x && span.y >= span.z) axis = 1;
+  else if (span.z > span.x && span.z > span.y) axis = 2;
+  auto coord = [&](VertexId v) {
+    const mesh::Vec3& p = points[v];
+    return axis == 0 ? p.x : axis == 1 ? p.y : p.z;
+  };
+
+  const std::size_t k0 = n_parts / 2;
+  const std::size_t split =
+      begin + (end - begin) * k0 / n_parts;
+  std::nth_element(ids.begin() + static_cast<std::ptrdiff_t>(begin),
+                   ids.begin() + static_cast<std::ptrdiff_t>(split),
+                   ids.begin() + static_cast<std::ptrdiff_t>(end),
+                   [&](VertexId a, VertexId b) { return coord(a) < coord(b); });
+  rcb_recurse(points, ids, begin, split, k0, first_block, part);
+  rcb_recurse(points, ids, split, end, n_parts - k0,
+              first_block + static_cast<std::uint32_t>(k0), part);
+}
+
+}  // namespace
+
+Partition coordinate_bisection(const std::vector<mesh::Vec3>& points,
+                               std::size_t n_parts) {
+  if (n_parts == 0) {
+    throw std::invalid_argument("coordinate_bisection: n_parts must be >= 1");
+  }
+  const std::size_t n = points.size();
+  Partition part(n, 0);
+  std::vector<VertexId> ids(n);
+  std::iota(ids.begin(), ids.end(), 0u);
+  rcb_recurse(points, ids, 0, n, std::min(n_parts, std::max<std::size_t>(n, 1)),
+              0, part);
+  return part;
+}
+
+}  // namespace sweep::partition

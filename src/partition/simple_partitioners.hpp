@@ -1,0 +1,26 @@
+#pragma once
+// Baseline partitioners used as ablation comparators for the multilevel
+// partitioner: random blocks (no locality), contiguous BFS blocks (cheap
+// locality), and recursive coordinate bisection (geometric locality).
+
+#include <cstdint>
+
+#include "mesh/vec3.hpp"
+#include "partition/graph.hpp"
+
+namespace sweep::partition {
+
+/// Each vertex independently assigned to a uniform random block.
+Partition random_partition(std::size_t n_vertices, std::size_t n_parts,
+                           std::uint64_t seed);
+
+/// Grows blocks of ~block_size vertices by BFS over the graph; a new block
+/// starts whenever the current one fills (or the frontier empties).
+Partition bfs_blocks(const Graph& graph, std::size_t block_size);
+
+/// Recursive coordinate bisection on 3D points (cell centroids): split the
+/// widest axis at the weighted median, recurse. Produces n_parts blocks.
+Partition coordinate_bisection(const std::vector<mesh::Vec3>& points,
+                               std::size_t n_parts);
+
+}  // namespace sweep::partition

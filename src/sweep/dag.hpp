@@ -1,0 +1,71 @@
+#pragma once
+// SweepDag: the per-direction precedence DAG over mesh cells, stored in CSR
+// (both out- and in-adjacency) for O(1)-amortized traversal by the
+// schedulers. Also provides the level/layer machinery of the paper
+// (Section 3), b-levels for DFDS, and topological utilities.
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace sweep::dag {
+
+using NodeId = std::uint32_t;
+
+class SweepDag {
+ public:
+  SweepDag() = default;
+
+  /// Builds CSR structure from an edge list over n nodes.
+  /// Does NOT check acyclicity — call is_acyclic()/levels() for that.
+  SweepDag(std::size_t n_nodes, std::span<const std::pair<NodeId, NodeId>> edges);
+
+  [[nodiscard]] std::size_t n_nodes() const { return n_nodes_; }
+  [[nodiscard]] std::size_t n_edges() const { return targets_.size(); }
+
+  [[nodiscard]] std::span<const NodeId> successors(NodeId v) const {
+    return {targets_.data() + out_offsets_[v],
+            out_offsets_[v + 1] - out_offsets_[v]};
+  }
+  [[nodiscard]] std::span<const NodeId> predecessors(NodeId v) const {
+    return {sources_.data() + in_offsets_[v],
+            in_offsets_[v + 1] - in_offsets_[v]};
+  }
+  [[nodiscard]] std::size_t out_degree(NodeId v) const {
+    return out_offsets_[v + 1] - out_offsets_[v];
+  }
+  [[nodiscard]] std::size_t in_degree(NodeId v) const {
+    return in_offsets_[v + 1] - in_offsets_[v];
+  }
+
+  /// True iff the digraph has no directed cycle (Kahn's algorithm).
+  [[nodiscard]] bool is_acyclic() const;
+
+  /// Level of each node per the paper's definition: roots are level 0; a
+  /// node's level is 1 + max level of its predecessors (longest path from a
+  /// root). Throws std::logic_error if the graph has a cycle.
+  [[nodiscard]] std::vector<std::uint32_t> levels() const;
+
+  /// b-level of each node (Pautz/DFDS): number of nodes on the longest
+  /// directed path starting at the node (leaves have b-level 1).
+  [[nodiscard]] std::vector<std::uint32_t> b_levels() const;
+
+  /// Some topological order (Kahn). Throws std::logic_error on cycles.
+  [[nodiscard]] std::vector<NodeId> topological_order() const;
+
+  /// Number of levels (= max level + 1); 0 for an empty graph.
+  [[nodiscard]] std::size_t depth() const;
+
+ private:
+  std::size_t n_nodes_ = 0;
+  std::vector<std::uint32_t> out_offsets_ = {0};
+  std::vector<NodeId> targets_;
+  std::vector<std::uint32_t> in_offsets_ = {0};
+  std::vector<NodeId> sources_;
+};
+
+/// Groups node ids by level: result[l] = nodes at level l.
+std::vector<std::vector<NodeId>> group_by_level(
+    const std::vector<std::uint32_t>& levels);
+
+}  // namespace sweep::dag

@@ -1,0 +1,134 @@
+#include "sweep/dag_builder.hpp"
+
+#include <algorithm>
+#include <utility>
+#include <vector>
+
+namespace sweep::dag {
+namespace {
+
+/// Iterative Tarjan SCC over an edge-list adjacency. Returns the SCC id of
+/// each node (ids are arbitrary but equal within a component).
+std::vector<std::uint32_t> tarjan_scc(std::size_t n,
+                                      const std::vector<std::uint32_t>& offsets,
+                                      const std::vector<NodeId>& targets) {
+  constexpr std::uint32_t kUnvisited = 0xffffffffu;
+  std::vector<std::uint32_t> index(n, kUnvisited);
+  std::vector<std::uint32_t> lowlink(n, 0);
+  std::vector<std::uint32_t> scc_id(n, kUnvisited);
+  std::vector<char> on_stack(n, 0);
+  std::vector<NodeId> stack;
+  std::uint32_t next_index = 0;
+  std::uint32_t next_scc = 0;
+
+  struct Frame {
+    NodeId node;
+    std::uint32_t edge_cursor;
+  };
+  std::vector<Frame> call_stack;
+
+  for (NodeId root = 0; root < n; ++root) {
+    if (index[root] != kUnvisited) continue;
+    call_stack.push_back({root, offsets[root]});
+    index[root] = lowlink[root] = next_index++;
+    stack.push_back(root);
+    on_stack[root] = 1;
+    while (!call_stack.empty()) {
+      Frame& frame = call_stack.back();
+      const NodeId v = frame.node;
+      if (frame.edge_cursor < offsets[v + 1]) {
+        const NodeId w = targets[frame.edge_cursor++];
+        if (index[w] == kUnvisited) {
+          index[w] = lowlink[w] = next_index++;
+          stack.push_back(w);
+          on_stack[w] = 1;
+          call_stack.push_back({w, offsets[w]});
+        } else if (on_stack[w]) {
+          lowlink[v] = std::min(lowlink[v], index[w]);
+        }
+      } else {
+        if (lowlink[v] == index[v]) {
+          for (;;) {
+            const NodeId w = stack.back();
+            stack.pop_back();
+            on_stack[w] = 0;
+            scc_id[w] = next_scc;
+            if (w == v) break;
+          }
+          ++next_scc;
+        }
+        call_stack.pop_back();
+        if (!call_stack.empty()) {
+          const NodeId parent = call_stack.back().node;
+          lowlink[parent] = std::min(lowlink[parent], lowlink[v]);
+        }
+      }
+    }
+  }
+  return scc_id;
+}
+
+}  // namespace
+
+DagBuildResult build_sweep_dag(const mesh::UnstructuredMesh& mesh,
+                               const Vec3& direction, double tolerance) {
+  const std::size_t n = mesh.n_cells();
+  std::vector<std::pair<NodeId, NodeId>> edges;
+  edges.reserve(mesh.n_interior_faces());
+  for (const mesh::Face& f : mesh.faces()) {
+    if (f.is_boundary()) continue;
+    const double flux = dot(f.unit_normal, direction);
+    if (flux > tolerance) {
+      edges.emplace_back(f.cell_a, f.cell_b);
+    } else if (flux < -tolerance) {
+      edges.emplace_back(f.cell_b, f.cell_a);
+    }
+  }
+
+  DagBuildResult result;
+  result.induced_edges = edges.size();
+
+  // Fast path: most geometric inductions are already acyclic.
+  SweepDag candidate(n, edges);
+  if (candidate.is_acyclic()) {
+    result.dag = std::move(candidate);
+    return result;
+  }
+
+  // Cycle breaking. Build a throwaway CSR for Tarjan, then drop every edge
+  // inside a nontrivial SCC that runs against the projected-centroid order
+  // (ties broken by cell id). Remaining intra-SCC edges strictly increase
+  // the (projection, id) key, so no directed cycle can survive.
+  std::vector<std::uint32_t> offsets(n + 1, 0);
+  for (const auto& [u, v] : edges) ++offsets[u + 1];
+  for (std::size_t i = 0; i < n; ++i) offsets[i + 1] += offsets[i];
+  std::vector<NodeId> targets(edges.size());
+  {
+    std::vector<std::uint32_t> cursor(offsets.begin(), offsets.end() - 1);
+    for (const auto& [u, v] : edges) targets[cursor[u]++] = v;
+  }
+  const std::vector<std::uint32_t> scc = tarjan_scc(n, offsets, targets);
+
+  std::vector<double> projection(n);
+  for (NodeId v = 0; v < n; ++v) {
+    projection[v] = dot(mesh.centroid(v), direction);
+  }
+  auto key_less = [&](NodeId a, NodeId b) {
+    if (projection[a] != projection[b]) return projection[a] < projection[b];
+    return a < b;
+  };
+
+  std::vector<std::pair<NodeId, NodeId>> kept;
+  kept.reserve(edges.size());
+  for (const auto& [u, v] : edges) {
+    if (scc[u] == scc[v] && !key_less(u, v)) {
+      ++result.dropped_edges;
+      continue;
+    }
+    kept.push_back({u, v});
+  }
+  result.dag = SweepDag(n, kept);
+  return result;
+}
+
+}  // namespace sweep::dag

@@ -1,0 +1,30 @@
+#pragma once
+// Geometric induction of per-direction sweep DAGs from an unstructured mesh
+// (paper Section 3): for direction d, an interior face between cells u and v
+// with unit normal n (oriented u->v) induces edge u->v when dot(n, d) > tol
+// and v->u when dot(n, d) < -tol. Faces nearly perpendicular to the sweep
+// direction (|dot| <= tol) carry no flux and induce no constraint.
+//
+// Distorted cells can in principle induce directed cycles; following the
+// paper ("we assume the induced digraphs are acyclic, otherwise we break the
+// cycles"), Tarjan SCCs are computed and within each nontrivial SCC the edges
+// that run against the direction-projected centroid order are dropped.
+
+#include <cstdint>
+
+#include "mesh/mesh.hpp"
+#include "sweep/dag.hpp"
+#include "sweep/directions.hpp"
+
+namespace sweep::dag {
+
+struct DagBuildResult {
+  SweepDag dag;
+  std::size_t induced_edges = 0;  ///< edges induced before cycle breaking
+  std::size_t dropped_edges = 0; ///< edges removed to break cycles
+};
+
+DagBuildResult build_sweep_dag(const mesh::UnstructuredMesh& mesh,
+                               const Vec3& direction, double tolerance = 1e-9);
+
+}  // namespace sweep::dag

@@ -1,0 +1,77 @@
+#include "sweep/descendants.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace sweep::dag {
+
+std::vector<std::uint64_t> exact_descendant_counts(const SweepDag& dag,
+                                                   std::size_t max_nodes) {
+  const std::size_t n = dag.n_nodes();
+  if (n > max_nodes) {
+    throw std::invalid_argument(
+        "exact_descendant_counts: DAG too large; use the estimator");
+  }
+  const std::size_t words = (n + 63) / 64;
+  // reach[v] = bitset of nodes reachable from v (including v).
+  std::vector<std::uint64_t> reach(n * words, 0);
+  const std::vector<NodeId> topo = dag.topological_order();
+  std::vector<std::uint64_t> counts(n, 0);
+  for (auto it = topo.rbegin(); it != topo.rend(); ++it) {
+    const NodeId v = *it;
+    std::uint64_t* row = reach.data() + static_cast<std::size_t>(v) * words;
+    row[v / 64] |= 1ull << (v % 64);
+    for (NodeId w : dag.successors(v)) {
+      const std::uint64_t* wrow = reach.data() + static_cast<std::size_t>(w) * words;
+      for (std::size_t i = 0; i < words; ++i) row[i] |= wrow[i];
+    }
+    std::uint64_t popcount = 0;
+    for (std::size_t i = 0; i < words; ++i) {
+      popcount += static_cast<std::uint64_t>(__builtin_popcountll(row[i]));
+    }
+    counts[v] = popcount - 1;  // exclude v itself
+  }
+  return counts;
+}
+
+std::vector<double> estimated_descendant_counts(const SweepDag& dag,
+                                                util::Rng& rng,
+                                                std::size_t rounds) {
+  if (rounds < 2) {
+    throw std::invalid_argument("estimated_descendant_counts: rounds must be >= 2");
+  }
+  const std::size_t n = dag.n_nodes();
+  std::vector<double> min_sum(n, 0.0);
+  std::vector<double> label(n);
+  const std::vector<NodeId> topo = dag.topological_order();
+  for (std::size_t round = 0; round < rounds; ++round) {
+    for (std::size_t v = 0; v < n; ++v) label[v] = rng.next_exponential(1.0);
+    // Reverse topological order: min over self + successors' minima.
+    for (auto it = topo.rbegin(); it != topo.rend(); ++it) {
+      const NodeId v = *it;
+      double lo = label[v];
+      for (NodeId w : dag.successors(v)) lo = std::min(lo, label[w]);
+      label[v] = lo;
+      min_sum[v] += lo;
+    }
+  }
+  std::vector<double> counts(n);
+  const double numer = static_cast<double>(rounds - 1);
+  for (std::size_t v = 0; v < n; ++v) {
+    // Estimator counts the reachable set including v; subtract 1 and clamp.
+    const double reach = min_sum[v] > 0.0 ? numer / min_sum[v] : 1.0;
+    counts[v] = std::max(0.0, reach - 1.0);
+  }
+  return counts;
+}
+
+std::vector<double> descendant_counts(const SweepDag& dag, util::Rng& rng,
+                                      std::size_t exact_threshold) {
+  if (dag.n_nodes() <= exact_threshold) {
+    const auto exact = exact_descendant_counts(dag, exact_threshold);
+    return {exact.begin(), exact.end()};
+  }
+  return estimated_descendant_counts(dag, rng);
+}
+
+}  // namespace sweep::dag

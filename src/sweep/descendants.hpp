@@ -1,0 +1,37 @@
+#pragma once
+// Descendant counting for the "descendant priorities" heuristic (Plimpton et
+// al. [15], reproduced in the paper's Section 5.2).
+//
+// Exact counting of |descendants(v)| is Theta(n*m/64) with bitsets — fine for
+// test-sized DAGs but quadratic-ish at paper scale. The estimated variant is
+// Cohen's classic reachability-size estimator: assign i.i.d. Exp(1) labels to
+// nodes, propagate the minimum over descendants in reverse topological order,
+// repeat r times; |desc(v)| ~= (r-1)/sum_of_mins. Almost-linear, preserves
+// the priority *order* with high probability, which is all the heuristic
+// needs.
+
+#include <cstdint>
+#include <vector>
+
+#include "sweep/dag.hpp"
+#include "util/rng.hpp"
+
+namespace sweep::dag {
+
+/// Exact |descendants(v)| (excluding v itself) for every node.
+/// Throws std::invalid_argument for graphs with more than `max_nodes` nodes
+/// (bitset memory guard).
+std::vector<std::uint64_t> exact_descendant_counts(const SweepDag& dag,
+                                                   std::size_t max_nodes = 1u << 14);
+
+/// Cohen estimator with `rounds` independent exponential labelings
+/// (rounds >= 2). Returns estimated |descendants(v)| excluding v.
+std::vector<double> estimated_descendant_counts(const SweepDag& dag,
+                                                util::Rng& rng,
+                                                std::size_t rounds = 12);
+
+/// Adaptive: exact when the DAG is small enough, estimated otherwise.
+std::vector<double> descendant_counts(const SweepDag& dag, util::Rng& rng,
+                                      std::size_t exact_threshold = 1u << 13);
+
+}  // namespace sweep::dag

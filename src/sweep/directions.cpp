@@ -1,0 +1,105 @@
+#include "sweep/directions.hpp"
+
+#include <cmath>
+#include <numbers>
+#include <stdexcept>
+
+#include "util/rng.hpp"
+
+namespace sweep::dag {
+namespace {
+
+constexpr double kFourPi = 4.0 * std::numbers::pi;
+
+void set_equal_weights(DirectionSet& set) {
+  set.weights.assign(set.size(), kFourPi / static_cast<double>(set.size()));
+}
+
+}  // namespace
+
+DirectionSet level_symmetric(std::size_t sn_order) {
+  if (sn_order < 2 || sn_order % 2 != 0) {
+    throw std::invalid_argument("level_symmetric: order must be even and >= 2");
+  }
+  const std::size_t half = sn_order / 2;
+  // Standard level-symmetric direction cosines: mu_1 chosen so the moments
+  // close; the classic recursion mu_i^2 = mu_1^2 + 2(i-1)(1-3 mu_1^2)/(N-2)
+  // for N > 2, and mu_1 = 1/sqrt(3) for S_2.
+  std::vector<double> mu(half);
+  if (sn_order == 2) {
+    mu[0] = 1.0 / std::sqrt(3.0);
+  } else {
+    const double mu1_sq = 1.0 / (3.0 * static_cast<double>(sn_order - 1));
+    const double step = 2.0 * (1.0 - 3.0 * mu1_sq) / static_cast<double>(sn_order - 2);
+    for (std::size_t i = 0; i < half; ++i) {
+      mu[i] = std::sqrt(mu1_sq + static_cast<double>(i) * step);
+    }
+  }
+
+  DirectionSet set;
+  // One octant: all index triples (i,j,l) with i+j+l = half - 1 (0-based),
+  // direction (mu_i, mu_j, mu_l); then reflect into all 8 octants.
+  for (std::size_t i = 0; i < half; ++i) {
+    for (std::size_t j = 0; i + j < half; ++j) {
+      const std::size_t l = half - 1 - i - j;
+      const Vec3 base{mu[i], mu[j], mu[l]};
+      for (int sx : {1, -1}) {
+        for (int sy : {1, -1}) {
+          for (int sz : {1, -1}) {
+            set.directions.push_back(
+                {base.x * sx, base.y * sy, base.z * sz});
+          }
+        }
+      }
+    }
+  }
+  set_equal_weights(set);
+  return set;
+}
+
+DirectionSet fibonacci_sphere(std::size_t k) {
+  if (k == 0) throw std::invalid_argument("fibonacci_sphere: k must be >= 1");
+  DirectionSet set;
+  set.directions.reserve(k);
+  const double golden = std::numbers::pi * (3.0 - std::sqrt(5.0));
+  for (std::size_t i = 0; i < k; ++i) {
+    const double z = 1.0 - 2.0 * (static_cast<double>(i) + 0.5) / static_cast<double>(k);
+    const double r = std::sqrt(std::max(0.0, 1.0 - z * z));
+    const double theta = golden * static_cast<double>(i);
+    set.directions.push_back({r * std::cos(theta), r * std::sin(theta), z});
+  }
+  set_equal_weights(set);
+  return set;
+}
+
+DirectionSet random_directions(std::size_t k, std::uint64_t seed) {
+  if (k == 0) throw std::invalid_argument("random_directions: k must be >= 1");
+  util::Rng rng(seed);
+  DirectionSet set;
+  set.directions.reserve(k);
+  while (set.directions.size() < k) {
+    // Rejection sampling from the cube, normalized.
+    const Vec3 v{rng.next_double(-1.0, 1.0), rng.next_double(-1.0, 1.0),
+                 rng.next_double(-1.0, 1.0)};
+    const double n2 = mesh::norm2(v);
+    if (n2 > 1e-6 && n2 <= 1.0) set.directions.push_back(v / std::sqrt(n2));
+  }
+  set_equal_weights(set);
+  return set;
+}
+
+DirectionSet axis_directions() {
+  DirectionSet set;
+  set.directions = {{1, 0, 0}, {-1, 0, 0}, {0, 1, 0},
+                    {0, -1, 0}, {0, 0, 1}, {0, 0, -1}};
+  set_equal_weights(set);
+  return set;
+}
+
+std::size_t sn_order_for(std::size_t k) {
+  std::size_t order = 2;
+  while (order * (order + 2) < k) order += 2;
+  return order;
+}
+
+}  // namespace sweep::dag

@@ -1,0 +1,43 @@
+#pragma once
+// Angular direction sets for sweeps.
+//
+// The paper's S_n application uses level-symmetric quadrature sets; we
+// implement the standard level-symmetric construction (S_2..S_8 give
+// k = 8, 24, 48, 80 directions — the paper's experiments use up to ~48), plus
+// uniform Fibonacci-sphere sets and fully random sets for the asymmetric /
+// non-geometric scenarios the paper calls out in Related Work.
+
+#include <cstdint>
+#include <vector>
+
+#include "mesh/vec3.hpp"
+
+namespace sweep::dag {
+
+using mesh::Vec3;
+
+struct DirectionSet {
+  std::vector<Vec3> directions;   ///< unit vectors
+  std::vector<double> weights;    ///< quadrature weights, sum = 4*pi
+
+  [[nodiscard]] std::size_t size() const { return directions.size(); }
+};
+
+/// Level-symmetric S_N set: N even, N >= 2; yields N*(N+2) directions with
+/// full octant symmetry. Equal weights (sufficient for the scheduling study
+/// and for the isotropic-scattering transport example).
+DirectionSet level_symmetric(std::size_t sn_order);
+
+/// k roughly uniformly distributed directions via the Fibonacci spiral.
+DirectionSet fibonacci_sphere(std::size_t k);
+
+/// k i.i.d. uniform random unit vectors (asymmetric instances).
+DirectionSet random_directions(std::size_t k, std::uint64_t seed);
+
+/// The 6 axis-aligned directions (+/-x, +/-y, +/-z).
+DirectionSet axis_directions();
+
+/// Smallest even S_N order whose level-symmetric set has >= k directions.
+std::size_t sn_order_for(std::size_t k);
+
+}  // namespace sweep::dag

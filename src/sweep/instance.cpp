@@ -1,0 +1,90 @@
+#include "sweep/instance.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "sweep/dag_builder.hpp"
+#include "util/parallel.hpp"
+
+namespace sweep::dag {
+
+SweepInstance::SweepInstance(std::size_t n_cells, std::vector<SweepDag> dags,
+                             std::string name)
+    : n_cells_(n_cells), dags_(std::move(dags)), name_(std::move(name)) {
+  for (const SweepDag& g : dags_) {
+    if (g.n_nodes() != n_cells_) {
+      throw std::invalid_argument(
+          "SweepInstance: all DAGs must share the cell id space");
+    }
+  }
+  if (dags_.empty()) {
+    throw std::invalid_argument("SweepInstance: need at least one direction");
+  }
+}
+
+const std::vector<std::vector<std::uint32_t>>& SweepInstance::levels() const {
+  if (levels_.empty()) {
+    levels_.reserve(dags_.size());
+    for (const SweepDag& g : dags_) levels_.push_back(g.levels());
+  }
+  return levels_;
+}
+
+std::size_t SweepInstance::max_depth() const {
+  std::size_t depth = 0;
+  for (const auto& lv : levels()) {
+    std::uint32_t max_level = 0;
+    for (std::uint32_t l : lv) max_level = std::max(max_level, l);
+    depth = std::max(depth, static_cast<std::size_t>(max_level) + 1);
+  }
+  return depth;
+}
+
+std::size_t SweepInstance::total_edges() const {
+  std::size_t total = 0;
+  for (const SweepDag& g : dags_) total += g.n_edges();
+  return total;
+}
+
+SweepInstance build_instance(const mesh::UnstructuredMesh& mesh,
+                             const DirectionSet& dirs, double tolerance,
+                             InstanceBuildStats* stats) {
+  std::vector<SweepDag> dags;
+  dags.reserve(dirs.size());
+  InstanceBuildStats local;
+  for (const Vec3& d : dirs.directions) {
+    DagBuildResult r = build_sweep_dag(mesh, d, tolerance);
+    local.total_induced_edges += r.induced_edges;
+    local.total_dropped_edges += r.dropped_edges;
+    dags.push_back(std::move(r.dag));
+  }
+  if (stats != nullptr) *stats = local;
+  return SweepInstance(mesh.n_cells(), std::move(dags), mesh.name());
+}
+
+SweepInstance build_instance_parallel(const mesh::UnstructuredMesh& mesh,
+                                      const DirectionSet& dirs,
+                                      double tolerance,
+                                      InstanceBuildStats* stats,
+                                      std::size_t threads) {
+  std::vector<DagBuildResult> results(dirs.size());
+  // Each direction reads the mesh and writes only its own slot: no locking.
+  util::parallel_for(
+      dirs.size(),
+      [&](std::size_t i) {
+        results[i] = build_sweep_dag(mesh, dirs.directions[i], tolerance);
+      },
+      threads);
+  InstanceBuildStats local;
+  std::vector<SweepDag> dags;
+  dags.reserve(dirs.size());
+  for (DagBuildResult& r : results) {
+    local.total_induced_edges += r.induced_edges;
+    local.total_dropped_edges += r.dropped_edges;
+    dags.push_back(std::move(r.dag));
+  }
+  if (stats != nullptr) *stats = local;
+  return SweepInstance(mesh.n_cells(), std::move(dags), mesh.name());
+}
+
+}  // namespace sweep::dag

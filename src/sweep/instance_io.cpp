@@ -1,0 +1,69 @@
+#include "sweep/instance_io.hpp"
+
+#include <fstream>
+#include <stdexcept>
+#include <utility>
+#include <vector>
+
+namespace sweep::dag {
+
+void save_instance(const SweepInstance& instance, std::ostream& out) {
+  out << "sweepinst 1\n";
+  out << "name " << (instance.name().empty() ? "unnamed" : instance.name())
+      << "\n";
+  out << instance.n_cells() << ' ' << instance.n_directions() << "\n";
+  for (const SweepDag& g : instance.dags()) {
+    out << g.n_edges() << "\n";
+    for (NodeId u = 0; u < g.n_nodes(); ++u) {
+      for (NodeId v : g.successors(u)) {
+        out << u << ' ' << v << "\n";
+      }
+    }
+  }
+}
+
+void save_instance(const SweepInstance& instance, const std::string& path) {
+  std::ofstream out(path);
+  if (!out) throw std::runtime_error("save_instance: cannot open " + path);
+  save_instance(instance, out);
+}
+
+SweepInstance load_instance(std::istream& in) {
+  std::string magic;
+  int version = 0;
+  if (!(in >> magic >> version) || magic != "sweepinst" || version != 1) {
+    throw std::runtime_error("load_instance: bad header");
+  }
+  std::string key;
+  std::string name;
+  if (!(in >> key >> name) || key != "name") {
+    throw std::runtime_error("load_instance: expected 'name'");
+  }
+  std::size_t n = 0;
+  std::size_t k = 0;
+  if (!(in >> n >> k) || k == 0) {
+    throw std::runtime_error("load_instance: bad shape line");
+  }
+  std::vector<SweepDag> dags;
+  dags.reserve(k);
+  for (std::size_t i = 0; i < k; ++i) {
+    std::size_t edges = 0;
+    if (!(in >> edges)) throw std::runtime_error("load_instance: missing edge count");
+    std::vector<std::pair<NodeId, NodeId>> edge_list(edges);
+    for (auto& [u, v] : edge_list) {
+      if (!(in >> u >> v)) {
+        throw std::runtime_error("load_instance: truncated edge list");
+      }
+    }
+    dags.emplace_back(n, edge_list);
+  }
+  return SweepInstance(n, std::move(dags), name);
+}
+
+SweepInstance load_instance(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw std::runtime_error("load_instance: cannot open " + path);
+  return load_instance(in);
+}
+
+}  // namespace sweep::dag

@@ -1,0 +1,98 @@
+#include "sweep/random_dag.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+#include <utility>
+#include <vector>
+
+namespace sweep::dag {
+
+SweepDag random_layered_dag(std::size_t n, std::size_t layers,
+                            double avg_out_degree, util::Rng& rng) {
+  if (n == 0) throw std::invalid_argument("random_layered_dag: n must be >= 1");
+  layers = std::max<std::size_t>(1, std::min(layers, n));
+  // Assign each node a layer; make sure every layer is nonempty by seeding
+  // one node per layer first, then spreading the rest uniformly.
+  std::vector<std::uint32_t> layer_of(n);
+  for (std::size_t i = 0; i < layers; ++i) layer_of[i] = static_cast<std::uint32_t>(i);
+  for (std::size_t i = layers; i < n; ++i) {
+    layer_of[i] = static_cast<std::uint32_t>(rng.next_below(layers));
+  }
+  // Random relabeling so layer structure is not correlated with node id.
+  const auto perm = util::random_permutation(n, rng);
+  std::vector<std::uint32_t> layer(n);
+  for (std::size_t i = 0; i < n; ++i) layer[perm[i]] = layer_of[i];
+
+  std::vector<std::vector<NodeId>> by_layer(layers);
+  for (NodeId v = 0; v < n; ++v) by_layer[layer[v]].push_back(v);
+
+  std::vector<std::pair<NodeId, NodeId>> edges;
+  edges.reserve(static_cast<std::size_t>(static_cast<double>(n) * avg_out_degree));
+  for (NodeId v = 0; v < n; ++v) {
+    const std::uint32_t l = layer[v];
+    if (l + 1 >= layers || by_layer[l + 1].empty()) continue;
+    const auto& next = by_layer[l + 1];
+    // Poisson-ish out-degree: floor + Bernoulli remainder.
+    auto degree = static_cast<std::size_t>(avg_out_degree);
+    if (rng.next_double() < avg_out_degree - static_cast<double>(degree)) ++degree;
+    for (std::size_t e = 0; e < degree; ++e) {
+      edges.emplace_back(v, next[rng.next_below(next.size())]);
+    }
+  }
+  return SweepDag(n, edges);
+}
+
+SweepDag random_order_dag(std::size_t n, double avg_out_degree,
+                          std::size_t locality, util::Rng& rng) {
+  if (n == 0) throw std::invalid_argument("random_order_dag: n must be >= 1");
+  locality = std::max<std::size_t>(1, locality);
+  const auto order = util::random_permutation(n, rng);  // order[pos] = node
+  std::vector<std::pair<NodeId, NodeId>> edges;
+  const auto target_edges =
+      static_cast<std::size_t>(static_cast<double>(n) * avg_out_degree);
+  edges.reserve(target_edges);
+  for (std::size_t e = 0; e < target_edges; ++e) {
+    const std::size_t pos = rng.next_below(n);
+    if (pos + 1 >= n) continue;
+    const std::size_t window = std::min(locality, n - 1 - pos);
+    const std::size_t to = pos + 1 + rng.next_below(window);
+    edges.emplace_back(order[pos], order[to]);
+  }
+  return SweepDag(n, edges);
+}
+
+SweepDag chain_dag(std::size_t n, util::Rng& rng) {
+  if (n == 0) throw std::invalid_argument("chain_dag: n must be >= 1");
+  const auto order = util::random_permutation(n, rng);
+  std::vector<std::pair<NodeId, NodeId>> edges;
+  edges.reserve(n - 1);
+  for (std::size_t i = 0; i + 1 < n; ++i) {
+    edges.emplace_back(order[i], order[i + 1]);
+  }
+  return SweepDag(n, edges);
+}
+
+SweepInstance random_instance(std::size_t n, std::size_t k, std::size_t layers,
+                              double avg_out_degree, std::uint64_t seed) {
+  util::Rng rng(seed);
+  std::vector<SweepDag> dags;
+  dags.reserve(k);
+  for (std::size_t i = 0; i < k; ++i) {
+    util::Rng child = rng.fork();
+    dags.push_back(random_layered_dag(n, layers, avg_out_degree, child));
+  }
+  return SweepInstance(n, std::move(dags), "random");
+}
+
+SweepInstance chain_instance(std::size_t n, std::size_t k, std::uint64_t seed) {
+  util::Rng rng(seed);
+  std::vector<SweepDag> dags;
+  dags.reserve(k);
+  for (std::size_t i = 0; i < k; ++i) {
+    util::Rng child = rng.fork();
+    dags.push_back(chain_dag(n, child));
+  }
+  return SweepInstance(n, std::move(dags), "chains");
+}
+
+}  // namespace sweep::dag

@@ -1,0 +1,41 @@
+#pragma once
+// Synthetic non-geometric sweep instances.
+//
+// The paper notes its algorithms "assume no relation between the DAGs in
+// different directions, and thus are applicable even to non-geometric
+// instances". These generators produce such instances: k independent random
+// DAGs over a shared vertex set, plus adversarial shapes (chains, wide
+// layers) used by the tests to probe worst-case behaviour.
+
+#include <cstdint>
+
+#include "sweep/instance.hpp"
+#include "util/rng.hpp"
+
+namespace sweep::dag {
+
+/// Random layered DAG: n nodes spread over `layers` layers (uniformly),
+/// each node gets ~`avg_out_degree` edges to uniformly random nodes in the
+/// next layer. Always acyclic by construction.
+SweepDag random_layered_dag(std::size_t n, std::size_t layers,
+                            double avg_out_degree, util::Rng& rng);
+
+/// Random DAG from a random topological order: each of the ~n*avg_out_degree
+/// candidate edges connects a node to a random *later* node within a window
+/// of `locality` positions (small windows give deep, chain-like DAGs).
+SweepDag random_order_dag(std::size_t n, double avg_out_degree,
+                          std::size_t locality, util::Rng& rng);
+
+/// A single directed path through all n nodes in random order (the
+/// "all cells form a chain" worst case from the introduction).
+SweepDag chain_dag(std::size_t n, util::Rng& rng);
+
+/// k independent random layered DAGs over the same n cells.
+SweepInstance random_instance(std::size_t n, std::size_t k, std::size_t layers,
+                              double avg_out_degree, std::uint64_t seed);
+
+/// Adversarial instance: every direction is a chain over a different random
+/// permutation. OPT is ~nk/m + n-ish; schedulers should degrade gracefully.
+SweepInstance chain_instance(std::size_t n, std::size_t k, std::uint64_t seed);
+
+}  // namespace sweep::dag

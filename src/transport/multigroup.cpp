@@ -1,0 +1,61 @@
+#include "transport/multigroup.hpp"
+
+#include <stdexcept>
+
+namespace sweep::transport {
+
+MultigroupResult solve_multigroup(const mesh::UnstructuredMesh& mesh,
+                                  const dag::DirectionSet& directions,
+                                  const dag::SweepInstance& instance,
+                                  std::span<const core::TaskId> task_order,
+                                  const MultigroupOptions& options) {
+  const std::size_t groups = options.sigma_t.size();
+  if (groups == 0) {
+    throw std::invalid_argument("solve_multigroup: need >= 1 group");
+  }
+  if (options.scatter.size() != groups || options.source.size() != groups) {
+    throw std::invalid_argument("solve_multigroup: option shape mismatch");
+  }
+  for (std::size_t g = 0; g < groups; ++g) {
+    if (options.scatter[g].size() != groups) {
+      throw std::invalid_argument("solve_multigroup: scatter row size mismatch");
+    }
+    for (std::size_t gp = g + 1; gp < groups; ++gp) {
+      if (options.scatter[g][gp] != 0.0) {
+        throw std::invalid_argument("solve_multigroup: upscatter not supported");
+      }
+    }
+  }
+
+  const std::size_t n = mesh.n_cells();
+  MultigroupResult result;
+  result.scalar_flux.assign(groups, std::vector<double>(n, 0.0));
+  result.converged = true;
+
+  std::vector<double> group_source(n);
+  for (std::size_t g = 0; g < groups; ++g) {
+    // Effective source: external + downscatter from faster groups.
+    for (std::size_t c = 0; c < n; ++c) {
+      double q = options.source[g];
+      for (std::size_t gp = 0; gp < g; ++gp) {
+        q += options.scatter[g][gp] * result.scalar_flux[gp][c];
+      }
+      group_source[c] = q;
+    }
+    TransportOptions gopts;
+    gopts.sigma_t = options.sigma_t[g];
+    gopts.sigma_s = options.scatter[g][g];  // within-group scattering
+    gopts.per_cell_source = group_source;
+    gopts.boundary_flux = options.boundary_flux;
+    gopts.max_iterations = options.max_iterations;
+    gopts.tolerance = options.tolerance;
+    TransportResult solved =
+        solve_transport(mesh, directions, instance, task_order, gopts);
+    result.total_iterations += solved.iterations;
+    result.converged = result.converged && solved.converged;
+    result.scalar_flux[g] = std::move(solved.scalar_flux);
+  }
+  return result;
+}
+
+}  // namespace sweep::transport

@@ -1,0 +1,44 @@
+#pragma once
+// Multigroup extension of the transport substrate: G energy groups coupled
+// by a (lower-triangular) downscatter matrix, solved group-by-group from the
+// highest energy down. Every group solve runs the same scheduled sweeps, so
+// a single sweep schedule is amortized over G source-iteration solves — the
+// production usage pattern that motivates investing in good schedules.
+
+#include <span>
+#include <vector>
+
+#include "transport/transport.hpp"
+
+namespace sweep::transport {
+
+struct MultigroupOptions {
+  /// Per-group total cross sections (size G, all > 0).
+  std::vector<double> sigma_t;
+  /// scatter[g][g'] = cross section for scattering from group g' INTO group
+  /// g. Must be lower-triangular including the diagonal (g' <= g): only
+  /// within-group scattering and downscatter, no upscatter.
+  std::vector<std::vector<double>> scatter;
+  /// Per-group volumetric sources (size G).
+  std::vector<double> source;
+  double boundary_flux = 0.0;
+  std::size_t max_iterations = 200;
+  double tolerance = 1e-8;
+};
+
+struct MultigroupResult {
+  /// scalar_flux[g][c]
+  std::vector<std::vector<double>> scalar_flux;
+  std::size_t total_iterations = 0;
+  bool converged = false;  ///< all group solves converged
+};
+
+/// Solves all groups, reusing `task_order` for every sweep.
+/// Throws std::invalid_argument on inconsistent option shapes or upscatter.
+MultigroupResult solve_multigroup(const mesh::UnstructuredMesh& mesh,
+                                  const dag::DirectionSet& directions,
+                                  const dag::SweepInstance& instance,
+                                  std::span<const core::TaskId> task_order,
+                                  const MultigroupOptions& options);
+
+}  // namespace sweep::transport

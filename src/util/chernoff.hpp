@@ -1,0 +1,35 @@
+#pragma once
+// Tail-bound machinery from the paper (Lemma 1 and Eq. (3)).
+//
+// These functions back the *analytical* side of the reproduction: the tests
+// verify that empirical layer loads of the Random Delay algorithm stay below
+// the bounds these functions predict, which is exactly the content of
+// Lemmas 2-4 of the paper.
+
+namespace sweep::util {
+
+/// Chernoff upper-tail factor G(mu, delta) = (e^delta / (1+delta)^(1+delta))^mu
+/// from Lemma 1(a). Computed in log-space for robustness.
+double chernoff_g(double mu, double delta);
+
+/// Pr[X >= mu(1+delta)] bound, i.e. min(1, G(mu, delta)).
+double chernoff_tail(double mu, double delta);
+
+/// F(mu, p) from Lemma 1(b): a load threshold such that Pr[X > F(mu,p)] < p.
+/// `slack` is the constant `a` in the paper (any sufficiently large constant
+/// works; the default is validated by tests against direct simulation).
+double lemma1_f(double mu, double p, double slack = 2.0);
+
+/// H(mu, p) in the spirit of Eq. (3) (used by the improved
+/// O(log m log log log m) analysis): a concave-in-mu majorant of the expected
+/// balls-in-bins maximum. Note: the paper's literal two-branch H is not
+/// globally concave; this is its concave regularization (first branch capped
+/// at mu = ln(1/p)/e^2, tangential linear extension beyond), which preserves
+/// both properties Corollary 2 needs. `big_c` is the constant C of the paper.
+double improved_h(double mu, double p, double big_c = 2.0);
+
+/// Expected maximum bin load when `balls` balls are thrown into `bins` bins
+/// uniformly, per Corollary 2(b): H(t/m, 1/m^2) + t/m.
+double expected_max_load_bound(double balls, double bins, double big_c = 2.0);
+
+}  // namespace sweep::util

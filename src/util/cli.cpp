@@ -1,0 +1,106 @@
+#include "util/cli.hpp"
+
+#include <cstdio>
+#include <cstdlib>
+#include <stdexcept>
+
+namespace sweep::util {
+
+void CliParser::add_flag(const std::string& name, const std::string& help) {
+  options_[name] = Option{help, "false", /*is_flag=*/true, false};
+}
+
+void CliParser::add_option(const std::string& name,
+                           const std::string& default_value,
+                           const std::string& help) {
+  options_[name] = Option{help, default_value, /*is_flag=*/false, false};
+}
+
+bool CliParser::parse(int argc, const char* const* argv) {
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg == "--help" || arg == "-h") {
+      print_help();
+      return false;
+    }
+    if (arg.rfind("--", 0) != 0) {
+      std::fprintf(stderr, "%s: unexpected positional argument '%s'\n",
+                   program_.c_str(), arg.c_str());
+      print_help();
+      return false;
+    }
+    std::string name = arg.substr(2);
+    std::optional<std::string> inline_value;
+    if (const auto eq = name.find('='); eq != std::string::npos) {
+      inline_value = name.substr(eq + 1);
+      name = name.substr(0, eq);
+    }
+    auto it = options_.find(name);
+    if (it == options_.end()) {
+      std::fprintf(stderr, "%s: unknown option '--%s'\n", program_.c_str(),
+                   name.c_str());
+      print_help();
+      return false;
+    }
+    Option& opt = it->second;
+    opt.seen = true;
+    if (opt.is_flag) {
+      opt.value = inline_value.value_or("true");
+    } else if (inline_value) {
+      opt.value = *inline_value;
+    } else {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "%s: option '--%s' requires a value\n",
+                     program_.c_str(), name.c_str());
+        return false;
+      }
+      opt.value = argv[++i];
+    }
+  }
+  return true;
+}
+
+bool CliParser::flag(const std::string& name) const {
+  const auto& opt = options_.at(name);
+  return opt.value == "true" || opt.value == "1";
+}
+
+std::string CliParser::str(const std::string& name) const {
+  return options_.at(name).value;
+}
+
+std::int64_t CliParser::integer(const std::string& name) const {
+  return std::strtoll(options_.at(name).value.c_str(), nullptr, 10);
+}
+
+double CliParser::real(const std::string& name) const {
+  return std::strtod(options_.at(name).value.c_str(), nullptr);
+}
+
+std::vector<std::int64_t> CliParser::int_list(const std::string& name) const {
+  std::vector<std::int64_t> values;
+  const std::string& text = options_.at(name).value;
+  std::size_t start = 0;
+  while (start < text.size()) {
+    std::size_t comma = text.find(',', start);
+    if (comma == std::string::npos) comma = text.size();
+    values.push_back(
+        std::strtoll(text.substr(start, comma - start).c_str(), nullptr, 10));
+    start = comma + 1;
+  }
+  return values;
+}
+
+void CliParser::print_help() const {
+  std::printf("%s — %s\n\nOptions:\n", program_.c_str(), description_.c_str());
+  for (const auto& [name, opt] : options_) {
+    if (opt.is_flag) {
+      std::printf("  --%-22s %s\n", name.c_str(), opt.help.c_str());
+    } else {
+      std::printf("  --%-22s %s (default: %s)\n", (name + " <v>").c_str(),
+                  opt.help.c_str(), opt.value.c_str());
+    }
+  }
+}
+
+}  // namespace sweep::util

@@ -1,0 +1,50 @@
+#pragma once
+// Minimal command-line option parser shared by the bench harnesses and
+// examples. Supports "--name value", "--name=value" and boolean flags
+// ("--full"). Unknown options raise an error listing valid names so each
+// binary is self-documenting via --help.
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace sweep::util {
+
+class CliParser {
+ public:
+  CliParser(std::string program, std::string description)
+      : program_(std::move(program)), description_(std::move(description)) {}
+
+  /// Register options before parse(). `help` is shown by --help.
+  void add_flag(const std::string& name, const std::string& help);
+  void add_option(const std::string& name, const std::string& default_value,
+                  const std::string& help);
+
+  /// Parses argv. Returns false if --help was requested (help printed) or an
+  /// error occurred (message printed); callers should exit in that case.
+  [[nodiscard]] bool parse(int argc, const char* const* argv);
+
+  [[nodiscard]] bool flag(const std::string& name) const;
+  [[nodiscard]] std::string str(const std::string& name) const;
+  [[nodiscard]] std::int64_t integer(const std::string& name) const;
+  [[nodiscard]] double real(const std::string& name) const;
+  /// Comma-separated integer list, e.g. "--procs 8,16,32".
+  [[nodiscard]] std::vector<std::int64_t> int_list(const std::string& name) const;
+
+  void print_help() const;
+
+ private:
+  struct Option {
+    std::string help;
+    std::string value;
+    bool is_flag = false;
+    bool seen = false;
+  };
+  std::string program_;
+  std::string description_;
+  std::map<std::string, Option> options_;
+};
+
+}  // namespace sweep::util

@@ -1,0 +1,28 @@
+#include "util/log.hpp"
+
+#include <cstdio>
+
+namespace sweep::util {
+namespace {
+LogLevel g_level = LogLevel::Info;
+
+const char* level_name(LogLevel level) {
+  switch (level) {
+    case LogLevel::Debug: return "DEBUG";
+    case LogLevel::Info: return "INFO ";
+    case LogLevel::Warn: return "WARN ";
+    case LogLevel::Error: return "ERROR";
+    default: return "?";
+  }
+}
+}  // namespace
+
+void set_log_level(LogLevel level) noexcept { g_level = level; }
+LogLevel log_level() noexcept { return g_level; }
+
+void log(LogLevel level, const std::string& message) {
+  if (level < g_level || g_level == LogLevel::Off) return;
+  std::fprintf(stderr, "[%s] %s\n", level_name(level), message.c_str());
+}
+
+}  // namespace sweep::util

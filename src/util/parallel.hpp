@@ -1,0 +1,43 @@
+#pragma once
+// Minimal fork-join parallelism for embarrassingly parallel loops (per-
+// direction DAG builds, per-trial experiment batches). Deliberately tiny:
+// std::thread + static block partitioning, no work stealing — the grain
+// sizes in this library (one DAG induction, one schedule run) are large
+// enough that static scheduling is within noise of anything fancier.
+
+#include <cstddef>
+#include <functional>
+#include <thread>
+#include <vector>
+
+namespace sweep::util {
+
+/// Runs body(i) for i in [0, count) across up to `threads` std::threads
+/// (0 = hardware_concurrency). Blocks until all finish. body must be
+/// thread-safe for distinct i; exceptions inside body terminate (keep bodies
+/// noexcept in spirit).
+inline void parallel_for(std::size_t count, const std::function<void(std::size_t)>& body,
+                         std::size_t threads = 0) {
+  if (count == 0) return;
+  if (threads == 0) {
+    threads = std::max<std::size_t>(1, std::thread::hardware_concurrency());
+  }
+  threads = std::min(threads, count);
+  if (threads <= 1) {
+    for (std::size_t i = 0; i < count; ++i) body(i);
+    return;
+  }
+  std::vector<std::thread> workers;
+  workers.reserve(threads);
+  for (std::size_t w = 0; w < threads; ++w) {
+    workers.emplace_back([&, w] {
+      // Static block partition: worker w handles [begin, end).
+      const std::size_t begin = count * w / threads;
+      const std::size_t end = count * (w + 1) / threads;
+      for (std::size_t i = begin; i < end; ++i) body(i);
+    });
+  }
+  for (std::thread& worker : workers) worker.join();
+}
+
+}  // namespace sweep::util

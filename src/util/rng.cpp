@@ -1,0 +1,34 @@
+#include "util/rng.hpp"
+
+#include <cmath>
+#include <numeric>
+
+namespace sweep::util {
+
+double Rng::next_normal() noexcept {
+  // Marsaglia polar method.
+  for (;;) {
+    const double u = next_double(-1.0, 1.0);
+    const double v = next_double(-1.0, 1.0);
+    const double s = u * u + v * v;
+    if (s > 0.0 && s < 1.0) {
+      return u * std::sqrt(-2.0 * std::log(s) / s);
+    }
+  }
+}
+
+double Rng::next_exponential(double lambda) noexcept {
+  // Inverse CDF; guard against log(0).
+  double u = next_double();
+  if (u <= 0.0) u = 0x1.0p-53;
+  return -std::log1p(-u) / lambda;
+}
+
+std::vector<std::uint32_t> random_permutation(std::size_t n, Rng& rng) {
+  std::vector<std::uint32_t> perm(n);
+  std::iota(perm.begin(), perm.end(), 0u);
+  rng.shuffle(perm);
+  return perm;
+}
+
+}  // namespace sweep::util

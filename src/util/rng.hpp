@@ -1,0 +1,122 @@
+#pragma once
+// Deterministic, fast pseudo-random number generation.
+//
+// All randomized components of the library (random delays, random processor
+// assignment, mesh jitter, partitioner tie-breaking) draw from an explicitly
+// seeded Rng so that every experiment in the paper reproduction is replayable
+// from a single 64-bit seed.
+
+#include <array>
+#include <cstdint>
+#include <limits>
+#include <vector>
+
+namespace sweep::util {
+
+/// SplitMix64: used to expand a single seed into a full xoshiro state.
+/// Reference: Vigna, "Further scramblings of Marsaglia's xorshift generators".
+inline std::uint64_t splitmix64(std::uint64_t& state) noexcept {
+  state += 0x9e3779b97f4a7c15ULL;
+  std::uint64_t z = state;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+/// xoshiro256** PRNG. Satisfies UniformRandomBitGenerator so it can be used
+/// with <random> distributions, but the member helpers below avoid the
+/// distribution objects entirely for speed and cross-platform determinism.
+class Rng {
+ public:
+  using result_type = std::uint64_t;
+
+  explicit Rng(std::uint64_t seed = 0x5eedba5eULL) noexcept { reseed(seed); }
+
+  void reseed(std::uint64_t seed) noexcept {
+    std::uint64_t sm = seed;
+    for (auto& word : state_) word = splitmix64(sm);
+  }
+
+  static constexpr result_type min() noexcept { return 0; }
+  static constexpr result_type max() noexcept {
+    return std::numeric_limits<result_type>::max();
+  }
+
+  result_type operator()() noexcept {
+    const std::uint64_t result = rotl(state_[1] * 5, 7) * 9;
+    const std::uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = rotl(state_[3], 45);
+    return result;
+  }
+
+  /// Uniform integer in [0, bound). bound must be > 0.
+  /// Lemire's nearly-divisionless rejection method: unbiased and fast.
+  std::uint64_t next_below(std::uint64_t bound) noexcept {
+    __uint128_t product = static_cast<__uint128_t>((*this)()) * bound;
+    auto low = static_cast<std::uint64_t>(product);
+    if (low < bound) {
+      const std::uint64_t threshold = (0 - bound) % bound;
+      while (low < threshold) {
+        product = static_cast<__uint128_t>((*this)()) * bound;
+        low = static_cast<std::uint64_t>(product);
+      }
+    }
+    return static_cast<std::uint64_t>(product >> 64);
+  }
+
+  /// Uniform integer in [lo, hi] inclusive.
+  std::int64_t next_int(std::int64_t lo, std::int64_t hi) noexcept {
+    const auto span = static_cast<std::uint64_t>(hi - lo) + 1;
+    return lo + static_cast<std::int64_t>(next_below(span));
+  }
+
+  /// Uniform double in [0, 1).
+  double next_double() noexcept {
+    return static_cast<double>((*this)() >> 11) * 0x1.0p-53;
+  }
+
+  /// Uniform double in [lo, hi).
+  double next_double(double lo, double hi) noexcept {
+    return lo + (hi - lo) * next_double();
+  }
+
+  bool next_bool(double probability_true = 0.5) noexcept {
+    return next_double() < probability_true;
+  }
+
+  /// Standard normal via Marsaglia polar method (no cached value for
+  /// determinism simplicity; discards the second variate).
+  double next_normal() noexcept;
+
+  /// Exponential with rate lambda (>0).
+  double next_exponential(double lambda = 1.0) noexcept;
+
+  /// Fisher-Yates shuffle of a vector.
+  template <typename T>
+  void shuffle(std::vector<T>& values) noexcept {
+    for (std::size_t i = values.size(); i > 1; --i) {
+      const std::size_t j = next_below(i);
+      using std::swap;
+      swap(values[i - 1], values[j]);
+    }
+  }
+
+  /// Derive an independent child generator (for per-component streams).
+  Rng fork() noexcept { return Rng((*this)() ^ 0xa3c59ac2ULL); }
+
+ private:
+  static constexpr std::uint64_t rotl(std::uint64_t x, int k) noexcept {
+    return (x << k) | (x >> (64 - k));
+  }
+  std::array<std::uint64_t, 4> state_{};
+};
+
+/// A random permutation of {0,...,n-1}.
+std::vector<std::uint32_t> random_permutation(std::size_t n, Rng& rng);
+
+}  // namespace sweep::util

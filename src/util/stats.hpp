@@ -1,0 +1,50 @@
+#pragma once
+// Lightweight descriptive statistics used by the experiment harnesses and
+// by the statistical (property) tests on the randomized algorithms.
+
+#include <cstddef>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace sweep::util {
+
+/// Welford-style online accumulator: numerically stable mean/variance plus
+/// min/max, O(1) space.
+class OnlineStats {
+ public:
+  void add(double x) noexcept;
+  void merge(const OnlineStats& other) noexcept;
+
+  [[nodiscard]] std::size_t count() const noexcept { return count_; }
+  [[nodiscard]] double mean() const noexcept { return count_ ? mean_ : 0.0; }
+  /// Unbiased sample variance (0 for fewer than 2 samples).
+  [[nodiscard]] double variance() const noexcept;
+  [[nodiscard]] double stddev() const noexcept;
+  [[nodiscard]] double min() const noexcept { return count_ ? min_ : 0.0; }
+  [[nodiscard]] double max() const noexcept { return count_ ? max_ : 0.0; }
+  [[nodiscard]] double sum() const noexcept { return mean_ * static_cast<double>(count_); }
+
+ private:
+  std::size_t count_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+/// Quantile with linear interpolation (q in [0,1]); copies and sorts.
+double quantile(std::span<const double> values, double q);
+
+double mean(std::span<const double> values);
+double stddev(std::span<const double> values);
+
+/// Five-number-ish summary rendered as "mean=... sd=... min=... med=... max=...".
+std::string summarize(std::span<const double> values);
+
+/// Histogram with equal-width bins over [lo, hi]; values outside are clamped
+/// into the boundary bins. Used by degree/level distribution diagnostics.
+std::vector<std::size_t> histogram(std::span<const double> values, double lo,
+                                   double hi, std::size_t bins);
+
+}  // namespace sweep::util

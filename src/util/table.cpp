@@ -1,0 +1,84 @@
+#include "util/table.hpp"
+
+#include <algorithm>
+#include <cinttypes>
+#include <cstdio>
+
+namespace sweep::util {
+
+Table::Table(std::vector<std::string> headers) : headers_(std::move(headers)) {}
+
+void Table::mirror_csv(const std::string& path) { csv_path_ = path; }
+
+void Table::add_row(std::vector<std::string> cells) {
+  cells.resize(headers_.size());
+  rows_.push_back(std::move(cells));
+}
+
+std::string Table::fmt(double value, int precision) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f", precision, value);
+  return buf;
+}
+
+std::string Table::fmt(std::int64_t value) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%" PRId64, value);
+  return buf;
+}
+
+std::string Table::fmt(std::size_t value) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%zu", value);
+  return buf;
+}
+
+void Table::print(const std::string& title) const {
+  if (!title.empty()) banner(title);
+  std::vector<std::size_t> widths(headers_.size());
+  for (std::size_t c = 0; c < headers_.size(); ++c) {
+    widths[c] = headers_[c].size();
+  }
+  for (const auto& row : rows_) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      widths[c] = std::max(widths[c], row[c].size());
+    }
+  }
+  auto print_row = [&](const std::vector<std::string>& row) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      std::printf("%-*s%s", static_cast<int>(widths[c]), row[c].c_str(),
+                  c + 1 == row.size() ? "\n" : "  ");
+    }
+  };
+  print_row(headers_);
+  for (std::size_t c = 0; c < headers_.size(); ++c) {
+    std::printf("%s%s", std::string(widths[c], '-').c_str(),
+                c + 1 == headers_.size() ? "\n" : "  ");
+  }
+  for (const auto& row : rows_) print_row(row);
+  std::fflush(stdout);
+
+  if (!csv_path_.empty()) {
+    if (std::FILE* f = std::fopen(csv_path_.c_str(), "w")) {
+      auto csv_row = [&](const std::vector<std::string>& row) {
+        for (std::size_t c = 0; c < row.size(); ++c) {
+          std::fprintf(f, "%s%s", row[c].c_str(),
+                       c + 1 == row.size() ? "\n" : ",");
+        }
+      };
+      csv_row(headers_);
+      for (const auto& row : rows_) csv_row(row);
+      std::fclose(f);
+      std::printf("[csv written to %s]\n", csv_path_.c_str());
+    } else {
+      std::fprintf(stderr, "warning: could not open csv path %s\n",
+                   csv_path_.c_str());
+    }
+  }
+}
+
+void banner(const std::string& text) {
+  std::printf("\n==== %s ====\n", text.c_str());
+}
+
+}  // namespace sweep::util

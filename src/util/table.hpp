@@ -1,0 +1,39 @@
+#pragma once
+// Console table / CSV emission for the figure-reproduction harnesses.
+// Each bench binary prints the same rows/series the paper's figure plots,
+// and can optionally mirror them to a CSV file for external plotting.
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+namespace sweep::util {
+
+/// Column-aligned console table with optional CSV mirroring.
+class Table {
+ public:
+  explicit Table(std::vector<std::string> headers);
+
+  /// Open a CSV mirror file; empty path disables mirroring.
+  void mirror_csv(const std::string& path);
+
+  void add_row(std::vector<std::string> cells);
+
+  /// Convenience: formats doubles with `precision` digits.
+  static std::string fmt(double value, int precision = 3);
+  static std::string fmt(std::int64_t value);
+  static std::string fmt(std::size_t value);
+
+  /// Renders all rows to stdout with aligned columns and flushes the CSV.
+  void print(const std::string& title = "") const;
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+  std::string csv_path_;
+};
+
+/// Print a section banner, used to separate figure panels in bench output.
+void banner(const std::string& text);
+
+}  // namespace sweep::util

@@ -1,0 +1,69 @@
+#include "core/assignment.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "partition/multilevel.hpp"
+#include "test_helpers.hpp"
+
+namespace sweep::core {
+namespace {
+
+TEST(RandomAssignment, RangeAndRoughBalance) {
+  util::Rng rng(1);
+  const Assignment a = random_assignment(10000, 16, rng);
+  for (ProcessorId p : a) EXPECT_LT(p, 16u);
+  const auto loads = assignment_loads(a, 16);
+  // Each processor expects 625 cells; allow 4 sigma ~ +-100.
+  for (std::size_t load : loads) {
+    EXPECT_GT(load, 500u);
+    EXPECT_LT(load, 750u);
+  }
+  EXPECT_THROW(random_assignment(10, 0, rng), std::invalid_argument);
+}
+
+TEST(BlockAssignment, CellsInSameBlockShareProcessor) {
+  const partition::Partition blocks = {0, 0, 1, 1, 2, 2, 2};
+  util::Rng rng(2);
+  const Assignment a = block_assignment(blocks, 4, rng);
+  EXPECT_EQ(a[0], a[1]);
+  EXPECT_EQ(a[2], a[3]);
+  EXPECT_EQ(a[4], a[5]);
+  EXPECT_EQ(a[5], a[6]);
+  for (ProcessorId p : a) EXPECT_LT(p, 4u);
+  EXPECT_THROW(block_assignment(blocks, 0, rng), std::invalid_argument);
+}
+
+TEST(BlockAssignment, WorksWithRealPartition) {
+  const auto m = test::small_tet_mesh(6, 6, 3);
+  const auto g = partition::graph_from_mesh(m);
+  const auto blocks = partition::partition_into_blocks(g, 32);
+  util::Rng rng(3);
+  const Assignment a = block_assignment(blocks, 8, rng);
+  ASSERT_EQ(a.size(), m.n_cells());
+  for (std::size_t v = 0; v < a.size(); ++v) {
+    for (std::size_t w = v + 1; w < a.size(); ++w) {
+      if (blocks[v] == blocks[w]) {
+        ASSERT_EQ(a[v], a[w]);
+      }
+    }
+    if (v > 50) break;  // spot check, O(n^2) otherwise
+  }
+}
+
+TEST(RoundRobinBlockAssignment, Deterministic) {
+  const partition::Partition blocks = {0, 1, 2, 3, 4};
+  const Assignment a = round_robin_block_assignment(blocks, 3);
+  EXPECT_EQ(a, (Assignment{0, 1, 2, 0, 1}));
+  EXPECT_THROW(round_robin_block_assignment(blocks, 0), std::invalid_argument);
+}
+
+TEST(AssignmentLoads, Histogram) {
+  const Assignment a = {0, 0, 1, 2, 2, 2};
+  const auto loads = assignment_loads(a, 4);
+  EXPECT_EQ(loads, (std::vector<std::size_t>{2, 1, 3, 0}));
+}
+
+}  // namespace
+}  // namespace sweep::core

@@ -1,0 +1,147 @@
+// Tests for the tail-bound machinery of Lemma 1 / Eq. (3) — including the
+// key empirical check that the bounds actually dominate simulated
+// balls-in-bins maxima (Corollary 2(b)), which is the engine behind the
+// paper's layer-load lemmas.
+
+#include "util/chernoff.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "util/rng.hpp"
+
+namespace sweep::util {
+namespace {
+
+TEST(ChernoffG, AtMostOneAndDecreasingInDelta) {
+  double prev = 1.0;
+  for (double delta = 0.1; delta < 10.0; delta += 0.1) {
+    const double g = chernoff_g(5.0, delta);
+    EXPECT_LE(g, prev + 1e-12);
+    EXPECT_LE(g, 1.0);
+    EXPECT_GE(g, 0.0);
+    prev = g;
+  }
+}
+
+TEST(ChernoffG, DegenerateInputsReturnOne) {
+  EXPECT_EQ(chernoff_g(0.0, 1.0), 1.0);
+  EXPECT_EQ(chernoff_g(5.0, 0.0), 1.0);
+  EXPECT_EQ(chernoff_g(-1.0, 1.0), 1.0);
+}
+
+TEST(ChernoffG, MatchesClosedFormSpotCheck) {
+  // G(mu=1, delta=e-1) = (e^(e-1) / e^e)^1 = e^-1.
+  const double e = std::exp(1.0);
+  EXPECT_NEAR(chernoff_g(1.0, e - 1.0), 1.0 / e, 1e-12);
+}
+
+TEST(ChernoffTail, DominatesEmpiricalBinomialTail) {
+  // X ~ Binomial(n=200, p=0.05), mu = 10. Empirical Pr[X >= mu(1+delta)]
+  // must stay below the Chernoff bound for several deltas.
+  Rng rng(21);
+  constexpr int kTrials = 4000;
+  constexpr int kN = 200;
+  constexpr double kP = 0.05;
+  constexpr double kMu = kN * kP;
+  std::vector<int> samples(kTrials);
+  for (auto& s : samples) {
+    int x = 0;
+    for (int i = 0; i < kN; ++i) x += rng.next_double() < kP ? 1 : 0;
+    s = x;
+  }
+  for (double delta : {0.5, 1.0, 2.0}) {
+    const double threshold = kMu * (1.0 + delta);
+    int exceed = 0;
+    for (int s : samples) {
+      if (s >= threshold) ++exceed;
+    }
+    const double empirical = static_cast<double>(exceed) / kTrials;
+    EXPECT_LE(empirical, chernoff_tail(kMu, delta) + 0.01)
+        << "delta=" << delta;
+  }
+}
+
+TEST(Lemma1F, AtLeastMuAndMonotoneInMu) {
+  double prev = 0.0;
+  for (double mu = 0.1; mu < 50.0; mu *= 1.5) {
+    const double f = lemma1_f(mu, 1e-4);
+    EXPECT_GE(f, mu);
+    EXPECT_GE(f, prev - 1e-9) << "mu=" << mu;
+    prev = f;
+  }
+}
+
+TEST(Lemma1F, SmallerPGivesLargerThreshold) {
+  EXPECT_GT(lemma1_f(5.0, 1e-8), lemma1_f(5.0, 1e-2));
+  EXPECT_GT(lemma1_f(0.5, 1e-8), lemma1_f(0.5, 1e-2));
+}
+
+TEST(Lemma1F, ThresholdActuallyBoundsTheTail) {
+  // Throw 64 balls into 64 bins; Pr[bin 0 load > F(1, p)] should be < p
+  // with a healthy margin at p = 1/64^2 when checked empirically.
+  Rng rng(22);
+  constexpr int kTrials = 3000;
+  const double f = lemma1_f(1.0, 1.0 / (64.0 * 64.0));
+  int exceed = 0;
+  for (int trial = 0; trial < kTrials; ++trial) {
+    int load = 0;
+    for (int ball = 0; ball < 64; ++ball) {
+      if (rng.next_below(64) == 0) ++load;
+    }
+    if (load > f) ++exceed;
+  }
+  EXPECT_LE(exceed, 2);
+}
+
+TEST(ImprovedH, ConcaveInMuBySampling) {
+  // Concavity (Corollary 2(a)) is what lets the analysis use Jensen; verify
+  // the midpoint inequality H((a+b)/2) >= (H(a)+H(b))/2 on a grid.
+  const double p = 1.0 / (128.0 * 128.0);
+  for (double a = 0.05; a < 20.0; a *= 1.4) {
+    for (double b = a * 1.2; b < 25.0; b *= 1.6) {
+      const double mid = improved_h((a + b) / 2.0, p);
+      const double avg = (improved_h(a, p) + improved_h(b, p)) / 2.0;
+      EXPECT_GE(mid, avg - 1e-9) << "a=" << a << " b=" << b;
+    }
+  }
+}
+
+TEST(ImprovedH, NonDecreasingInMu) {
+  const double p = 1e-4;
+  double prev = 0.0;
+  for (double mu = 0.01; mu < 100.0; mu *= 1.3) {
+    const double h = improved_h(mu, p);
+    EXPECT_GE(h, prev - 1e-9);
+    prev = h;
+  }
+}
+
+TEST(ExpectedMaxLoadBound, DominatesSimulatedBallsInBins) {
+  // Corollary 2(b): E[max load] <= H(t/m, 1/m^2) + t/m. Simulate for
+  // several (balls, bins) combinations.
+  Rng rng(23);
+  struct Case { int balls; int bins; };
+  for (const auto& c : {Case{32, 32}, Case{256, 32}, Case{32, 256},
+                        Case{1000, 100}}) {
+    double mean_max = 0.0;
+    constexpr int kTrials = 300;
+    std::vector<int> load(static_cast<std::size_t>(c.bins));
+    for (int trial = 0; trial < kTrials; ++trial) {
+      std::fill(load.begin(), load.end(), 0);
+      for (int ball = 0; ball < c.balls; ++ball) {
+        ++load[rng.next_below(static_cast<std::uint64_t>(c.bins))];
+      }
+      mean_max += *std::max_element(load.begin(), load.end());
+    }
+    mean_max /= kTrials;
+    EXPECT_LE(mean_max, expected_max_load_bound(c.balls, c.bins))
+        << "balls=" << c.balls << " bins=" << c.bins;
+  }
+}
+
+}  // namespace
+}  // namespace sweep::util

@@ -1,0 +1,70 @@
+#include "util/cli.hpp"
+
+#include <gtest/gtest.h>
+
+namespace sweep::util {
+namespace {
+
+CliParser make_parser() {
+  CliParser cli("prog", "test program");
+  cli.add_flag("full", "run at paper scale");
+  cli.add_option("procs", "8,16", "processor counts");
+  cli.add_option("scale", "0.5", "mesh scale");
+  cli.add_option("name", "tetonly", "mesh name");
+  return cli;
+}
+
+TEST(Cli, DefaultsApply) {
+  CliParser cli = make_parser();
+  const char* argv[] = {"prog"};
+  ASSERT_TRUE(cli.parse(1, argv));
+  EXPECT_FALSE(cli.flag("full"));
+  EXPECT_DOUBLE_EQ(cli.real("scale"), 0.5);
+  EXPECT_EQ(cli.str("name"), "tetonly");
+  EXPECT_EQ(cli.int_list("procs"), (std::vector<std::int64_t>{8, 16}));
+}
+
+TEST(Cli, ParsesSeparateAndInlineValues) {
+  CliParser cli = make_parser();
+  const char* argv[] = {"prog", "--full", "--scale", "1.25", "--name=long"};
+  ASSERT_TRUE(cli.parse(5, argv));
+  EXPECT_TRUE(cli.flag("full"));
+  EXPECT_DOUBLE_EQ(cli.real("scale"), 1.25);
+  EXPECT_EQ(cli.str("name"), "long");
+}
+
+TEST(Cli, ParsesIntegerLists) {
+  CliParser cli = make_parser();
+  const char* argv[] = {"prog", "--procs", "1,2,4,8,512"};
+  ASSERT_TRUE(cli.parse(3, argv));
+  EXPECT_EQ(cli.int_list("procs"),
+            (std::vector<std::int64_t>{1, 2, 4, 8, 512}));
+  EXPECT_EQ(cli.integer("scale"), 0);  // strtoll of "0.5"
+}
+
+TEST(Cli, RejectsUnknownOption) {
+  CliParser cli = make_parser();
+  const char* argv[] = {"prog", "--bogus", "1"};
+  EXPECT_FALSE(cli.parse(3, argv));
+}
+
+TEST(Cli, RejectsMissingValue) {
+  CliParser cli = make_parser();
+  const char* argv[] = {"prog", "--scale"};
+  EXPECT_FALSE(cli.parse(2, argv));
+}
+
+TEST(Cli, RejectsPositional) {
+  CliParser cli = make_parser();
+  const char* argv[] = {"prog", "oops"};
+  EXPECT_FALSE(cli.parse(2, argv));
+}
+
+TEST(Cli, HelpReturnsFalse) {
+  CliParser cli = make_parser();
+  const char* argv[] = {"prog", "--help"};
+  EXPECT_FALSE(cli.parse(2, argv));
+}
+
+}  // namespace
+}  // namespace sweep::util

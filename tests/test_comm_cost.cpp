@@ -1,0 +1,94 @@
+#include "core/comm_cost.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/assignment.hpp"
+#include "core/list_scheduler.hpp"
+#include "sweep/random_dag.hpp"
+#include "test_helpers.hpp"
+
+namespace sweep::core {
+namespace {
+
+dag::SweepInstance chain4() {
+  std::vector<dag::SweepDag> dags;
+  dags.push_back(test::make_dag(4, {{0, 1}, {1, 2}, {2, 3}}));
+  return dag::SweepInstance(4, std::move(dags), "chain4");
+}
+
+TEST(C1, HandcraftedCounts) {
+  const auto inst = chain4();
+  EXPECT_EQ(comm_cost_c1(inst, {0, 0, 0, 0}).cross_edges, 0u);
+  EXPECT_EQ(comm_cost_c1(inst, {0, 0, 1, 1}).cross_edges, 1u);
+  EXPECT_EQ(comm_cost_c1(inst, {0, 1, 0, 1}).cross_edges, 3u);
+  EXPECT_EQ(comm_cost_c1(inst, {0, 1, 0, 1}).total_edges, 3u);
+  EXPECT_DOUBLE_EQ(comm_cost_c1(inst, {0, 1, 0, 1}).fraction(), 1.0);
+  EXPECT_THROW(comm_cost_c1(inst, {0, 1}), std::invalid_argument);
+}
+
+TEST(C1, RandomAssignmentFractionNearMMinus1OverM) {
+  // Section 5.1 observation 1: per-cell random assignment crosses about
+  // (m-1)/m of all edges.
+  const auto inst = dag::random_instance(800, 6, 10, 2.0, 3);
+  for (std::size_t m : {2u, 8u, 32u}) {
+    util::Rng rng(4);
+    const auto a = random_assignment(800, m, rng);
+    const double expected = static_cast<double>(m - 1) / static_cast<double>(m);
+    EXPECT_NEAR(comm_cost_c1(inst, a).fraction(), expected, 0.03) << "m=" << m;
+  }
+}
+
+TEST(C2, SingleProcessorIsFree) {
+  const auto inst = chain4();
+  const Schedule s = list_schedule(inst, Assignment(4, 0), 1);
+  const auto c2 = comm_cost_c2(inst, s);
+  EXPECT_EQ(c2.total_delay, 0u);
+  EXPECT_EQ(c2.max_step_degree, 0u);
+  EXPECT_EQ(c2.busy_steps, 0u);
+}
+
+TEST(C2, HandcraftedAlternatingChain) {
+  // Chain 0->1->2->3 with alternating processors: every step (except the
+  // last) sends exactly one message; the round length is always 1.
+  const auto inst = chain4();
+  const Assignment a = {0, 1, 0, 1};
+  const Schedule s = list_schedule(inst, a, 2);
+  const auto c2 = comm_cost_c2(inst, s);
+  EXPECT_EQ(c2.total_delay, 3u);
+  EXPECT_EQ(c2.max_step_degree, 1u);
+  EXPECT_EQ(c2.busy_steps, 3u);
+}
+
+TEST(C2, CountsParallelSendsFromOneProcessor) {
+  // Star: 0 -> {1,2,3}, all children elsewhere. When 0 finishes it must send
+  // 3 messages in one round.
+  std::vector<dag::SweepDag> dags;
+  dags.push_back(test::make_dag(4, {{0, 1}, {0, 2}, {0, 3}}));
+  auto inst = dag::SweepInstance(4, std::move(dags), "star");
+  const Assignment a = {0, 1, 1, 2};
+  const Schedule s = list_schedule(inst, a, 3);
+  const auto c2 = comm_cost_c2(inst, s);
+  EXPECT_EQ(c2.max_step_degree, 3u);
+}
+
+TEST(C2, RejectsIncompleteSchedule) {
+  const auto inst = chain4();
+  Schedule s(4, 1, 2, Assignment{0, 1, 0, 1});
+  s.set_start(0, 0);  // others unscheduled
+  EXPECT_THROW(comm_cost_c2(inst, s), std::invalid_argument);
+}
+
+TEST(C2, MuchSmallerThanC1OnRealInstances) {
+  // The paper's Section 5.1 observation 2: C2 is far below C1.
+  const auto m = test::small_tet_mesh(6, 6, 3);
+  const auto inst = dag::build_instance(m, dag::level_symmetric(2));
+  util::Rng rng(9);
+  const auto a = random_assignment(m.n_cells(), 8, rng);
+  const Schedule s = list_schedule(inst, a, 8);
+  const auto c1 = comm_cost_c1(inst, a);
+  const auto c2 = comm_cost_c2(inst, s);
+  EXPECT_LT(c2.total_delay, c1.cross_edges / 2);
+}
+
+}  // namespace
+}  // namespace sweep::core

@@ -1,0 +1,148 @@
+// Tests for the communication-delay extension of the list-scheduling engine
+// (ListScheduleOptions::cross_message_delay): the P|prec,c|Cmax-style model
+// from the paper's Related Work, under the sweep same-processor constraint.
+
+#include <gtest/gtest.h>
+
+#include "core/assignment.hpp"
+#include "core/list_scheduler.hpp"
+#include "core/priorities.hpp"
+#include "core/validate.hpp"
+#include "partition/multilevel.hpp"
+#include "sweep/random_dag.hpp"
+#include "test_helpers.hpp"
+
+namespace sweep::core {
+namespace {
+
+dag::SweepInstance chain4() {
+  std::vector<dag::SweepDag> dags;
+  dags.push_back(test::make_dag(4, {{0, 1}, {1, 2}, {2, 3}}));
+  return dag::SweepInstance(4, std::move(dags), "chain4");
+}
+
+TEST(CommDelay, ZeroDelayMatchesBaseline) {
+  const auto inst = dag::random_instance(80, 4, 8, 2.0, 11);
+  util::Rng rng(12);
+  const auto assignment = random_assignment(80, 8, rng);
+  ListScheduleOptions base;
+  ListScheduleOptions delayed;
+  delayed.cross_message_delay = 0;
+  const Schedule a = list_schedule(inst, assignment, 8, base);
+  const Schedule b = list_schedule(inst, assignment, 8, delayed);
+  EXPECT_EQ(a.starts(), b.starts());
+}
+
+TEST(CommDelay, CrossEdgesWaitExactlyC) {
+  // Alternating chain: every edge crosses processors, so each hop costs
+  // 1 (compute) + c (message): makespan = n + (n-1)*c.
+  const auto inst = chain4();
+  const Assignment alternating = {0, 1, 0, 1};
+  for (TimeStep c : {0u, 1u, 3u, 10u}) {
+    ListScheduleOptions options;
+    options.cross_message_delay = c;
+    const Schedule s = list_schedule(inst, alternating, 2, options);
+    EXPECT_EQ(s.makespan(), 4u + 3u * c) << "c=" << c;
+    const auto valid = validate_schedule(inst, s);
+    EXPECT_TRUE(valid) << valid.error;
+  }
+}
+
+TEST(CommDelay, SameProcessorEdgesAreFree) {
+  const auto inst = chain4();
+  ListScheduleOptions options;
+  options.cross_message_delay = 100;
+  const Schedule s = list_schedule(inst, Assignment(4, 0), 1, options);
+  EXPECT_EQ(s.makespan(), 4u);  // no cross edges, no delay
+}
+
+TEST(CommDelay, MakespanMonotoneInC) {
+  const auto inst = dag::random_instance(150, 4, 10, 2.0, 21);
+  util::Rng rng(22);
+  const auto assignment = random_assignment(150, 8, rng);
+  std::size_t prev = 0;
+  for (TimeStep c : {0u, 1u, 2u, 4u, 8u}) {
+    ListScheduleOptions options;
+    options.cross_message_delay = c;
+    const Schedule s = list_schedule(inst, assignment, 8, options);
+    EXPECT_GE(s.makespan(), prev) << "c=" << c;
+    prev = s.makespan();
+    const auto valid = validate_schedule(inst, s);
+    ASSERT_TRUE(valid) << valid.error;
+  }
+}
+
+TEST(CommDelay, LatencyHidingKeepsDelayImpactSublinear) {
+  // With many ready tasks per processor, list scheduling overlaps messages
+  // with computation: the makespan must grow far slower than (1 + c).
+  const auto mesh = test::small_tet_mesh(8, 8, 3);
+  const auto inst = dag::build_instance(mesh, dag::level_symmetric(2));
+  const std::size_t m = 8;
+  util::Rng rng(31);
+  const auto assignment = random_assignment(mesh.n_cells(), m, rng);
+  const auto priorities = level_priorities(inst);
+  ListScheduleOptions base;
+  base.priorities = priorities;
+  const double t0 = static_cast<double>(list_schedule(inst, assignment, m, base).makespan());
+  ListScheduleOptions delayed = base;
+  delayed.cross_message_delay = 8;
+  const double t8 = static_cast<double>(list_schedule(inst, assignment, m, delayed).makespan());
+  EXPECT_LT(t8, 2.0 * t0);  // not 9x: latency is hidden by parallel work
+  EXPECT_GE(t8, t0);
+}
+
+TEST(CommDelay, LocalityWinsWhenThereIsNothingToHideBehind) {
+  // A single chain has no latency hiding: every cross edge stalls the whole
+  // computation for c steps. Contiguous blocks (few boundaries) must beat
+  // random assignment (~(m-1)/m of edges cross).
+  const std::size_t n = 200;
+  std::vector<std::pair<dag::NodeId, dag::NodeId>> edges;
+  for (dag::NodeId v = 0; v + 1 < n; ++v) edges.push_back({v, v + 1});
+  std::vector<dag::SweepDag> dags;
+  dags.push_back(dag::SweepDag(n, edges));
+  auto inst = dag::SweepInstance(n, std::move(dags), "path");
+
+  const std::size_t m = 4;
+  Assignment contiguous(n);
+  for (std::size_t v = 0; v < n; ++v) {
+    contiguous[v] = static_cast<ProcessorId>(v * m / n);
+  }
+  util::Rng rng(41);
+  const Assignment random = random_assignment(n, m, rng);
+
+  ListScheduleOptions options;
+  options.cross_message_delay = 5;
+  const Schedule s_contig = list_schedule(inst, contiguous, m, options);
+  const Schedule s_random = list_schedule(inst, random, m, options);
+  // Contiguous: n + c*(m-1) hops; random: n + c * ~3/4 * (n-1).
+  EXPECT_EQ(s_contig.makespan(), n + 5 * (m - 1));
+  EXPECT_GT(s_random.makespan(), s_contig.makespan() * 2);
+}
+
+TEST(CommDelay, InteractsCorrectlyWithReleaseTimes) {
+  const auto inst = chain4();
+  const std::vector<TimeStep> releases = {0, 50, 0, 0};
+  ListScheduleOptions options;
+  options.release_times = releases;
+  options.cross_message_delay = 2;
+  const Schedule s = list_schedule(inst, Assignment{0, 1, 0, 1}, 2, options);
+  // Task 1 waits for max(release 50, finish(0)+1+c).
+  EXPECT_GE(s.start(1, 0), 50u);
+  // Downstream tasks still respect both precedence and delay.
+  EXPECT_GE(s.start(2, 0), s.start(1, 0) + 1 + 2);
+  const auto valid = validate_schedule(inst, s);
+  EXPECT_TRUE(valid) << valid.error;
+}
+
+TEST(BLevelPriorities, CriticalPathFirst) {
+  // Node 0 heads a long chain, node 4 is isolated: 0 must run first.
+  std::vector<dag::SweepDag> dags;
+  dags.push_back(test::make_dag(5, {{0, 1}, {1, 2}, {2, 3}}));
+  auto inst = dag::SweepInstance(5, std::move(dags), "bl");
+  const auto prio = blevel_priorities(inst);
+  EXPECT_LT(prio[task_id(0, 0, 5)], prio[task_id(4, 0, 5)]);
+  EXPECT_LT(prio[task_id(0, 0, 5)], prio[task_id(1, 0, 5)]);
+}
+
+}  // namespace
+}  // namespace sweep::core

@@ -1,0 +1,131 @@
+#include "sweep/dag.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+#include "test_helpers.hpp"
+
+namespace sweep::dag {
+namespace {
+
+TEST(SweepDag, EmptyGraph) {
+  const SweepDag g(0, {});
+  EXPECT_EQ(g.n_nodes(), 0u);
+  EXPECT_EQ(g.n_edges(), 0u);
+  EXPECT_TRUE(g.is_acyclic());
+  EXPECT_EQ(g.depth(), 0u);
+}
+
+TEST(SweepDag, CsrAdjacency) {
+  const SweepDag g = test::make_dag(4, {{0, 1}, {0, 2}, {1, 3}, {2, 3}});
+  EXPECT_EQ(g.n_nodes(), 4u);
+  EXPECT_EQ(g.n_edges(), 4u);
+  EXPECT_EQ(g.out_degree(0), 2u);
+  EXPECT_EQ(g.in_degree(0), 0u);
+  EXPECT_EQ(g.out_degree(3), 0u);
+  EXPECT_EQ(g.in_degree(3), 2u);
+  const auto succ0 = g.successors(0);
+  EXPECT_EQ(std::set<NodeId>(succ0.begin(), succ0.end()),
+            (std::set<NodeId>{1, 2}));
+  const auto pred3 = g.predecessors(3);
+  EXPECT_EQ(std::set<NodeId>(pred3.begin(), pred3.end()),
+            (std::set<NodeId>{1, 2}));
+}
+
+TEST(SweepDag, RejectsOutOfRangeEdges) {
+  std::vector<std::pair<NodeId, NodeId>> edges = {{0, 5}};
+  EXPECT_THROW(SweepDag(3, edges), std::invalid_argument);
+}
+
+TEST(SweepDag, AcyclicityDetection) {
+  EXPECT_TRUE(test::make_dag(3, {{0, 1}, {1, 2}}).is_acyclic());
+  EXPECT_FALSE(test::make_dag(3, {{0, 1}, {1, 2}, {2, 0}}).is_acyclic());
+  EXPECT_FALSE(test::make_dag(2, {{0, 1}, {1, 0}}).is_acyclic());
+}
+
+TEST(SweepDag, LevelsAreLongestPathFromRoots) {
+  const SweepDag g = test::figure1_dag();
+  const auto levels = g.levels();
+  EXPECT_EQ(levels[0], 0u);
+  EXPECT_EQ(levels[1], 0u);
+  EXPECT_EQ(levels[3], 0u);
+  EXPECT_EQ(levels[6], 0u);
+  EXPECT_EQ(levels[2], 1u);
+  EXPECT_EQ(levels[4], 1u);
+  EXPECT_EQ(levels[5], 2u);
+  EXPECT_EQ(levels[7], 2u);
+  EXPECT_EQ(levels[8], 3u);
+  EXPECT_EQ(g.depth(), 4u);
+}
+
+TEST(SweepDag, LevelsSkipEdges) {
+  // Edge 0->3 skips a level: levels are longest paths, so 3 sits at level 2.
+  const SweepDag g = test::make_dag(4, {{0, 1}, {1, 3}, {0, 3}, {0, 2}});
+  const auto levels = g.levels();
+  EXPECT_EQ(levels[0], 0u);
+  EXPECT_EQ(levels[1], 1u);
+  EXPECT_EQ(levels[2], 1u);
+  EXPECT_EQ(levels[3], 2u);
+}
+
+TEST(SweepDag, LevelsThrowOnCycle) {
+  const SweepDag g = test::make_dag(3, {{0, 1}, {1, 2}, {2, 0}});
+  EXPECT_THROW(g.levels(), std::logic_error);
+  EXPECT_THROW(g.b_levels(), std::logic_error);
+  EXPECT_THROW(g.topological_order(), std::logic_error);
+}
+
+TEST(SweepDag, BLevelsCountNodesToSink) {
+  const SweepDag g = test::figure1_dag();
+  const auto b = g.b_levels();
+  EXPECT_EQ(b[8], 1u);  // sink
+  EXPECT_EQ(b[5], 2u);
+  EXPECT_EQ(b[7], 2u);
+  EXPECT_EQ(b[2], 3u);
+  EXPECT_EQ(b[4], 3u);
+  EXPECT_EQ(b[0], 4u);
+  EXPECT_EQ(b[1], 4u);
+  EXPECT_EQ(b[6], 3u);
+}
+
+TEST(SweepDag, TopologicalOrderRespectsEdges) {
+  const SweepDag g = test::figure1_dag();
+  const auto order = g.topological_order();
+  ASSERT_EQ(order.size(), 9u);
+  std::vector<std::size_t> pos(9);
+  for (std::size_t i = 0; i < order.size(); ++i) pos[order[i]] = i;
+  for (NodeId u = 0; u < 9; ++u) {
+    for (NodeId v : g.successors(u)) {
+      EXPECT_LT(pos[u], pos[v]);
+    }
+  }
+}
+
+TEST(SweepDag, IsolatedNodesAreRootsAndLeaves) {
+  const SweepDag g = test::make_dag(3, {{0, 1}});
+  const auto levels = g.levels();
+  EXPECT_EQ(levels[2], 0u);
+  EXPECT_EQ(g.b_levels()[2], 1u);
+}
+
+TEST(GroupByLevel, PartitionsNodes) {
+  const SweepDag g = test::figure1_dag();
+  const auto groups = group_by_level(g.levels());
+  ASSERT_EQ(groups.size(), 4u);
+  EXPECT_EQ(std::set<NodeId>(groups[0].begin(), groups[0].end()),
+            (std::set<NodeId>{0, 1, 3, 6}));
+  EXPECT_EQ(std::set<NodeId>(groups[1].begin(), groups[1].end()),
+            (std::set<NodeId>{2, 4}));
+  EXPECT_EQ(std::set<NodeId>(groups[2].begin(), groups[2].end()),
+            (std::set<NodeId>{5, 7}));
+  EXPECT_EQ(std::set<NodeId>(groups[3].begin(), groups[3].end()),
+            (std::set<NodeId>{8}));
+  std::size_t total = 0;
+  for (const auto& g2 : groups) total += g2.size();
+  EXPECT_EQ(total, 9u);
+}
+
+}  // namespace
+}  // namespace sweep::dag

@@ -1,0 +1,124 @@
+#include "sweep/descendants.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+
+#include "sweep/random_dag.hpp"
+#include "test_helpers.hpp"
+
+namespace sweep::dag {
+namespace {
+
+TEST(ExactDescendants, HandcraftedDag) {
+  // 0 -> {1,2}, 1 -> 3, 2 -> 3: desc(0)=3, desc(1)=1, desc(2)=1, desc(3)=0.
+  const SweepDag g = test::make_dag(4, {{0, 1}, {0, 2}, {1, 3}, {2, 3}});
+  const auto counts = exact_descendant_counts(g);
+  EXPECT_EQ(counts[0], 3u);
+  EXPECT_EQ(counts[1], 1u);
+  EXPECT_EQ(counts[2], 1u);
+  EXPECT_EQ(counts[3], 0u);
+}
+
+TEST(ExactDescendants, SharedDescendantsNotDoubleCounted) {
+  // Diamond into a long tail: naive child-sum would overcount the tail.
+  const SweepDag g = test::make_dag(
+      6, {{0, 1}, {0, 2}, {1, 3}, {2, 3}, {3, 4}, {4, 5}});
+  const auto counts = exact_descendant_counts(g);
+  EXPECT_EQ(counts[0], 5u);
+  EXPECT_EQ(counts[1], 3u);
+  EXPECT_EQ(counts[2], 3u);
+  EXPECT_EQ(counts[3], 2u);
+}
+
+TEST(ExactDescendants, Chain) {
+  util::Rng rng(1);
+  const SweepDag g = chain_dag(20, rng);
+  const auto counts = exact_descendant_counts(g);
+  std::vector<std::uint64_t> sorted(counts);
+  std::sort(sorted.begin(), sorted.end());
+  for (std::uint64_t i = 0; i < 20; ++i) EXPECT_EQ(sorted[i], i);
+}
+
+TEST(ExactDescendants, RefusesHugeGraphs) {
+  const SweepDag g = test::make_dag(100, {{0, 1}});
+  EXPECT_THROW(exact_descendant_counts(g, 50), std::invalid_argument);
+}
+
+TEST(EstimatedDescendants, RejectsTooFewRounds) {
+  const SweepDag g = test::make_dag(3, {{0, 1}});
+  util::Rng rng(2);
+  EXPECT_THROW(estimated_descendant_counts(g, rng, 1), std::invalid_argument);
+}
+
+TEST(EstimatedDescendants, CloseToExactOnRandomDags) {
+  util::Rng rng(3);
+  const SweepDag g = random_layered_dag(600, 20, 2.5, rng);
+  const auto exact = exact_descendant_counts(g);
+  // Within one labeling run the errors of overlapping reachable sets are
+  // strongly correlated, so average several independent estimator runs
+  // before comparing per-node.
+  std::vector<double> estimated(g.n_nodes(), 0.0);
+  constexpr int kRuns = 4;
+  for (int run = 0; run < kRuns; ++run) {
+    util::Rng est_rng(100 + static_cast<std::uint64_t>(run));
+    const auto one = estimated_descendant_counts(g, est_rng, 48);
+    for (std::size_t v = 0; v < g.n_nodes(); ++v) estimated[v] += one[v] / kRuns;
+  }
+  for (std::size_t v = 0; v < g.n_nodes(); ++v) {
+    const double truth = static_cast<double>(exact[v]);
+    if (truth >= 20.0) {
+      EXPECT_NEAR(estimated[v], truth, truth * 0.35) << "node " << v;
+    } else {
+      EXPECT_LE(estimated[v], 60.0) << "node " << v;
+    }
+  }
+}
+
+TEST(EstimatedDescendants, PreservesCoarseRanking) {
+  // Spearman-style check: top-descendant nodes by estimate should be
+  // mostly the true top nodes.
+  util::Rng rng(5);
+  const SweepDag g = random_layered_dag(400, 15, 2.0, rng);
+  const auto exact = exact_descendant_counts(g);
+  util::Rng est_rng(6);
+  const auto estimated = estimated_descendant_counts(g, est_rng, 32);
+
+  auto top_decile = [&](auto&& values) {
+    std::vector<std::size_t> ids(g.n_nodes());
+    for (std::size_t i = 0; i < ids.size(); ++i) ids[i] = i;
+    std::sort(ids.begin(), ids.end(), [&](std::size_t a, std::size_t b) {
+      return values[a] > values[b];
+    });
+    ids.resize(g.n_nodes() / 10);
+    std::sort(ids.begin(), ids.end());
+    return ids;
+  };
+  const auto true_top = top_decile(exact);
+  const auto est_top = top_decile(estimated);
+  std::vector<std::size_t> overlap;
+  std::set_intersection(true_top.begin(), true_top.end(), est_top.begin(),
+                        est_top.end(), std::back_inserter(overlap));
+  EXPECT_GE(overlap.size(), true_top.size() / 2);
+}
+
+TEST(DescendantCounts, AdaptiveSwitchesImplementations) {
+  util::Rng rng(7);
+  const SweepDag small = random_layered_dag(100, 10, 2.0, rng);
+  util::Rng rng2(8);
+  const auto adaptive = descendant_counts(small, rng2);
+  const auto exact = exact_descendant_counts(small);
+  for (std::size_t v = 0; v < small.n_nodes(); ++v) {
+    EXPECT_DOUBLE_EQ(adaptive[v], static_cast<double>(exact[v]));
+  }
+  // Force the estimator path with a tiny threshold.
+  util::Rng rng3(9);
+  const auto estimated = descendant_counts(small, rng3, /*exact_threshold=*/10);
+  bool any_nonzero = false;
+  for (double c : estimated) any_nonzero = any_nonzero || c > 0.0;
+  EXPECT_TRUE(any_nonzero);
+}
+
+}  // namespace
+}  // namespace sweep::dag

@@ -1,0 +1,123 @@
+#include "sweep/directions.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numbers>
+#include <set>
+
+namespace sweep::dag {
+namespace {
+
+constexpr double kFourPi = 4.0 * std::numbers::pi;
+
+void expect_unit_vectors(const DirectionSet& set) {
+  for (const Vec3& d : set.directions) {
+    EXPECT_NEAR(mesh::norm(d), 1.0, 1e-12);
+  }
+}
+
+void expect_weights_sum_to_four_pi(const DirectionSet& set) {
+  double sum = 0.0;
+  for (double w : set.weights) sum += w;
+  EXPECT_NEAR(sum, kFourPi, 1e-9);
+}
+
+TEST(LevelSymmetric, CountsFollowNFormula) {
+  EXPECT_EQ(level_symmetric(2).size(), 8u);
+  EXPECT_EQ(level_symmetric(4).size(), 24u);
+  EXPECT_EQ(level_symmetric(6).size(), 48u);
+  EXPECT_EQ(level_symmetric(8).size(), 80u);
+}
+
+TEST(LevelSymmetric, UnitVectorsAndWeights) {
+  for (std::size_t order : {2u, 4u, 6u, 8u}) {
+    const DirectionSet set = level_symmetric(order);
+    expect_unit_vectors(set);
+    expect_weights_sum_to_four_pi(set);
+  }
+}
+
+TEST(LevelSymmetric, FullOctantSymmetry) {
+  const DirectionSet set = level_symmetric(4);
+  // For every direction, all 8 sign flips are present.
+  std::set<std::array<long long, 3>> keys;
+  auto key = [](const Vec3& v) {
+    return std::array<long long, 3>{std::llround(v.x * 1e12),
+                                    std::llround(v.y * 1e12),
+                                    std::llround(v.z * 1e12)};
+  };
+  for (const Vec3& d : set.directions) keys.insert(key(d));
+  for (const Vec3& d : set.directions) {
+    for (int sx : {1, -1}) {
+      for (int sy : {1, -1}) {
+        for (int sz : {1, -1}) {
+          EXPECT_TRUE(keys.count(key({d.x * sx, d.y * sy, d.z * sz})));
+        }
+      }
+    }
+  }
+}
+
+TEST(LevelSymmetric, FirstMomentVanishes) {
+  // Odd moments of a symmetric quadrature must vanish.
+  const DirectionSet set = level_symmetric(6);
+  Vec3 first{};
+  for (std::size_t i = 0; i < set.size(); ++i) {
+    first += set.directions[i] * set.weights[i];
+  }
+  EXPECT_NEAR(mesh::norm(first), 0.0, 1e-9);
+}
+
+TEST(LevelSymmetric, RejectsOddOrSmallOrders) {
+  EXPECT_THROW(level_symmetric(0), std::invalid_argument);
+  EXPECT_THROW(level_symmetric(3), std::invalid_argument);
+}
+
+TEST(FibonacciSphere, SpreadsDirections) {
+  const DirectionSet set = fibonacci_sphere(100);
+  EXPECT_EQ(set.size(), 100u);
+  expect_unit_vectors(set);
+  expect_weights_sum_to_four_pi(set);
+  // Min pairwise angle should not collapse (uniform-ish spread).
+  double min_dot = -1.0;
+  for (std::size_t i = 0; i < set.size(); ++i) {
+    for (std::size_t j = i + 1; j < set.size(); ++j) {
+      min_dot = std::max(min_dot, dot(set.directions[i], set.directions[j]));
+    }
+  }
+  EXPECT_LT(min_dot, 0.999);  // no near-duplicates
+}
+
+TEST(FibonacciSphere, RejectsZero) {
+  EXPECT_THROW(fibonacci_sphere(0), std::invalid_argument);
+}
+
+TEST(RandomDirections, DeterministicAndUnit) {
+  const DirectionSet a = random_directions(50, 7);
+  const DirectionSet b = random_directions(50, 7);
+  EXPECT_EQ(a.directions, b.directions);
+  expect_unit_vectors(a);
+  const DirectionSet c = random_directions(50, 8);
+  EXPECT_NE(a.directions, c.directions);
+}
+
+TEST(AxisDirections, SixAxes) {
+  const DirectionSet set = axis_directions();
+  EXPECT_EQ(set.size(), 6u);
+  expect_unit_vectors(set);
+  expect_weights_sum_to_four_pi(set);
+}
+
+TEST(SnOrderFor, SmallestOrderCoveringK) {
+  EXPECT_EQ(sn_order_for(1), 2u);
+  EXPECT_EQ(sn_order_for(8), 2u);
+  EXPECT_EQ(sn_order_for(9), 4u);
+  EXPECT_EQ(sn_order_for(24), 4u);
+  EXPECT_EQ(sn_order_for(25), 6u);
+  EXPECT_EQ(sn_order_for(48), 6u);
+  EXPECT_EQ(sn_order_for(80), 8u);
+}
+
+}  // namespace
+}  // namespace sweep::dag

@@ -1,0 +1,163 @@
+#include "mesh/extrude.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "mesh/mesh_stats.hpp"
+#include "mesh/tri2d.hpp"
+
+namespace sweep::mesh {
+namespace {
+
+TriMesh2D unit_base(std::size_t n, double jitter, std::uint64_t seed) {
+  return make_grid_triangulation(n, n, 1.0, 1.0, jitter, seed);
+}
+
+TEST(Extrude, CellCountFormula) {
+  const TriMesh2D base = unit_base(5, 0.0, 1);
+  ExtrudeOptions opts;
+  opts.layers = 3;
+  EXPECT_EQ(extruded_cell_count(base, opts), base.n_triangles() * 3 * 3);
+  opts.prism_layers = 2;
+  EXPECT_EQ(extruded_cell_count(base, opts),
+            base.n_triangles() * 2 + base.n_triangles() * 3);
+  opts.prism_layers = 99;  // clamped to layers
+  EXPECT_EQ(extruded_cell_count(base, opts), base.n_triangles() * 3);
+}
+
+TEST(Extrude, TetMeshVolumesSumToBox) {
+  const TriMesh2D base = unit_base(6, 0.35, 3);
+  ExtrudeOptions opts;
+  opts.layers = 4;
+  opts.height = 0.8;
+  opts.z_jitter = 0.3;
+  opts.seed = 5;
+  const UnstructuredMesh m = extrude_to_3d(base, opts);
+  EXPECT_EQ(m.n_cells(), extruded_cell_count(base, opts));
+  // Divergence-theorem volumes must tile the box exactly (jitter moves
+  // interior vertices only).
+  EXPECT_NEAR(m.total_volume(), 1.0 * 1.0 * 0.8, 1e-9);
+  for (CellId c = 0; c < m.n_cells(); ++c) {
+    EXPECT_GT(m.volume(c), 0.0);
+  }
+}
+
+TEST(Extrude, PrismMeshVolumesSumToBox) {
+  const TriMesh2D base = unit_base(5, 0.3, 4);
+  ExtrudeOptions opts;
+  opts.layers = 3;
+  opts.height = 0.6;
+  opts.prism_layers = 3;  // all prisms
+  const UnstructuredMesh m = extrude_to_3d(base, opts);
+  EXPECT_EQ(m.n_cells(), base.n_triangles() * 3);
+  EXPECT_NEAR(m.total_volume(), 0.6, 1e-9);
+}
+
+TEST(Extrude, MixedMeshConformsAcrossInterface) {
+  const TriMesh2D base = unit_base(5, 0.25, 6);
+  ExtrudeOptions opts;
+  opts.layers = 4;
+  opts.prism_layers = 2;
+  opts.z_jitter = 0.2;
+  opts.seed = 7;
+  // Assembly throws on non-conforming/non-manifold faces, so constructing is
+  // itself the conformity test.
+  const UnstructuredMesh m = extrude_to_3d(base, opts);
+  EXPECT_NEAR(m.total_volume(), 1.0, 1e-9);
+  EXPECT_TRUE(is_connected(m));
+}
+
+TEST(Extrude, BoundaryFaceCount) {
+  // Structured, all-prism, single layer: boundary = top + bottom triangles
+  // + perimeter quads.
+  const TriMesh2D base = unit_base(4, 0.0, 1);  // 18 triangles, 12 perimeter edges
+  ExtrudeOptions opts;
+  opts.layers = 1;
+  opts.prism_layers = 1;
+  const UnstructuredMesh m = extrude_to_3d(base, opts);
+  EXPECT_EQ(m.n_boundary_faces(), 18u + 18u + 12u);
+}
+
+TEST(Extrude, EulerStyleFaceCount) {
+  // For a pure tet mesh: 4 faces per tet, interior shared by 2:
+  // 4*T = 2*interior + boundary.
+  const TriMesh2D base = unit_base(6, 0.3, 8);
+  ExtrudeOptions opts;
+  opts.layers = 3;
+  const UnstructuredMesh m = extrude_to_3d(base, opts);
+  EXPECT_EQ(4 * m.n_cells(), 2 * m.n_interior_faces() + m.n_boundary_faces());
+}
+
+TEST(Extrude, FaceNormalsAreUnitAndConsistent) {
+  const TriMesh2D base = unit_base(5, 0.3, 9);
+  ExtrudeOptions opts;
+  opts.layers = 2;
+  opts.z_jitter = 0.2;
+  opts.seed = 10;
+  const UnstructuredMesh m = extrude_to_3d(base, opts);
+  for (const Face& f : m.faces()) {
+    EXPECT_NEAR(norm(f.unit_normal), 1.0, 1e-9);
+    if (!f.is_boundary()) {
+      // Normal points from cell_a toward cell_b.
+      const Vec3 ab = m.centroid(f.cell_b) - m.centroid(f.cell_a);
+      EXPECT_GT(dot(f.unit_normal, ab), 0.0);
+    } else {
+      // Boundary normals point away from the owning cell.
+      const Vec3 out = f.centroid - m.centroid(f.cell_a);
+      EXPECT_GT(dot(f.unit_normal, out), 0.0);
+    }
+  }
+}
+
+TEST(Extrude, RejectsBadOptions) {
+  const TriMesh2D base = unit_base(3, 0.0, 1);
+  ExtrudeOptions opts;
+  opts.layers = 0;
+  EXPECT_THROW(extrude_to_3d(base, opts), std::invalid_argument);
+  opts.layers = 1;
+  opts.height = -1.0;
+  EXPECT_THROW(extrude_to_3d(base, opts), std::invalid_argument);
+  opts.height = 1.0;
+  opts.z_jitter = 0.9;
+  EXPECT_THROW(extrude_to_3d(base, opts), std::invalid_argument);
+  opts.z_jitter = 0.0;
+  EXPECT_THROW(extrude_to_3d(TriMesh2D{}, opts), std::invalid_argument);
+}
+
+struct ExtrudeCase {
+  std::size_t n;
+  std::size_t layers;
+  std::size_t prism_layers;
+  double jitter;
+  double z_jitter;
+};
+
+class ExtrudeSweep : public ::testing::TestWithParam<ExtrudeCase> {};
+
+TEST_P(ExtrudeSweep, VolumeConservationAndConnectivity) {
+  const auto& p = GetParam();
+  const TriMesh2D base = unit_base(p.n, p.jitter, 42);
+  ExtrudeOptions opts;
+  opts.layers = p.layers;
+  opts.height = 1.0;
+  opts.prism_layers = p.prism_layers;
+  opts.z_jitter = p.z_jitter;
+  opts.seed = 43;
+  const UnstructuredMesh m = extrude_to_3d(base, opts);
+  EXPECT_NEAR(m.total_volume(), 1.0, 1e-9);
+  EXPECT_TRUE(is_connected(m));
+  EXPECT_EQ(m.n_cells(), extruded_cell_count(base, opts));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, ExtrudeSweep,
+    ::testing::Values(ExtrudeCase{3, 1, 0, 0.0, 0.0},
+                      ExtrudeCase{4, 2, 0, 0.4, 0.3},
+                      ExtrudeCase{4, 2, 2, 0.4, 0.3},
+                      ExtrudeCase{5, 5, 2, 0.3, 0.25},
+                      ExtrudeCase{8, 3, 1, 0.35, 0.2},
+                      ExtrudeCase{6, 6, 6, 0.3, 0.2}));
+
+}  // namespace
+}  // namespace sweep::mesh

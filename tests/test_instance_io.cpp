@@ -1,0 +1,69 @@
+#include "sweep/instance_io.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <sstream>
+
+#include "sweep/random_dag.hpp"
+#include "test_helpers.hpp"
+
+namespace sweep::dag {
+namespace {
+
+void expect_same_structure(const SweepInstance& a, const SweepInstance& b) {
+  ASSERT_EQ(a.n_cells(), b.n_cells());
+  ASSERT_EQ(a.n_directions(), b.n_directions());
+  for (std::size_t i = 0; i < a.n_directions(); ++i) {
+    const SweepDag& ga = a.dag(i);
+    const SweepDag& gb = b.dag(i);
+    ASSERT_EQ(ga.n_edges(), gb.n_edges()) << "direction " << i;
+    for (NodeId v = 0; v < ga.n_nodes(); ++v) {
+      const auto sa = ga.successors(v);
+      const auto sb = gb.successors(v);
+      EXPECT_EQ(std::multiset<NodeId>(sa.begin(), sa.end()),
+                std::multiset<NodeId>(sb.begin(), sb.end()))
+          << "direction " << i << " node " << v;
+    }
+  }
+}
+
+TEST(InstanceIo, RoundTripRandomInstance) {
+  const SweepInstance original = random_instance(50, 4, 6, 2.0, 17);
+  std::stringstream buffer;
+  save_instance(original, buffer);
+  const SweepInstance loaded = load_instance(buffer);
+  EXPECT_EQ(loaded.name(), "random");
+  expect_same_structure(original, loaded);
+  EXPECT_EQ(loaded.max_depth(), original.max_depth());
+}
+
+TEST(InstanceIo, RoundTripGeometricInstance) {
+  const auto mesh = test::small_tet_mesh(4, 4, 2);
+  const SweepInstance original = build_instance(mesh, level_symmetric(2));
+  std::stringstream buffer;
+  save_instance(original, buffer);
+  const SweepInstance loaded = load_instance(buffer);
+  expect_same_structure(original, loaded);
+}
+
+TEST(InstanceIo, RejectsBadInput) {
+  std::stringstream bad("wrong 1\n");
+  EXPECT_THROW(load_instance(bad), std::runtime_error);
+  std::stringstream zero_dirs("sweepinst 1\nname x\n10 0\n");
+  EXPECT_THROW(load_instance(zero_dirs), std::runtime_error);
+  std::stringstream truncated("sweepinst 1\nname x\n3 1\n2\n0 1\n");
+  EXPECT_THROW(load_instance(truncated), std::runtime_error);
+}
+
+TEST(InstanceIo, FileRoundTrip) {
+  const SweepInstance original = chain_instance(20, 2, 23);
+  const std::string path = ::testing::TempDir() + "/sweep_inst_io.txt";
+  save_instance(original, path);
+  const SweepInstance loaded = load_instance(path);
+  expect_same_structure(original, loaded);
+  EXPECT_THROW(load_instance(path + ".missing"), std::runtime_error);
+}
+
+}  // namespace
+}  // namespace sweep::dag

@@ -1,0 +1,103 @@
+#include "core/kba.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/algorithms.hpp"
+#include "core/lower_bounds.hpp"
+#include "core/validate.hpp"
+#include "mesh/structured.hpp"
+#include "sweep/instance.hpp"
+
+namespace sweep::core {
+namespace {
+
+struct KbaSetup {
+  mesh::StructuredDims dims{8, 8, 8};
+  mesh::UnstructuredMesh mesh = mesh::make_structured_grid(dims);
+  dag::DirectionSet dirs = dag::level_symmetric(2);  // 8 directions, 1/octant
+  dag::SweepInstance instance = dag::build_instance(mesh, dirs);
+};
+
+TEST(KbaAssignment, ColumnsSpanZ) {
+  const mesh::StructuredDims dims{4, 4, 3};
+  const Assignment a = kba_assignment(dims, 2, 2);
+  for (CellId c = 0; c < dims.n_cells(); ++c) {
+    const auto [i, j, k] = mesh::structured_cell_coords(c, dims);
+    // Every cell in a column (same i,j) shares a processor.
+    const CellId base = static_cast<CellId>(i + dims.nx * j);
+    EXPECT_EQ(a[c], a[base]);
+    EXPECT_LT(a[c], 4u);
+  }
+}
+
+TEST(KbaAssignment, BalancedColumns) {
+  const mesh::StructuredDims dims{8, 8, 5};
+  const Assignment a = kba_assignment(dims, 4, 2);
+  std::vector<std::size_t> loads(8, 0);
+  for (ProcessorId p : a) ++loads[p];
+  for (std::size_t load : loads) EXPECT_EQ(load, dims.n_cells() / 8);
+}
+
+TEST(KbaAssignment, RejectsBadGrids) {
+  const mesh::StructuredDims dims{4, 4, 4};
+  EXPECT_THROW(kba_assignment(dims, 0, 2), std::invalid_argument);
+  EXPECT_THROW(kba_assignment(dims, 8, 2), std::invalid_argument);
+}
+
+TEST(KbaProcessorGrid, NearSquareFactorizations) {
+  EXPECT_EQ(kba_processor_grid(16), (std::pair<std::size_t, std::size_t>{4, 4}));
+  EXPECT_EQ(kba_processor_grid(12), (std::pair<std::size_t, std::size_t>{3, 4}));
+  EXPECT_EQ(kba_processor_grid(7), (std::pair<std::size_t, std::size_t>{1, 7}));
+  EXPECT_EQ(kba_processor_grid(1), (std::pair<std::size_t, std::size_t>{1, 1}));
+  EXPECT_THROW(kba_processor_grid(0), std::invalid_argument);
+}
+
+TEST(KbaSchedule, ValidAndEfficientOnRegularGrid) {
+  KbaSetup s;
+  const Schedule schedule = kba_schedule(s.instance, s.dirs, s.dims, 2, 2);
+  const auto valid = validate_schedule(s.instance, schedule);
+  ASSERT_TRUE(valid) << valid.error;
+  // The paper's Related Work: KBA is essentially optimal on regular meshes.
+  // With 4 processors on an 8^3 grid, expect a small constant ratio.
+  const LowerBounds lb = compute_lower_bounds(s.instance, 4);
+  EXPECT_LE(static_cast<double>(schedule.makespan()), 2.0 * lb.value());
+}
+
+TEST(KbaSchedule, CompetitiveWithRandomizedAlgorithmsOnItsHomeTurf) {
+  KbaSetup s;
+  const auto [px, py] = kba_processor_grid(16);
+  const Schedule kba = kba_schedule(s.instance, s.dirs, s.dims, px, py);
+  util::Rng rng(3);
+  const Schedule rd = run_algorithm(Algorithm::kRandomDelayPriorities,
+                                    s.instance, 16, rng);
+  // KBA should be at least as good as random assignment on a regular mesh.
+  EXPECT_LE(kba.makespan(), rd.makespan() + rd.makespan() / 5);
+}
+
+TEST(KbaSchedule, RejectsMismatchedInstance) {
+  KbaSetup s;
+  const mesh::StructuredDims wrong{4, 4, 4};
+  EXPECT_THROW(kba_schedule(s.instance, s.dirs, wrong, 2, 2),
+               std::invalid_argument);
+}
+
+TEST(KbaPriorities, OctantMajorOrdering) {
+  KbaSetup s;
+  const auto prio = kba_priorities(s.instance, s.dirs);
+  // Tasks of direction in octant 0 always precede tasks in octant 7.
+  DirectionId first_octant = 0;
+  DirectionId last_octant = 0;
+  for (DirectionId i = 0; i < s.dirs.size(); ++i) {
+    const auto& d = s.dirs.directions[i];
+    if (d.x > 0 && d.y > 0 && d.z > 0) first_octant = i;
+    if (d.x < 0 && d.y < 0 && d.z < 0) last_octant = i;
+  }
+  const std::size_t n = s.instance.n_cells();
+  EXPECT_LT(prio[task_id(0, first_octant, n)],
+            prio[task_id(0, last_octant, n)]);
+  EXPECT_THROW(kba_priorities(s.instance, dag::level_symmetric(4)),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace sweep::core

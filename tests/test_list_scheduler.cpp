@@ -1,0 +1,180 @@
+#include "core/list_scheduler.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "core/assignment.hpp"
+#include "core/priorities.hpp"
+#include "core/validate.hpp"
+#include "sweep/random_dag.hpp"
+#include "test_helpers.hpp"
+
+namespace sweep::core {
+namespace {
+
+dag::SweepInstance tiny_instance() {
+  // Two directions over 4 cells: a diamond and a chain.
+  std::vector<dag::SweepDag> dags;
+  dags.push_back(test::make_dag(4, {{0, 1}, {0, 2}, {1, 3}, {2, 3}}));
+  dags.push_back(test::make_dag(4, {{3, 2}, {2, 1}, {1, 0}}));
+  return dag::SweepInstance(4, std::move(dags), "tiny");
+}
+
+TEST(ListScheduler, ProducesValidSchedule) {
+  const auto inst = tiny_instance();
+  const Assignment assignment = {0, 1, 0, 1};
+  const Schedule s = list_schedule(inst, assignment, 2);
+  EXPECT_TRUE(s.complete());
+  const auto valid = validate_schedule(inst, s);
+  EXPECT_TRUE(valid) << valid.error;
+}
+
+TEST(ListScheduler, SingleProcessorIsSerial) {
+  const auto inst = tiny_instance();
+  const Schedule s = list_schedule(inst, Assignment{0, 0, 0, 0}, 1);
+  EXPECT_EQ(s.makespan(), inst.n_tasks());
+  EXPECT_EQ(s.idle_slots(), 0u);
+}
+
+TEST(ListScheduler, ChainInstanceIsSequentialPerDirection) {
+  // k=1 chain: the makespan must be exactly n regardless of m.
+  const auto inst = dag::chain_instance(30, 1, 5);
+  util::Rng rng(1);
+  const Assignment assignment = random_assignment(30, 4, rng);
+  const Schedule s = list_schedule(inst, assignment, 4);
+  EXPECT_EQ(s.makespan(), 30u);
+}
+
+TEST(ListScheduler, WorkConservingNoIdleWithReadyTasks) {
+  // With one processor and no releases, a work-conserving schedule has no
+  // holes: every t < makespan is used.
+  const auto inst = dag::random_instance(50, 3, 6, 1.5, 7);
+  const Schedule s = list_schedule(inst, Assignment(50, 0), 1);
+  std::vector<char> used(s.makespan(), 0);
+  for (TaskId t = 0; t < s.n_tasks(); ++t) used[s.start(t)] = 1;
+  for (char u : used) EXPECT_TRUE(u);
+}
+
+TEST(ListScheduler, PrioritiesControlOrder) {
+  // Two independent tasks on one processor: the lower-priority-value task
+  // must run first.
+  std::vector<dag::SweepDag> dags;
+  dags.push_back(test::make_dag(2, {}));
+  auto inst = dag::SweepInstance(2, std::move(dags), "pair");
+  const std::vector<std::int64_t> prefer_cell1 = {10, 5};
+  ListScheduleOptions options;
+  options.priorities = prefer_cell1;
+  const Schedule s = list_schedule(inst, Assignment{0, 0}, 1, options);
+  EXPECT_LT(s.start(1, 0), s.start(0, 0));
+}
+
+TEST(ListScheduler, ReleaseTimesAreRespected) {
+  std::vector<dag::SweepDag> dags;
+  dags.push_back(test::make_dag(3, {}));
+  auto inst = dag::SweepInstance(3, std::move(dags), "released");
+  const std::vector<TimeStep> releases = {5, 0, 7};
+  ListScheduleOptions options;
+  options.release_times = releases;
+  const Schedule s = list_schedule(inst, Assignment{0, 0, 0}, 2, options);
+  EXPECT_GE(s.start(0, 0), 5u);
+  EXPECT_EQ(s.start(1, 0), 0u);
+  EXPECT_GE(s.start(2, 0), 7u);
+  const auto valid = validate_schedule(inst, s);
+  EXPECT_TRUE(valid) << valid.error;
+}
+
+TEST(ListScheduler, ThrowsOnCyclicInstance) {
+  std::vector<dag::SweepDag> dags;
+  dags.push_back(test::make_dag(3, {{0, 1}, {1, 2}, {2, 0}}));
+  auto inst = dag::SweepInstance(3, std::move(dags), "cycle");
+  EXPECT_THROW(list_schedule(inst, Assignment{0, 0, 0}, 1), std::logic_error);
+}
+
+TEST(ListScheduler, RejectsBadArguments) {
+  const auto inst = tiny_instance();
+  EXPECT_THROW(list_schedule(inst, Assignment{0}, 2), std::invalid_argument);
+  EXPECT_THROW(list_schedule(inst, Assignment{0, 0, 0, 0}, 0),
+               std::invalid_argument);
+  EXPECT_THROW(list_schedule(inst, Assignment{0, 0, 0, 9}, 2),
+               std::invalid_argument);
+  std::vector<std::int64_t> bad_prio = {1, 2, 3};
+  ListScheduleOptions options;
+  options.priorities = bad_prio;
+  EXPECT_THROW(list_schedule(inst, Assignment{0, 0, 0, 0}, 2, options),
+               std::invalid_argument);
+}
+
+struct EngineCase {
+  std::size_t n;
+  std::size_t k;
+  std::size_t m;
+  std::size_t layers;
+};
+
+class EngineSweep : public ::testing::TestWithParam<EngineCase> {};
+
+TEST_P(EngineSweep, RandomInstancesAlwaysValid) {
+  const auto& p = GetParam();
+  const auto inst = dag::random_instance(p.n, p.k, p.layers, 2.0, 97);
+  util::Rng rng(13);
+  const Assignment assignment = random_assignment(p.n, p.m, rng);
+  const Schedule s = list_schedule(inst, assignment, p.m);
+  const auto valid = validate_schedule(inst, s);
+  EXPECT_TRUE(valid) << valid.error;
+  // Trivial bounds: serial above, average load below.
+  EXPECT_LE(s.makespan(), inst.n_tasks());
+  EXPECT_GE(s.makespan() * p.m, inst.n_tasks());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, EngineSweep,
+    ::testing::Values(EngineCase{1, 1, 1, 1}, EngineCase{20, 1, 4, 5},
+                      EngineCase{50, 4, 2, 8}, EngineCase{50, 4, 64, 8},
+                      EngineCase{200, 8, 16, 10}, EngineCase{100, 2, 100, 3},
+                      EngineCase{64, 6, 7, 20}));
+
+TEST(GreedyUnionSchedule, RespectsPrecedenceAndWidth) {
+  const auto inst = dag::random_instance(120, 4, 10, 2.0, 55);
+  std::size_t makespan = 0;
+  const auto step = greedy_union_schedule(inst, 8, &makespan);
+  // Width <= m per step.
+  std::vector<std::size_t> width(makespan, 0);
+  for (TaskId t = 0; t < step.size(); ++t) {
+    ASSERT_NE(step[t], kUnscheduled);
+    ASSERT_LT(step[t], makespan);
+    ++width[step[t]];
+  }
+  for (std::size_t w : width) EXPECT_LE(w, 8u);
+  // Precedence.
+  const std::size_t n = inst.n_cells();
+  for (DirectionId i = 0; i < inst.n_directions(); ++i) {
+    const auto& g = inst.dag(i);
+    for (dag::NodeId u = 0; u < n; ++u) {
+      for (dag::NodeId v : g.successors(u)) {
+        EXPECT_LT(step[task_id(u, i, n)], step[task_id(v, i, n)]);
+      }
+    }
+  }
+}
+
+TEST(GreedyUnionSchedule, GrahamBound) {
+  // Graham's guarantee: makespan <= total/m + critical path.
+  const auto inst = dag::random_instance(200, 3, 12, 2.0, 77);
+  for (std::size_t m : {2u, 8u, 32u}) {
+    std::size_t makespan = 0;
+    greedy_union_schedule(inst, m, &makespan);
+    const std::size_t bound = inst.n_tasks() / m + 1 + inst.max_depth();
+    EXPECT_LE(makespan, bound) << "m=" << m;
+  }
+}
+
+TEST(GreedyUnionSchedule, SerialEqualsTaskCount) {
+  const auto inst = dag::random_instance(40, 2, 5, 1.0, 3);
+  std::size_t makespan = 0;
+  greedy_union_schedule(inst, 1, &makespan);
+  EXPECT_EQ(makespan, inst.n_tasks());
+}
+
+}  // namespace
+}  // namespace sweep::core

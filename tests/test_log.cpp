@@ -1,0 +1,30 @@
+#include "util/log.hpp"
+
+#include <gtest/gtest.h>
+
+namespace sweep::util {
+namespace {
+
+TEST(Log, LevelRoundTrip) {
+  const LogLevel original = log_level();
+  set_log_level(LogLevel::Warn);
+  EXPECT_EQ(log_level(), LogLevel::Warn);
+  set_log_level(LogLevel::Debug);
+  EXPECT_EQ(log_level(), LogLevel::Debug);
+  set_log_level(original);
+}
+
+TEST(Log, EmitBelowAndAboveThresholdDoesNotCrash) {
+  const LogLevel original = log_level();
+  set_log_level(LogLevel::Error);
+  log_debug("suppressed");
+  log_info("suppressed");
+  log_warn("suppressed");
+  log_error("visible in test output, by design");
+  set_log_level(LogLevel::Off);
+  log_error("fully suppressed");
+  set_log_level(original);
+}
+
+}  // namespace
+}  // namespace sweep::util

@@ -1,0 +1,140 @@
+#include "mesh/mesh.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "mesh/mesh_stats.hpp"
+#include "test_helpers.hpp"
+
+namespace sweep::mesh {
+namespace {
+
+/// Two unit cubes sharing the x=1 face (hand-built two-cell mesh).
+UnstructuredMesh two_cell_mesh() {
+  std::vector<Vec3> centroids = {{0.5, 0.5, 0.5}, {1.5, 0.5, 0.5}};
+  std::vector<double> volumes = {1.0, 1.0};
+  std::vector<Face> faces;
+  Face shared;
+  shared.cell_a = 0;
+  shared.cell_b = 1;
+  shared.unit_normal = {1, 0, 0};
+  shared.area = 1.0;
+  shared.centroid = {1.0, 0.5, 0.5};
+  faces.push_back(shared);
+  // One boundary face per cell (left of cell 0, right of cell 1).
+  Face left;
+  left.cell_a = 0;
+  left.unit_normal = {-1, 0, 0};
+  left.area = 1.0;
+  left.centroid = {0.0, 0.5, 0.5};
+  faces.push_back(left);
+  Face right;
+  right.cell_a = 1;
+  right.unit_normal = {1, 0, 0};
+  right.area = 1.0;
+  right.centroid = {2.0, 0.5, 0.5};
+  faces.push_back(right);
+  return UnstructuredMesh(std::move(centroids), std::move(volumes),
+                          std::move(faces), "two_cells");
+}
+
+TEST(UnstructuredMesh, BasicAccessors) {
+  const UnstructuredMesh m = two_cell_mesh();
+  EXPECT_EQ(m.n_cells(), 2u);
+  EXPECT_EQ(m.n_faces(), 3u);
+  EXPECT_EQ(m.n_interior_faces(), 1u);
+  EXPECT_EQ(m.n_boundary_faces(), 2u);
+  EXPECT_EQ(m.name(), "two_cells");
+  EXPECT_DOUBLE_EQ(m.total_volume(), 2.0);
+  EXPECT_EQ(m.degree(0), 1u);
+  EXPECT_EQ(m.degree(1), 1u);
+}
+
+TEST(UnstructuredMesh, NeighborAndNormalOrientation) {
+  const UnstructuredMesh m = two_cell_mesh();
+  // Find the interior face.
+  FaceId shared = 0;
+  for (FaceId f = 0; f < m.n_faces(); ++f) {
+    if (!m.face(f).is_boundary()) shared = f;
+  }
+  EXPECT_EQ(m.neighbor_across(0, shared), 1u);
+  EXPECT_EQ(m.neighbor_across(1, shared), 0u);
+  // Outward normal from cell 0 points +x, from cell 1 points -x.
+  EXPECT_GT(m.outward_normal(0, shared).x, 0.0);
+  EXPECT_LT(m.outward_normal(1, shared).x, 0.0);
+}
+
+TEST(UnstructuredMesh, AdjacencyCsr) {
+  const UnstructuredMesh m = two_cell_mesh();
+  const auto adj = m.adjacency();
+  ASSERT_EQ(adj.offsets.size(), 3u);
+  EXPECT_EQ(adj.offsets[2], 2u);  // one interior face -> two half-edges
+  EXPECT_EQ(adj.neighbors[adj.offsets[0]], 1u);
+  EXPECT_EQ(adj.neighbors[adj.offsets[1]], 0u);
+}
+
+TEST(UnstructuredMesh, RejectsMalformedInput) {
+  std::vector<Vec3> centroids = {{0, 0, 0}};
+  std::vector<double> volumes = {1.0};
+
+  {  // cell id out of range
+    Face f;
+    f.cell_a = 5;
+    f.unit_normal = {1, 0, 0};
+    f.area = 1.0;
+    EXPECT_THROW(UnstructuredMesh(centroids, volumes, {f}),
+                 std::invalid_argument);
+  }
+  {  // self-adjacent
+    Face f;
+    f.cell_a = 0;
+    f.cell_b = 0;
+    f.unit_normal = {1, 0, 0};
+    f.area = 1.0;
+    EXPECT_THROW(UnstructuredMesh(centroids, volumes, {f}),
+                 std::invalid_argument);
+  }
+  {  // non-unit normal
+    Face f;
+    f.cell_a = 0;
+    f.unit_normal = {2, 0, 0};
+    f.area = 1.0;
+    EXPECT_THROW(UnstructuredMesh(centroids, volumes, {f}),
+                 std::invalid_argument);
+  }
+  {  // volume/centroid size mismatch
+    EXPECT_THROW(UnstructuredMesh(centroids, {}, {}), std::invalid_argument);
+  }
+}
+
+TEST(UnstructuredMesh, CentroidBounds) {
+  const UnstructuredMesh m = two_cell_mesh();
+  const auto [lo, hi] = m.centroid_bounds();
+  EXPECT_DOUBLE_EQ(lo.x, 0.5);
+  EXPECT_DOUBLE_EQ(hi.x, 1.5);
+}
+
+TEST(MeshStats, GeneratedMeshIsSane) {
+  const UnstructuredMesh m = test::small_tet_mesh();
+  const MeshStats s = compute_stats(m);
+  EXPECT_EQ(s.n_cells, m.n_cells());
+  EXPECT_GE(s.min_degree, 1u);
+  EXPECT_LE(s.max_degree, 4u);  // tets have at most 4 neighbors
+  EXPECT_GT(s.min_volume, 0.0);
+  EXPECT_NEAR(s.total_volume, 0.6, 1e-9);  // 1 x 1 x 0.6 box
+  EXPECT_TRUE(is_connected(m));
+  const std::string text = to_string(s);
+  EXPECT_NE(text.find("cells="), std::string::npos);
+}
+
+TEST(MeshStats, MixedMeshHasPrismDegrees) {
+  const UnstructuredMesh m = test::small_mixed_mesh();
+  const MeshStats s = compute_stats(m);
+  // Prism cells have up to 5 neighbors.
+  EXPECT_EQ(s.max_degree, 5u);
+  EXPECT_TRUE(is_connected(m));
+}
+
+}  // namespace
+}  // namespace sweep::mesh

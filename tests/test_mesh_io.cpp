@@ -1,0 +1,61 @@
+#include "mesh/io.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "test_helpers.hpp"
+
+namespace sweep::mesh {
+namespace {
+
+TEST(MeshIo, RoundTripPreservesEverything) {
+  const UnstructuredMesh original = test::small_tet_mesh(5, 5, 2);
+  std::stringstream buffer;
+  save_mesh(original, buffer);
+  const UnstructuredMesh loaded = load_mesh(buffer);
+
+  ASSERT_EQ(loaded.n_cells(), original.n_cells());
+  ASSERT_EQ(loaded.n_faces(), original.n_faces());
+  EXPECT_EQ(loaded.n_interior_faces(), original.n_interior_faces());
+  EXPECT_EQ(loaded.name(), original.name());
+  for (CellId c = 0; c < original.n_cells(); ++c) {
+    EXPECT_EQ(loaded.centroid(c), original.centroid(c));
+    EXPECT_DOUBLE_EQ(loaded.volume(c), original.volume(c));
+  }
+  for (FaceId f = 0; f < original.n_faces(); ++f) {
+    EXPECT_EQ(loaded.face(f).cell_a, original.face(f).cell_a);
+    EXPECT_EQ(loaded.face(f).cell_b, original.face(f).cell_b);
+    EXPECT_EQ(loaded.face(f).unit_normal, original.face(f).unit_normal);
+    EXPECT_DOUBLE_EQ(loaded.face(f).area, original.face(f).area);
+  }
+}
+
+TEST(MeshIo, RejectsBadHeader) {
+  std::stringstream bad("not_a_mesh 1\n");
+  EXPECT_THROW(load_mesh(bad), std::runtime_error);
+  std::stringstream wrong_version("sweepmesh 2\nname x\ncells 0\nfaces 0\n");
+  EXPECT_THROW(load_mesh(wrong_version), std::runtime_error);
+}
+
+TEST(MeshIo, RejectsTruncatedInput) {
+  const UnstructuredMesh m = test::small_tet_mesh(3, 3, 1);
+  std::stringstream buffer;
+  save_mesh(m, buffer);
+  std::string text = buffer.str();
+  std::stringstream truncated(text.substr(0, text.size() / 2));
+  EXPECT_THROW(load_mesh(truncated), std::runtime_error);
+}
+
+TEST(MeshIo, FileRoundTrip) {
+  const UnstructuredMesh m = test::small_tet_mesh(4, 4, 2);
+  const std::string path = ::testing::TempDir() + "/sweep_mesh_io_test.txt";
+  save_mesh(m, path);
+  const UnstructuredMesh loaded = load_mesh(path);
+  EXPECT_EQ(loaded.n_cells(), m.n_cells());
+  EXPECT_EQ(loaded.n_faces(), m.n_faces());
+  EXPECT_THROW(load_mesh(path + ".does_not_exist"), std::runtime_error);
+}
+
+}  // namespace
+}  // namespace sweep::mesh

@@ -1,0 +1,131 @@
+#include "transport/multigroup.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/algorithms.hpp"
+#include "test_helpers.hpp"
+
+namespace sweep::transport {
+namespace {
+
+struct MgSetup {
+  mesh::UnstructuredMesh mesh = test::small_tet_mesh(5, 5, 2);
+  dag::DirectionSet dirs = dag::level_symmetric(2);
+  dag::SweepInstance instance = dag::build_instance(mesh, dirs);
+  std::vector<core::TaskId> order = sequential_order(instance);
+};
+
+TEST(Multigroup, OneGroupMatchesSingleGroupSolver) {
+  MgSetup s;
+  MultigroupOptions mg;
+  mg.sigma_t = {2.0};
+  mg.scatter = {{0.8}};
+  mg.source = {1.5};
+  const auto multi = solve_multigroup(s.mesh, s.dirs, s.instance, s.order, mg);
+  ASSERT_TRUE(multi.converged);
+
+  TransportOptions single;
+  single.sigma_t = 2.0;
+  single.sigma_s = 0.8;
+  single.volumetric_source = 1.5;
+  const auto ref = solve_transport(s.mesh, s.dirs, s.instance, s.order, single);
+  ASSERT_EQ(multi.scalar_flux[0].size(), ref.scalar_flux.size());
+  for (std::size_t c = 0; c < ref.scalar_flux.size(); ++c) {
+    EXPECT_DOUBLE_EQ(multi.scalar_flux[0][c], ref.scalar_flux[c]);
+  }
+}
+
+TEST(Multigroup, UncoupledGroupsAreIndependent) {
+  MgSetup s;
+  MultigroupOptions mg;
+  mg.sigma_t = {2.0, 3.0};
+  mg.scatter = {{0.5, 0.0}, {0.0, 0.7}};  // no downscatter
+  mg.source = {1.0, 2.0};
+  const auto multi = solve_multigroup(s.mesh, s.dirs, s.instance, s.order, mg);
+  ASSERT_TRUE(multi.converged);
+
+  for (std::size_t g = 0; g < 2; ++g) {
+    TransportOptions single;
+    single.sigma_t = mg.sigma_t[g];
+    single.sigma_s = mg.scatter[g][g];
+    single.volumetric_source = mg.source[g];
+    const auto ref =
+        solve_transport(s.mesh, s.dirs, s.instance, s.order, single);
+    for (std::size_t c = 0; c < ref.scalar_flux.size(); ++c) {
+      ASSERT_DOUBLE_EQ(multi.scalar_flux[g][c], ref.scalar_flux[c])
+          << "group " << g;
+    }
+  }
+}
+
+TEST(Multigroup, DownscatterFeedsLowerGroups) {
+  MgSetup s;
+  // Group 1 has no external source; all its flux comes from downscatter.
+  MultigroupOptions coupled;
+  coupled.sigma_t = {2.0, 2.0};
+  coupled.scatter = {{0.3, 0.0}, {0.8, 0.3}};
+  coupled.source = {1.0, 0.0};
+  const auto with = solve_multigroup(s.mesh, s.dirs, s.instance, s.order, coupled);
+  ASSERT_TRUE(with.converged);
+
+  MultigroupOptions uncoupled = coupled;
+  uncoupled.scatter[1][0] = 0.0;
+  const auto without =
+      solve_multigroup(s.mesh, s.dirs, s.instance, s.order, uncoupled);
+
+  double with_total = 0.0;
+  double without_total = 0.0;
+  for (std::size_t c = 0; c < s.mesh.n_cells(); ++c) {
+    with_total += with.scalar_flux[1][c];
+    without_total += without.scalar_flux[1][c];
+    EXPECT_GT(with.scalar_flux[1][c], 0.0);
+  }
+  EXPECT_NEAR(without_total, 0.0, 1e-12);
+  EXPECT_GT(with_total, 0.0);
+  // Group 0 is unaffected by what happens below it.
+  for (std::size_t c = 0; c < s.mesh.n_cells(); ++c) {
+    ASSERT_DOUBLE_EQ(with.scalar_flux[0][c], without.scalar_flux[0][c]);
+  }
+}
+
+TEST(Multigroup, ScheduledOrderMatchesSequential) {
+  MgSetup s;
+  MultigroupOptions mg;
+  mg.sigma_t = {2.0, 2.5};
+  mg.scatter = {{0.4, 0.0}, {0.6, 0.5}};
+  mg.source = {1.0, 0.2};
+  const auto serial = solve_multigroup(s.mesh, s.dirs, s.instance, s.order, mg);
+
+  util::Rng rng(5);
+  const auto schedule = core::run_algorithm(
+      core::Algorithm::kRandomDelayPriorities, s.instance, 8, rng);
+  const auto order = execution_order(schedule);
+  const auto parallel = solve_multigroup(s.mesh, s.dirs, s.instance, order, mg);
+  for (std::size_t g = 0; g < 2; ++g) {
+    for (std::size_t c = 0; c < s.mesh.n_cells(); ++c) {
+      ASSERT_DOUBLE_EQ(parallel.scalar_flux[g][c], serial.scalar_flux[g][c]);
+    }
+  }
+}
+
+TEST(Multigroup, RejectsBadOptions) {
+  MgSetup s;
+  MultigroupOptions empty;
+  EXPECT_THROW(solve_multigroup(s.mesh, s.dirs, s.instance, s.order, empty),
+               std::invalid_argument);
+  MultigroupOptions mismatched;
+  mismatched.sigma_t = {1.0, 2.0};
+  mismatched.scatter = {{0.1, 0.0}};
+  mismatched.source = {1.0, 1.0};
+  EXPECT_THROW(solve_multigroup(s.mesh, s.dirs, s.instance, s.order, mismatched),
+               std::invalid_argument);
+  MultigroupOptions upscatter;
+  upscatter.sigma_t = {1.0, 2.0};
+  upscatter.scatter = {{0.1, 0.5}, {0.2, 0.1}};  // [0][1] != 0 is upscatter
+  upscatter.source = {1.0, 1.0};
+  EXPECT_THROW(solve_multigroup(s.mesh, s.dirs, s.instance, s.order, upscatter),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace sweep::transport

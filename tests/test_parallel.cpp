@@ -1,0 +1,65 @@
+#include "util/parallel.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+
+#include "sweep/instance.hpp"
+#include "test_helpers.hpp"
+
+namespace sweep {
+namespace {
+
+TEST(ParallelFor, CoversEveryIndexExactlyOnce) {
+  for (std::size_t threads : {1u, 2u, 4u, 7u}) {
+    std::vector<std::atomic<int>> hits(103);
+    util::parallel_for(
+        103, [&](std::size_t i) { hits[i].fetch_add(1); }, threads);
+    for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+  }
+}
+
+TEST(ParallelFor, EmptyAndSingle) {
+  int calls = 0;
+  util::parallel_for(0, [&](std::size_t) { ++calls; }, 4);
+  EXPECT_EQ(calls, 0);
+  util::parallel_for(1, [&](std::size_t) { ++calls; }, 4);
+  EXPECT_EQ(calls, 1);
+}
+
+TEST(ParallelFor, MoreThreadsThanWorkClampsSafely) {
+  std::atomic<int> total{0};
+  util::parallel_for(3, [&](std::size_t) { total.fetch_add(1); }, 64);
+  EXPECT_EQ(total.load(), 3);
+}
+
+TEST(BuildInstanceParallel, MatchesSerialExactly) {
+  const auto mesh = test::small_tet_mesh(6, 6, 3);
+  const auto dirs = dag::level_symmetric(4);
+  dag::InstanceBuildStats serial_stats;
+  const auto serial = dag::build_instance(mesh, dirs, 1e-9, &serial_stats);
+  for (std::size_t threads : {1u, 3u, 8u}) {
+    dag::InstanceBuildStats parallel_stats;
+    const auto parallel = dag::build_instance_parallel(mesh, dirs, 1e-9,
+                                                       &parallel_stats, threads);
+    ASSERT_EQ(parallel.n_directions(), serial.n_directions());
+    EXPECT_EQ(parallel_stats.total_induced_edges,
+              serial_stats.total_induced_edges);
+    EXPECT_EQ(parallel_stats.total_dropped_edges,
+              serial_stats.total_dropped_edges);
+    for (std::size_t i = 0; i < serial.n_directions(); ++i) {
+      ASSERT_EQ(parallel.dag(i).n_edges(), serial.dag(i).n_edges())
+          << "direction " << i << " threads " << threads;
+      for (dag::NodeId v = 0; v < serial.n_cells(); ++v) {
+        const auto a = serial.dag(i).successors(v);
+        const auto b = parallel.dag(i).successors(v);
+        ASSERT_TRUE(std::equal(a.begin(), a.end(), b.begin(), b.end()))
+            << "direction " << i << " node " << v;
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace sweep

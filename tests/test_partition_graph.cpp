@@ -1,0 +1,69 @@
+#include "partition/graph.hpp"
+
+#include <gtest/gtest.h>
+
+#include "test_helpers.hpp"
+
+namespace sweep::partition {
+namespace {
+
+TEST(Graph, BuildFromEdgeList) {
+  const std::vector<std::pair<VertexId, VertexId>> edges = {
+      {0, 1}, {1, 2}, {2, 0}, {2, 3}};
+  const Graph g(4, edges);
+  EXPECT_EQ(g.n_vertices(), 4u);
+  EXPECT_EQ(g.n_edges(), 4u);
+  EXPECT_EQ(g.degree(2), 3u);
+  EXPECT_EQ(g.degree(3), 1u);
+  EXPECT_EQ(g.total_vertex_weight(), 4);
+  EXPECT_EQ(g.vertex_weight(0), 1);
+}
+
+TEST(Graph, MergesParallelEdgesIntoWeights) {
+  const std::vector<std::pair<VertexId, VertexId>> edges = {
+      {0, 1}, {1, 0}, {0, 1}};
+  const Graph g(2, edges);
+  EXPECT_EQ(g.n_edges(), 1u);
+  EXPECT_EQ(g.edge_weights(0)[0], 3);
+}
+
+TEST(Graph, IgnoresSelfLoopsRejectsBadIds) {
+  const std::vector<std::pair<VertexId, VertexId>> loops = {{0, 0}, {0, 1}};
+  EXPECT_EQ(Graph(2, loops).n_edges(), 1u);
+  const std::vector<std::pair<VertexId, VertexId>> bad = {{0, 9}};
+  EXPECT_THROW(Graph(2, bad), std::invalid_argument);
+}
+
+TEST(Graph, CsrConstructorValidates) {
+  EXPECT_THROW(Graph({0, 1}, {0}, {}, {1}), std::invalid_argument);
+}
+
+TEST(GraphFromMesh, MatchesInteriorFaces) {
+  const mesh::UnstructuredMesh m = test::small_tet_mesh(5, 5, 2);
+  const Graph g = graph_from_mesh(m);
+  EXPECT_EQ(g.n_vertices(), m.n_cells());
+  EXPECT_EQ(g.n_edges(), m.n_interior_faces());
+}
+
+TEST(EdgeCut, CountsCrossingWeight) {
+  const Graph g(4, std::vector<std::pair<VertexId, VertexId>>{
+                       {0, 1}, {1, 2}, {2, 3}, {3, 0}});
+  EXPECT_EQ(edge_cut(g, {0, 0, 0, 0}), 0);
+  EXPECT_EQ(edge_cut(g, {0, 0, 1, 1}), 2);
+  EXPECT_EQ(edge_cut(g, {0, 1, 0, 1}), 4);
+}
+
+TEST(Imbalance, PerfectAndSkewed) {
+  const Graph g(4, std::vector<std::pair<VertexId, VertexId>>{{0, 1}, {2, 3}});
+  EXPECT_DOUBLE_EQ(imbalance(g, {0, 0, 1, 1}, 2), 1.0);
+  EXPECT_DOUBLE_EQ(imbalance(g, {0, 0, 0, 1}, 2), 1.5);
+}
+
+TEST(CountBlocks, DistinctNonEmpty) {
+  EXPECT_EQ(count_blocks({}), 0u);
+  EXPECT_EQ(count_blocks({0, 0, 0}), 1u);
+  EXPECT_EQ(count_blocks({0, 5, 5, 2}), 3u);
+}
+
+}  // namespace
+}  // namespace sweep::partition

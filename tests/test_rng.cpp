@@ -1,0 +1,168 @@
+#include "util/rng.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <set>
+#include <vector>
+
+namespace sweep::util {
+namespace {
+
+TEST(Rng, SameSeedSameStream) {
+  Rng a(123);
+  Rng b(123);
+  for (int i = 0; i < 1000; ++i) {
+    ASSERT_EQ(a(), b());
+  }
+}
+
+TEST(Rng, DifferentSeedsDifferentStreams) {
+  Rng a(1);
+  Rng b(2);
+  int differ = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a() != b()) ++differ;
+  }
+  EXPECT_GT(differ, 90);
+}
+
+TEST(Rng, ReseedRestartsStream) {
+  Rng a(77);
+  std::vector<std::uint64_t> first;
+  for (int i = 0; i < 10; ++i) first.push_back(a());
+  a.reseed(77);
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(a(), first[static_cast<std::size_t>(i)]);
+}
+
+TEST(Rng, NextBelowStaysInRange) {
+  Rng rng(5);
+  for (std::uint64_t bound : {1ull, 2ull, 7ull, 100ull, 1ull << 40}) {
+    for (int i = 0; i < 200; ++i) {
+      EXPECT_LT(rng.next_below(bound), bound);
+    }
+  }
+}
+
+TEST(Rng, NextBelowCoversAllValues) {
+  Rng rng(6);
+  std::set<std::uint64_t> seen;
+  for (int i = 0; i < 1000; ++i) seen.insert(rng.next_below(7));
+  EXPECT_EQ(seen.size(), 7u);
+}
+
+TEST(Rng, NextIntInclusiveRange) {
+  Rng rng(9);
+  bool saw_lo = false;
+  bool saw_hi = false;
+  for (int i = 0; i < 2000; ++i) {
+    const std::int64_t v = rng.next_int(-3, 3);
+    ASSERT_GE(v, -3);
+    ASSERT_LE(v, 3);
+    saw_lo |= v == -3;
+    saw_hi |= v == 3;
+  }
+  EXPECT_TRUE(saw_lo);
+  EXPECT_TRUE(saw_hi);
+}
+
+TEST(Rng, NextDoubleInUnitInterval) {
+  Rng rng(10);
+  double sum = 0.0;
+  for (int i = 0; i < 10000; ++i) {
+    const double v = rng.next_double();
+    ASSERT_GE(v, 0.0);
+    ASSERT_LT(v, 1.0);
+    sum += v;
+  }
+  EXPECT_NEAR(sum / 10000.0, 0.5, 0.02);
+}
+
+TEST(Rng, UniformityChiSquareLoose) {
+  Rng rng(11);
+  constexpr int kBins = 16;
+  constexpr int kSamples = 32000;
+  std::vector<int> counts(kBins, 0);
+  for (int i = 0; i < kSamples; ++i) {
+    ++counts[static_cast<std::size_t>(rng.next_below(kBins))];
+  }
+  const double expected = static_cast<double>(kSamples) / kBins;
+  double chi2 = 0.0;
+  for (int c : counts) {
+    chi2 += (c - expected) * (c - expected) / expected;
+  }
+  // 15 dof; chi2 > 45 would be p < 1e-4 territory.
+  EXPECT_LT(chi2, 45.0);
+}
+
+TEST(Rng, NormalMomentsApproximatelyStandard) {
+  Rng rng(12);
+  double sum = 0.0;
+  double sum_sq = 0.0;
+  constexpr int kSamples = 20000;
+  for (int i = 0; i < kSamples; ++i) {
+    const double v = rng.next_normal();
+    sum += v;
+    sum_sq += v * v;
+  }
+  EXPECT_NEAR(sum / kSamples, 0.0, 0.03);
+  EXPECT_NEAR(sum_sq / kSamples, 1.0, 0.05);
+}
+
+TEST(Rng, ExponentialMeanMatchesRate) {
+  Rng rng(13);
+  for (double lambda : {0.5, 1.0, 3.0}) {
+    double sum = 0.0;
+    constexpr int kSamples = 20000;
+    for (int i = 0; i < kSamples; ++i) sum += rng.next_exponential(lambda);
+    EXPECT_NEAR(sum / kSamples, 1.0 / lambda, 0.05 / lambda);
+  }
+}
+
+TEST(Rng, ShuffleIsPermutation) {
+  Rng rng(14);
+  std::vector<int> values(100);
+  std::iota(values.begin(), values.end(), 0);
+  rng.shuffle(values);
+  std::vector<int> sorted = values;
+  std::sort(sorted.begin(), sorted.end());
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(sorted[static_cast<std::size_t>(i)], i);
+}
+
+TEST(Rng, ShuffleActuallyShuffles) {
+  Rng rng(15);
+  std::vector<int> values(100);
+  std::iota(values.begin(), values.end(), 0);
+  rng.shuffle(values);
+  int fixed_points = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (values[static_cast<std::size_t>(i)] == i) ++fixed_points;
+  }
+  EXPECT_LT(fixed_points, 15);  // expected ~1
+}
+
+TEST(Rng, ForkProducesIndependentStream) {
+  Rng parent(16);
+  Rng child = parent.fork();
+  int equal = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (parent() == child()) ++equal;
+  }
+  EXPECT_LT(equal, 5);
+}
+
+TEST(RandomPermutation, IsPermutationAndDeterministic) {
+  Rng rng(17);
+  const auto perm = random_permutation(50, rng);
+  std::vector<std::uint32_t> sorted(perm);
+  std::sort(sorted.begin(), sorted.end());
+  for (std::uint32_t i = 0; i < 50; ++i) EXPECT_EQ(sorted[i], i);
+
+  Rng rng2(17);
+  EXPECT_EQ(random_permutation(50, rng2), perm);
+}
+
+}  // namespace
+}  // namespace sweep::util

@@ -1,0 +1,61 @@
+#include "core/schedule.hpp"
+
+#include <gtest/gtest.h>
+
+namespace sweep::core {
+namespace {
+
+TEST(TaskIds, RoundTrip) {
+  constexpr std::size_t kN = 100;
+  for (CellId v : {0u, 5u, 99u}) {
+    for (DirectionId i : {0u, 3u, 7u}) {
+      const TaskId t = task_id(v, i, kN);
+      EXPECT_EQ(task_cell(t, kN), v);
+      EXPECT_EQ(task_direction(t, kN), i);
+    }
+  }
+}
+
+TEST(Schedule, EmptyAndCompleteness) {
+  Schedule s(3, 2, 4, Assignment{0, 1, 2});
+  EXPECT_EQ(s.n_tasks(), 6u);
+  EXPECT_FALSE(s.complete());
+  EXPECT_EQ(s.makespan(), 0u);
+  for (TaskId t = 0; t < 6; ++t) s.set_start(t, static_cast<TimeStep>(t / 2));
+  EXPECT_TRUE(s.complete());
+  EXPECT_EQ(s.makespan(), 3u);
+}
+
+TEST(Schedule, ProcessorOfFollowsAssignment) {
+  const Schedule s(3, 2, 4, Assignment{0, 3, 1});
+  EXPECT_EQ(s.processor_of_cell(1), 3u);
+  // Same cell, any direction -> same processor (the sweep constraint).
+  EXPECT_EQ(s.processor_of(task_id(1, 0, 3)), 3u);
+  EXPECT_EQ(s.processor_of(task_id(1, 1, 3)), 3u);
+}
+
+TEST(Schedule, IdleSlotsAndLoads) {
+  // 2 cells x 1 direction on 2 processors; both tasks at t=0 -> no idle.
+  Schedule s(2, 1, 2, Assignment{0, 1});
+  s.set_start(0, 0);
+  s.set_start(1, 0);
+  EXPECT_EQ(s.idle_slots(), 0u);
+  const auto loads = s.processor_loads();
+  EXPECT_EQ(loads[0], 1u);
+  EXPECT_EQ(loads[1], 1u);
+
+  // Stretch task 1 to t=4: makespan 5, 10 slots, 2 used -> 8 idle.
+  s.set_start(1, 4);
+  EXPECT_EQ(s.makespan(), 5u);
+  EXPECT_EQ(s.idle_slots(), 8u);
+}
+
+TEST(Schedule, StartByCellDirection) {
+  Schedule s(2, 2, 1, Assignment{0, 0});
+  s.set_start(task_id(1, 1, 2), 7);
+  EXPECT_EQ(s.start(1, 1), 7u);
+  EXPECT_EQ(s.start(0, 0), kUnscheduled);
+}
+
+}  // namespace
+}  // namespace sweep::core

@@ -1,0 +1,97 @@
+#include "core/schedule_io.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "core/algorithms.hpp"
+#include "sweep/random_dag.hpp"
+#include "test_helpers.hpp"
+
+namespace sweep::core {
+namespace {
+
+Schedule sample_schedule() {
+  const auto inst = dag::random_instance(40, 3, 6, 1.5, 5);
+  util::Rng rng(6);
+  return run_algorithm(Algorithm::kRandomDelayPriorities, inst, 4, rng);
+}
+
+TEST(ScheduleIo, RoundTrip) {
+  const Schedule original = sample_schedule();
+  std::stringstream buffer;
+  save_schedule(original, buffer);
+  const Schedule loaded = load_schedule(buffer);
+  EXPECT_EQ(loaded.n_cells(), original.n_cells());
+  EXPECT_EQ(loaded.n_directions(), original.n_directions());
+  EXPECT_EQ(loaded.n_processors(), original.n_processors());
+  EXPECT_EQ(loaded.assignment(), original.assignment());
+  EXPECT_EQ(loaded.starts(), original.starts());
+  EXPECT_EQ(loaded.makespan(), original.makespan());
+}
+
+TEST(ScheduleIo, RejectsBadInput) {
+  std::stringstream bad("nope 1\n");
+  EXPECT_THROW(load_schedule(bad), std::runtime_error);
+  std::stringstream truncated("sweepsched 1\n10 2 4\n0 1");
+  EXPECT_THROW(load_schedule(truncated), std::runtime_error);
+  EXPECT_THROW(load_schedule(std::string("/nonexistent/path/x")),
+               std::runtime_error);
+}
+
+TEST(ScheduleIo, FileRoundTrip) {
+  const Schedule original = sample_schedule();
+  const std::string path = ::testing::TempDir() + "/sweep_sched_io.txt";
+  save_schedule(original, path);
+  const Schedule loaded = load_schedule(path);
+  EXPECT_EQ(loaded.starts(), original.starts());
+}
+
+TEST(Utilization, ProfileSumsToTaskCount) {
+  const Schedule s = sample_schedule();
+  const auto profile = utilization_profile(s);
+  ASSERT_EQ(profile.size(), s.makespan());
+  double total = 0.0;
+  for (double p : profile) {
+    EXPECT_GE(p, 0.0);
+    EXPECT_LE(p, 1.0);
+    total += p * static_cast<double>(s.n_processors());
+  }
+  EXPECT_NEAR(total, static_cast<double>(s.n_tasks()), 1e-6);
+}
+
+TEST(Utilization, StripHasRequestedWidth) {
+  const Schedule s = sample_schedule();
+  EXPECT_EQ(utilization_strip(s, 40).size(), 40u);
+  EXPECT_EQ(utilization_strip(s, 0).size(), 0u);
+  // A fully-busy serial schedule renders as all '@'.
+  std::vector<dag::SweepDag> dags;
+  dags.push_back(test::make_dag(3, {}));
+  auto inst = dag::SweepInstance(3, std::move(dags), "t");
+  util::Rng rng(1);
+  Schedule serial(3, 1, 1, Assignment(3, 0));
+  serial.set_start(0, 0);
+  serial.set_start(1, 1);
+  serial.set_start(2, 2);
+  const std::string strip = utilization_strip(serial, 3);
+  EXPECT_EQ(strip, "@@@");
+}
+
+TEST(AsciiGantt, MarksBusySlots) {
+  Schedule s(2, 1, 2, Assignment{0, 1});
+  s.set_start(0, 0);
+  s.set_start(1, 2);
+  const std::string gantt = ascii_gantt(s, 4, 10);
+  // P0 busy at step 0; P1 busy at step 2.
+  EXPECT_NE(gantt.find("P0  |#.."), std::string::npos);
+  EXPECT_NE(gantt.find("P1  |..#"), std::string::npos);
+}
+
+TEST(AsciiGantt, TruncatesLargeSchedules) {
+  const Schedule s = sample_schedule();
+  const std::string gantt = ascii_gantt(s, 2, 5);
+  EXPECT_NE(gantt.find("truncated"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace sweep::core

@@ -1,0 +1,78 @@
+#include "partition/simple_partitioners.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "partition/multilevel.hpp"
+#include "test_helpers.hpp"
+
+namespace sweep::partition {
+namespace {
+
+TEST(RandomPartition, RangeAndDeterminism) {
+  const Partition a = random_partition(1000, 7, 3);
+  const Partition b = random_partition(1000, 7, 3);
+  EXPECT_EQ(a, b);
+  for (std::uint32_t p : a) EXPECT_LT(p, 7u);
+  EXPECT_EQ(count_blocks(a), 7u);
+  EXPECT_THROW(random_partition(10, 0, 1), std::invalid_argument);
+}
+
+TEST(BfsBlocks, ExactBlockSizes) {
+  const Graph g = graph_from_mesh(test::small_tet_mesh(6, 6, 3));
+  const std::size_t block_size = 32;
+  const Partition part = bfs_blocks(g, block_size);
+  std::vector<std::size_t> sizes(count_blocks(part), 0);
+  for (std::uint32_t b : part) ++sizes[b];
+  // All blocks exactly block_size except possibly the last.
+  for (std::size_t i = 0; i + 1 < sizes.size(); ++i) {
+    EXPECT_EQ(sizes[i], block_size);
+  }
+  EXPECT_LE(sizes.back(), block_size);
+  EXPECT_THROW(bfs_blocks(g, 0), std::invalid_argument);
+}
+
+TEST(BfsBlocks, LocalityBeatsRandom) {
+  const Graph g = graph_from_mesh(test::small_tet_mesh(8, 8, 3));
+  const Partition bfs = bfs_blocks(g, 64);
+  const std::size_t blocks = count_blocks(bfs);
+  const Partition random = random_partition(g.n_vertices(), blocks, 5);
+  EXPECT_LT(edge_cut(g, bfs), edge_cut(g, random));
+}
+
+TEST(CoordinateBisection, BalancedAndLocal) {
+  const mesh::UnstructuredMesh m = test::small_tet_mesh(8, 8, 3);
+  const Graph g = graph_from_mesh(m);
+  for (std::size_t k : {2u, 5u, 16u}) {
+    const Partition part = coordinate_bisection(m.centroids(), k);
+    EXPECT_EQ(count_blocks(part), k);
+    std::vector<std::size_t> sizes(k, 0);
+    for (std::uint32_t b : part) ++sizes[b];
+    const auto [mn, mx] = std::minmax_element(sizes.begin(), sizes.end());
+    EXPECT_LE(*mx, *mn + *mn / 2 + 2) << "k=" << k;
+    // Geometric locality: better cut than random.
+    const Partition random = random_partition(m.n_cells(), k, 31);
+    EXPECT_LT(edge_cut(g, part), edge_cut(g, random)) << "k=" << k;
+  }
+  EXPECT_THROW(coordinate_bisection(m.centroids(), 0), std::invalid_argument);
+}
+
+TEST(Partitioners, MultilevelBeatsBaselinesOnCut) {
+  const mesh::UnstructuredMesh m = test::small_tet_mesh(9, 9, 4);
+  const Graph g = graph_from_mesh(m);
+  constexpr std::size_t kParts = 8;
+  MultilevelOptions opts;
+  opts.n_parts = kParts;
+  opts.seed = 9;
+  const auto ml_cut = edge_cut(g, multilevel_partition(g, opts));
+  const auto rcb_cut = edge_cut(g, coordinate_bisection(m.centroids(), kParts));
+  const auto rnd_cut = edge_cut(g, random_partition(g.n_vertices(), kParts, 3));
+  EXPECT_LT(ml_cut, rnd_cut);
+  // RCB is a strong geometric baseline; multilevel should be at least
+  // competitive (within 25%).
+  EXPECT_LT(static_cast<double>(ml_cut), static_cast<double>(rcb_cut) * 1.25);
+}
+
+}  // namespace
+}  // namespace sweep::partition

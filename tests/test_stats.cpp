@@ -1,0 +1,119 @@
+#include "util/stats.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "util/rng.hpp"
+
+namespace sweep::util {
+namespace {
+
+TEST(OnlineStats, EmptyIsZero) {
+  OnlineStats s;
+  EXPECT_EQ(s.count(), 0u);
+  EXPECT_EQ(s.mean(), 0.0);
+  EXPECT_EQ(s.variance(), 0.0);
+  EXPECT_EQ(s.min(), 0.0);
+  EXPECT_EQ(s.max(), 0.0);
+}
+
+TEST(OnlineStats, MatchesDirectComputation) {
+  const std::vector<double> values = {3.0, 1.0, 4.0, 1.0, 5.0, 9.0, 2.0, 6.0};
+  OnlineStats s;
+  for (double v : values) s.add(v);
+  double sum = 0.0;
+  for (double v : values) sum += v;
+  const double mu = sum / static_cast<double>(values.size());
+  double ss = 0.0;
+  for (double v : values) ss += (v - mu) * (v - mu);
+  EXPECT_EQ(s.count(), values.size());
+  EXPECT_DOUBLE_EQ(s.mean(), mu);
+  EXPECT_NEAR(s.variance(), ss / (static_cast<double>(values.size()) - 1), 1e-12);
+  EXPECT_EQ(s.min(), 1.0);
+  EXPECT_EQ(s.max(), 9.0);
+  EXPECT_NEAR(s.sum(), sum, 1e-12);
+}
+
+TEST(OnlineStats, MergeEqualsBulk) {
+  Rng rng(3);
+  OnlineStats bulk;
+  OnlineStats a;
+  OnlineStats b;
+  for (int i = 0; i < 500; ++i) {
+    const double v = rng.next_double(-10, 10);
+    bulk.add(v);
+    (i % 2 == 0 ? a : b).add(v);
+  }
+  a.merge(b);
+  EXPECT_EQ(a.count(), bulk.count());
+  EXPECT_NEAR(a.mean(), bulk.mean(), 1e-10);
+  EXPECT_NEAR(a.variance(), bulk.variance(), 1e-8);
+  EXPECT_EQ(a.min(), bulk.min());
+  EXPECT_EQ(a.max(), bulk.max());
+}
+
+TEST(OnlineStats, MergeWithEmpty) {
+  OnlineStats a;
+  a.add(1.0);
+  a.add(2.0);
+  OnlineStats empty;
+  a.merge(empty);
+  EXPECT_EQ(a.count(), 2u);
+  OnlineStats c;
+  c.merge(a);
+  EXPECT_EQ(c.count(), 2u);
+  EXPECT_DOUBLE_EQ(c.mean(), 1.5);
+}
+
+TEST(Quantile, InterpolatesLinearly) {
+  const std::vector<double> values = {0.0, 1.0, 2.0, 3.0, 4.0};
+  EXPECT_DOUBLE_EQ(quantile(values, 0.0), 0.0);
+  EXPECT_DOUBLE_EQ(quantile(values, 0.5), 2.0);
+  EXPECT_DOUBLE_EQ(quantile(values, 1.0), 4.0);
+  EXPECT_DOUBLE_EQ(quantile(values, 0.25), 1.0);
+  EXPECT_DOUBLE_EQ(quantile(values, 0.375), 1.5);
+}
+
+TEST(Quantile, UnsortedInputAndClamping) {
+  const std::vector<double> values = {5.0, 1.0, 3.0};
+  EXPECT_DOUBLE_EQ(quantile(values, 0.5), 3.0);
+  EXPECT_DOUBLE_EQ(quantile(values, -1.0), 1.0);
+  EXPECT_DOUBLE_EQ(quantile(values, 2.0), 5.0);
+  EXPECT_DOUBLE_EQ(quantile({}, 0.5), 0.0);
+}
+
+TEST(MeanStddev, SimpleValues) {
+  const std::vector<double> values = {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0};
+  EXPECT_DOUBLE_EQ(mean(values), 5.0);
+  // Sample stddev of this classic set is ~2.138.
+  EXPECT_NEAR(stddev(values), 2.138, 0.001);
+}
+
+TEST(Histogram, BinsAndClamping) {
+  const std::vector<double> values = {-1.0, 0.1, 0.5, 0.9, 2.0};
+  const auto h = histogram(values, 0.0, 1.0, 2);
+  ASSERT_EQ(h.size(), 2u);
+  EXPECT_EQ(h[0], 2u);  // -1 clamps into bin 0; 0.1 lands there
+  EXPECT_EQ(h[1], 3u);  // 0.5 and 0.9 in bin 1; 2.0 clamps into bin 1
+}
+
+TEST(Histogram, DegenerateRange) {
+  const std::vector<double> values = {1.0, 2.0};
+  const auto h = histogram(values, 5.0, 5.0, 4);
+  ASSERT_EQ(h.size(), 4u);
+  for (auto c : h) EXPECT_EQ(c, 0u);
+}
+
+TEST(Summarize, MentionsAllFields) {
+  const std::vector<double> values = {1.0, 2.0, 3.0};
+  const std::string s = summarize(values);
+  EXPECT_NE(s.find("n=3"), std::string::npos);
+  EXPECT_NE(s.find("mean=2"), std::string::npos);
+  EXPECT_NE(s.find("min=1"), std::string::npos);
+  EXPECT_NE(s.find("max=3"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace sweep::util

@@ -1,0 +1,67 @@
+#include "mesh/structured.hpp"
+
+#include <gtest/gtest.h>
+
+#include "mesh/mesh_stats.hpp"
+#include "sweep/dag_builder.hpp"
+
+namespace sweep::mesh {
+namespace {
+
+TEST(StructuredGrid, CountsAndVolume) {
+  const StructuredDims dims{4, 3, 2};
+  const UnstructuredMesh m = make_structured_grid(dims, 4.0, 3.0, 2.0);
+  EXPECT_EQ(m.n_cells(), 24u);
+  EXPECT_NEAR(m.total_volume(), 24.0, 1e-12);
+  // Faces: interior = (nx-1)nynz + nx(ny-1)nz + nxny(nz-1) = 18+16+12 = 46;
+  // boundary = 2(nynz + nxnz + nxny) = 2(6+8+12) = 52.
+  EXPECT_EQ(m.n_interior_faces(), 46u);
+  EXPECT_EQ(m.n_boundary_faces(), 52u);
+  EXPECT_TRUE(is_connected(m));
+}
+
+TEST(StructuredGrid, CoordsRoundTrip) {
+  const StructuredDims dims{5, 4, 3};
+  for (CellId c = 0; c < dims.n_cells(); ++c) {
+    const auto [i, j, k] = structured_cell_coords(c, dims);
+    EXPECT_EQ(c, static_cast<CellId>(i + dims.nx * (j + dims.ny * k)));
+  }
+}
+
+TEST(StructuredGrid, DegreesAreGridLike) {
+  const StructuredDims dims{4, 4, 4};
+  const UnstructuredMesh m = make_structured_grid(dims);
+  const MeshStats s = compute_stats(m);
+  EXPECT_EQ(s.min_degree, 3u);  // corner cells
+  EXPECT_EQ(s.max_degree, 6u);  // interior cells
+}
+
+TEST(StructuredGrid, AxisSweepDagIsRegularWavefront) {
+  // Direction (1,1,1)/sqrt(3): level of cell (i,j,k) must be i+j+k.
+  const StructuredDims dims{4, 4, 4};
+  const UnstructuredMesh m = make_structured_grid(dims);
+  const Vec3 dir = normalized({1, 1, 1});
+  const auto result = dag::build_sweep_dag(m, dir);
+  EXPECT_EQ(result.dropped_edges, 0u);
+  const auto levels = result.dag.levels();
+  for (CellId c = 0; c < m.n_cells(); ++c) {
+    const auto [i, j, k] = structured_cell_coords(c, dims);
+    EXPECT_EQ(levels[c], i + j + k) << "cell " << c;
+  }
+}
+
+TEST(StructuredGrid, RejectsDegenerate) {
+  EXPECT_THROW(make_structured_grid({0, 2, 2}), std::invalid_argument);
+  EXPECT_THROW(make_structured_grid({2, 2, 2}, -1.0, 1.0, 1.0),
+               std::invalid_argument);
+}
+
+TEST(StructuredGrid, SingleCell) {
+  const UnstructuredMesh m = make_structured_grid({1, 1, 1});
+  EXPECT_EQ(m.n_cells(), 1u);
+  EXPECT_EQ(m.n_boundary_faces(), 6u);
+  EXPECT_EQ(m.n_interior_faces(), 0u);
+}
+
+}  // namespace
+}  // namespace sweep::mesh

@@ -1,0 +1,47 @@
+#include "util/table.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+namespace sweep::util {
+namespace {
+
+TEST(Table, FormatHelpers) {
+  EXPECT_EQ(Table::fmt(3.14159, 2), "3.14");
+  EXPECT_EQ(Table::fmt(3.0, 0), "3");
+  EXPECT_EQ(Table::fmt(static_cast<std::int64_t>(-42)), "-42");
+  EXPECT_EQ(Table::fmt(static_cast<std::size_t>(7)), "7");
+}
+
+TEST(Table, CsvMirrorWritesAllRows) {
+  const std::string path = ::testing::TempDir() + "/sweep_table_test.csv";
+  Table table({"m", "makespan", "ratio"});
+  table.mirror_csv(path);
+  table.add_row({"8", "100", "1.23"});
+  table.add_row({"16", "52", Table::fmt(1.5, 2)});
+  table.print("test table");
+
+  std::ifstream in(path);
+  ASSERT_TRUE(in.good());
+  std::string line;
+  std::getline(in, line);
+  EXPECT_EQ(line, "m,makespan,ratio");
+  std::getline(in, line);
+  EXPECT_EQ(line, "8,100,1.23");
+  std::getline(in, line);
+  EXPECT_EQ(line, "16,52,1.50");
+  std::remove(path.c_str());
+}
+
+TEST(Table, ShortRowsArePadded) {
+  Table table({"a", "b", "c"});
+  table.add_row({"1"});
+  // Printing must not crash; cells beyond the row are empty.
+  table.print();
+}
+
+}  // namespace
+}  // namespace sweep::util

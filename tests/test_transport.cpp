@@ -1,0 +1,182 @@
+#include "transport/transport.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+
+#include "core/algorithms.hpp"
+#include "core/assignment.hpp"
+#include "sweep/instance.hpp"
+#include "test_helpers.hpp"
+
+namespace sweep::transport {
+namespace {
+
+struct TransportSetup {
+  mesh::UnstructuredMesh mesh = test::small_tet_mesh(5, 5, 2);
+  dag::DirectionSet dirs = dag::level_symmetric(2);
+  dag::SweepInstance instance = dag::build_instance(mesh, dirs);
+};
+
+TEST(Transport, SequentialOrderSolves) {
+  TransportSetup s;
+  TransportOptions opts;
+  opts.sigma_t = 2.0;
+  opts.sigma_s = 0.0;  // pure absorber: one sweep converges
+  const auto order = sequential_order(s.instance);
+  const auto result = solve_transport(s.mesh, s.dirs, s.instance, order, opts);
+  EXPECT_TRUE(result.converged);
+  EXPECT_LE(result.iterations, 3u);
+  EXPECT_EQ(result.lagged_uses, 0u);
+  for (double phi : result.scalar_flux) {
+    EXPECT_GT(phi, 0.0);     // positive source -> positive flux
+  }
+}
+
+TEST(Transport, ScheduledOrderMatchesSequential) {
+  // The headline integration property: any feasible schedule's execution
+  // order yields bitwise-identical physics to the serial sweep.
+  TransportSetup s;
+  const auto seq = sequential_order(s.instance);
+  TransportOptions opts;
+  opts.sigma_s = 0.8;
+  opts.sigma_t = 1.6;
+  const auto reference = solve_transport(s.mesh, s.dirs, s.instance, seq, opts);
+
+  util::Rng rng(5);
+  const auto schedule = core::run_algorithm(
+      core::Algorithm::kRandomDelayPriorities, s.instance, 16, rng);
+  const auto order = execution_order(schedule);
+  const auto scheduled = solve_transport(s.mesh, s.dirs, s.instance, order, opts);
+
+  ASSERT_EQ(scheduled.scalar_flux.size(), reference.scalar_flux.size());
+  EXPECT_EQ(scheduled.iterations, reference.iterations);
+  for (std::size_t c = 0; c < reference.scalar_flux.size(); ++c) {
+    EXPECT_DOUBLE_EQ(scheduled.scalar_flux[c], reference.scalar_flux[c]);
+  }
+}
+
+TEST(Transport, InteriorFluxApproachesInfiniteMedium) {
+  // Optically thick absorber: deep interior cells see phi ~ q / sigma_a.
+  const auto big = test::small_tet_mesh(9, 9, 5);
+  const auto dirs = dag::level_symmetric(4);
+  const auto inst = dag::build_instance(big, dirs);
+  TransportOptions opts;
+  opts.sigma_t = 40.0;  // mean free path << cell size
+  opts.sigma_s = 10.0;
+  opts.volumetric_source = 3.0;
+  const auto result =
+      solve_transport(big, dirs, inst, sequential_order(inst), opts);
+  ASSERT_TRUE(result.converged);
+
+  // Pick the cell closest to the domain center.
+  const mesh::Vec3 center{0.5, 0.5, 0.3};
+  std::size_t best = 0;
+  double best_d = 1e30;
+  for (mesh::CellId c = 0; c < big.n_cells(); ++c) {
+    const double d = mesh::norm(big.centroid(c) - center);
+    if (d < best_d) {
+      best_d = d;
+      best = c;
+    }
+  }
+  const double expected = infinite_medium_flux(opts);  // 3 / 30 = 0.1
+  EXPECT_NEAR(result.scalar_flux[best], expected, expected * 0.15);
+}
+
+TEST(Transport, ScatteringIncreasesFlux) {
+  TransportSetup s;
+  TransportOptions pure;
+  pure.sigma_t = 2.0;
+  pure.sigma_s = 0.0;
+  TransportOptions scattering = pure;
+  scattering.sigma_s = 1.0;
+  const auto order = sequential_order(s.instance);
+  const auto a = solve_transport(s.mesh, s.dirs, s.instance, order, pure);
+  const auto b = solve_transport(s.mesh, s.dirs, s.instance, order, scattering);
+  double mean_a = 0.0;
+  double mean_b = 0.0;
+  for (std::size_t c = 0; c < a.scalar_flux.size(); ++c) {
+    mean_a += a.scalar_flux[c];
+    mean_b += b.scalar_flux[c];
+  }
+  EXPECT_GT(mean_b, mean_a);
+}
+
+TEST(Transport, BoundaryFluxRaisesEdgeCells) {
+  TransportSetup s;
+  TransportOptions dark;
+  dark.volumetric_source = 0.0;
+  dark.sigma_s = 0.0;
+  dark.boundary_flux = 0.0;
+  TransportOptions lit = dark;
+  lit.boundary_flux = 1.0;
+  const auto order = sequential_order(s.instance);
+  const auto a = solve_transport(s.mesh, s.dirs, s.instance, order, dark);
+  const auto b = solve_transport(s.mesh, s.dirs, s.instance, order, lit);
+  for (std::size_t c = 0; c < a.scalar_flux.size(); ++c) {
+    EXPECT_NEAR(a.scalar_flux[c], 0.0, 1e-12);
+    EXPECT_GT(b.scalar_flux[c], 0.0);
+  }
+}
+
+TEST(Transport, ViolatingOrderThrows) {
+  TransportSetup s;
+  auto order = sequential_order(s.instance);
+  std::reverse(order.begin(), order.end());  // breaks every precedence
+  EXPECT_THROW(
+      solve_transport(s.mesh, s.dirs, s.instance, order, TransportOptions{}),
+      std::logic_error);
+  // With lagging allowed it must complete and report the lagged uses.
+  TransportOptions lagged;
+  lagged.allow_lagged_upwind = true;
+  lagged.max_iterations = 3;
+  lagged.tolerance = 0.0;
+  const auto result =
+      solve_transport(s.mesh, s.dirs, s.instance, order, lagged);
+  EXPECT_GT(result.lagged_uses, 0u);
+}
+
+TEST(Transport, RejectsBadArguments) {
+  TransportSetup s;
+  auto order = sequential_order(s.instance);
+  order.pop_back();
+  EXPECT_THROW(
+      solve_transport(s.mesh, s.dirs, s.instance, order, TransportOptions{}),
+      std::invalid_argument);
+  auto dup = sequential_order(s.instance);
+  dup[0] = dup[1];
+  EXPECT_THROW(
+      solve_transport(s.mesh, s.dirs, s.instance, dup, TransportOptions{}),
+      std::invalid_argument);
+  TransportOptions bad;
+  bad.sigma_t = 0.0;
+  EXPECT_THROW(solve_transport(s.mesh, s.dirs, s.instance,
+                               sequential_order(s.instance), bad),
+               std::invalid_argument);
+}
+
+TEST(Transport, ExecutionOrderRespectsStartTimes) {
+  TransportSetup s;
+  util::Rng rng(9);
+  const auto schedule =
+      core::run_algorithm(core::Algorithm::kLevelPriorities, s.instance, 8, rng);
+  const auto order = execution_order(schedule);
+  for (std::size_t i = 1; i < order.size(); ++i) {
+    EXPECT_LE(schedule.start(order[i - 1]), schedule.start(order[i]));
+  }
+}
+
+TEST(InfiniteMediumFlux, Formula) {
+  TransportOptions opts;
+  opts.sigma_t = 2.0;
+  opts.sigma_s = 0.5;
+  opts.volumetric_source = 3.0;
+  EXPECT_DOUBLE_EQ(infinite_medium_flux(opts), 2.0);
+  opts.sigma_s = 2.0;  // sigma_a = 0
+  EXPECT_DOUBLE_EQ(infinite_medium_flux(opts), 0.0);
+}
+
+}  // namespace
+}  // namespace sweep::transport

@@ -1,0 +1,132 @@
+#include "mesh/tri2d.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <map>
+#include <numbers>
+
+namespace sweep::mesh {
+namespace {
+
+// Each interior 2D edge must be shared by exactly two triangles, boundary
+// edges by one — conformity of the min-index diagonal rule.
+std::map<std::pair<std::uint32_t, std::uint32_t>, int> edge_use(
+    const TriMesh2D& tri) {
+  std::map<std::pair<std::uint32_t, std::uint32_t>, int> uses;
+  for (const auto& t : tri.triangles) {
+    for (int e = 0; e < 3; ++e) {
+      const std::uint32_t a = t[static_cast<std::size_t>(e)];
+      const std::uint32_t b = t[static_cast<std::size_t>((e + 1) % 3)];
+      ++uses[{std::min(a, b), std::max(a, b)}];
+    }
+  }
+  return uses;
+}
+
+TEST(GridTriangulation, CountsMatchFormula) {
+  const TriMesh2D tri = make_grid_triangulation(5, 7, 1.0, 1.0, 0.0, 1);
+  EXPECT_EQ(tri.n_vertices(), 35u);
+  EXPECT_EQ(tri.n_triangles(), 2u * 4u * 6u);
+}
+
+TEST(GridTriangulation, StructuredAreaIsExact) {
+  const TriMesh2D tri = make_grid_triangulation(6, 6, 2.0, 3.0, 0.0, 1);
+  EXPECT_NEAR(total_area(tri), 6.0, 1e-12);
+  EXPECT_TRUE(all_triangles_positive(tri));
+}
+
+TEST(GridTriangulation, JitterPreservesAreaAndOrientation) {
+  // Boundary vertices stay on the boundary, so total area is preserved and
+  // moderate jitter cannot invert triangles.
+  for (std::uint64_t seed : {1ull, 2ull, 3ull, 42ull}) {
+    const TriMesh2D tri = make_grid_triangulation(12, 9, 2.0, 1.5, 0.4, seed);
+    EXPECT_NEAR(total_area(tri), 3.0, 1e-9) << "seed " << seed;
+    EXPECT_TRUE(all_triangles_positive(tri)) << "seed " << seed;
+  }
+}
+
+TEST(GridTriangulation, Conforming) {
+  const TriMesh2D tri = make_grid_triangulation(8, 8, 1.0, 1.0, 0.35, 5);
+  for (const auto& [edge, uses] : edge_use(tri)) {
+    EXPECT_GE(uses, 1);
+    EXPECT_LE(uses, 2);
+  }
+}
+
+TEST(GridTriangulation, DeterministicPerSeed) {
+  const TriMesh2D a = make_grid_triangulation(9, 9, 1.0, 1.0, 0.3, 11);
+  const TriMesh2D b = make_grid_triangulation(9, 9, 1.0, 1.0, 0.3, 11);
+  EXPECT_EQ(a.vertices, b.vertices);
+  EXPECT_EQ(a.triangles, b.triangles);
+  const TriMesh2D c = make_grid_triangulation(9, 9, 1.0, 1.0, 0.3, 12);
+  EXPECT_NE(a.vertices, c.vertices);
+}
+
+TEST(GridTriangulation, RejectsDegenerateSizes) {
+  EXPECT_THROW(make_grid_triangulation(1, 5, 1, 1, 0, 1), std::invalid_argument);
+  EXPECT_THROW(make_grid_triangulation(5, 1, 1, 1, 0, 1), std::invalid_argument);
+}
+
+TEST(AnnulusTriangulation, CountsAndWrapAround) {
+  const TriMesh2D tri = make_annulus_triangulation(12, 4, 1.0, 2.0, 0.0, 1);
+  EXPECT_EQ(tri.n_vertices(), 48u);
+  EXPECT_EQ(tri.n_triangles(), 2u * 12u * 3u);
+  // Seam-free: every edge interior to the band is shared by two triangles.
+  int boundary_edges = 0;
+  for (const auto& [edge, uses] : edge_use(tri)) {
+    if (uses == 1) ++boundary_edges;
+    EXPECT_LE(uses, 2);
+  }
+  // Boundary edges = inner ring + outer ring = 12 + 12.
+  EXPECT_EQ(boundary_edges, 24);
+}
+
+TEST(AnnulusTriangulation, AreaApproximatesAnnulus) {
+  const TriMesh2D tri = make_annulus_triangulation(256, 16, 1.0, 2.0, 0.0, 1);
+  const double exact = std::numbers::pi * (4.0 - 1.0);
+  EXPECT_NEAR(total_area(tri), exact, exact * 0.01);
+  EXPECT_TRUE(all_triangles_positive(tri));
+}
+
+TEST(AnnulusTriangulation, JitteredStaysPositive) {
+  for (std::uint64_t seed : {1ull, 7ull, 13ull}) {
+    const TriMesh2D tri = make_annulus_triangulation(24, 6, 0.5, 2.0, 0.3, seed);
+    EXPECT_TRUE(all_triangles_positive(tri)) << "seed " << seed;
+  }
+}
+
+TEST(AnnulusTriangulation, RejectsBadParameters) {
+  EXPECT_THROW(make_annulus_triangulation(2, 4, 1, 2, 0, 1), std::invalid_argument);
+  EXPECT_THROW(make_annulus_triangulation(8, 1, 1, 2, 0, 1), std::invalid_argument);
+  EXPECT_THROW(make_annulus_triangulation(8, 4, 0, 2, 0, 1), std::invalid_argument);
+  EXPECT_THROW(make_annulus_triangulation(8, 4, 2, 1, 0, 1), std::invalid_argument);
+}
+
+struct SizeCase {
+  std::size_t nu;
+  std::size_t nv;
+  double jitter;
+};
+
+class GridSweep : public ::testing::TestWithParam<SizeCase> {};
+
+TEST_P(GridSweep, AlwaysConformingAndPositive) {
+  const auto& p = GetParam();
+  const TriMesh2D tri =
+      make_grid_triangulation(p.nu, p.nv, 1.0, 1.0, p.jitter, 99);
+  EXPECT_TRUE(all_triangles_positive(tri));
+  EXPECT_EQ(tri.n_triangles(), 2 * (p.nu - 1) * (p.nv - 1));
+  for (const auto& [edge, uses] : edge_use(tri)) {
+    EXPECT_LE(uses, 2);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sizes, GridSweep,
+    ::testing::Values(SizeCase{2, 2, 0.0}, SizeCase{2, 5, 0.3},
+                      SizeCase{3, 3, 0.45}, SizeCase{10, 4, 0.2},
+                      SizeCase{16, 16, 0.4}, SizeCase{25, 3, 0.35}));
+
+}  // namespace
+}  // namespace sweep::mesh

@@ -1,0 +1,86 @@
+#include "core/validate.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/assignment.hpp"
+#include "core/list_scheduler.hpp"
+#include "sweep/random_dag.hpp"
+#include "test_helpers.hpp"
+
+namespace sweep::core {
+namespace {
+
+dag::SweepInstance diamond() {
+  std::vector<dag::SweepDag> dags;
+  dags.push_back(test::make_dag(4, {{0, 1}, {0, 2}, {1, 3}, {2, 3}}));
+  return dag::SweepInstance(4, std::move(dags), "diamond");
+}
+
+TEST(Validate, AcceptsEngineOutput) {
+  const auto inst = diamond();
+  const Schedule s = list_schedule(inst, Assignment{0, 1, 0, 1}, 2);
+  const auto result = validate_schedule(inst, s);
+  EXPECT_TRUE(result);
+  EXPECT_TRUE(result.error.empty());
+}
+
+TEST(Validate, DetectsUnscheduledTask) {
+  const auto inst = diamond();
+  Schedule s(4, 1, 2, Assignment{0, 1, 0, 1});
+  s.set_start(0, 0);
+  const auto result = validate_schedule(inst, s);
+  EXPECT_FALSE(result);
+  EXPECT_NE(result.error.find("never scheduled"), std::string::npos);
+}
+
+TEST(Validate, DetectsPrecedenceViolation) {
+  const auto inst = diamond();
+  Schedule s = list_schedule(inst, Assignment{0, 1, 0, 1}, 2);
+  // Move the sink before its predecessors.
+  s.set_start(task_id(3, 0, 4), 0);
+  const auto result = validate_schedule(inst, s);
+  EXPECT_FALSE(result);
+  EXPECT_NE(result.error.find("precedence"), std::string::npos);
+}
+
+TEST(Validate, DetectsEqualTimesOnDependentTasks) {
+  const auto inst = diamond();
+  Schedule s(4, 1, 4, Assignment{0, 1, 2, 3});
+  s.set_start(task_id(0, 0, 4), 0);
+  s.set_start(task_id(1, 0, 4), 0);  // same time as its predecessor
+  s.set_start(task_id(2, 0, 4), 1);
+  s.set_start(task_id(3, 0, 4), 2);
+  const auto result = validate_schedule(inst, s);
+  EXPECT_FALSE(result);
+  EXPECT_NE(result.error.find("precedence"), std::string::npos);
+}
+
+TEST(Validate, DetectsDoubleBookedProcessor) {
+  // Two independent cells on one processor at the same time.
+  std::vector<dag::SweepDag> dags;
+  dags.push_back(test::make_dag(2, {}));
+  auto inst = dag::SweepInstance(2, std::move(dags), "pair");
+  Schedule s(2, 1, 1, Assignment{0, 0});
+  s.set_start(0, 0);
+  s.set_start(1, 0);
+  const auto result = validate_schedule(inst, s);
+  EXPECT_FALSE(result);
+  EXPECT_NE(result.error.find("same timestep"), std::string::npos);
+}
+
+TEST(Validate, DetectsOutOfRangeProcessor) {
+  const auto inst = diamond();
+  Schedule s(4, 1, 2, Assignment{0, 1, 0, 7});
+  const auto result = validate_schedule(inst, s);
+  EXPECT_FALSE(result);
+  EXPECT_NE(result.error.find("out-of-range"), std::string::npos);
+}
+
+TEST(Validate, DetectsShapeMismatch) {
+  const auto inst = diamond();
+  const Schedule s(3, 1, 2, Assignment{0, 1, 0});
+  EXPECT_FALSE(validate_schedule(inst, s));
+}
+
+}  // namespace
+}  // namespace sweep::core

@@ -1,0 +1,67 @@
+#include "mesh/vec3.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace sweep::mesh {
+namespace {
+
+TEST(Vec3, Arithmetic) {
+  const Vec3 a{1, 2, 3};
+  const Vec3 b{4, 5, 6};
+  EXPECT_EQ(a + b, Vec3(5, 7, 9));
+  EXPECT_EQ(b - a, Vec3(3, 3, 3));
+  EXPECT_EQ(a * 2.0, Vec3(2, 4, 6));
+  EXPECT_EQ(2.0 * a, Vec3(2, 4, 6));
+  EXPECT_EQ(a / 2.0, Vec3(0.5, 1, 1.5));
+  EXPECT_EQ(-a, Vec3(-1, -2, -3));
+}
+
+TEST(Vec3, CompoundAssignment) {
+  Vec3 v{1, 1, 1};
+  v += Vec3{1, 2, 3};
+  EXPECT_EQ(v, Vec3(2, 3, 4));
+  v *= 0.5;
+  EXPECT_EQ(v, Vec3(1, 1.5, 2));
+}
+
+TEST(Vec3, DotAndCross) {
+  EXPECT_DOUBLE_EQ(dot(Vec3(1, 2, 3), Vec3(4, 5, 6)), 32.0);
+  EXPECT_EQ(cross(Vec3(1, 0, 0), Vec3(0, 1, 0)), Vec3(0, 0, 1));
+  EXPECT_EQ(cross(Vec3(0, 1, 0), Vec3(1, 0, 0)), Vec3(0, 0, -1));
+  // Cross product is perpendicular to both inputs.
+  const Vec3 a{1.3, -2.1, 0.7};
+  const Vec3 b{-0.4, 0.9, 2.2};
+  const Vec3 c = cross(a, b);
+  EXPECT_NEAR(dot(c, a), 0.0, 1e-12);
+  EXPECT_NEAR(dot(c, b), 0.0, 1e-12);
+}
+
+TEST(Vec3, NormAndNormalize) {
+  EXPECT_DOUBLE_EQ(norm(Vec3(3, 4, 0)), 5.0);
+  EXPECT_DOUBLE_EQ(norm2(Vec3(3, 4, 0)), 25.0);
+  const Vec3 u = normalized(Vec3(3, 4, 0));
+  EXPECT_NEAR(norm(u), 1.0, 1e-15);
+  EXPECT_EQ(normalized(Vec3{}), Vec3{});
+}
+
+TEST(Vec3, TetVolume) {
+  // Unit right tetrahedron: volume 1/6.
+  EXPECT_DOUBLE_EQ(
+      tet_volume({0, 0, 0}, {1, 0, 0}, {0, 1, 0}, {0, 0, 1}), 1.0 / 6.0);
+  // Swapping two vertices flips the sign.
+  EXPECT_DOUBLE_EQ(
+      tet_volume({0, 0, 0}, {0, 1, 0}, {1, 0, 0}, {0, 0, 1}), -1.0 / 6.0);
+  // Degenerate (coplanar) tetrahedron has zero volume.
+  EXPECT_DOUBLE_EQ(
+      tet_volume({0, 0, 0}, {1, 0, 0}, {0, 1, 0}, {1, 1, 0}), 0.0);
+}
+
+TEST(Vec3, TriangleAreaNormal) {
+  const Vec3 n = triangle_area_normal({0, 0, 0}, {2, 0, 0}, {0, 2, 0});
+  EXPECT_EQ(n, Vec3(0, 0, 2));  // area 2, +z by right-hand rule
+}
+
+}  // namespace
+}  // namespace sweep::mesh

@@ -1,0 +1,63 @@
+#include "mesh/vtk.hpp"
+
+#include <gtest/gtest.h>
+
+#include <fstream>
+#include <sstream>
+
+#include "test_helpers.hpp"
+
+namespace sweep::mesh {
+namespace {
+
+TEST(Vtk, WritesWellFormedPolydata) {
+  const UnstructuredMesh m = test::small_tet_mesh(3, 3, 1);
+  std::vector<VtkField> fields(1);
+  fields[0].name = "processor";
+  fields[0].values.assign(m.n_cells(), 2.0);
+  std::stringstream out;
+  save_vtk_points(m, fields, out);
+  const std::string text = out.str();
+  EXPECT_NE(text.find("# vtk DataFile Version 3.0"), std::string::npos);
+  EXPECT_NE(text.find("DATASET POLYDATA"), std::string::npos);
+  EXPECT_NE(text.find("POINTS " + std::to_string(m.n_cells()) + " double"),
+            std::string::npos);
+  EXPECT_NE(text.find("SCALARS processor double 1"), std::string::npos);
+  // One value line per cell after the lookup table.
+  std::size_t count = 0;
+  std::size_t pos = 0;
+  while ((pos = text.find("\n2\n", pos)) != std::string::npos) {
+    ++count;
+    ++pos;
+  }
+  EXPECT_EQ(count, m.n_cells());
+}
+
+TEST(Vtk, NoFieldsIsValid) {
+  const UnstructuredMesh m = test::small_tet_mesh(3, 3, 1);
+  std::stringstream out;
+  save_vtk_points(m, {}, out);
+  EXPECT_EQ(out.str().find("POINT_DATA"), std::string::npos);
+}
+
+TEST(Vtk, RejectsBadFields) {
+  const UnstructuredMesh m = test::small_tet_mesh(3, 3, 1);
+  std::stringstream out;
+  VtkField short_field{"x", {1.0, 2.0}};
+  EXPECT_THROW(save_vtk_points(m, {short_field}, out), std::invalid_argument);
+  VtkField spaced{"bad name", std::vector<double>(m.n_cells(), 0.0)};
+  EXPECT_THROW(save_vtk_points(m, {spaced}, out), std::invalid_argument);
+}
+
+TEST(Vtk, FileWriting) {
+  const UnstructuredMesh m = test::small_tet_mesh(3, 3, 1);
+  const std::string path = ::testing::TempDir() + "/sweep_test.vtk";
+  save_vtk_points(m, {}, path);
+  std::ifstream in(path);
+  EXPECT_TRUE(in.good());
+  EXPECT_THROW(save_vtk_points(m, {}, "/nonexistent_dir/x.vtk"),
+               std::runtime_error);
+}
+
+}  // namespace
+}  // namespace sweep::mesh

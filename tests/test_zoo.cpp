@@ -1,0 +1,74 @@
+#include "mesh/zoo.hpp"
+
+#include <gtest/gtest.h>
+
+#include "mesh/mesh_stats.hpp"
+
+namespace sweep::mesh {
+namespace {
+
+TEST(MeshZoo, NamesAreThePapersMeshes) {
+  const auto& names = MeshZoo::names();
+  ASSERT_EQ(names.size(), 4u);
+  EXPECT_EQ(names[0], "tetonly");
+  EXPECT_EQ(names[1], "well_logging");
+  EXPECT_EQ(names[2], "long");
+  EXPECT_EQ(names[3], "prismtet");
+}
+
+TEST(MeshZoo, ByNameDispatchesAndRejectsUnknown) {
+  const UnstructuredMesh m = MeshZoo::by_name("tetonly", 0.3);
+  EXPECT_EQ(m.name(), "tetonly");
+  EXPECT_THROW(MeshZoo::by_name("nope"), std::invalid_argument);
+}
+
+// Full-scale cell counts should land near the paper's mesh sizes
+// (tetonly 31,481; well_logging 43,012; long 61,737; prismtet 118,211).
+TEST(MeshZoo, FullScaleCountsNearPaper) {
+  EXPECT_NEAR(static_cast<double>(MeshZoo::tetonly_like(1.0).n_cells()),
+              31481.0, 31481.0 * 0.1);
+  EXPECT_NEAR(static_cast<double>(MeshZoo::well_logging_like(1.0).n_cells()),
+              43012.0, 43012.0 * 0.1);
+  EXPECT_NEAR(static_cast<double>(MeshZoo::long_like(1.0).n_cells()),
+              61737.0, 61737.0 * 0.1);
+  EXPECT_NEAR(static_cast<double>(MeshZoo::prismtet_like(1.0).n_cells()),
+              118211.0, 118211.0 * 0.1);
+}
+
+class ZooSweep : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(ZooSweep, SmallScaleInstancesAreSane) {
+  const UnstructuredMesh m = MeshZoo::by_name(GetParam(), 0.35);
+  const MeshStats s = compute_stats(m);
+  EXPECT_GT(s.n_cells, 50u);
+  EXPECT_GT(s.min_volume, 0.0);
+  EXPECT_GE(s.min_degree, 1u);
+  EXPECT_LE(s.max_degree, 5u);  // tets <= 4, prisms <= 5
+  EXPECT_TRUE(is_connected(m));
+  EXPECT_EQ(m.name(), GetParam());
+}
+
+TEST_P(ZooSweep, SeedChangesGeometryNotTopologyScale) {
+  const UnstructuredMesh a = MeshZoo::by_name(GetParam(), 0.3, 1);
+  const UnstructuredMesh b = MeshZoo::by_name(GetParam(), 0.3, 2);
+  EXPECT_EQ(a.n_cells(), b.n_cells());
+  // Jitter differs, so at least one centroid moves.
+  bool any_different = false;
+  for (CellId c = 0; c < a.n_cells() && !any_different; ++c) {
+    any_different = !(a.centroid(c) == b.centroid(c));
+  }
+  EXPECT_TRUE(any_different);
+}
+
+TEST_P(ZooSweep, ScaleGrowsCellCount) {
+  const UnstructuredMesh small = MeshZoo::by_name(GetParam(), 0.25);
+  const UnstructuredMesh big = MeshZoo::by_name(GetParam(), 0.5);
+  EXPECT_GT(big.n_cells(), small.n_cells());
+}
+
+INSTANTIATE_TEST_SUITE_P(AllMeshes, ZooSweep,
+                         ::testing::Values("tetonly", "well_logging", "long",
+                                           "prismtet"));
+
+}  // namespace
+}  // namespace sweep::mesh

@@ -1,0 +1,180 @@
+// sweep_cli: the library's command-line front end. One binary that loads or
+// generates an instance, runs any scheduling algorithm, and reports every
+// metric in the library — the workflow a downstream user runs daily.
+//
+// Examples:
+//   sweep_cli --mesh tetonly --scale 0.5 --algorithm rd_priorities --m 64
+//   sweep_cli --mesh long --block 64 --algorithm dfds --m 128 --analyze
+//   sweep_cli --load-instance inst.txt --algorithm random_delay --m 32
+//             --save-schedule sched.txt --simulate
+
+#include <cstdio>
+#include <memory>
+#include <string>
+
+#include "core/algorithms.hpp"
+#include "core/analysis.hpp"
+#include "core/assignment.hpp"
+#include "core/comm_cost.hpp"
+#include "core/comm_rounds.hpp"
+#include "core/lower_bounds.hpp"
+#include "core/schedule_io.hpp"
+#include "core/validate.hpp"
+#include "mesh/io.hpp"
+#include "mesh/mesh_stats.hpp"
+#include "mesh/vtk.hpp"
+#include "mesh/zoo.hpp"
+#include "partition/multilevel.hpp"
+#include "sim/machine.hpp"
+#include "sweep/instance_io.hpp"
+#include "sweep/instance.hpp"
+#include "util/cli.hpp"
+#include "util/timer.hpp"
+
+int main(int argc, char** argv) {
+  using namespace sweep;
+  util::CliParser cli("sweep_cli", "Run sweep-scheduling algorithms on meshes "
+                                   "or saved instances and report metrics");
+  cli.add_option("mesh", "tetonly", "zoo mesh: tetonly|well_logging|long|prismtet");
+  cli.add_option("load-mesh", "", "load a mesh file instead of the zoo");
+  cli.add_option("load-instance", "", "load a saved instance (skips DAG build)");
+  cli.add_option("scale", "0.5", "zoo mesh scale (1.0 = paper size)");
+  cli.add_option("sn", "4", "S_n quadrature order (k = n(n+2))");
+  cli.add_option("algorithm", "rd_priorities",
+                 "random_delay|rd_priorities|improved_rd|level|blevel|"
+                 "descendant|descendant_delays|dfds|dfds_delays");
+  cli.add_option("m", "64", "number of processors");
+  cli.add_option("block", "0", "block size for block assignment (0 = per-cell)");
+  cli.add_option("seed", "12345", "RNG seed");
+  cli.add_flag("analyze", "print idle/load analysis and utilization strip");
+  cli.add_flag("simulate", "price the schedule on a default alpha-beta machine");
+  cli.add_flag("rounds", "realize the C2 communication rounds (edge coloring)");
+  cli.add_option("save-schedule", "", "write the schedule to this path");
+  cli.add_option("save-instance", "", "write the instance to this path");
+  cli.add_option("save-vtk", "",
+                 "write cell centroids + processor/start fields as VTK");
+  if (!cli.parse(argc, argv)) return 1;
+
+  util::Timer timer;
+
+  // --- Instance -----------------------------------------------------------
+  std::unique_ptr<dag::SweepInstance> instance;
+  std::unique_ptr<mesh::UnstructuredMesh> mesh_ptr;
+  if (!cli.str("load-instance").empty()) {
+    instance = std::make_unique<dag::SweepInstance>(
+        dag::load_instance(cli.str("load-instance")));
+    std::printf("instance '%s': %zu cells, %zu directions, %zu edges\n",
+                instance->name().c_str(), instance->n_cells(),
+                instance->n_directions(), instance->total_edges());
+  } else {
+    mesh_ptr = std::make_unique<mesh::UnstructuredMesh>(
+        cli.str("load-mesh").empty()
+            ? mesh::MeshZoo::by_name(cli.str("mesh"), cli.real("scale"),
+                                     static_cast<std::uint64_t>(cli.integer("seed")))
+            : mesh::load_mesh(cli.str("load-mesh")));
+    std::printf("mesh '%s': %s\n", mesh_ptr->name().c_str(),
+                to_string(mesh::compute_stats(*mesh_ptr)).c_str());
+    const auto dirs =
+        dag::level_symmetric(static_cast<std::size_t>(cli.integer("sn")));
+    dag::InstanceBuildStats stats;
+    instance = std::make_unique<dag::SweepInstance>(
+        dag::build_instance(*mesh_ptr, dirs, 1e-9, &stats));
+    std::printf("built %zu DAGs (%zu edges, %zu cycle-broken) in %.2fs\n",
+                dirs.size(), instance->total_edges(),
+                stats.total_dropped_edges, timer.seconds());
+  }
+  if (!cli.str("save-instance").empty()) {
+    dag::save_instance(*instance, cli.str("save-instance"));
+    std::printf("instance written to %s\n", cli.str("save-instance").c_str());
+  }
+
+  // --- Assignment ---------------------------------------------------------
+  const auto m = static_cast<std::size_t>(cli.integer("m"));
+  util::Rng rng(static_cast<std::uint64_t>(cli.integer("seed")));
+  core::Assignment assignment;
+  if (cli.integer("block") > 0) {
+    if (mesh_ptr == nullptr) {
+      std::fprintf(stderr, "--block requires a mesh (not --load-instance)\n");
+      return 1;
+    }
+    const auto graph = partition::graph_from_mesh(*mesh_ptr);
+    const auto blocks = partition::partition_into_blocks(
+        graph, static_cast<std::size_t>(cli.integer("block")));
+    assignment = core::block_assignment(blocks, m, rng);
+    std::printf("block assignment: %zu blocks of ~%lld cells, C1 will follow "
+                "the partition cut\n",
+                partition::count_blocks(blocks),
+                static_cast<long long>(cli.integer("block")));
+  }
+
+  // --- Schedule -----------------------------------------------------------
+  const core::Algorithm algorithm =
+      core::algorithm_from_name(cli.str("algorithm"));
+  timer.reset();
+  const core::Schedule schedule =
+      core::run_algorithm(algorithm, *instance, m, rng, assignment);
+  const double solve_seconds = timer.seconds();
+  const auto valid = core::validate_schedule(*instance, schedule);
+  if (!valid) {
+    std::fprintf(stderr, "INVALID SCHEDULE: %s\n", valid.error.c_str());
+    return 2;
+  }
+  const auto lb = core::compute_lower_bounds(*instance, m);
+  std::printf("\n%s on m=%zu: makespan %zu  (LB %.0f, ratio %.3f)  [%.2fs]\n",
+              core::algorithm_name(algorithm).c_str(), m, schedule.makespan(),
+              lb.value(), core::approximation_ratio(schedule, lb),
+              solve_seconds);
+
+  const auto c1 = core::comm_cost_c1(*instance, schedule.assignment());
+  const auto c2 = core::comm_cost_c2(*instance, schedule);
+  std::printf("C1 = %zu interprocessor edges (%.1f%% of %zu); C2 = %zu "
+              "(worst round %zu)\n",
+              c1.cross_edges, 100.0 * c1.fraction(), c1.total_edges,
+              c2.total_delay, c2.max_step_degree);
+
+  if (cli.flag("rounds")) {
+    const auto rounds = core::realize_c2_rounds(*instance, schedule);
+    std::printf("realized communication rounds (edge coloring): %zu total, "
+                "worst step %zu, max total degree %zu\n",
+                rounds.total_rounds, rounds.max_round_count,
+                rounds.max_total_degree);
+  }
+  if (cli.flag("analyze")) {
+    const auto analysis = core::analyze_schedule(*instance, schedule);
+    std::printf("analysis: %s\n", to_string(analysis).c_str());
+    std::printf("utilization: [%s]\n",
+                core::utilization_strip(schedule, 70).c_str());
+  }
+  if (cli.flag("simulate")) {
+    sim::MachineModel model;  // defaults: alpha 0.1, beta 0.01
+    const auto sim_result = sim::simulate_execution(*instance, schedule, model);
+    std::printf("simulated machine (alpha=%.2f beta=%.2f): time %.0f, "
+                "stretch %.2f, efficiency %.2f\n",
+                model.latency, model.byte_time, sim_result.completion_time,
+                sim_result.completion_time /
+                    static_cast<double>(schedule.makespan()),
+                sim_result.efficiency(m));
+  }
+  if (!cli.str("save-schedule").empty()) {
+    core::save_schedule(schedule, cli.str("save-schedule"));
+    std::printf("schedule written to %s\n", cli.str("save-schedule").c_str());
+  }
+  if (!cli.str("save-vtk").empty()) {
+    if (mesh_ptr == nullptr) {
+      std::fprintf(stderr, "--save-vtk requires a mesh (not --load-instance)\n");
+      return 1;
+    }
+    std::vector<mesh::VtkField> fields(2);
+    fields[0].name = "processor";
+    fields[1].name = "start_dir0";  // wavefront of the first direction
+    fields[0].values.resize(mesh_ptr->n_cells());
+    fields[1].values.resize(mesh_ptr->n_cells());
+    for (mesh::CellId c = 0; c < mesh_ptr->n_cells(); ++c) {
+      fields[0].values[c] = schedule.assignment()[c];
+      fields[1].values[c] = schedule.start(c, 0);
+    }
+    mesh::save_vtk_points(*mesh_ptr, fields, cli.str("save-vtk"));
+    std::printf("VTK point cloud written to %s\n", cli.str("save-vtk").c_str());
+  }
+  return 0;
+}
