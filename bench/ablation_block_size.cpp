@@ -19,6 +19,7 @@ int main(int argc, char** argv) {
   cli.add_option("m", "64", "processor count");
   cli.add_option("blocks", "1,4,16,64,256,1024", "block sizes to sweep");
   if (!cli.parse(argc, argv)) return 1;
+  bench::configure_jobs(cli);
 
   const auto setup =
       bench::make_instance(cli.str("mesh"), bench::resolve_scale(cli), 4);

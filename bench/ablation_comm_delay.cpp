@@ -23,6 +23,7 @@ int main(int argc, char** argv) {
   cli.add_option("m", "32", "processor count");
   cli.add_option("delays", "0,1,2,4,8,16", "message delays c to sweep");
   if (!cli.parse(argc, argv)) return 1;
+  bench::configure_jobs(cli);
 
   const auto setup =
       bench::make_instance(cli.str("mesh"), bench::resolve_scale(cli), 4);

@@ -16,6 +16,7 @@ int main(int argc, char** argv) {
   bench::add_common_options(cli);
   cli.add_option("procs", "16,64,256", "processor counts");
   if (!cli.parse(argc, argv)) return 1;
+  bench::configure_jobs(cli);
 
   const auto trials = static_cast<std::size_t>(cli.integer("trials"));
   const auto seed = static_cast<std::uint64_t>(cli.integer("seed"));

@@ -20,6 +20,7 @@ int main(int argc, char** argv) {
   cli.add_option("m", "64", "processor count");
   cli.add_option("block", "64", "block size");
   if (!cli.parse(argc, argv)) return 1;
+  bench::configure_jobs(cli);
 
   const auto setup =
       bench::make_instance(cli.str("mesh"), bench::resolve_scale(cli), 4);

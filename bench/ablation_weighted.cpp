@@ -19,6 +19,7 @@ int main(int argc, char** argv) {
   cli.add_option("mesh", "prismtet", "zoo mesh name (prismtet is mixed-type)");
   cli.add_option("procs", "8,32,128", "processor counts");
   if (!cli.parse(argc, argv)) return 1;
+  bench::configure_jobs(cli);
 
   const auto setup =
       bench::make_instance(cli.str("mesh"), bench::resolve_scale(cli), 4);

@@ -21,6 +21,7 @@ int main(int argc, char** argv) {
   cli.add_option("nx", "24", "grid cells per side (nx = ny = nz)");
   cli.add_option("procs", "4,16,64", "processor counts (KBA grid factors)");
   if (!cli.parse(argc, argv)) return 1;
+  bench::configure_jobs(cli);
 
   const double scale = bench::resolve_scale(cli);
   const auto side = std::max<std::size_t>(

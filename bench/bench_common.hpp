@@ -7,9 +7,11 @@
 //   --seed X     base RNG seed
 //   --csv PATH   mirror the printed table to a CSV file
 //   --validate   validate every schedule (slower)
+//   --jobs J     parallel trial workers (0 = all cores, 1 = serial)
 
 #include <cstdio>
 #include <cstdlib>
+#include <span>
 #include <string>
 #include <vector>
 
@@ -21,6 +23,7 @@
 #include "partition/multilevel.hpp"
 #include "sweep/instance.hpp"
 #include "util/cli.hpp"
+#include "util/parallel.hpp"
 #include "util/rng.hpp"
 #include "util/stats.hpp"
 #include "util/table.hpp"
@@ -35,10 +38,25 @@ inline void add_common_options(util::CliParser& cli) {
   cli.add_option("seed", "12345", "base RNG seed");
   cli.add_option("csv", "", "mirror table to CSV file");
   cli.add_flag("validate", "validate every schedule produced");
+  cli.add_option("jobs", "0",
+                 "parallel trial workers (0 = all cores, 1 = serial)");
 }
 
 inline double resolve_scale(const util::CliParser& cli) {
   return cli.flag("full") ? 1.0 : cli.real("scale");
+}
+
+/// The process-wide trial fan-out width used by mean_makespan /
+/// parallel_trials: 0 = all cores, 1 = serial. Results are identical either
+/// way (see parallel_trials); this only trades wall-clock for cores.
+inline std::size_t& trial_jobs() {
+  static std::size_t jobs = 0;
+  return jobs;
+}
+
+/// Reads --jobs into the process-wide fan-out width. Call once after parse.
+inline void configure_jobs(const util::CliParser& cli) {
+  trial_jobs() = static_cast<std::size_t>(cli.integer("jobs"));
 }
 
 struct BenchInstance {
@@ -87,36 +105,86 @@ inline partition::Partition make_blocks(const partition::Graph& graph,
   return partition::partition_into_blocks(graph, block_size, options);
 }
 
+/// One data point of a trial batch: run `algorithm` on `n_processors`
+/// processors (block->processor assignment drawn per trial when `blocks` is
+/// non-null, fresh random per-cell assignment otherwise).
+struct TrialSpec {
+  core::Algorithm algorithm;
+  std::size_t n_processors;
+  const partition::Partition* blocks = nullptr;
+};
+
+/// Runs `trials` trials of every spec, fanning the (spec, trial) points
+/// across the thread pool, and returns the per-spec mean makespans.
+///
+/// Determinism: trial `trial` of EVERY spec seeds its own Rng with
+/// `seed + trial * 1000003` — exactly the per-trial seeding the serial loop
+/// used — and the Welford reduction consumes the makespans in serial trial
+/// order from a buffer, so the result is bit-identical for any `jobs`
+/// (0 = all cores, 1 = serial). Optionally validates every schedule and
+/// aborts on infeasibility.
+inline std::vector<double> parallel_trials(const dag::SweepInstance& instance,
+                                           std::span<const TrialSpec> specs,
+                                           std::size_t trials,
+                                           std::uint64_t seed, bool validate,
+                                           std::size_t jobs = 0) {
+  std::vector<double> means(specs.size(), 0.0);
+  if (specs.empty() || trials == 0) return means;
+  // Warm the shared lazy caches serially so no worker pays the one-time
+  // build inside its first trial (call_once already makes this safe).
+  (void)instance.task_graph();
+
+  std::vector<double> makespans(specs.size() * trials);
+  util::parallel_for(
+      makespans.size(),
+      [&](std::size_t idx) {
+        const TrialSpec& spec = specs[idx / trials];
+        const std::size_t trial = idx % trials;
+        util::Rng rng(seed + trial * 1000003);
+        core::Assignment assignment;
+        if (spec.blocks != nullptr) {
+          assignment =
+              core::block_assignment(*spec.blocks, spec.n_processors, rng);
+        }
+        const core::Schedule schedule = core::run_algorithm(
+            spec.algorithm, instance, spec.n_processors, rng,
+            std::move(assignment));
+        if (validate) {
+          const auto result = core::validate_schedule(instance, schedule);
+          if (!result) {
+            std::fprintf(stderr, "FATAL: invalid schedule (%s, m=%zu): %s\n",
+                         core::algorithm_name(spec.algorithm).c_str(),
+                         spec.n_processors, result.error.c_str());
+            std::abort();
+          }
+        }
+        makespans[idx] = static_cast<double>(schedule.makespan());
+      },
+      jobs);
+
+  for (std::size_t s = 0; s < specs.size(); ++s) {
+    util::OnlineStats stats;
+    for (std::size_t trial = 0; trial < trials; ++trial) {
+      stats.add(makespans[s * trials + trial]);
+    }
+    means[s] = stats.mean();
+  }
+  return means;
+}
+
 /// Runs `algorithm` `trials` times with per-trial RNGs (and fresh random
 /// assignments unless `blocks` is non-null, in which case a fresh random
 /// block->processor map per trial); returns mean makespan. Optionally
-/// validates each schedule and aborts on infeasibility.
+/// validates each schedule and aborts on infeasibility. Trials fan out
+/// across trial_jobs() workers; the result is identical to the serial loop.
 inline double mean_makespan(core::Algorithm algorithm,
                             const dag::SweepInstance& instance, std::size_t m,
                             std::size_t trials, std::uint64_t seed,
                             const partition::Partition* blocks,
                             bool validate) {
-  util::OnlineStats stats;
-  for (std::size_t trial = 0; trial < trials; ++trial) {
-    util::Rng rng(seed + trial * 1000003);
-    core::Assignment assignment;
-    if (blocks != nullptr) {
-      assignment = core::block_assignment(*blocks, m, rng);
-    }
-    const core::Schedule schedule =
-        core::run_algorithm(algorithm, instance, m, rng, std::move(assignment));
-    if (validate) {
-      const auto result = core::validate_schedule(instance, schedule);
-      if (!result) {
-        std::fprintf(stderr, "FATAL: invalid schedule (%s, m=%zu): %s\n",
-                     core::algorithm_name(algorithm).c_str(), m,
-                     result.error.c_str());
-        std::abort();
-      }
-    }
-    stats.add(static_cast<double>(schedule.makespan()));
-  }
-  return stats.mean();
+  const TrialSpec spec{algorithm, m, blocks};
+  return parallel_trials(instance, {&spec, 1}, trials, seed, validate,
+                         trial_jobs())[0];
 }
 
 inline std::vector<std::int64_t> default_proc_sweep() {

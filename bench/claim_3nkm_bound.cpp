@@ -19,6 +19,7 @@ int main(int argc, char** argv) {
   cli.add_option("procs", "2,8,32,128,512", "processor counts");
   cli.add_option("orders", "2,4", "S_n orders");
   if (!cli.parse(argc, argv)) return 1;
+  bench::configure_jobs(cli);
 
   const auto trials = static_cast<std::size_t>(cli.integer("trials"));
   const auto seed = static_cast<std::uint64_t>(cli.integer("seed"));

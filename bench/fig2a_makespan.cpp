@@ -17,6 +17,7 @@ int main(int argc, char** argv) {
   cli.add_option("mesh", "tetonly", "zoo mesh name");
   cli.add_option("procs", "8,16,32,64,128,256,512", "processor counts");
   if (!cli.parse(argc, argv)) return 1;
+  bench::configure_jobs(cli);
 
   const auto setup =
       bench::make_instance(cli.str("mesh"), bench::resolve_scale(cli), 4);
@@ -30,25 +31,34 @@ int main(int argc, char** argv) {
   const auto blocks64 = bench::make_blocks(setup.graph, bs64, seed);
   const auto blocks256 = bench::make_blocks(setup.graph, bs256, seed + 1);
 
+  // Every (m, series, trial) point is independent: batch the whole figure
+  // into one fan-out across the thread pool. The per-trial seeding and the
+  // ordered reduction in parallel_trials keep the output byte-identical to
+  // the serial loop (--jobs 1).
+  const std::vector<std::int64_t> procs = cli.int_list("procs");
+  std::vector<bench::TrialSpec> specs;
+  specs.reserve(procs.size() * 4);
+  for (std::int64_t m64 : procs) {
+    const auto m = static_cast<std::size_t>(m64);
+    specs.push_back({core::Algorithm::kRandomDelay, m, nullptr});
+    specs.push_back({core::Algorithm::kRandomDelay, m, &blocks64});
+    specs.push_back({core::Algorithm::kRandomDelay, m, &blocks256});
+    specs.push_back({core::Algorithm::kRandomDelayPriorities, m, nullptr});
+  }
+  const std::vector<double> means = bench::parallel_trials(
+      setup.instance, specs, trials, seed, validate, bench::trial_jobs());
+
   util::Table table({"m", "LB=nk/m", "RD_cell", "RD_block64", "RD_block256",
                      "RDprio_cell", "RD_cell/LB"});
   table.mirror_csv(cli.str("csv"));
-  for (std::int64_t m64 : cli.int_list("procs")) {
-    const auto m = static_cast<std::size_t>(m64);
+  for (std::size_t row = 0; row < procs.size(); ++row) {
+    const auto m = static_cast<std::size_t>(procs[row]);
     const double lb = static_cast<double>(setup.instance.n_tasks()) /
                       static_cast<double>(m);
-    const double rd_cell =
-        bench::mean_makespan(core::Algorithm::kRandomDelay, setup.instance, m,
-                             trials, seed, nullptr, validate);
-    const double rd_b64 =
-        bench::mean_makespan(core::Algorithm::kRandomDelay, setup.instance, m,
-                             trials, seed, &blocks64, validate);
-    const double rd_b256 =
-        bench::mean_makespan(core::Algorithm::kRandomDelay, setup.instance, m,
-                             trials, seed, &blocks256, validate);
-    const double rdp_cell =
-        bench::mean_makespan(core::Algorithm::kRandomDelayPriorities,
-                             setup.instance, m, trials, seed, nullptr, validate);
+    const double rd_cell = means[row * 4 + 0];
+    const double rd_b64 = means[row * 4 + 1];
+    const double rd_b256 = means[row * 4 + 2];
+    const double rdp_cell = means[row * 4 + 3];
     table.add_row({util::Table::fmt(static_cast<std::int64_t>(m)),
                    util::Table::fmt(lb, 0), util::Table::fmt(rd_cell, 0),
                    util::Table::fmt(rd_b64, 0), util::Table::fmt(rd_b256, 0),

@@ -54,6 +54,7 @@ int main(int argc, char** argv) {
   cli.add_option("mesh", "tetonly", "zoo mesh name");
   cli.add_option("procs", "8,16,32,64,128,256,512", "processor counts");
   if (!cli.parse(argc, argv)) return 1;
+  bench::configure_jobs(cli);
 
   const auto setup =
       bench::make_instance(cli.str("mesh"), bench::resolve_scale(cli), 4);

@@ -16,6 +16,7 @@ int main(int argc, char** argv) {
   cli.add_option("procs", "8,16,32,64,128,256,512", "processor counts");
   cli.add_option("orders", "2,4,6", "S_n orders (k = n(n+2): 8, 24, 48)");
   if (!cli.parse(argc, argv)) return 1;
+  bench::configure_jobs(cli);
 
   const auto trials = static_cast<std::size_t>(cli.integer("trials"));
   const auto seed = static_cast<std::uint64_t>(cli.integer("seed"));

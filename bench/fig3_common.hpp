@@ -33,6 +33,7 @@ inline int run_fig3(const Fig3Config& config, int argc, const char* const* argv)
   cli.add_option("procs", "32,64,128,256,512", "processor counts");
   cli.add_option("orders", "2,4,6", "S_n orders (k = 8, 24, 48)");
   if (!cli.parse(argc, argv)) return 1;
+  configure_jobs(cli);
 
   const auto trials = static_cast<std::size_t>(cli.integer("trials"));
   const auto seed = static_cast<std::uint64_t>(cli.integer("seed"));

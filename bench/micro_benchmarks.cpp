@@ -1,10 +1,24 @@
 // Google-benchmark microbenchmarks for the performance-critical kernels:
 // mesh generation, DAG induction, level computation, the list-scheduling
-// engine, Algorithm 1's layered construction, and the multilevel
-// partitioner. These back the paper's remark that the algorithms run in
-// near-linear time in the schedule length.
+// engine (old per-direction-walk path vs. the flat TaskGraph engine, bucket
+// and heap ready queues), Algorithm 1's layered construction, and the
+// multilevel partitioner. These back the paper's remark that the algorithms
+// run in near-linear time in the schedule length.
+//
+// After the google-benchmark run, main() times each scheduling algorithm
+// end-to-end and writes a machine-readable throughput report (tasks/sec per
+// algorithm, old vs. new list-scheduler path) so later PRs can track the
+// perf trajectory:
+//   path: $SWEEP_BENCH_JSON, default "BENCH_schedule_throughput.json"
+//   skip: set SWEEP_BENCH_JSON=none
 
 #include <benchmark/benchmark.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <map>
+#include <string>
+#include <vector>
 
 #include "core/assignment.hpp"
 #include "core/list_scheduler.hpp"
@@ -14,7 +28,9 @@
 #include "partition/multilevel.hpp"
 #include "sweep/dag_builder.hpp"
 #include "sweep/instance.hpp"
+#include "sweep/task_graph.hpp"
 #include "util/rng.hpp"
+#include "util/timer.hpp"
 
 namespace {
 
@@ -29,6 +45,28 @@ const dag::SweepInstance& bench_instance() {
   static const dag::SweepInstance inst =
       dag::build_instance(bench_mesh(), dag::level_symmetric(4));
   return inst;
+}
+
+/// Shared fixture for the list-scheduler benchmarks: one assignment and one
+/// random-delay priority vector, reused so old and new paths time the exact
+/// same scheduling problem.
+struct SchedFixture {
+  core::Assignment assignment;
+  std::vector<core::TimeStep> delays;
+  std::vector<std::int64_t> priorities;
+};
+
+const SchedFixture& sched_fixture(std::size_t m) {
+  // std::map: node-based, so references stay valid as entries are added.
+  static std::map<std::size_t, SchedFixture> cache;
+  const auto it = cache.find(m);
+  if (it != cache.end()) return it->second;
+  util::Rng rng(1);
+  SchedFixture fix;
+  fix.assignment = core::random_assignment(bench_instance().n_cells(), m, rng);
+  fix.delays = core::random_delays(bench_instance().n_directions(), rng);
+  fix.priorities = core::random_delay_priorities(bench_instance(), fix.delays);
+  return cache.emplace(m, std::move(fix)).first->second;
 }
 
 void BM_MeshGeneration(benchmark::State& state) {
@@ -63,23 +101,81 @@ void BM_Levels(benchmark::State& state) {
 }
 BENCHMARK(BM_Levels);
 
+void BM_TaskGraphBuild(benchmark::State& state) {
+  const auto& inst = bench_instance();
+  const auto& levels = inst.levels();
+  for (auto _ : state) {
+    auto tg = dag::TaskGraph::build(inst.n_cells(), inst.dags(), levels);
+    benchmark::DoNotOptimize(tg.n_edges());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(inst.n_tasks()));
+}
+BENCHMARK(BM_TaskGraphBuild);
+
+/// New engine, kAuto ready queues (bucket for these priorities).
 void BM_ListScheduler(benchmark::State& state) {
   const auto& inst = bench_instance();
   const auto m = static_cast<std::size_t>(state.range(0));
-  util::Rng rng(1);
-  const auto assignment = core::random_assignment(inst.n_cells(), m, rng);
-  const auto delays = core::random_delays(inst.n_directions(), rng);
-  const auto priorities = core::random_delay_priorities(inst, delays);
+  const SchedFixture& fix = sched_fixture(m);
   core::ListScheduleOptions options;
-  options.priorities = priorities;
+  options.priorities = fix.priorities;
+  (void)inst.task_graph();  // exclude the one-time CSR build from the timing
   for (auto _ : state) {
-    auto schedule = core::list_schedule(inst, assignment, m, options);
+    auto schedule = core::list_schedule(inst, fix.assignment, m, options);
     benchmark::DoNotOptimize(schedule.makespan());
   }
   state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
                           static_cast<std::int64_t>(inst.n_tasks()));
 }
 BENCHMARK(BM_ListScheduler)->Arg(8)->Arg(64)->Arg(512);
+
+/// New engine forced onto binary heaps — isolates the bucket-queue gain.
+void BM_ListSchedulerHeap(benchmark::State& state) {
+  const auto& inst = bench_instance();
+  const auto m = static_cast<std::size_t>(state.range(0));
+  const SchedFixture& fix = sched_fixture(m);
+  core::ListScheduleOptions options;
+  options.priorities = fix.priorities;
+  options.ready_queue = core::ReadyQueueKind::kHeap;
+  (void)inst.task_graph();
+  for (auto _ : state) {
+    auto schedule = core::list_schedule(inst, fix.assignment, m, options);
+    benchmark::DoNotOptimize(schedule.makespan());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(inst.n_tasks()));
+}
+BENCHMARK(BM_ListSchedulerHeap)->Arg(8)->Arg(64)->Arg(512);
+
+/// Old path: per-direction DAG walks + task-id arithmetic per edge.
+void BM_ListSchedulerReference(benchmark::State& state) {
+  const auto& inst = bench_instance();
+  const auto m = static_cast<std::size_t>(state.range(0));
+  const SchedFixture& fix = sched_fixture(m);
+  core::ListScheduleOptions options;
+  options.priorities = fix.priorities;
+  for (auto _ : state) {
+    auto schedule =
+        core::list_schedule_reference(inst, fix.assignment, m, options);
+    benchmark::DoNotOptimize(schedule.makespan());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(inst.n_tasks()));
+}
+BENCHMARK(BM_ListSchedulerReference)->Arg(8)->Arg(64)->Arg(512);
+
+void BM_GreedyUnionSchedule(benchmark::State& state) {
+  const auto& inst = bench_instance();
+  (void)inst.task_graph();
+  for (auto _ : state) {
+    auto step = core::greedy_union_schedule(inst, 64);
+    benchmark::DoNotOptimize(step.data());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(inst.n_tasks()));
+}
+BENCHMARK(BM_GreedyUnionSchedule);
 
 void BM_RandomDelaySchedule(benchmark::State& state) {
   const auto& inst = bench_instance();
@@ -114,6 +210,129 @@ void BM_MultilevelPartition(benchmark::State& state) {
 }
 BENCHMARK(BM_MultilevelPartition)->Arg(8)->Arg(64);
 
+// ---------------------------------------------------------------------------
+// Machine-readable throughput report.
+
+/// Times runner() until >= min_seconds of accumulated runtime (at least two
+/// runs) and returns seconds per run.
+template <typename F>
+double time_per_run(F&& runner, double min_seconds = 0.4) {
+  runner();  // warm-up (also forces lazy caches)
+  util::Timer timer;
+  double elapsed = 0.0;
+  std::size_t runs = 0;
+  while (elapsed < min_seconds || runs < 2) {
+    runner();
+    ++runs;
+    elapsed = timer.seconds();
+  }
+  return elapsed / static_cast<double>(runs);
+}
+
+struct ThroughputRow {
+  std::string name;
+  double seconds_per_run;
+  double tasks_per_sec;
+};
+
+void write_throughput_json(const std::string& path) {
+  const auto& inst = bench_instance();
+  const std::size_t m = 64;
+  const SchedFixture& fix = sched_fixture(m);
+  const double n_tasks = static_cast<double>(inst.n_tasks());
+
+  std::vector<ThroughputRow> rows;
+  auto add = [&](const std::string& name, double secs) {
+    rows.push_back({name, secs, n_tasks / secs});
+  };
+
+  {
+    core::ListScheduleOptions options;
+    options.priorities = fix.priorities;
+    add("list_schedule", time_per_run([&] {
+          benchmark::DoNotOptimize(
+              core::list_schedule(inst, fix.assignment, m, options)
+                  .makespan());
+        }));
+    options.ready_queue = core::ReadyQueueKind::kHeap;
+    add("list_schedule_heap", time_per_run([&] {
+          benchmark::DoNotOptimize(
+              core::list_schedule(inst, fix.assignment, m, options)
+                  .makespan());
+        }));
+    add("list_schedule_reference", time_per_run([&] {
+          benchmark::DoNotOptimize(
+              core::list_schedule_reference(inst, fix.assignment, m, options)
+                  .makespan());
+        }));
+  }
+  add("greedy_union_schedule", time_per_run([&] {
+        benchmark::DoNotOptimize(core::greedy_union_schedule(inst, m).data());
+      }));
+  {
+    util::Rng rng(2);
+    add("random_delay_schedule", time_per_run([&] {
+          benchmark::DoNotOptimize(
+              core::random_delay_schedule(inst, m, rng).schedule.makespan());
+        }));
+  }
+  {
+    util::Rng rng(3);
+    add("improved_random_delay_schedule", time_per_run([&] {
+          benchmark::DoNotOptimize(
+              core::improved_random_delay_schedule(inst, m, rng)
+                  .schedule.makespan());
+        }));
+  }
+
+  double reference_secs = 0.0;
+  double engine_secs = 0.0;
+  for (const ThroughputRow& row : rows) {
+    if (row.name == "list_schedule_reference") reference_secs = row.seconds_per_run;
+    if (row.name == "list_schedule") engine_secs = row.seconds_per_run;
+  }
+
+  std::FILE* out = std::fopen(path.c_str(), "w");
+  if (out == nullptr) {
+    std::fprintf(stderr, "cannot write %s\n", path.c_str());
+    return;
+  }
+  std::fprintf(out, "{\n");
+  std::fprintf(out, "  \"mesh\": \"%s\",\n", bench_mesh().name().c_str());
+  std::fprintf(out, "  \"scale\": 0.5,\n");
+  std::fprintf(out, "  \"n_cells\": %zu,\n", inst.n_cells());
+  std::fprintf(out, "  \"n_directions\": %zu,\n", inst.n_directions());
+  std::fprintf(out, "  \"n_tasks\": %zu,\n", inst.n_tasks());
+  std::fprintf(out, "  \"n_edges\": %zu,\n", inst.total_edges());
+  std::fprintf(out, "  \"n_processors\": %zu,\n", m);
+  std::fprintf(out, "  \"list_schedule_speedup_vs_reference\": %.3f,\n",
+               engine_secs > 0.0 ? reference_secs / engine_secs : 0.0);
+  std::fprintf(out, "  \"algorithms\": [\n");
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    std::fprintf(out,
+                 "    {\"name\": \"%s\", \"seconds_per_run\": %.6f, "
+                 "\"tasks_per_sec\": %.0f}%s\n",
+                 rows[i].name.c_str(), rows[i].seconds_per_run,
+                 rows[i].tasks_per_sec, i + 1 < rows.size() ? "," : "");
+  }
+  std::fprintf(out, "  ]\n}\n");
+  std::fclose(out);
+  std::printf("[throughput] wrote %s (list_schedule %.2fx vs reference)\n",
+              path.c_str(),
+              engine_secs > 0.0 ? reference_secs / engine_secs : 0.0);
+}
+
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  ::benchmark::Initialize(&argc, argv);
+  if (::benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  ::benchmark::RunSpecifiedBenchmarks();
+  ::benchmark::Shutdown();
+
+  const char* json_path = std::getenv("SWEEP_BENCH_JSON");
+  const std::string path =
+      json_path != nullptr ? json_path : "BENCH_schedule_throughput.json";
+  if (path != "none") write_throughput_json(path);
+  return 0;
+}

@@ -5,6 +5,8 @@
 #include <unordered_map>
 #include <vector>
 
+#include "sweep/task_graph.hpp"
+
 namespace sweep::core {
 
 C1Cost comm_cost_c1(const dag::SweepInstance& instance,
@@ -12,13 +14,14 @@ C1Cost comm_cost_c1(const dag::SweepInstance& instance,
   if (assignment.size() != instance.n_cells()) {
     throw std::invalid_argument("comm_cost_c1: assignment size != n_cells");
   }
+  const dag::TaskGraph& tg = instance.task_graph();
+  const std::uint32_t* cell = tg.cells().data();
   C1Cost cost;
-  for (const dag::SweepDag& g : instance.dags()) {
-    cost.total_edges += g.n_edges();
-    for (dag::NodeId u = 0; u < g.n_nodes(); ++u) {
-      for (dag::NodeId v : g.successors(u)) {
-        if (assignment[u] != assignment[v]) ++cost.cross_edges;
-      }
+  cost.total_edges = tg.n_edges();
+  for (std::size_t t = 0; t < tg.n_tasks(); ++t) {
+    const ProcessorId p = assignment[cell[t]];
+    for (dag::TaskGraph::Task succ : tg.successors(t)) {
+      if (assignment[cell[succ]] != p) ++cost.cross_edges;
     }
   }
   return cost;
@@ -26,31 +29,28 @@ C1Cost comm_cost_c1(const dag::SweepInstance& instance,
 
 C2Cost comm_cost_c2(const dag::SweepInstance& instance,
                     const Schedule& schedule) {
-  const std::size_t n = instance.n_cells();
-  const std::size_t k = instance.n_directions();
+  const dag::TaskGraph& tg = instance.task_graph();
+  const std::uint32_t* cell = tg.cells().data();
   const std::size_t horizon = schedule.makespan();
 
   // sends[t * m + p] would be O(T*m) memory; use per-step accumulation
   // keyed by (step, sender) in a flat hash map instead, then reduce.
   std::unordered_map<std::uint64_t, std::uint32_t> sends;
-  sends.reserve(n * k / 4 + 16);
-  for (DirectionId i = 0; i < k; ++i) {
-    const dag::SweepDag& g = instance.dag(i);
-    for (dag::NodeId u = 0; u < n; ++u) {
-      const ProcessorId pu = schedule.processor_of_cell(u);
-      const TimeStep tu = schedule.start(u, i);
-      if (tu == kUnscheduled) {
-        throw std::invalid_argument("comm_cost_c2: schedule is incomplete");
-      }
-      std::uint32_t messages = 0;
-      for (dag::NodeId v : g.successors(u)) {
-        if (schedule.processor_of_cell(v) != pu) ++messages;
-      }
-      if (messages > 0) {
-        const std::uint64_t key =
-            static_cast<std::uint64_t>(tu) * schedule.n_processors() + pu;
-        sends[key] += messages;
-      }
+  sends.reserve(tg.n_tasks() / 4 + 16);
+  for (std::size_t t = 0; t < tg.n_tasks(); ++t) {
+    const ProcessorId pu = schedule.processor_of_cell(cell[t]);
+    const TimeStep tu = schedule.start(t);
+    if (tu == kUnscheduled) {
+      throw std::invalid_argument("comm_cost_c2: schedule is incomplete");
+    }
+    std::uint32_t messages = 0;
+    for (dag::TaskGraph::Task succ : tg.successors(t)) {
+      if (schedule.processor_of_cell(cell[succ]) != pu) ++messages;
+    }
+    if (messages > 0) {
+      const std::uint64_t key =
+          static_cast<std::uint64_t>(tu) * schedule.n_processors() + pu;
+      sends[key] += messages;
     }
   }
 

@@ -4,6 +4,8 @@
 #include <stdexcept>
 #include <vector>
 
+#include "sweep/task_graph.hpp"
+
 namespace sweep::core {
 namespace {
 
@@ -60,27 +62,24 @@ std::size_t greedy_edge_color(
 
 CommRoundsResult realize_c2_rounds(const dag::SweepInstance& instance,
                                    const Schedule& schedule) {
-  const std::size_t n = instance.n_cells();
-  const std::size_t k = instance.n_directions();
+  const dag::TaskGraph& tg = instance.task_graph();
+  const std::uint32_t* cell = tg.cells().data();
   const std::size_t horizon = schedule.makespan();
 
   // Bucket messages by the step their source finishes.
   std::vector<std::vector<std::pair<ProcessorId, ProcessorId>>> by_step(horizon);
   CommRoundsResult result;
-  for (DirectionId i = 0; i < k; ++i) {
-    const dag::SweepDag& g = instance.dag(i);
-    for (dag::NodeId u = 0; u < n; ++u) {
-      const TimeStep tu = schedule.start(u, i);
-      if (tu == kUnscheduled) {
-        throw std::invalid_argument("realize_c2_rounds: incomplete schedule");
-      }
-      const ProcessorId pu = schedule.processor_of_cell(u);
-      for (dag::NodeId v : g.successors(u)) {
-        const ProcessorId pv = schedule.processor_of_cell(v);
-        if (pu != pv) {
-          by_step[tu].push_back({pu, pv});
-          ++result.total_messages;
-        }
+  for (std::size_t t = 0; t < tg.n_tasks(); ++t) {
+    const TimeStep tu = schedule.start(t);
+    if (tu == kUnscheduled) {
+      throw std::invalid_argument("realize_c2_rounds: incomplete schedule");
+    }
+    const ProcessorId pu = schedule.processor_of_cell(cell[t]);
+    for (dag::TaskGraph::Task succ : tg.successors(t)) {
+      const ProcessorId pv = schedule.processor_of_cell(cell[succ]);
+      if (pu != pv) {
+        by_step[tu].push_back({pu, pv});
+        ++result.total_messages;
       }
     }
   }

@@ -1,35 +1,499 @@
 #include "core/list_scheduler.hpp"
 
 #include <algorithm>
+#include <bit>
+#include <optional>
 #include <queue>
 #include <stdexcept>
 #include <vector>
 
+#include "sweep/task_graph.hpp"
+
 namespace sweep::core {
+namespace {
+
+using Task32 = dag::TaskGraph::Task;
+
+// Eligibility limits for the slot-map ready queues (the kAuto fast path).
+// Level-derived priorities span at most depth + k values, which is tiny;
+// descendant counts span up to n and fall back to the heap. The range and
+// total-bucket bounds cap the per-call histogram at (range + 1) * m
+// counters; the indegree and slot bounds come from the packed
+// (slot << 8) | indegree representation below.
+constexpr std::uint64_t kMaxBucketRange = (1u << 16) - 1;
+constexpr std::uint64_t kMaxTotalBuckets = 1u << 20;
+constexpr std::uint32_t kMaxPackedIndegree = 0xFF;
+constexpr std::uint32_t kMaxPackedSlots = 1u << 24;
+
+/// Per-processor binary min-heaps keyed by (priority, task id) — the
+/// general fallback for arbitrary 64-bit priorities.
+struct HeapReadyQueues {
+  using Entry = std::pair<std::int64_t, Task32>;
+  std::vector<std::priority_queue<Entry, std::vector<Entry>, std::greater<>>>
+      heaps;
+
+  explicit HeapReadyQueues(std::size_t n_processors) : heaps(n_processors) {}
+
+  void push(std::size_t p, std::int64_t priority, Task32 t) {
+    heaps[p].push({priority, t});
+  }
+  Task32 pop(std::size_t p) {
+    const Task32 t = heaps[p].top().second;
+    heaps[p].pop();
+    return t;
+  }
+  [[nodiscard]] bool empty(std::size_t p) const { return heaps[p].empty(); }
+};
+
+/// Heap-path per-task hot state: the engine touches a task's remaining
+/// predecessor count on every incoming edge, and its processor + priority
+/// when the count hits zero; packing them into one record costs one
+/// cache-line touch where three scattered arrays (indegree, cell ->
+/// assignment, priorities) cost up to three.
+struct HeapRec {
+  std::uint32_t indegree;
+  std::uint32_t proc;
+  std::int64_t prio;
+};
+
+/// The generic engine, used with HeapReadyQueues. Semantics are identical to
+/// list_schedule_reference; the differences are the flat-CSR successor walk
+/// and the packed records. kGated compiles the release-time /
+/// cross-message-delay machinery out entirely for the common ungated call.
+template <bool kGated, typename ReadyQueues>
+Schedule run_heap_engine(const dag::TaskGraph& tg, const Assignment& assignment,
+                         std::size_t n_processors,
+                         const ListScheduleOptions& options, ReadyQueues& ready,
+                         std::vector<HeapRec>& rec) {
+  const std::size_t total = tg.n_tasks();
+  Schedule schedule(tg.n_cells(), tg.n_directions(), n_processors, assignment);
+
+  std::vector<char> active_flag(n_processors, 0);
+  std::vector<ProcessorId> active;
+  active.reserve(n_processors);
+
+  auto push_ready = [&](Task32 t) {
+    const std::size_t p = rec[t].proc;
+    ready.push(p, rec[t].prio, t);
+    if (!active_flag[p]) {
+      active_flag[p] = 1;
+      active.push_back(static_cast<ProcessorId>(p));
+    }
+  };
+
+  // Gated-only state: tasks whose predecessors are done but whose release
+  // (or cross-processor message) has not yet come due, keyed by due time.
+  using Release = std::pair<TimeStep, Task32>;
+  std::priority_queue<Release, std::vector<Release>, std::greater<>> pending;
+  const TimeStep* release =
+      options.release_times.empty() ? nullptr : options.release_times.data();
+  std::vector<TimeStep> earliest;
+  if (kGated && options.cross_message_delay > 0) earliest.assign(total, 0);
+
+  auto enqueue_ready = [&](Task32 t, TimeStep now) {
+    if constexpr (kGated) {
+      TimeStep rel = release != nullptr ? release[t] : 0;
+      if (!earliest.empty()) rel = std::max(rel, earliest[t]);
+      if (rel > now) {
+        pending.push({rel, t});
+        return;
+      }
+    }
+    push_ready(t);
+  };
+
+  for (Task32 t = 0; t < total; ++t) {
+    if (rec[t].indegree == 0) enqueue_ready(t, 0);
+  }
+
+  std::size_t done = 0;
+  std::vector<Task32> finished;
+  finished.reserve(n_processors);
+  std::vector<ProcessorId> still_active;
+  still_active.reserve(n_processors);
+
+  TimeStep now = 0;
+  while (done < total) {
+    if constexpr (kGated) {
+      // Releases that have come due.
+      while (!pending.empty() && pending.top().first <= now) {
+        const Task32 task = pending.top().second;
+        pending.pop();
+        push_ready(task);
+      }
+      if (active.empty()) {
+        if (pending.empty()) {
+          throw std::logic_error(
+              "list_schedule: deadlock — instance DAG has a cycle");
+        }
+        now = pending.top().first;
+        continue;
+      }
+    } else {
+      if (active.empty()) {
+        throw std::logic_error(
+            "list_schedule: deadlock — instance DAG has a cycle");
+      }
+    }
+
+    // Each active processor runs its best ready task this step.
+    finished.clear();
+    still_active.clear();
+    for (ProcessorId p : active) {
+      const Task32 task = ready.pop(p);
+      schedule.set_start(task, now);
+      finished.push_back(task);
+      if (ready.empty(p)) {
+        active_flag[p] = 0;
+      } else {
+        still_active.push_back(p);
+      }
+    }
+    active.swap(still_active);
+    done += finished.size();
+
+    // Newly ready successors become available from now+1 (or their release;
+    // or now+1+c if the message must cross processors).
+    for (Task32 task : finished) {
+      for (Task32 succ : tg.successors(task)) {
+        if constexpr (kGated) {
+          if (!earliest.empty() && rec[succ].proc != rec[task].proc) {
+            earliest[succ] = std::max(earliest[succ],
+                                      now + 1 + options.cross_message_delay);
+          }
+        }
+        if (--rec[succ].indegree == 0) enqueue_ready(succ, now + 1);
+      }
+    }
+    ++now;
+  }
+  return schedule;
+}
+
+/// Per-thread scratch buffers for the slot engine. list_schedule is called
+/// in tight loops (trial fan-outs run thousands of schedules per thread);
+/// reusing the large per-call arrays instead of reallocating them avoids
+/// ~1MB of mmap/page-zeroing traffic per call. Buffers only grow, bounded by
+/// the largest instance scheduled on the thread, and entries are either
+/// re-zeroed per call (bucket_next, bitmap, queued, active_flag) or fully
+/// overwritten before use (packed; task_at and hint are only read at slots /
+/// processors the current call populated).
+struct SlotScratch {
+  std::vector<std::uint32_t> bucket_next;
+  std::vector<std::uint32_t> packed;
+  std::vector<Task32> task_at;
+  std::vector<std::uint64_t> bitmap;
+  std::vector<std::uint32_t> hint;
+  std::vector<std::uint32_t> queued;
+  std::vector<char> active_flag;
+};
+
+SlotScratch& slot_scratch() {
+  thread_local SlotScratch scratch;
+  return scratch;
+}
+
+template <typename T>
+T* uninitialized_span(std::vector<T>& v, std::size_t n) {
+  if (v.size() < n) v.resize(n);
+  return v.data();
+}
+
+/// The slot-map engine: the fast path for bounded-small-integer priorities.
+///
+/// Every task is assigned a static SLOT, dense within its processor's padded
+/// region: slots are ordered by (processor, rebased priority, task id), and
+/// each processor's region starts at p << log2r (r = padded region size, a
+/// power of two), so the processor of a slot is slot >> log2r. The ready set
+/// is then a single bitmap over slots, and:
+///   push  = set the task's slot bit (plus per-processor hint/count upkeep);
+///           no random loads — the slot rides in the packed indegree word.
+///   pop   = find-first-set from the processor's hint; the lowest live slot
+///           IS the (priority, task id) minimum, so this reproduces the
+///           reference heap order bit-for-bit with ~2 word reads + ctz.
+/// The per-task word packs (slot << 8) | remaining_indegree, so the edge
+/// walk's decrement also delivers the slot of a newly-ready task for free.
+/// Requires max indegree <= 255 and m << log2r < 2^24 (checked; the caller
+/// falls back to the heap engine when this returns nullopt).
+template <bool kGated>
+std::optional<Schedule> run_slot_engine(const dag::TaskGraph& tg,
+                                        const Assignment& assignment,
+                                        std::size_t n_processors,
+                                        const ListScheduleOptions& options,
+                                        std::int64_t min_priority,
+                                        std::size_t width) {
+  const std::size_t total = tg.n_tasks();
+  const std::uint32_t* indeg = tg.indegrees().data();
+  const std::uint32_t* cell = tg.cells().data();
+  const std::int64_t* priority =
+      options.priorities.empty() ? nullptr : options.priorities.data();
+
+  SlotScratch& scratch = slot_scratch();
+
+  // Pass 1: per-(processor, priority) histogram.
+  scratch.bucket_next.assign(n_processors * width, 0);
+  std::uint32_t* bucket_next = scratch.bucket_next.data();
+  for (std::size_t t = 0; t < total; ++t) {
+    const std::size_t p = assignment[cell[t]];
+    const std::size_t b =
+        priority != nullptr
+            ? static_cast<std::size_t>(priority[t] - min_priority)
+            : 0;
+    ++bucket_next[p * width + b];
+  }
+  std::size_t max_per_proc = 64;  // at least one bitmap word per processor
+  for (std::size_t p = 0; p < n_processors; ++p) {
+    std::size_t load = 0;
+    for (std::size_t b = 0; b < width; ++b) load += bucket_next[p * width + b];
+    max_per_proc = std::max(max_per_proc, load);
+  }
+  const auto log2r =
+      static_cast<std::uint32_t>(std::bit_width(max_per_proc - 1));
+  const std::size_t n_slots = n_processors << log2r;
+  if (n_slots > kMaxPackedSlots) return std::nullopt;
+
+  // Exclusive scan, in place: bucket_next[pb] becomes the next free slot of
+  // bucket pb, starting each processor's run at its padded region base.
+  for (std::size_t p = 0; p < n_processors; ++p) {
+    auto acc = static_cast<std::uint32_t>(p << log2r);
+    for (std::size_t b = 0; b < width; ++b) {
+      const std::uint32_t count = bucket_next[p * width + b];
+      bucket_next[p * width + b] = acc;
+      acc += count;
+    }
+  }
+
+  // Pass 2: assign slots (ascending t within a bucket => ascending task id,
+  // the tie-break order) and build the packed words + slot -> task map.
+  std::uint32_t* packed = uninitialized_span(scratch.packed, total);
+  Task32* task_at = uninitialized_span(scratch.task_at, n_slots);
+  for (std::size_t t = 0; t < total; ++t) {
+    const std::size_t p = assignment[cell[t]];
+    const std::size_t b =
+        priority != nullptr
+            ? static_cast<std::size_t>(priority[t] - min_priority)
+            : 0;
+    const std::uint32_t s = bucket_next[p * width + b]++;
+    packed[t] = (s << 8) | indeg[t];
+    task_at[s] = static_cast<Task32>(t);
+  }
+
+  Schedule schedule(tg.n_cells(), tg.n_directions(), n_processors, assignment);
+  scratch.bitmap.assign(n_slots / 64 + 1, 0);
+  std::uint64_t* bitmap = scratch.bitmap.data();
+  // hint[p]: no live slot of processor p is below this (valid iff queued>0).
+  std::uint32_t* hint = uninitialized_span(scratch.hint, n_processors);
+  scratch.queued.assign(n_processors, 0);
+  std::uint32_t* queued = scratch.queued.data();
+  scratch.active_flag.assign(n_processors, 0);
+  char* active_flag = scratch.active_flag.data();
+  std::vector<ProcessorId> active;
+  active.reserve(n_processors);
+
+  auto push_slot = [&](std::uint32_t s) {
+    const std::size_t p = s >> log2r;
+    bitmap[s >> 6] |= 1ull << (s & 63);
+    if (queued[p] == 0 || s < hint[p]) hint[p] = s;
+    ++queued[p];
+    if (!active_flag[p]) {
+      active_flag[p] = 1;
+      active.push_back(static_cast<ProcessorId>(p));
+    }
+  };
+
+  // Gated-only state, as in the heap engine.
+  using Release = std::pair<TimeStep, Task32>;
+  std::priority_queue<Release, std::vector<Release>, std::greater<>> pending;
+  const TimeStep* release =
+      options.release_times.empty() ? nullptr : options.release_times.data();
+  std::vector<TimeStep> earliest;
+  if (kGated && options.cross_message_delay > 0) earliest.assign(total, 0);
+
+  auto enqueue_ready = [&](Task32 t, TimeStep now) {
+    if constexpr (kGated) {
+      TimeStep rel = release != nullptr ? release[t] : 0;
+      if (!earliest.empty()) rel = std::max(rel, earliest[t]);
+      if (rel > now) {
+        pending.push({rel, t});
+        return;
+      }
+    }
+    push_slot(packed[t] >> 8);
+  };
+
+  for (std::size_t t = 0; t < total; ++t) {
+    if ((packed[t] & 0xFF) == 0) enqueue_ready(static_cast<Task32>(t), 0);
+  }
+
+  std::size_t done = 0;
+  std::vector<Task32> finished;
+  finished.reserve(n_processors);
+  std::vector<ProcessorId> still_active;
+  still_active.reserve(n_processors);
+
+  TimeStep now = 0;
+  while (done < total) {
+    if constexpr (kGated) {
+      while (!pending.empty() && pending.top().first <= now) {
+        const Task32 task = pending.top().second;
+        pending.pop();
+        push_slot(packed[task] >> 8);
+      }
+      if (active.empty()) {
+        if (pending.empty()) {
+          throw std::logic_error(
+              "list_schedule: deadlock — instance DAG has a cycle");
+        }
+        now = pending.top().first;
+        continue;
+      }
+    } else {
+      if (active.empty()) {
+        throw std::logic_error(
+            "list_schedule: deadlock — instance DAG has a cycle");
+      }
+    }
+
+    // Each active processor runs its lowest live slot this step.
+    finished.clear();
+    still_active.clear();
+    for (ProcessorId p : active) {
+      std::size_t w = hint[p] >> 6;
+      std::uint64_t word = bitmap[w] & (~0ull << (hint[p] & 63));
+      while (word == 0) word = bitmap[++w];
+      const auto s =
+          static_cast<std::uint32_t>((w << 6) + std::countr_zero(word));
+      bitmap[w] &= ~(1ull << (s & 63));
+      hint[p] = s;
+      const Task32 task = task_at[s];
+      --queued[p];
+      schedule.set_start(task, now);
+      finished.push_back(task);
+      if (queued[p] == 0) {
+        active_flag[p] = 0;
+      } else {
+        still_active.push_back(p);
+      }
+    }
+    active.swap(still_active);
+    done += finished.size();
+
+    for (Task32 task : finished) {
+      if constexpr (kGated) {
+        const std::uint32_t task_proc = (packed[task] >> 8) >> log2r;
+        for (Task32 succ : tg.successors(task)) {
+          if (!earliest.empty() &&
+              ((packed[succ] >> 8) >> log2r) != task_proc) {
+            earliest[succ] = std::max(earliest[succ],
+                                      now + 1 + options.cross_message_delay);
+          }
+          if ((--packed[succ] & 0xFF) == 0) enqueue_ready(succ, now + 1);
+        }
+      } else {
+        for (Task32 succ : tg.successors(task)) {
+          const std::uint32_t x = --packed[succ];
+          if ((x & 0xFF) == 0) push_slot(x >> 8);
+        }
+      }
+    }
+    ++now;
+  }
+  return schedule;
+}
+
+void validate_inputs(const dag::SweepInstance& instance,
+                     const Assignment& assignment, std::size_t n_processors,
+                     const ListScheduleOptions& options, const char* who) {
+  const std::size_t n = instance.n_cells();
+  const std::size_t total = n * instance.n_directions();
+  if (assignment.size() != n) {
+    throw std::invalid_argument(std::string(who) +
+                                ": assignment size != n_cells");
+  }
+  if (n_processors == 0) {
+    throw std::invalid_argument(std::string(who) + ": need >= 1 processor");
+  }
+  for (ProcessorId p : assignment) {
+    if (p >= n_processors) {
+      throw std::invalid_argument(std::string(who) +
+                                  ": assignment out of range");
+    }
+  }
+  if (!options.priorities.empty() && options.priorities.size() != total) {
+    throw std::invalid_argument(std::string(who) + ": priorities size != n*k");
+  }
+  if (!options.release_times.empty() &&
+      options.release_times.size() != total) {
+    throw std::invalid_argument(std::string(who) +
+                                ": release_times size != n*k");
+  }
+}
+
+}  // namespace
 
 Schedule list_schedule(const dag::SweepInstance& instance,
                        const Assignment& assignment, std::size_t n_processors,
                        const ListScheduleOptions& options) {
+  validate_inputs(instance, assignment, n_processors, options,
+                  "list_schedule");
+  const dag::TaskGraph& tg = instance.task_graph();
+  const std::int64_t* priority =
+      options.priorities.empty() ? nullptr : options.priorities.data();
+
+  std::int64_t min_priority = 0;
+  std::int64_t max_priority = 0;
+  if (priority != nullptr) {
+    const auto [lo, hi] = std::minmax_element(options.priorities.begin(),
+                                              options.priorities.end());
+    min_priority = *lo;
+    max_priority = *hi;
+  }
+  const auto range = static_cast<std::uint64_t>(max_priority - min_priority);
+  const bool bucketable =
+      range <= kMaxBucketRange &&
+      (range + 1) * n_processors <= kMaxTotalBuckets &&
+      tg.max_indegree() <= kMaxPackedIndegree;
+  const bool use_slots =
+      options.ready_queue != ReadyQueueKind::kHeap && bucketable;
+  const bool gated =
+      !options.release_times.empty() || options.cross_message_delay > 0;
+
+  if (use_slots) {
+    const auto width = static_cast<std::size_t>(range) + 1;
+    std::optional<Schedule> result =
+        gated ? run_slot_engine<true>(tg, assignment, n_processors, options,
+                                      min_priority, width)
+              : run_slot_engine<false>(tg, assignment, n_processors, options,
+                                       min_priority, width);
+    if (result.has_value()) return *std::move(result);
+    // Slot space overflowed (pathologically skewed assignment): fall through.
+  }
+  std::vector<HeapRec> rec(tg.n_tasks());
+  {
+    const std::uint32_t* indeg = tg.indegrees().data();
+    const std::uint32_t* cell = tg.cells().data();
+    for (std::size_t t = 0; t < tg.n_tasks(); ++t) {
+      rec[t].indegree = indeg[t];
+      rec[t].proc = assignment[cell[t]];
+      rec[t].prio = priority != nullptr ? priority[t] : 0;
+    }
+  }
+  HeapReadyQueues ready(n_processors);
+  return gated ? run_heap_engine<true>(tg, assignment, n_processors, options,
+                                       ready, rec)
+               : run_heap_engine<false>(tg, assignment, n_processors, options,
+                                        ready, rec);
+}
+
+Schedule list_schedule_reference(const dag::SweepInstance& instance,
+                                 const Assignment& assignment,
+                                 std::size_t n_processors,
+                                 const ListScheduleOptions& options) {
   const std::size_t n = instance.n_cells();
   const std::size_t k = instance.n_directions();
   const std::size_t total = n * k;
-  if (assignment.size() != n) {
-    throw std::invalid_argument("list_schedule: assignment size != n_cells");
-  }
-  if (n_processors == 0) {
-    throw std::invalid_argument("list_schedule: need >= 1 processor");
-  }
-  for (ProcessorId p : assignment) {
-    if (p >= n_processors) {
-      throw std::invalid_argument("list_schedule: assignment out of range");
-    }
-  }
-  if (!options.priorities.empty() && options.priorities.size() != total) {
-    throw std::invalid_argument("list_schedule: priorities size != n*k");
-  }
-  if (!options.release_times.empty() && options.release_times.size() != total) {
-    throw std::invalid_argument("list_schedule: release_times size != n*k");
-  }
+  validate_inputs(instance, assignment, n_processors, options,
+                  "list_schedule");
 
   auto priority_of = [&](TaskId t) -> std::int64_t {
     return options.priorities.empty() ? 0 : options.priorities[t];
@@ -155,28 +619,23 @@ Schedule list_schedule(const dag::SweepInstance& instance,
 std::vector<TimeStep> greedy_union_schedule(const dag::SweepInstance& instance,
                                             std::size_t n_processors,
                                             std::size_t* makespan) {
-  const std::size_t n = instance.n_cells();
-  const std::size_t k = instance.n_directions();
-  const std::size_t total = n * k;
   if (n_processors == 0) {
     throw std::invalid_argument("greedy_union_schedule: need >= 1 processor");
   }
+  const dag::TaskGraph& tg = instance.task_graph();
+  const std::size_t total = tg.n_tasks();
 
   std::vector<TimeStep> step(total, kUnscheduled);
-  std::vector<std::uint32_t> indegree(total);
-  std::vector<TaskId> frontier;
-  for (std::size_t i = 0; i < k; ++i) {
-    const dag::SweepDag& g = instance.dag(i);
-    for (dag::NodeId v = 0; v < n; ++v) {
-      const TaskId t = task_id(v, static_cast<DirectionId>(i), n);
-      indegree[t] = static_cast<std::uint32_t>(g.in_degree(v));
-      if (indegree[t] == 0) frontier.push_back(t);
-    }
+  std::vector<std::uint32_t> indegree(tg.indegrees().begin(),
+                                      tg.indegrees().end());
+  std::vector<Task32> frontier;
+  for (Task32 t = 0; t < total; ++t) {
+    if (indegree[t] == 0) frontier.push_back(t);
   }
 
   std::size_t done = 0;
   TimeStep now = 0;
-  std::vector<TaskId> next_frontier;
+  std::vector<Task32> next_frontier;
   while (done < total) {
     if (frontier.empty()) {
       throw std::logic_error("greedy_union_schedule: instance DAG has a cycle");
@@ -186,13 +645,9 @@ std::vector<TimeStep> greedy_union_schedule(const dag::SweepInstance& instance,
     next_frontier.assign(frontier.begin() + static_cast<std::ptrdiff_t>(run),
                          frontier.end());
     for (std::size_t i = 0; i < run; ++i) {
-      const TaskId task = frontier[i];
+      const Task32 task = frontier[i];
       step[task] = now;
-      const CellId v = task_cell(task, n);
-      const DirectionId dir = task_direction(task, n);
-      const dag::SweepDag& g = instance.dag(dir);
-      for (dag::NodeId w : g.successors(v)) {
-        const TaskId succ = task_id(w, dir, n);
+      for (Task32 succ : tg.successors(task)) {
         if (--indegree[succ] == 0) next_frontier.push_back(succ);
       }
     }

@@ -17,6 +17,13 @@
 
 namespace sweep::core {
 
+/// Ready-set data structure used by the engine. kAuto picks per-processor
+/// bucket queues when the priority range is a bounded small integer span
+/// (levels, depths — the common case), falling back to binary heaps for
+/// arbitrary 64-bit priorities (descendant counts). All choices produce
+/// bit-identical schedules; the options exist for testing and benchmarking.
+enum class ReadyQueueKind { kAuto, kHeap, kBucket };
+
 struct ListScheduleOptions {
   /// Per-task priority; SMALLER runs first; ties broken by task id.
   /// Empty means all tasks have equal priority.
@@ -29,6 +36,9 @@ struct ListScheduleOptions {
   /// restricted by the sweep same-processor constraint). 0 = the paper's
   /// zero-communication analysis setting.
   TimeStep cross_message_delay = 0;
+  /// Ready-set implementation. kBucket is honored only when the priority
+  /// range is narrow enough to bucket (otherwise the heap is used anyway).
+  ReadyQueueKind ready_queue = ReadyQueueKind::kAuto;
 };
 
 /// Runs prioritized list scheduling of `instance` on `n_processors`
@@ -39,6 +49,16 @@ struct ListScheduleOptions {
 Schedule list_schedule(const dag::SweepInstance& instance,
                        const Assignment& assignment, std::size_t n_processors,
                        const ListScheduleOptions& options = {});
+
+/// The pre-engine implementation (per-direction DAG walks, task-id
+/// arithmetic per edge, binary heaps). Produces bit-identical schedules to
+/// list_schedule; kept as the oracle for the engine equivalence tests and as
+/// the "old path" in the throughput microbenchmarks. Ignores
+/// options.ready_queue.
+Schedule list_schedule_reference(const dag::SweepInstance& instance,
+                                 const Assignment& assignment,
+                                 std::size_t n_processors,
+                                 const ListScheduleOptions& options = {});
 
 /// Greedy (Graham) list schedule of the union DAG H on m identical machines,
 /// ignoring the same-processor constraint — the preprocessing step of

@@ -2,9 +2,11 @@
 
 #include <algorithm>
 #include <cmath>
+#include <span>
 #include <stdexcept>
 
 #include "sweep/descendants.hpp"
+#include "sweep/task_graph.hpp"
 
 namespace sweep::core {
 
@@ -17,16 +19,8 @@ std::vector<TimeStep> random_delays(std::size_t n_directions, util::Rng& rng) {
 }
 
 std::vector<std::int64_t> level_priorities(const dag::SweepInstance& instance) {
-  const std::size_t n = instance.n_cells();
-  const std::size_t k = instance.n_directions();
-  std::vector<std::int64_t> priorities(n * k);
-  const auto& levels = instance.levels();
-  for (DirectionId i = 0; i < k; ++i) {
-    for (CellId v = 0; v < n; ++v) {
-      priorities[task_id(v, i, n)] = levels[i][v];
-    }
-  }
-  return priorities;
+  const std::span<const std::uint32_t> level = instance.task_graph().levels();
+  return {level.begin(), level.end()};
 }
 
 std::vector<std::int64_t> random_delay_priorities(
@@ -36,12 +30,13 @@ std::vector<std::int64_t> random_delay_priorities(
   }
   const std::size_t n = instance.n_cells();
   const std::size_t k = instance.n_directions();
+  const std::span<const std::uint32_t> level = instance.task_graph().levels();
   std::vector<std::int64_t> priorities(n * k);
-  const auto& levels = instance.levels();
   for (DirectionId i = 0; i < k; ++i) {
-    for (CellId v = 0; v < n; ++v) {
-      priorities[task_id(v, i, n)] =
-          static_cast<std::int64_t>(levels[i][v]) + delays[i];
+    const auto delay = static_cast<std::int64_t>(delays[i]);
+    const std::size_t base = static_cast<std::size_t>(i) * n;
+    for (std::size_t v = 0; v < n; ++v) {
+      priorities[base + v] = static_cast<std::int64_t>(level[base + v]) + delay;
     }
   }
   return priorities;
@@ -131,9 +126,8 @@ std::vector<TimeStep> delay_release_times(const dag::SweepInstance& instance,
   const std::size_t k = instance.n_directions();
   std::vector<TimeStep> releases(n * k);
   for (DirectionId i = 0; i < k; ++i) {
-    for (CellId v = 0; v < n; ++v) {
-      releases[task_id(v, i, n)] = delays[i];
-    }
+    std::fill_n(releases.begin() + static_cast<std::ptrdiff_t>(i * n), n,
+                delays[i]);
   }
   return releases;
 }

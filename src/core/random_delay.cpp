@@ -84,11 +84,15 @@ RandomDelayResult random_delay_schedule(const dag::SweepInstance& instance,
 
   std::vector<TimeStep> delays = random_delays(k, rng);
   // Combined layer of task (v,i) = level_i(v) + X_i (step 2 of Algorithm 1).
+  // Levels come flattened from the cached TaskGraph; tasks of direction i
+  // occupy the contiguous id block [i*n, (i+1)*n).
+  const std::span<const std::uint32_t> level = instance.task_graph().levels();
   std::vector<std::uint32_t> task_layer(n * k);
-  const auto& levels = instance.levels();
   for (DirectionId i = 0; i < k; ++i) {
-    for (CellId v = 0; v < n; ++v) {
-      task_layer[task_id(v, i, n)] = levels[i][v] + delays[i];
+    const std::uint32_t delay = delays[i];
+    const std::size_t base = static_cast<std::size_t>(i) * n;
+    for (std::size_t v = 0; v < n; ++v) {
+      task_layer[base + v] = level[base + v] + delay;
     }
   }
   return execute_layered(instance, n_processors, task_layer, std::move(delays),
@@ -116,9 +120,10 @@ RandomDelayResult improved_random_delay_schedule(
   std::vector<TimeStep> delays = random_delays(k, rng);
   std::vector<std::uint32_t> task_layer(n * k);
   for (DirectionId i = 0; i < k; ++i) {
-    for (CellId v = 0; v < n; ++v) {
-      const TaskId t = task_id(v, i, n);
-      task_layer[t] = new_level[t] + delays[i];
+    const std::uint32_t delay = delays[i];
+    const std::size_t base = static_cast<std::size_t>(i) * n;
+    for (std::size_t v = 0; v < n; ++v) {
+      task_layer[base + v] = new_level[base + v] + delay;
     }
   }
   return execute_layered(instance, n_processors, task_layer, std::move(delays),

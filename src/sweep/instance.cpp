@@ -10,7 +10,10 @@ namespace sweep::dag {
 
 SweepInstance::SweepInstance(std::size_t n_cells, std::vector<SweepDag> dags,
                              std::string name)
-    : n_cells_(n_cells), dags_(std::move(dags)), name_(std::move(name)) {
+    : n_cells_(n_cells),
+      dags_(std::move(dags)),
+      name_(std::move(name)),
+      caches_(std::make_unique<LazyCaches>()) {
   for (const SweepDag& g : dags_) {
     if (g.n_nodes() != n_cells_) {
       throw std::invalid_argument(
@@ -22,12 +25,35 @@ SweepInstance::SweepInstance(std::size_t n_cells, std::vector<SweepDag> dags,
   }
 }
 
-const std::vector<std::vector<std::uint32_t>>& SweepInstance::levels() const {
-  if (levels_.empty()) {
-    levels_.reserve(dags_.size());
-    for (const SweepDag& g : dags_) levels_.push_back(g.levels());
+SweepInstance::SweepInstance(const SweepInstance& other)
+    : n_cells_(other.n_cells_),
+      dags_(other.dags_),
+      name_(other.name_),
+      caches_(std::make_unique<LazyCaches>()) {}
+
+SweepInstance& SweepInstance::operator=(const SweepInstance& other) {
+  if (this != &other) {
+    n_cells_ = other.n_cells_;
+    dags_ = other.dags_;
+    name_ = other.name_;
+    caches_ = std::make_unique<LazyCaches>();
   }
-  return levels_;
+  return *this;
+}
+
+const std::vector<std::vector<std::uint32_t>>& SweepInstance::levels() const {
+  std::call_once(caches_->levels_once, [this] {
+    caches_->levels.reserve(dags_.size());
+    for (const SweepDag& g : dags_) caches_->levels.push_back(g.levels());
+  });
+  return caches_->levels;
+}
+
+const TaskGraph& SweepInstance::task_graph() const {
+  std::call_once(caches_->task_graph_once, [this] {
+    caches_->task_graph = TaskGraph::build(n_cells_, dags_, levels());
+  });
+  return caches_->task_graph;
 }
 
 std::size_t SweepInstance::max_depth() const {

@@ -5,12 +5,15 @@
 // synthetically (random DAGs) for the non-geometric scenarios.
 
 #include <cstdint>
+#include <memory>
+#include <mutex>
 #include <string>
 #include <vector>
 
 #include "mesh/mesh.hpp"
 #include "sweep/dag.hpp"
 #include "sweep/directions.hpp"
+#include "sweep/task_graph.hpp"
 
 namespace sweep::dag {
 
@@ -18,6 +21,14 @@ class SweepInstance {
  public:
   SweepInstance(std::size_t n_cells, std::vector<SweepDag> dags,
                 std::string name = "");
+
+  // The lazy caches live behind a unique_ptr (std::once_flag is neither
+  // movable nor copyable); copies start with fresh, empty caches.
+  SweepInstance(const SweepInstance& other);
+  SweepInstance& operator=(const SweepInstance& other);
+  SweepInstance(SweepInstance&&) noexcept = default;
+  SweepInstance& operator=(SweepInstance&&) noexcept = default;
+  ~SweepInstance() = default;
 
   [[nodiscard]] std::size_t n_cells() const { return n_cells_; }
   [[nodiscard]] std::size_t n_directions() const { return dags_.size(); }
@@ -27,8 +38,12 @@ class SweepInstance {
   [[nodiscard]] const std::string& name() const { return name_; }
 
   /// Levels of every task: result[i][v] = level of (v, i) in G_i.
-  /// Computed lazily on first call and cached.
+  /// Computed lazily on first call and cached; safe to call concurrently.
   [[nodiscard]] const std::vector<std::vector<std::uint32_t>>& levels() const;
+
+  /// The flat all-tasks CSR consumed by the scheduling engine. Built lazily
+  /// on first call and cached; safe to call concurrently.
+  [[nodiscard]] const TaskGraph& task_graph() const;
 
   /// Max number of levels over all directions (D in the paper).
   [[nodiscard]] std::size_t max_depth() const;
@@ -37,10 +52,19 @@ class SweepInstance {
   [[nodiscard]] std::size_t total_edges() const;
 
  private:
+  // Lazily computed, shared by concurrent schedule runs on one instance:
+  // each member is built exactly once under its once_flag.
+  struct LazyCaches {
+    std::once_flag levels_once;
+    std::vector<std::vector<std::uint32_t>> levels;
+    std::once_flag task_graph_once;
+    TaskGraph task_graph;
+  };
+
   std::size_t n_cells_;
   std::vector<SweepDag> dags_;
   std::string name_;
-  mutable std::vector<std::vector<std::uint32_t>> levels_;  // lazy cache
+  mutable std::unique_ptr<LazyCaches> caches_;
 };
 
 struct InstanceBuildStats {

@@ -1,0 +1,59 @@
+#include "sweep/task_graph.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <stdexcept>
+
+namespace sweep::dag {
+
+TaskGraph TaskGraph::build(
+    std::size_t n_cells, const std::vector<SweepDag>& dags,
+    const std::vector<std::vector<std::uint32_t>>& levels) {
+  const std::size_t k = dags.size();
+  const std::size_t total = n_cells * k;
+  constexpr std::size_t kMaxIndex =
+      std::numeric_limits<std::uint32_t>::max() - 1;
+  if (total > kMaxIndex) {
+    throw std::invalid_argument("TaskGraph: too many tasks for 32-bit ids");
+  }
+  std::size_t total_edges = 0;
+  for (const SweepDag& g : dags) total_edges += g.n_edges();
+  if (total_edges > kMaxIndex) {
+    throw std::invalid_argument("TaskGraph: too many edges for 32-bit offsets");
+  }
+  if (levels.size() != k) {
+    throw std::invalid_argument("TaskGraph: levels size != n_directions");
+  }
+
+  TaskGraph tg;
+  tg.n_cells_ = n_cells;
+  tg.offsets_.assign(total + 1, 0);
+  tg.targets_.resize(total_edges);
+  tg.indegree_.resize(total);
+  tg.level_.resize(total);
+  tg.cell_.resize(total);
+
+  std::size_t cursor = 0;
+  for (std::size_t i = 0; i < k; ++i) {
+    const SweepDag& g = dags[i];
+    const std::vector<std::uint32_t>& lv = levels[i];
+    const std::size_t base = i * n_cells;
+    for (std::size_t v = 0; v < n_cells; ++v) {
+      const std::size_t t = base + v;
+      tg.offsets_[t] = static_cast<std::uint32_t>(cursor);
+      for (NodeId w : g.successors(static_cast<NodeId>(v))) {
+        tg.targets_[cursor++] = static_cast<Task>(base + w);
+      }
+      tg.indegree_[t] =
+          static_cast<std::uint32_t>(g.in_degree(static_cast<NodeId>(v)));
+      tg.level_[t] = lv[v];
+      tg.cell_[t] = static_cast<std::uint32_t>(v);
+      tg.max_level_ = std::max(tg.max_level_, lv[v]);
+      tg.max_indegree_ = std::max(tg.max_indegree_, tg.indegree_[t]);
+    }
+  }
+  tg.offsets_[total] = static_cast<std::uint32_t>(cursor);
+  return tg;
+}
+
+}  // namespace sweep::dag

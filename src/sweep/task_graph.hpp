@@ -1,0 +1,84 @@
+#pragma once
+// TaskGraph: the flat, cache-friendly representation of ALL n*k tasks of a
+// SweepInstance in one CSR structure, indexed by the scheduling core's
+// flattened task id (tid = direction * n_cells + cell).
+//
+// The schedulers used to walk the per-direction SweepDags and re-derive cell
+// and direction from every task id with a divide/modulo pair per edge; at
+// bench scale (~3M tasks, ~5.7M edges per schedule run) that arithmetic and
+// the per-direction indirection dominate the hot loop. TaskGraph stores, in
+// contiguous arrays:
+//   - successor offsets/targets already translated to task ids,
+//   - per-task predecessor counts (the indegree vector every run copies),
+//   - per-task levels (the paper's level(v, i), flattened),
+//   - per-task cell ids (so processor lookup is one array read, no modulo).
+// It is built once per instance and cached on dag::SweepInstance (thread-safe
+// via std::once_flag) next to levels().
+//
+// Task ids and edge offsets are stored as 32-bit integers; build() rejects
+// instances with >= 2^32 - 1 tasks or edges (far above anything the harness
+// runs — that is a ~100x-paper-scale instance).
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "sweep/dag.hpp"
+
+namespace sweep::dag {
+
+class TaskGraph {
+ public:
+  /// Flattened task id, 32-bit on purpose (see file comment).
+  using Task = std::uint32_t;
+
+  TaskGraph() = default;
+
+  /// Builds the flat CSR from the per-direction DAGs. `levels[i][v]` must be
+  /// the level of cell v in direction i (as produced by SweepDag::levels).
+  static TaskGraph build(std::size_t n_cells, const std::vector<SweepDag>& dags,
+                         const std::vector<std::vector<std::uint32_t>>& levels);
+
+  [[nodiscard]] std::size_t n_tasks() const { return level_.size(); }
+  [[nodiscard]] std::size_t n_edges() const { return targets_.size(); }
+  [[nodiscard]] std::size_t n_cells() const { return n_cells_; }
+  [[nodiscard]] std::size_t n_directions() const {
+    return n_cells_ == 0 ? 0 : level_.size() / n_cells_;
+  }
+
+  /// Successor task ids of task t (same direction, downwind cells).
+  [[nodiscard]] std::span<const Task> successors(std::size_t t) const {
+    return {targets_.data() + offsets_[t], offsets_[t + 1] - offsets_[t]};
+  }
+  [[nodiscard]] std::uint32_t out_degree(std::size_t t) const {
+    return offsets_[t + 1] - offsets_[t];
+  }
+  [[nodiscard]] std::uint32_t in_degree(std::size_t t) const {
+    return indegree_[t];
+  }
+  [[nodiscard]] std::uint32_t level(std::size_t t) const { return level_[t]; }
+  [[nodiscard]] std::uint32_t cell(std::size_t t) const { return cell_[t]; }
+  [[nodiscard]] std::uint32_t max_level() const { return max_level_; }
+  /// Largest predecessor count over all tasks (schedulers use this to decide
+  /// whether the packed slot-map ready queue applies).
+  [[nodiscard]] std::uint32_t max_indegree() const { return max_indegree_; }
+
+  /// Contiguous per-task arrays (all sized n_tasks()).
+  [[nodiscard]] std::span<const std::uint32_t> indegrees() const {
+    return indegree_;
+  }
+  [[nodiscard]] std::span<const std::uint32_t> levels() const { return level_; }
+  [[nodiscard]] std::span<const std::uint32_t> cells() const { return cell_; }
+
+ private:
+  std::size_t n_cells_ = 0;
+  std::vector<std::uint32_t> offsets_ = {0};  // n_tasks + 1 entries
+  std::vector<Task> targets_;                 // n_edges entries
+  std::vector<std::uint32_t> indegree_;       // per task
+  std::vector<std::uint32_t> level_;          // per task
+  std::vector<std::uint32_t> cell_;           // per task
+  std::uint32_t max_level_ = 0;
+  std::uint32_t max_indegree_ = 0;
+};
+
+}  // namespace sweep::dag

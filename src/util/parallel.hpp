@@ -1,43 +1,117 @@
 #pragma once
-// Minimal fork-join parallelism for embarrassingly parallel loops (per-
-// direction DAG builds, per-trial experiment batches). Deliberately tiny:
-// std::thread + static block partitioning, no work stealing — the grain
-// sizes in this library (one DAG induction, one schedule run) are large
-// enough that static scheduling is within noise of anything fancier.
+// Fork-join parallelism for embarrassingly parallel loops (per-direction DAG
+// builds, per-trial experiment batches), built on the persistent
+// util::ThreadPool. The calling thread always participates in the loop and
+// pool helpers are strictly optional, so nested parallel_for calls (a trial
+// that itself builds an instance in parallel, say) can never deadlock even
+// when every pool worker is busy.
+//
+// The body is a template parameter (no per-index std::function type-erasure)
+// and the first exception thrown by any worker is rethrown in the caller
+// once the loop has quiesced.
 
+#include <atomic>
+#include <condition_variable>
 #include <cstddef>
-#include <functional>
-#include <thread>
-#include <vector>
+#include <exception>
+#include <memory>
+#include <mutex>
+#include <type_traits>
+#include <utility>
+
+#include "util/thread_pool.hpp"
 
 namespace sweep::util {
 
-/// Runs body(i) for i in [0, count) across up to `threads` std::threads
-/// (0 = hardware_concurrency). Blocks until all finish. body must be
-/// thread-safe for distinct i; exceptions inside body terminate (keep bodies
-/// noexcept in spirit).
-inline void parallel_for(std::size_t count, const std::function<void(std::size_t)>& body,
-                         std::size_t threads = 0) {
-  if (count == 0) return;
-  if (threads == 0) {
-    threads = std::max<std::size_t>(1, std::thread::hardware_concurrency());
+namespace detail {
+
+/// Control block shared between the caller and pool helpers. Held by
+/// shared_ptr so a helper that only gets scheduled after the loop finished
+/// can still read `next`/`count` safely; such a stale helper finds no chunk
+/// left and never touches the (by then destroyed) loop body.
+struct ParallelForState {
+  std::size_t count = 0;
+  std::size_t chunk = 1;
+  std::atomic<std::size_t> next{0};
+  std::atomic<bool> failed{false};
+  std::exception_ptr error;            // guarded by mutex
+  std::size_t running_helpers = 0;     // guarded by mutex
+  std::mutex mutex;
+  std::condition_variable quiesced;
+};
+
+template <typename F>
+void run_chunks(ParallelForState& state, F& body) {
+  for (;;) {
+    if (state.failed.load(std::memory_order_relaxed)) return;
+    const std::size_t begin =
+        state.next.fetch_add(state.chunk, std::memory_order_relaxed);
+    if (begin >= state.count) return;
+    const std::size_t end = std::min(state.count, begin + state.chunk);
+    try {
+      for (std::size_t i = begin; i < end; ++i) body(i);
+    } catch (...) {
+      std::lock_guard<std::mutex> lock(state.mutex);
+      if (!state.error) state.error = std::current_exception();
+      state.failed.store(true, std::memory_order_relaxed);
+      return;
+    }
   }
+}
+
+}  // namespace detail
+
+/// Runs body(i) for i in [0, count) across up to `threads` concurrent
+/// executors (0 = all pool workers plus the caller). Blocks until all
+/// indices finish. body must be thread-safe for distinct i. If body throws,
+/// remaining chunks are abandoned and the first exception is rethrown here.
+template <typename F>
+void parallel_for(std::size_t count, F&& body, std::size_t threads = 0) {
+  if (count == 0) return;
+  ThreadPool& pool = ThreadPool::global();
+  if (threads == 0) threads = pool.size() + 1;
   threads = std::min(threads, count);
   if (threads <= 1) {
     for (std::size_t i = 0; i < count; ++i) body(i);
     return;
   }
-  std::vector<std::thread> workers;
-  workers.reserve(threads);
-  for (std::size_t w = 0; w < threads; ++w) {
-    workers.emplace_back([&, w] {
-      // Static block partition: worker w handles [begin, end).
-      const std::size_t begin = count * w / threads;
-      const std::size_t end = count * (w + 1) / threads;
-      for (std::size_t i = begin; i < end; ++i) body(i);
+
+  auto state = std::make_shared<detail::ParallelForState>();
+  state->count = count;
+  state->chunk = std::max<std::size_t>(1, count / (threads * 8));
+
+  using Body = std::remove_reference_t<F>;
+  Body* body_ptr = std::addressof(body);
+  for (std::size_t h = 0; h + 1 < threads; ++h) {
+    pool.submit([state, body_ptr] {
+      {
+        std::lock_guard<std::mutex> lock(state->mutex);
+        // Late arrival: loop already drained (or aborted) — must not touch
+        // *body_ptr, which may no longer exist.
+        if (state->failed.load(std::memory_order_relaxed) ||
+            state->next.load(std::memory_order_relaxed) >= state->count) {
+          return;
+        }
+        ++state->running_helpers;
+      }
+      detail::run_chunks(*state, *body_ptr);
+      std::lock_guard<std::mutex> lock(state->mutex);
+      --state->running_helpers;
+      state->quiesced.notify_all();
     });
   }
-  for (std::thread& worker : workers) worker.join();
+
+  detail::run_chunks(*state, body);
+  std::unique_lock<std::mutex> lock(state->mutex);
+  state->quiesced.wait(lock, [&] { return state->running_helpers == 0; });
+  // Move the exception OUT of the shared state: a stale helper may drop the
+  // last state reference after we return, and it must not be the one that
+  // releases the exception object — the main thread has already examined it
+  // by then, and the only happens-before runs through libstdc++'s
+  // uninstrumented exception_ptr refcount, which ThreadSanitizer cannot see.
+  std::exception_ptr error = std::move(state->error);
+  lock.unlock();
+  if (error) std::rethrow_exception(error);
 }
 
 }  // namespace sweep::util

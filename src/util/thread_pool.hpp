@@ -1,0 +1,52 @@
+#pragma once
+// Persistent worker-thread pool. parallel_for used to spawn (and join) fresh
+// std::threads on every call; at bench scale that is thousands of
+// spawn/join cycles per binary. The pool keeps workers alive for the process
+// lifetime and feeds them closures through a simple mutex-guarded queue —
+// the grain sizes in this library (one DAG induction, one schedule run) are
+// far larger than the enqueue cost, so nothing fancier is needed.
+//
+// Deadlock safety: users of the pool (parallel_for) never *wait* for a
+// queued job to start — the submitting thread always participates in the
+// work itself, so nested parallel sections make progress even when every
+// worker is busy.
+
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include <condition_variable>
+
+namespace sweep::util {
+
+class ThreadPool {
+ public:
+  /// n_threads = 0 uses hardware_concurrency (minimum 1 worker).
+  explicit ThreadPool(std::size_t n_threads = 0);
+  ~ThreadPool();
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  [[nodiscard]] std::size_t size() const { return workers_.size(); }
+
+  /// Enqueues a job. Jobs must not block waiting for other queued jobs.
+  void submit(std::function<void()> job);
+
+  /// The process-wide pool (lazily constructed, joined at exit). All
+  /// parallel_for calls share it.
+  static ThreadPool& global();
+
+ private:
+  void worker_loop();
+
+  std::vector<std::thread> workers_;
+  std::deque<std::function<void()>> queue_;
+  std::mutex mutex_;
+  std::condition_variable work_available_;
+  bool stop_ = false;
+};
+
+}  // namespace sweep::util

@@ -7,6 +7,8 @@
 #include "core/assignment.hpp"
 #include "core/priorities.hpp"
 #include "core/validate.hpp"
+#include "sweep/dag_builder.hpp"
+#include "sweep/directions.hpp"
 #include "sweep/random_dag.hpp"
 #include "test_helpers.hpp"
 
@@ -133,6 +135,129 @@ INSTANTIATE_TEST_SUITE_P(
                       EngineCase{50, 4, 2, 8}, EngineCase{50, 4, 64, 8},
                       EngineCase{200, 8, 16, 10}, EngineCase{100, 2, 100, 3},
                       EngineCase{64, 6, 7, 20}));
+
+// ---------------------------------------------------------------------------
+// Engine-identity tests: the slot-map fast path (kAuto), the heap fallback
+// (kHeap), and the per-direction-walk reference implementation must produce
+// the exact same schedule — same start time for every task, not merely the
+// same makespan — under every priority scheme and gating variant.
+
+void expect_identical_engines(const dag::SweepInstance& inst,
+                              const Assignment& assignment, std::size_t m,
+                              ListScheduleOptions options, const char* what) {
+  const Schedule slot = list_schedule(inst, assignment, m, options);
+  options.ready_queue = ReadyQueueKind::kHeap;
+  const Schedule heap = list_schedule(inst, assignment, m, options);
+  const Schedule reference = list_schedule_reference(inst, assignment, m,
+                                                     options);
+  ASSERT_EQ(slot.n_tasks(), reference.n_tasks());
+  for (TaskId t = 0; t < reference.n_tasks(); ++t) {
+    ASSERT_EQ(slot.start(t), reference.start(t))
+        << what << ": slot engine diverges at task " << t;
+    ASSERT_EQ(heap.start(t), reference.start(t))
+        << what << ": heap engine diverges at task " << t;
+  }
+}
+
+class EngineIdentity : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(EngineIdentity, AllPrioritySchemesMatchReference) {
+  const auto inst = dag::random_instance(90, 5, 8, 2.0, 31);
+  const std::size_t m = GetParam();
+  util::Rng rng(5);
+  const Assignment assignment = random_assignment(inst.n_cells(), m, rng);
+
+  expect_identical_engines(inst, assignment, m, {}, "no priorities");
+
+  ListScheduleOptions options;
+  const auto level = level_priorities(inst);
+  options.priorities = level;
+  expect_identical_engines(inst, assignment, m, options, "level");
+
+  const auto delays = random_delays(inst.n_directions(), rng);
+  const auto rd = random_delay_priorities(inst, delays);
+  options.priorities = rd;
+  expect_identical_engines(inst, assignment, m, options, "random delay");
+
+  const auto blevel = blevel_priorities(inst);
+  options.priorities = blevel;
+  expect_identical_engines(inst, assignment, m, options, "b-level");
+
+  const auto desc = descendant_priorities(inst, rng);
+  options.priorities = desc;
+  expect_identical_engines(inst, assignment, m, options, "descendants");
+
+  const auto dfds = dfds_priorities(inst, assignment);
+  options.priorities = dfds;
+  expect_identical_engines(inst, assignment, m, options, "DFDS");
+}
+
+TEST_P(EngineIdentity, GatedVariantsMatchReference) {
+  const auto inst = dag::random_instance(70, 4, 6, 1.8, 23);
+  const std::size_t m = GetParam();
+  util::Rng rng(9);
+  const Assignment assignment = random_assignment(inst.n_cells(), m, rng);
+  const auto delays = random_delays(inst.n_directions(), rng);
+  const auto releases = delay_release_times(inst, delays);
+  const auto level = level_priorities(inst);
+
+  ListScheduleOptions options;
+  options.priorities = level;
+  options.release_times = releases;
+  expect_identical_engines(inst, assignment, m, options, "release times");
+
+  options.release_times = {};
+  options.cross_message_delay = 3;
+  expect_identical_engines(inst, assignment, m, options, "cross delay");
+
+  options.release_times = releases;
+  expect_identical_engines(inst, assignment, m, options,
+                           "release + cross delay");
+}
+
+INSTANTIATE_TEST_SUITE_P(ProcessorCounts, EngineIdentity,
+                         ::testing::Values(1, 2, 7, 32, 90));
+
+TEST(EngineIdentity, GeometricInstanceMatches) {
+  const auto mesh = test::small_tet_mesh(5, 5, 3);
+  const auto inst = dag::build_instance(mesh, dag::level_symmetric(2));
+  util::Rng rng(3);
+  const Assignment assignment = random_assignment(inst.n_cells(), 8, rng);
+  const auto delays = random_delays(inst.n_directions(), rng);
+  const auto rd = random_delay_priorities(inst, delays);
+  ListScheduleOptions options;
+  options.priorities = rd;
+  expect_identical_engines(inst, assignment, 8, options, "geometric");
+}
+
+TEST(EngineIdentity, HugePriorityRangeFallsBackToHeap) {
+  // Range > 2^16 makes the slot engine ineligible; kAuto must silently take
+  // the heap path and still match the reference exactly.
+  const auto inst = dag::random_instance(60, 3, 5, 1.5, 17);
+  util::Rng rng(21);
+  const Assignment assignment = random_assignment(inst.n_cells(), 6, rng);
+  std::vector<std::int64_t> wide(inst.n_tasks());
+  for (std::size_t t = 0; t < wide.size(); ++t) {
+    wide[t] = static_cast<std::int64_t>((t % 7) * 1000000) - 2000000;
+  }
+  ListScheduleOptions options;
+  options.priorities = wide;
+  expect_identical_engines(inst, assignment, 6, options, "wide range");
+}
+
+TEST(EngineIdentity, NegativePrioritiesMatch) {
+  // Descendant/DFDS schemes are stored negated; exercise rebasing explicitly.
+  const auto inst = dag::random_instance(40, 2, 5, 1.5, 29);
+  util::Rng rng(2);
+  const Assignment assignment = random_assignment(inst.n_cells(), 4, rng);
+  std::vector<std::int64_t> negative(inst.n_tasks());
+  for (std::size_t t = 0; t < negative.size(); ++t) {
+    negative[t] = -static_cast<std::int64_t>(t % 11);
+  }
+  ListScheduleOptions options;
+  options.priorities = negative;
+  expect_identical_engines(inst, assignment, 4, options, "negative");
+}
 
 TEST(GreedyUnionSchedule, RespectsPrecedenceAndWidth) {
   const auto inst = dag::random_instance(120, 4, 10, 2.0, 55);

@@ -4,6 +4,10 @@
 
 #include <atomic>
 #include <numeric>
+#include <stdexcept>
+#include <vector>
+
+#include "util/thread_pool.hpp"
 
 #include "sweep/instance.hpp"
 #include "test_helpers.hpp"
@@ -32,6 +36,57 @@ TEST(ParallelFor, MoreThreadsThanWorkClampsSafely) {
   std::atomic<int> total{0};
   util::parallel_for(3, [&](std::size_t) { total.fetch_add(1); }, 64);
   EXPECT_EQ(total.load(), 3);
+}
+
+TEST(ParallelFor, PropagatesFirstException) {
+  for (std::size_t threads : {1u, 4u}) {
+    try {
+      util::parallel_for(
+          200,
+          [&](std::size_t i) {
+            if (i == 57) throw std::runtime_error("boom at 57");
+          },
+          threads);
+      FAIL() << "expected exception with threads=" << threads;
+    } catch (const std::runtime_error& e) {
+      EXPECT_STREQ(e.what(), "boom at 57");
+    }
+  }
+}
+
+TEST(ParallelFor, ExceptionAbandonsRemainingChunks) {
+  // After a throw the loop must stop handing out work; with a serial
+  // executor that is exact (nothing after the throwing index runs).
+  std::vector<char> ran(100, 0);
+  EXPECT_THROW(util::parallel_for(
+                   100,
+                   [&](std::size_t i) {
+                     if (i == 10) throw std::runtime_error("stop");
+                     ran[i] = 1;
+                   },
+                   1),
+               std::runtime_error);
+  for (std::size_t i = 11; i < ran.size(); ++i) EXPECT_FALSE(ran[i]);
+}
+
+TEST(ParallelFor, NestedCallsDoNotDeadlock) {
+  // The caller always participates, so an inner loop can run even when every
+  // pool worker is parked inside the outer one.
+  std::atomic<int> total{0};
+  util::parallel_for(
+      8,
+      [&](std::size_t) {
+        util::parallel_for(
+            16, [&](std::size_t) { total.fetch_add(1); }, 0);
+      },
+      0);
+  EXPECT_EQ(total.load(), 8 * 16);
+}
+
+TEST(ThreadPool, GlobalPoolIsPersistent) {
+  auto& pool = util::ThreadPool::global();
+  EXPECT_EQ(&pool, &util::ThreadPool::global());
+  EXPECT_GE(pool.size() + 1, 1u);  // caller always counts as one executor
 }
 
 TEST(BuildInstanceParallel, MatchesSerialExactly) {

@@ -1,0 +1,99 @@
+#include "bench_common.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "core/algorithms.hpp"
+#include "sweep/random_dag.hpp"
+#include "util/stats.hpp"
+
+namespace sweep::bench {
+namespace {
+
+// The trial harness fans (spec, trial) points across the thread pool; these
+// tests pin down the determinism contract: the result must be bit-identical
+// to the serial loop for any job count.
+
+std::vector<TrialSpec> mixed_specs() {
+  return {
+      {core::Algorithm::kRandomDelay, 4, nullptr},
+      {core::Algorithm::kRandomDelay, 16, nullptr},
+      {core::Algorithm::kRandomDelayPriorities, 4, nullptr},
+      {core::Algorithm::kImprovedRandomDelay, 8, nullptr},
+      {core::Algorithm::kLevelPriorities, 16, nullptr},
+  };
+}
+
+TEST(ParallelTrials, JobCountDoesNotChangeResults) {
+  const auto inst = dag::random_instance(80, 4, 7, 2.0, 61);
+  const auto specs = mixed_specs();
+  const std::uint64_t seed = 987;
+  const std::size_t trials = 5;
+  const std::vector<double> serial =
+      parallel_trials(inst, specs, trials, seed, /*validate=*/true, 1);
+  for (std::size_t jobs : {2u, 4u, 7u, 0u}) {
+    const std::vector<double> fanned =
+        parallel_trials(inst, specs, trials, seed, /*validate=*/false, jobs);
+    ASSERT_EQ(fanned.size(), serial.size());
+    for (std::size_t s = 0; s < serial.size(); ++s) {
+      // Bit-identical, not approximately equal: same per-trial seeds, same
+      // ordered reduction.
+      EXPECT_EQ(fanned[s], serial[s]) << "spec " << s << " jobs " << jobs;
+    }
+  }
+}
+
+TEST(ParallelTrials, MatchesHandRolledSerialLoop) {
+  // The documented seeding contract: trial j of every spec uses
+  // Rng(seed + j * 1000003), and the mean is the Welford mean in trial order.
+  const auto inst = dag::random_instance(60, 3, 6, 1.8, 44);
+  const std::uint64_t seed = 321;
+  const std::size_t trials = 4;
+  const TrialSpec spec{core::Algorithm::kRandomDelayPriorities, 8, nullptr};
+
+  util::OnlineStats expected;
+  for (std::size_t trial = 0; trial < trials; ++trial) {
+    util::Rng rng(seed + trial * 1000003);
+    const core::Schedule schedule =
+        core::run_algorithm(spec.algorithm, inst, spec.n_processors, rng);
+    expected.add(static_cast<double>(schedule.makespan()));
+  }
+
+  const std::vector<double> got =
+      parallel_trials(inst, {&spec, 1}, trials, seed, /*validate=*/false, 0);
+  ASSERT_EQ(got.size(), 1u);
+  EXPECT_EQ(got[0], expected.mean());
+}
+
+TEST(ParallelTrials, BlockAssignmentsAreDeterministicToo) {
+  const auto inst = dag::random_instance(96, 3, 8, 2.0, 13);
+  // A synthetic 12-block partition (cells striped across blocks).
+  partition::Partition blocks(inst.n_cells());
+  for (std::size_t v = 0; v < blocks.size(); ++v) {
+    blocks[v] = static_cast<std::uint32_t>(v % 12);
+  }
+  const std::vector<TrialSpec> specs = {
+      {core::Algorithm::kRandomDelay, 4, &blocks},
+      {core::Algorithm::kRandomDelayPriorities, 4, &blocks},
+  };
+  const auto serial = parallel_trials(inst, specs, 3, 777, true, 1);
+  const auto fanned = parallel_trials(inst, specs, 3, 777, false, 4);
+  ASSERT_EQ(serial.size(), fanned.size());
+  for (std::size_t s = 0; s < serial.size(); ++s) {
+    EXPECT_EQ(serial[s], fanned[s]);
+  }
+}
+
+TEST(ParallelTrials, EmptyInputsYieldZeros) {
+  const auto inst = dag::random_instance(20, 2, 3, 1.0, 5);
+  EXPECT_TRUE(parallel_trials(inst, {}, 4, 1, false, 2).empty());
+  const TrialSpec spec{core::Algorithm::kRandomDelay, 2, nullptr};
+  const auto zero_trials =
+      parallel_trials(inst, {&spec, 1}, 0, 1, false, 2);
+  ASSERT_EQ(zero_trials.size(), 1u);
+  EXPECT_EQ(zero_trials[0], 0.0);
+}
+
+}  // namespace
+}  // namespace sweep::bench
