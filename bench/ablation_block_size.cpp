@@ -34,6 +34,7 @@ int main(int argc, char** argv) {
   table.mirror_csv(cli.str("csv"));
   for (std::int64_t bs : cli.int_list("blocks")) {
     const auto block_size = static_cast<std::size_t>(bs);
+    SWEEP_OBS_SPAN_ARGS("ablation.block_size.point", "block_size", bs);
     const auto blocks = bench::make_blocks(setup.graph, block_size, seed);
     const auto cut = partition::edge_cut(setup.graph, blocks);
 
@@ -53,6 +54,7 @@ int main(int argc, char** argv) {
           core::list_schedule(setup.instance, assignment, m, options);
       const auto c1 = core::comm_cost_c1(setup.instance, assignment);
       const auto c2 = core::comm_cost_c2(setup.instance, schedule);
+      bench::record_schedule_quality(setup.instance, schedule);
       makespan_stats.add(static_cast<double>(schedule.makespan()));
       c1_stats.add(static_cast<double>(c1.cross_edges));
       frac_stats.add(c1.fraction());

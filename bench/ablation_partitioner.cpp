@@ -37,6 +37,7 @@ int main(int argc, char** argv) {
     double build_seconds;
   };
   std::vector<Candidate> candidates;
+  SWEEP_OBS_SPAN("ablation.partitioner.build_candidates");
   {
     util::Timer t;
     auto blocks = bench::make_blocks(setup.graph, block_size, seed);

@@ -47,6 +47,10 @@ int main(int argc, char** argv) {
   }
   const std::vector<double> means = bench::parallel_trials(
       setup.instance, specs, trials, seed, validate, bench::trial_jobs());
+  // With --metrics-out, fold the paper's plotted quality quantities
+  // (makespan/LB, C1, C2, idle fraction) into the same registry as the
+  // runtime timers, one observation per (algorithm, m, assignment) series.
+  bench::record_spec_quality(setup.instance, specs, seed);
 
   util::Table table({"m", "LB=nk/m", "RD_cell", "RD_block64", "RD_block256",
                      "RDprio_cell", "RD_cell/LB"});

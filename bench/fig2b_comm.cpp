@@ -23,6 +23,7 @@ struct CommPoint {
 CommPoint measure(const dag::SweepInstance& instance, std::size_t m,
                   std::size_t trials, std::uint64_t seed,
                   const partition::Partition* blocks) {
+  SWEEP_OBS_SPAN_ARGS("fig2b.measure", "m", static_cast<std::int64_t>(m));
   CommPoint point;
   for (std::size_t trial = 0; trial < trials; ++trial) {
     util::Rng rng(seed + trial * 7919);
@@ -37,6 +38,7 @@ CommPoint measure(const dag::SweepInstance& instance, std::size_t m,
     options.priorities = priorities;
     const auto schedule = core::list_schedule(instance, assignment, m, options);
     const auto c2 = core::comm_cost_c2(instance, schedule);
+    bench::record_schedule_quality(instance, schedule);
     point.c1 += static_cast<double>(c1.cross_edges) / static_cast<double>(trials);
     point.c2 += static_cast<double>(c2.total_delay) / static_cast<double>(trials);
     point.fraction += c1.fraction() / static_cast<double>(trials);

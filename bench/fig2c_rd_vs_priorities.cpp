@@ -33,6 +33,8 @@ int main(int argc, char** argv) {
     const std::size_t k = setup.directions.size();
     for (std::int64_t m64 : cli.int_list("procs")) {
       const auto m = static_cast<std::size_t>(m64);
+      SWEEP_OBS_SPAN_ARGS("fig2c.point", "k", static_cast<std::int64_t>(k),
+                          "m", m64);
       const double lb = static_cast<double>(setup.instance.n_tasks()) /
                         static_cast<double>(m);
       const double rd =
@@ -42,6 +44,10 @@ int main(int argc, char** argv) {
           bench::mean_makespan(core::Algorithm::kRandomDelayPriorities,
                                setup.instance, m, trials, seed, nullptr,
                                validate);
+      const bench::TrialSpec quality_specs[] = {
+          {core::Algorithm::kRandomDelay, m, nullptr},
+          {core::Algorithm::kRandomDelayPriorities, m, nullptr}};
+      bench::record_spec_quality(setup.instance, quality_specs, seed);
       worst_ratio = std::max(worst_ratio, rdp / lb);
       table.add_row({util::Table::fmt(static_cast<std::int64_t>(k)),
                      util::Table::fmt(static_cast<std::int64_t>(m)),

@@ -58,6 +58,8 @@ inline int run_fig3(const Fig3Config& config, int argc, const char* const* argv)
     const std::size_t k = setup.directions.size();
     for (std::int64_t m64 : cli.int_list("procs")) {
       const auto m = static_cast<std::size_t>(m64);
+      SWEEP_OBS_SPAN_ARGS("fig3.point", "k", static_cast<std::int64_t>(k),
+                          "m", m64);
       const double lb =
           core::compute_lower_bounds(setup.instance, m).value();
       const double rd = mean_makespan(core::Algorithm::kRandomDelayPriorities,
@@ -68,6 +70,11 @@ inline int run_fig3(const Fig3Config& config, int argc, const char* const* argv)
       const double heur_delay =
           mean_makespan(config.heuristic_delayed, setup.instance, m, trials,
                         seed, &blocks, validate);
+      const TrialSpec quality_specs[] = {
+          {core::Algorithm::kRandomDelayPriorities, m, &blocks},
+          {config.heuristic, m, &blocks},
+          {config.heuristic_delayed, m, &blocks}};
+      record_spec_quality(setup.instance, quality_specs, seed);
       table.add_row({util::Table::fmt(static_cast<std::int64_t>(k)),
                      util::Table::fmt(static_cast<std::int64_t>(m)),
                      util::Table::fmt(rd / lb, 2),

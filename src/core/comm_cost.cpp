@@ -30,6 +30,18 @@ C1Cost comm_cost_c1(const dag::SweepInstance& instance,
 C2Cost comm_cost_c2(const dag::SweepInstance& instance,
                     const Schedule& schedule) {
   const dag::TaskGraph& tg = instance.task_graph();
+  // A schedule from a different (or truncated) instance would make the
+  // start/assignment reads below run out of bounds, and zero processors
+  // would divide by zero in the (step, sender) key arithmetic.
+  if (schedule.n_processors() == 0) {
+    throw std::invalid_argument("comm_cost_c2: schedule has zero processors");
+  }
+  if (schedule.n_cells() != instance.n_cells() ||
+      schedule.n_tasks() != tg.n_tasks()) {
+    throw std::invalid_argument(
+        "comm_cost_c2: schedule does not match instance "
+        "(truncated or foreign schedule)");
+  }
   const std::uint32_t* cell = tg.cells().data();
   const std::size_t horizon = schedule.makespan();
 
@@ -42,6 +54,12 @@ C2Cost comm_cost_c2(const dag::SweepInstance& instance,
     const TimeStep tu = schedule.start(t);
     if (tu == kUnscheduled) {
       throw std::invalid_argument("comm_cost_c2: schedule is incomplete");
+    }
+    if (static_cast<std::size_t>(tu) >= horizon) {
+      // makespan() bounds every scheduled start; a start past it means the
+      // schedule was mutated mid-call. Writing step_max[tu] would be OOB.
+      throw std::invalid_argument(
+          "comm_cost_c2: start step beyond schedule horizon");
     }
     std::uint32_t messages = 0;
     for (dag::TaskGraph::Task succ : tg.successors(t)) {

@@ -7,6 +7,7 @@
 #include <stdexcept>
 #include <vector>
 
+#include "obs/obs.hpp"
 #include "sweep/task_graph.hpp"
 
 namespace sweep::core {
@@ -65,6 +66,7 @@ Schedule run_heap_engine(const dag::TaskGraph& tg, const Assignment& assignment,
                          std::size_t n_processors,
                          const ListScheduleOptions& options, ReadyQueues& ready,
                          std::vector<HeapRec>& rec) {
+  SWEEP_OBS_SPAN("engine.heap.run");
   const std::size_t total = tg.n_tasks();
   Schedule schedule(tg.n_cells(), tg.n_directions(), n_processors, assignment);
 
@@ -167,6 +169,15 @@ Schedule run_heap_engine(const dag::TaskGraph& tg, const Assignment& assignment,
     }
     ++now;
   }
+  SWEEP_OBS_COUNTER_ADD("engine.heap.runs", 1);
+  SWEEP_OBS_COUNTER_ADD("engine.pops", done);
+  SWEEP_OBS_COUNTER_ADD("engine.steps", now);
+  if (now > 0) {
+    SWEEP_OBS_OBSERVE("engine.occupancy",
+                      static_cast<double>(done) /
+                          (static_cast<double>(now) *
+                           static_cast<double>(n_processors)));
+  }
   return schedule;
 }
 
@@ -228,6 +239,7 @@ std::optional<Schedule> run_slot_engine(const dag::TaskGraph& tg,
   const std::int64_t* priority =
       options.priorities.empty() ? nullptr : options.priorities.data();
 
+  obs::PhaseSpan build_phase("engine.slot.build");
   SlotScratch& scratch = slot_scratch();
 
   // Pass 1: per-(processor, priority) histogram.
@@ -324,12 +336,16 @@ std::optional<Schedule> run_slot_engine(const dag::TaskGraph& tg,
   for (std::size_t t = 0; t < total; ++t) {
     if ((packed[t] & 0xFF) == 0) enqueue_ready(static_cast<Task32>(t), 0);
   }
+  build_phase.done();
+  obs::PhaseSpan run_phase("engine.slot.run");
 
   std::size_t done = 0;
   std::vector<Task32> finished;
   finished.reserve(n_processors);
   std::vector<ProcessorId> still_active;
   still_active.reserve(n_processors);
+  std::uint64_t scan_words = 0;
+  std::size_t peak_active = 0;
 
   TimeStep now = 0;
   while (done < total) {
@@ -357,10 +373,14 @@ std::optional<Schedule> run_slot_engine(const dag::TaskGraph& tg,
     // Each active processor runs its lowest live slot this step.
     finished.clear();
     still_active.clear();
+    peak_active = std::max(peak_active, active.size());
     for (ProcessorId p : active) {
       std::size_t w = hint[p] >> 6;
       std::uint64_t word = bitmap[w] & (~0ull << (hint[p] & 63));
-      while (word == 0) word = bitmap[++w];
+      while (word == 0) {
+        word = bitmap[++w];
+        ++scan_words;
+      }
       const auto s =
           static_cast<std::uint32_t>((w << 6) + std::countr_zero(word));
       bitmap[w] &= ~(1ull << (s & 63));
@@ -398,6 +418,19 @@ std::optional<Schedule> run_slot_engine(const dag::TaskGraph& tg,
     }
     ++now;
   }
+  run_phase.done();
+  SWEEP_OBS_COUNTER_ADD("engine.slot.runs", 1);
+  SWEEP_OBS_COUNTER_ADD("engine.slot.scan_words", scan_words);
+  SWEEP_OBS_COUNTER_ADD("engine.pops", done);
+  SWEEP_OBS_COUNTER_ADD("engine.steps", now);
+  if (now > 0) {
+    SWEEP_OBS_OBSERVE("engine.occupancy",
+                      static_cast<double>(done) /
+                          (static_cast<double>(now) *
+                           static_cast<double>(n_processors)));
+    SWEEP_OBS_OBSERVE("engine.peak_active_procs",
+                      static_cast<double>(peak_active));
+  }
   return schedule;
 }
 
@@ -434,6 +467,7 @@ void validate_inputs(const dag::SweepInstance& instance,
 Schedule list_schedule(const dag::SweepInstance& instance,
                        const Assignment& assignment, std::size_t n_processors,
                        const ListScheduleOptions& options) {
+  SWEEP_OBS_SCOPE("core.list_schedule");
   validate_inputs(instance, assignment, n_processors, options,
                   "list_schedule");
   const dag::TaskGraph& tg = instance.task_graph();
@@ -467,6 +501,7 @@ Schedule list_schedule(const dag::SweepInstance& instance,
                                        min_priority, width);
     if (result.has_value()) return *std::move(result);
     // Slot space overflowed (pathologically skewed assignment): fall through.
+    SWEEP_OBS_COUNTER_ADD("engine.slot.fallbacks", 1);
   }
   std::vector<HeapRec> rec(tg.n_tasks());
   {

@@ -1,0 +1,235 @@
+#include "obs/metrics.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <fstream>
+#include <map>
+#include <mutex>
+#include <ostream>
+#include <stdexcept>
+
+namespace sweep::obs {
+namespace {
+
+std::atomic<bool> g_metrics_enabled{false};
+
+struct StatAccum {
+  std::uint64_t count = 0;
+  double sum = 0.0;
+  double min = 0.0;
+  double max = 0.0;
+
+  void observe(double v) noexcept {
+    if (count == 0) {
+      min = max = v;
+    } else {
+      min = std::min(min, v);
+      max = std::max(max, v);
+    }
+    ++count;
+    sum += v;
+  }
+};
+
+/// All registry state, behind one mutex except the counter slots themselves
+/// (relaxed atomics written lock-free by their owning threads). Leaked — see
+/// metrics.hpp.
+struct RegistryState {
+  std::mutex mutex;
+  std::map<std::string, std::uint32_t> counter_ids;       // name -> slot
+  std::vector<detail::CounterShard*> live_shards;
+  std::array<std::uint64_t, detail::kMaxCounters> retired{};
+  std::map<std::string, StatAccum> stats;
+  std::map<std::string, StatAccum> timers;
+};
+
+RegistryState& state() {
+  static RegistryState* s = new RegistryState();
+  return *s;
+}
+
+/// Thread-local shard owner: registers on first use, folds the shard's
+/// values into `retired` when the thread exits so no count is lost.
+struct ShardOwner {
+  detail::CounterShard shard;
+
+  ShardOwner() {
+    RegistryState& s = state();
+    std::lock_guard<std::mutex> lock(s.mutex);
+    s.live_shards.push_back(&shard);
+  }
+
+  ~ShardOwner() {
+    RegistryState& s = state();
+    std::lock_guard<std::mutex> lock(s.mutex);
+    for (std::size_t i = 0; i < detail::kMaxCounters; ++i) {
+      s.retired[i] += shard.slots[i].load(std::memory_order_relaxed);
+    }
+    s.live_shards.erase(
+        std::find(s.live_shards.begin(), s.live_shards.end(), &shard));
+  }
+};
+
+StatValue to_value(const std::string& name, const StatAccum& a) {
+  StatValue v;
+  v.name = name;
+  v.count = a.count;
+  v.sum = a.sum;
+  v.min = a.min;
+  v.max = a.max;
+  return v;
+}
+
+void write_json_escaped(std::ostream& out, const std::string& text) {
+  for (char c : text) {
+    switch (c) {
+      case '"': out << "\\\""; break;
+      case '\\': out << "\\\\"; break;
+      case '\n': out << "\\n"; break;
+      case '\t': out << "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          out << buf;
+        } else {
+          out << c;
+        }
+    }
+  }
+}
+
+}  // namespace
+
+bool metrics_enabled() noexcept {
+  return g_metrics_enabled.load(std::memory_order_relaxed);
+}
+
+void set_metrics_enabled(bool enabled) noexcept {
+  g_metrics_enabled.store(enabled, std::memory_order_relaxed);
+}
+
+namespace detail {
+
+CounterShard& tls_counter_shard() {
+  thread_local ShardOwner owner;
+  return owner.shard;
+}
+
+}  // namespace detail
+
+MetricsRegistry& MetricsRegistry::instance() {
+  static MetricsRegistry* registry = new MetricsRegistry();
+  return *registry;
+}
+
+Counter MetricsRegistry::counter(const std::string& name) {
+  RegistryState& s = state();
+  std::lock_guard<std::mutex> lock(s.mutex);
+  auto it = s.counter_ids.find(name);
+  if (it == s.counter_ids.end()) {
+    const auto id = static_cast<std::uint32_t>(s.counter_ids.size());
+    if (id >= detail::kMaxCounters) {
+      throw std::runtime_error("MetricsRegistry: too many counters");
+    }
+    it = s.counter_ids.emplace(name, id).first;
+  }
+  return Counter(it->second);
+}
+
+void MetricsRegistry::add(const std::string& name, std::uint64_t n) {
+  counter(name).add(n);
+}
+
+void MetricsRegistry::observe(const std::string& name, double value) {
+  RegistryState& s = state();
+  std::lock_guard<std::mutex> lock(s.mutex);
+  s.stats[name].observe(value);
+}
+
+void MetricsRegistry::observe_duration_ns(const std::string& name, double ns) {
+  RegistryState& s = state();
+  std::lock_guard<std::mutex> lock(s.mutex);
+  s.timers[name].observe(ns);
+}
+
+MetricsSnapshot MetricsRegistry::snapshot() {
+  RegistryState& s = state();
+  std::lock_guard<std::mutex> lock(s.mutex);
+  MetricsSnapshot snap;
+  snap.counters.reserve(s.counter_ids.size());
+  for (const auto& [name, id] : s.counter_ids) {
+    std::uint64_t total = s.retired[id];
+    for (const detail::CounterShard* shard : s.live_shards) {
+      total += shard->slots[id].load(std::memory_order_relaxed);
+    }
+    snap.counters.emplace_back(name, total);
+  }
+  for (const auto& [name, accum] : s.stats) {
+    snap.stats.push_back(to_value(name, accum));
+  }
+  for (const auto& [name, accum] : s.timers) {
+    snap.timers.push_back(to_value(name, accum));
+  }
+  return snap;
+}
+
+void MetricsRegistry::reset() {
+  RegistryState& s = state();
+  std::lock_guard<std::mutex> lock(s.mutex);
+  s.retired.fill(0);
+  for (detail::CounterShard* shard : s.live_shards) {
+    for (auto& slot : shard->slots) slot.store(0, std::memory_order_relaxed);
+  }
+  for (auto& [name, accum] : s.stats) accum = StatAccum{};
+  for (auto& [name, accum] : s.timers) accum = StatAccum{};
+}
+
+namespace {
+
+void write_stat_block(
+    std::ostream& out, const std::vector<StatValue>& values, bool as_timer) {
+  bool first = true;
+  for (const StatValue& v : values) {
+    if (!first) out << ",";
+    first = false;
+    out << "\"";
+    write_json_escaped(out, v.name);
+    // Timers are recorded in nanoseconds; report milliseconds.
+    const double unit = as_timer ? 1e-6 : 1.0;
+    out << "\":{\"count\":" << v.count
+        << (as_timer ? ",\"total_ms\":" : ",\"sum\":") << v.sum * unit
+        << (as_timer ? ",\"mean_ms\":" : ",\"mean\":") << v.mean() * unit
+        << (as_timer ? ",\"min_ms\":" : ",\"min\":") << v.min * unit
+        << (as_timer ? ",\"max_ms\":" : ",\"max\":") << v.max * unit << "}";
+  }
+}
+
+}  // namespace
+
+void write_metrics_json(std::ostream& out) {
+  const MetricsSnapshot snap = MetricsRegistry::instance().snapshot();
+  out << "{\"counters\":{";
+  bool first = true;
+  for (const auto& [name, value] : snap.counters) {
+    if (!first) out << ",";
+    first = false;
+    out << "\"";
+    write_json_escaped(out, name);
+    out << "\":" << value;
+  }
+  out << "},\"stats\":{";
+  write_stat_block(out, snap.stats, /*as_timer=*/false);
+  out << "},\"timers\":{";
+  write_stat_block(out, snap.timers, /*as_timer=*/true);
+  out << "}}\n";
+}
+
+bool write_metrics_json(const std::string& path) {
+  std::ofstream out(path);
+  if (!out) return false;
+  write_metrics_json(out);
+  return out.good();
+}
+
+}  // namespace sweep::obs

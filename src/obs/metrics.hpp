@@ -1,0 +1,119 @@
+#pragma once
+// Process-wide metrics registry: named counters, value stats, and timers.
+//
+// Hot-path design: counters write to a per-thread shard (a fixed array of
+// relaxed atomics indexed by counter id), so concurrent add() never takes a
+// lock; a snapshot merges the live shards plus the values folded in from
+// exited threads. Stats and timers are observed at call granularity (one
+// schedule run, one trial) and go through a single registry mutex — the
+// simplicity is worth far more than the ~20ns lock at that rate.
+//
+// Collection is off by default: every instrumentation macro first checks
+// metrics_enabled() (one relaxed atomic load), so an un-instrumented run
+// pays essentially nothing. Compiling with SWEEP_OBS_DISABLE turns the
+// macros in obs.hpp into true no-ops; this registry still links (writers
+// then emit empty documents) so call sites never need #ifdefs.
+//
+// The registry singleton is intentionally leaked: worker threads merge
+// their shards from thread_local destructors, which may run during static
+// destruction (util::ThreadPool joins its workers then) — a destroyed
+// registry would be a use-after-free, a leaked one is always valid.
+
+#include <array>
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace sweep::obs {
+
+/// Global collection switch (default off). Relaxed; flip before the work
+/// you want measured, not concurrently with a snapshot you care about.
+[[nodiscard]] bool metrics_enabled() noexcept;
+void set_metrics_enabled(bool enabled) noexcept;
+
+namespace detail {
+/// Upper bound on distinct counter names; registering more throws. Each
+/// thread that touches a counter owns one shard (8 KiB).
+constexpr std::size_t kMaxCounters = 1024;
+
+struct CounterShard {
+  std::array<std::atomic<std::uint64_t>, kMaxCounters> slots{};
+};
+
+CounterShard& tls_counter_shard();
+}  // namespace detail
+
+/// Cheap value handle for a registered counter; copyable, trivially
+/// destructible. Obtain via MetricsRegistry::counter() (or the
+/// SWEEP_OBS_COUNTER_ADD macro, which caches one in a function-local
+/// static so the name lookup happens once per call site).
+class Counter {
+ public:
+  void add(std::uint64_t n = 1) noexcept {
+    detail::tls_counter_shard().slots[id_].fetch_add(
+        n, std::memory_order_relaxed);
+  }
+
+ private:
+  friend class MetricsRegistry;
+  explicit Counter(std::uint32_t id) noexcept : id_(id) {}
+  std::uint32_t id_;
+};
+
+/// Merged view of one stat/timer: count plus sum/min/max of the observed
+/// values (nanoseconds for timers).
+struct StatValue {
+  std::string name;
+  std::uint64_t count = 0;
+  double sum = 0.0;
+  double min = 0.0;
+  double max = 0.0;
+  [[nodiscard]] double mean() const {
+    return count ? sum / static_cast<double>(count) : 0.0;
+  }
+};
+
+struct MetricsSnapshot {
+  std::vector<std::pair<std::string, std::uint64_t>> counters;  // name-sorted
+  std::vector<StatValue> stats;                                 // name-sorted
+  std::vector<StatValue> timers;                                // name-sorted
+};
+
+class MetricsRegistry {
+ public:
+  /// The process-wide registry (leaked, see header comment).
+  static MetricsRegistry& instance();
+
+  /// Registers `name` (idempotent) and returns its counter handle.
+  Counter counter(const std::string& name);
+
+  /// Slow-path conveniences: name lookup under the registry mutex on every
+  /// call. Fine at per-run granularity; use Counter handles in loops.
+  void add(const std::string& name, std::uint64_t n);
+  void observe(const std::string& name, double value);
+  void observe_duration_ns(const std::string& name, double ns);
+
+  /// Merges all live thread shards + retired values. Safe to call while
+  /// other threads keep counting (their in-flight adds may or may not be
+  /// included — relaxed loads).
+  [[nodiscard]] MetricsSnapshot snapshot();
+
+  /// Zeroes every value, keeping registrations. Only meaningful while no
+  /// other thread is actively recording (tests, bench phase boundaries).
+  void reset();
+
+ private:
+  MetricsRegistry() = default;
+};
+
+/// Writes the current snapshot as a JSON object:
+///   {"counters":{...},"stats":{name:{count,sum,mean,min,max}},
+///    "timers":{name:{count,total_ms,mean_ms,min_ms,max_ms}}}
+void write_metrics_json(std::ostream& out);
+/// Returns false (and logs nothing) if the file cannot be opened.
+bool write_metrics_json(const std::string& path);
+
+}  // namespace sweep::obs

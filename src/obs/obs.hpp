@@ -1,0 +1,160 @@
+#pragma once
+// Umbrella header for the observability layer: metrics registry + trace
+// spans, plus the instrumentation macros the rest of the library uses.
+//
+// Compile-time switch: building with -DSWEEP_OBS_DISABLE (CMake option
+// SWEEP_OBS=OFF) turns every macro below into a true no-op — zero code in
+// the instrumented functions. At runtime, macros are additionally gated on
+// obs::metrics_enabled() / obs::trace_enabled(), so a default run of an
+// instrumented binary pays one relaxed atomic load per macro site.
+//
+// Instrumentation rules of thumb:
+//  - Counters are cheap (thread-local atomic add) but still: accumulate in
+//    a local in inner loops and emit once per call.
+//  - Stats/timers/spans take an uncontended lock or two; use them at call
+//    granularity (one schedule, one trial, one partition), never per-task.
+//  - Names must be string literals (spans store the pointer).
+
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+
+#define SWEEP_OBS_CONCAT_IMPL(a, b) a##b
+#define SWEEP_OBS_CONCAT(a, b) SWEEP_OBS_CONCAT_IMPL(a, b)
+
+namespace sweep::obs {
+
+#if defined(SWEEP_OBS_DISABLE)
+
+/// Compiled-out stand-in; see the enabled definition below.
+class PhaseSpan {
+ public:
+  explicit PhaseSpan(const char*) noexcept {}
+  void done() noexcept {}
+};
+
+#else
+
+/// Explicit-end phase marker for code where a phase boundary falls in the
+/// middle of a scope: emits both a trace span and a timer observation when
+/// done() (or the destructor) runs. `name` must be a string literal.
+class PhaseSpan {
+ public:
+  explicit PhaseSpan(const char* name) noexcept
+      : name_(name),
+        traced_(trace_enabled()),
+        timed_(metrics_enabled()) {
+    if (traced_ || timed_) t0_ns_ = detail::now_ns();
+  }
+  ~PhaseSpan() { done(); }
+  PhaseSpan(const PhaseSpan&) = delete;
+  PhaseSpan& operator=(const PhaseSpan&) = delete;
+
+  void done() {
+    if (!traced_ && !timed_) return;
+    const std::uint64_t t1_ns = detail::now_ns();
+    if (traced_) detail::record_event(name_, t0_ns_, t1_ns, 0, {}, {});
+    if (timed_) {
+      MetricsRegistry::instance().observe_duration_ns(
+          name_, static_cast<double>(t1_ns - t0_ns_));
+    }
+    traced_ = timed_ = false;
+  }
+
+ private:
+  const char* name_;
+  bool traced_;
+  bool timed_;
+  std::uint64_t t0_ns_ = 0;
+};
+
+#endif  // SWEEP_OBS_DISABLE
+
+}  // namespace sweep::obs
+
+#if defined(SWEEP_OBS_DISABLE)
+
+#define SWEEP_OBS_COUNTER_ADD(name, n) \
+  do {                                 \
+    (void)sizeof(n);                   \
+  } while (0)
+#define SWEEP_OBS_OBSERVE(name, value) \
+  do {                                 \
+    (void)sizeof(value);               \
+  } while (0)
+#define SWEEP_OBS_TIMER(name) \
+  do {                        \
+  } while (0)
+#define SWEEP_OBS_SPAN(name)
+#define SWEEP_OBS_SPAN_ARGS(name, ...)
+#define SWEEP_OBS_SCOPE(name)
+
+#else
+
+/// Adds `n` to counter `name`. The registry lookup happens once per call
+/// site (function-local static handle); the add is a relaxed atomic
+/// increment on a thread-local shard.
+#define SWEEP_OBS_COUNTER_ADD(name, n)                              \
+  do {                                                              \
+    if (::sweep::obs::metrics_enabled()) {                          \
+      static ::sweep::obs::Counter sweep_obs_counter =              \
+          ::sweep::obs::MetricsRegistry::instance().counter(name);  \
+      sweep_obs_counter.add(static_cast<std::uint64_t>(n));         \
+    }                                                               \
+  } while (0)
+
+/// Records one observation of value stat `name` (merged min/mean/max).
+#define SWEEP_OBS_OBSERVE(name, value)                            \
+  do {                                                            \
+    if (::sweep::obs::metrics_enabled()) {                        \
+      ::sweep::obs::MetricsRegistry::instance().observe(          \
+          name, static_cast<double>(value));                      \
+    }                                                             \
+  } while (0)
+
+namespace sweep::obs::detail {
+
+/// RAII timer feeding MetricsRegistry::observe_duration_ns.
+class ScopedTimer {
+ public:
+  explicit ScopedTimer(const char* name) noexcept
+      : name_(metrics_enabled() ? name : nullptr) {
+    if (name_ != nullptr) t0_ns_ = now_ns();
+  }
+  ~ScopedTimer() {
+    if (name_ != nullptr) {
+      MetricsRegistry::instance().observe_duration_ns(
+          name_, static_cast<double>(now_ns() - t0_ns_));
+    }
+  }
+  ScopedTimer(const ScopedTimer&) = delete;
+  ScopedTimer& operator=(const ScopedTimer&) = delete;
+
+ private:
+  const char* name_;
+  std::uint64_t t0_ns_ = 0;
+};
+
+}  // namespace sweep::obs::detail
+
+/// Times the enclosing scope into timer metric `name`.
+#define SWEEP_OBS_TIMER(name)                       \
+  ::sweep::obs::detail::ScopedTimer SWEEP_OBS_CONCAT( \
+      sweep_obs_timer_, __COUNTER__) { name }
+
+/// Emits a trace span covering the enclosing scope.
+#define SWEEP_OBS_SPAN(name)                   \
+  ::sweep::obs::TraceSpan SWEEP_OBS_CONCAT(    \
+      sweep_obs_span_, __COUNTER__) { name }
+
+/// Trace span with 1 or 2 integer args: (name, "key", value, ...).
+#define SWEEP_OBS_SPAN_ARGS(name, ...)         \
+  ::sweep::obs::TraceSpan SWEEP_OBS_CONCAT(    \
+      sweep_obs_span_, __COUNTER__) { name, __VA_ARGS__ }
+
+/// Span + timer under the same name: wall-clock phase in the trace AND an
+/// aggregated timer in the metrics registry.
+#define SWEEP_OBS_SCOPE(name) \
+  SWEEP_OBS_SPAN(name);       \
+  SWEEP_OBS_TIMER(name)
+
+#endif  // SWEEP_OBS_DISABLE

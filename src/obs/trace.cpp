@@ -1,0 +1,191 @@
+#include "obs/trace.hpp"
+
+#include <algorithm>
+#include <fstream>
+#include <map>
+#include <mutex>
+#include <ostream>
+#include <vector>
+
+namespace sweep::obs {
+namespace {
+
+std::atomic<bool> g_trace_enabled{false};
+
+struct TraceEvent {
+  const char* name;
+  std::uint64_t t0_ns;
+  std::uint64_t dur_ns;
+  std::uint32_t tid;
+  int n_args;
+  std::array<const char*, 2> arg_names;
+  std::array<std::int64_t, 2> arg_values;
+};
+
+/// Per-thread event buffer. Its mutex is uncontended except while a trace
+/// is being written — span completion locks only its own buffer.
+struct EventBuffer {
+  std::mutex mutex;
+  std::vector<TraceEvent> events;
+  std::uint32_t tid = 0;
+};
+
+struct SessionState {
+  std::mutex mutex;
+  std::vector<EventBuffer*> live_buffers;
+  std::vector<TraceEvent> retired;
+  std::map<std::uint32_t, std::string> thread_names;
+  std::uint32_t next_tid = 1;
+  std::chrono::steady_clock::time_point epoch =
+      std::chrono::steady_clock::now();
+};
+
+SessionState& session() {
+  static SessionState* s = new SessionState();
+  return *s;
+}
+
+struct BufferOwner {
+  EventBuffer buffer;
+
+  BufferOwner() {
+    SessionState& s = session();
+    std::lock_guard<std::mutex> lock(s.mutex);
+    buffer.tid = s.next_tid++;
+    s.live_buffers.push_back(&buffer);
+  }
+
+  ~BufferOwner() {
+    SessionState& s = session();
+    std::lock_guard<std::mutex> session_lock(s.mutex);
+    std::lock_guard<std::mutex> buffer_lock(buffer.mutex);
+    s.retired.insert(s.retired.end(), buffer.events.begin(),
+                     buffer.events.end());
+    s.live_buffers.erase(
+        std::find(s.live_buffers.begin(), s.live_buffers.end(), &buffer));
+  }
+};
+
+EventBuffer& tls_buffer() {
+  thread_local BufferOwner owner;
+  return owner.buffer;
+}
+
+void write_event(std::ostream& out, const TraceEvent& e) {
+  out << "{\"name\":\"" << e.name << "\",\"cat\":\"sweep\",\"ph\":\"X\""
+      << ",\"pid\":1,\"tid\":" << e.tid
+      << ",\"ts\":" << static_cast<double>(e.t0_ns) / 1e3
+      << ",\"dur\":" << static_cast<double>(e.dur_ns) / 1e3;
+  if (e.n_args > 0) {
+    out << ",\"args\":{";
+    for (int a = 0; a < e.n_args; ++a) {
+      if (a > 0) out << ",";
+      out << "\"" << e.arg_names[a] << "\":" << e.arg_values[a];
+    }
+    out << "}";
+  }
+  out << "}";
+}
+
+}  // namespace
+
+bool trace_enabled() noexcept {
+  return g_trace_enabled.load(std::memory_order_relaxed);
+}
+
+void start_tracing() noexcept {
+  (void)session();  // pin the epoch before the first span
+  g_trace_enabled.store(true, std::memory_order_relaxed);
+}
+
+void stop_tracing() noexcept {
+  g_trace_enabled.store(false, std::memory_order_relaxed);
+}
+
+void clear_trace() {
+  SessionState& s = session();
+  std::lock_guard<std::mutex> lock(s.mutex);
+  s.retired.clear();
+  for (EventBuffer* buffer : s.live_buffers) {
+    std::lock_guard<std::mutex> buffer_lock(buffer->mutex);
+    buffer->events.clear();
+  }
+}
+
+std::uint32_t current_thread_tid() { return tls_buffer().tid; }
+
+void set_thread_name(const std::string& name) {
+  const std::uint32_t tid = current_thread_tid();
+  SessionState& s = session();
+  std::lock_guard<std::mutex> lock(s.mutex);
+  s.thread_names[tid] = name;
+}
+
+namespace detail {
+
+std::uint64_t now_ns() noexcept {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now() - session().epoch)
+          .count());
+}
+
+void record_event(const char* name, std::uint64_t t0_ns, std::uint64_t t1_ns,
+                  int n_args, const std::array<const char*, 2>& arg_names,
+                  const std::array<std::int64_t, 2>& arg_values) {
+  EventBuffer& buffer = tls_buffer();
+  std::lock_guard<std::mutex> lock(buffer.mutex);
+  buffer.events.push_back(TraceEvent{name, t0_ns, t1_ns - t0_ns, buffer.tid,
+                                     n_args, arg_names, arg_values});
+}
+
+}  // namespace detail
+
+void write_trace_json(std::ostream& out) {
+  SessionState& s = session();
+  std::vector<TraceEvent> events;
+  std::map<std::uint32_t, std::string> names;
+  {
+    std::lock_guard<std::mutex> lock(s.mutex);
+    events = s.retired;
+    for (EventBuffer* buffer : s.live_buffers) {
+      std::lock_guard<std::mutex> buffer_lock(buffer->mutex);
+      events.insert(events.end(), buffer->events.begin(),
+                    buffer->events.end());
+    }
+    names = s.thread_names;
+  }
+  std::stable_sort(events.begin(), events.end(),
+                   [](const TraceEvent& a, const TraceEvent& b) {
+                     return a.t0_ns < b.t0_ns;
+                   });
+
+  out << "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[";
+  bool first = true;
+  auto comma = [&] {
+    if (!first) out << ",\n";
+    first = false;
+  };
+  comma();
+  out << "{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":1,"
+         "\"args\":{\"name\":\"sweep\"}}";
+  for (const auto& [tid, name] : names) {
+    comma();
+    out << "{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":1,\"tid\":" << tid
+        << ",\"args\":{\"name\":\"" << name << "\"}}";
+  }
+  for (const TraceEvent& e : events) {
+    comma();
+    write_event(out, e);
+  }
+  out << "]}\n";
+}
+
+bool write_trace_json(const std::string& path) {
+  std::ofstream out(path);
+  if (!out) return false;
+  write_trace_json(out);
+  return out.good();
+}
+
+}  // namespace sweep::obs

@@ -1,0 +1,95 @@
+#pragma once
+// Scoped trace spans emitting Chrome trace-event JSON ("Trace Event
+// Format"), loadable in chrome://tracing and Perfetto.
+//
+// Spans are RAII: construction stamps the start time, destruction records a
+// complete ("ph":"X") event into a per-thread buffer. Buffers are merged
+// (and time-sorted) only when the trace is written. Each thread gets a
+// small stable tid on first use; util::ThreadPool workers call
+// set_thread_name() so their spans group under "pool-worker-N" in the
+// viewer instead of anonymous thread ids.
+//
+// Tracing is off by default; an unarmed span costs one relaxed atomic load.
+// Span names (and arg names) must be string literals or otherwise outlive
+// the tracing session — they are stored by pointer, never copied.
+//
+// The session singleton is leaked for the same static-destruction-order
+// reason as the metrics registry (see metrics.hpp).
+
+#include <array>
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+
+namespace sweep::obs {
+
+[[nodiscard]] bool trace_enabled() noexcept;
+/// Arms span recording. Events recorded before start_tracing are kept (the
+/// buffer is only cleared explicitly), so start/stop can bracket phases.
+void start_tracing() noexcept;
+void stop_tracing() noexcept;
+/// Drops every buffered event (live and retired). Tests and repeated bench
+/// phases; not thread-safe against concurrently *finishing* spans.
+void clear_trace();
+
+/// Stable small id of the calling thread (assigned on first use).
+[[nodiscard]] std::uint32_t current_thread_tid();
+/// Names the calling thread in the trace viewer (emitted as a thread_name
+/// metadata event).
+void set_thread_name(const std::string& name);
+
+namespace detail {
+std::uint64_t now_ns() noexcept;
+void record_event(const char* name, std::uint64_t t0_ns, std::uint64_t t1_ns,
+                  int n_args, const std::array<const char*, 2>& arg_names,
+                  const std::array<std::int64_t, 2>& arg_values);
+}  // namespace detail
+
+class TraceSpan {
+ public:
+  explicit TraceSpan(const char* name) noexcept { arm(name); }
+  TraceSpan(const char* name, const char* k0, std::int64_t v0) noexcept {
+    arm(name);
+    n_args_ = 1;
+    arg_names_[0] = k0;
+    arg_values_[0] = v0;
+  }
+  TraceSpan(const char* name, const char* k0, std::int64_t v0, const char* k1,
+            std::int64_t v1) noexcept {
+    arm(name);
+    n_args_ = 2;
+    arg_names_ = {k0, k1};
+    arg_values_ = {v0, v1};
+  }
+  ~TraceSpan() {
+    if (name_ != nullptr) {
+      detail::record_event(name_, t0_ns_, detail::now_ns(), n_args_,
+                           arg_names_, arg_values_);
+    }
+  }
+  TraceSpan(const TraceSpan&) = delete;
+  TraceSpan& operator=(const TraceSpan&) = delete;
+
+ private:
+  void arm(const char* name) noexcept {
+    name_ = trace_enabled() ? name : nullptr;
+    if (name_ != nullptr) t0_ns_ = detail::now_ns();
+  }
+
+  const char* name_ = nullptr;  // nullptr = not armed
+  std::uint64_t t0_ns_ = 0;
+  int n_args_ = 0;
+  std::array<const char*, 2> arg_names_{};
+  std::array<std::int64_t, 2> arg_values_{};
+};
+
+/// Writes every buffered event as one Chrome trace-event JSON document.
+/// Safe to call while spans are still being recorded on other threads
+/// (their in-flight spans may be missed).
+void write_trace_json(std::ostream& out);
+/// Returns false if the file cannot be opened.
+bool write_trace_json(const std::string& path);
+
+}  // namespace sweep::obs

@@ -6,6 +6,7 @@
 #include <stdexcept>
 #include <unordered_map>
 
+#include "obs/obs.hpp"
 #include "util/rng.hpp"
 
 namespace sweep::partition {
@@ -24,6 +25,7 @@ struct CoarseLevel {
 };
 
 CoarseLevel coarsen_once(const Graph& fine, Rng& rng) {
+  SWEEP_OBS_COUNTER_ADD("partition.coarsen_levels", 1);
   const std::size_t n = fine.n_vertices();
   std::vector<VertexId> match(n, kUnmatched);
   std::vector<std::uint32_t> visit_order(n);
@@ -166,6 +168,7 @@ Partition greedy_grow_bisection(const Graph& graph, std::int64_t target0,
 
 void fm_refine(const Graph& graph, Partition& part, std::int64_t target0,
                double tolerance, std::size_t passes) {
+  SWEEP_OBS_COUNTER_ADD("partition.fm_refines", 1);
   const std::size_t n = graph.n_vertices();
   const std::int64_t total = graph.total_vertex_weight();
   const std::int64_t target1 = total - target0;
@@ -360,6 +363,11 @@ void recursive_bisect(const Graph& graph, const std::vector<VertexId>& to_global
 
 Partition multilevel_partition(const Graph& graph,
                                const MultilevelOptions& options) {
+  SWEEP_OBS_SPAN_ARGS("partition.multilevel", "n_vertices",
+                      static_cast<std::int64_t>(graph.n_vertices()), "n_parts",
+                      static_cast<std::int64_t>(options.n_parts));
+  SWEEP_OBS_TIMER("partition.multilevel");
+  SWEEP_OBS_COUNTER_ADD("partition.multilevel.runs", 1);
   if (options.n_parts == 0) {
     throw std::invalid_argument("multilevel_partition: n_parts must be >= 1");
   }

@@ -5,6 +5,7 @@
 #include <queue>
 #include <stdexcept>
 
+#include "obs/obs.hpp"
 #include "util/rng.hpp"
 
 namespace sweep::partition {
@@ -21,6 +22,7 @@ Partition random_partition(std::size_t n_vertices, std::size_t n_parts,
 }
 
 Partition bfs_blocks(const Graph& graph, std::size_t block_size) {
+  SWEEP_OBS_SCOPE("partition.bfs_blocks");
   if (block_size == 0) {
     throw std::invalid_argument("bfs_blocks: block_size must be >= 1");
   }
@@ -106,6 +108,7 @@ void rcb_recurse(const std::vector<mesh::Vec3>& points,
 
 Partition coordinate_bisection(const std::vector<mesh::Vec3>& points,
                                std::size_t n_parts) {
+  SWEEP_OBS_SCOPE("partition.coordinate_bisection");
   if (n_parts == 0) {
     throw std::invalid_argument("coordinate_bisection: n_parts must be >= 1");
   }

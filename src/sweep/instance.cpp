@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <stdexcept>
 
+#include "obs/obs.hpp"
 #include "sweep/dag_builder.hpp"
 #include "util/parallel.hpp"
 
@@ -51,7 +52,9 @@ const std::vector<std::vector<std::uint32_t>>& SweepInstance::levels() const {
 
 const TaskGraph& SweepInstance::task_graph() const {
   std::call_once(caches_->task_graph_once, [this] {
+    SWEEP_OBS_SCOPE("dag.task_graph.build");
     caches_->task_graph = TaskGraph::build(n_cells_, dags_, levels());
+    SWEEP_OBS_COUNTER_ADD("dag.task_graph.builds", 1);
   });
   return caches_->task_graph;
 }

@@ -82,8 +82,19 @@ void parallel_for(std::size_t count, F&& body, std::size_t threads = 0) {
 
   using Body = std::remove_reference_t<F>;
   Body* body_ptr = std::addressof(body);
+  auto submit_helper = [&](auto&& helper) {
+    // A shut-down global pool (static destruction, explicit shutdown())
+    // refuses work; the caller still runs every chunk itself below, so the
+    // loop degrades to serial instead of failing.
+    try {
+      pool.submit(std::forward<decltype(helper)>(helper));
+    } catch (const std::runtime_error&) {
+      return false;
+    }
+    return true;
+  };
   for (std::size_t h = 0; h + 1 < threads; ++h) {
-    pool.submit([state, body_ptr] {
+    const bool submitted = submit_helper([state, body_ptr] {
       {
         std::lock_guard<std::mutex> lock(state->mutex);
         // Late arrival: loop already drained (or aborted) — must not touch
@@ -99,6 +110,7 @@ void parallel_for(std::size_t count, F&& body, std::size_t threads = 0) {
       --state->running_helpers;
       state->quiesced.notify_all();
     });
+    if (!submitted) break;
   }
 
   detail::run_chunks(*state, body);

@@ -4,6 +4,8 @@
 #include <cmath>
 #include <sstream>
 
+#include "obs/obs.hpp"
+
 namespace sweep::util {
 
 void OnlineStats::add(double x) noexcept {
@@ -81,11 +83,20 @@ std::vector<std::size_t> histogram(std::span<const double> values, double lo,
   std::vector<std::size_t> counts(std::max<std::size_t>(bins, 1), 0);
   if (values.empty() || hi <= lo) return counts;
   const double width = (hi - lo) / static_cast<double>(counts.size());
+  std::size_t non_finite = 0;
   for (double v : values) {
-    auto bin = static_cast<std::ptrdiff_t>((v - lo) / width);
-    bin = std::clamp<std::ptrdiff_t>(bin, 0,
-                                     static_cast<std::ptrdiff_t>(counts.size()) - 1);
-    ++counts[static_cast<std::size_t>(bin)];
+    // Casting NaN or ±inf to an integer is UB before any clamp can help;
+    // clamp in floating point first and drop values with no defined bin.
+    if (!std::isfinite(v)) {
+      ++non_finite;
+      continue;
+    }
+    const double pos = std::clamp((v - lo) / width, 0.0,
+                                  static_cast<double>(counts.size()) - 1.0);
+    ++counts[static_cast<std::size_t>(pos)];
+  }
+  if (non_finite > 0) {
+    SWEEP_OBS_COUNTER_ADD("stats.histogram.non_finite", non_finite);
   }
   return counts;
 }

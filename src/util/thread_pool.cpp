@@ -1,7 +1,11 @@
 #include "util/thread_pool.hpp"
 
 #include <algorithm>
+#include <stdexcept>
+#include <string>
 #include <utility>
+
+#include "obs/obs.hpp"
 
 namespace sweep::util {
 
@@ -11,22 +15,32 @@ ThreadPool::ThreadPool(std::size_t n_threads) {
   }
   workers_.reserve(n_threads);
   for (std::size_t i = 0; i < n_threads; ++i) {
-    workers_.emplace_back([this] { worker_loop(); });
+    workers_.emplace_back([this, i] { worker_loop(i); });
   }
 }
 
-ThreadPool::~ThreadPool() {
+ThreadPool::~ThreadPool() { shutdown(); }
+
+void ThreadPool::shutdown() {
   {
     std::lock_guard<std::mutex> lock(mutex_);
     stop_ = true;
   }
   work_available_.notify_all();
-  for (std::thread& worker : workers_) worker.join();
+  for (std::thread& worker : workers_) {
+    if (worker.joinable()) worker.join();
+  }
+  workers_.clear();
 }
 
 void ThreadPool::submit(std::function<void()> job) {
   {
     std::lock_guard<std::mutex> lock(mutex_);
+    if (stop_) {
+      // A silently-enqueued job would never run (workers are gone or
+      // leaving); surface the misuse instead.
+      throw std::runtime_error("ThreadPool::submit: pool is shut down");
+    }
     queue_.push_back(std::move(job));
   }
   work_available_.notify_one();
@@ -37,7 +51,12 @@ ThreadPool& ThreadPool::global() {
   return pool;
 }
 
-void ThreadPool::worker_loop() {
+void ThreadPool::worker_loop(std::size_t worker_index) {
+#if !defined(SWEEP_OBS_DISABLE)
+  obs::set_thread_name("pool-worker-" + std::to_string(worker_index));
+#else
+  (void)worker_index;
+#endif
   for (;;) {
     std::function<void()> job;
     {

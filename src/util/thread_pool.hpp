@@ -10,6 +10,19 @@
 // queued job to start — the submitting thread always participates in the
 // work itself, so nested parallel sections make progress even when every
 // worker is busy.
+//
+// Lifetime contract:
+//  - shutdown() (also run by the destructor) drains every job already
+//    queued, then joins the workers. It is idempotent but must not race
+//    with itself from two threads.
+//  - submit() after shutdown has begun throws std::runtime_error — a late
+//    job would otherwise be enqueued silently and never run.
+//  - global() is a function-local static, so it is destroyed during static
+//    destruction in reverse construction order. Do not submit work from
+//    other static destructors or from thread_local destructors: whether the
+//    pool is still alive then depends on construction order, and calling
+//    any member of a destroyed pool is undefined behaviour. (parallel_for
+//    degrades to serial execution if the global pool already refuses work.)
 
 #include <cstddef>
 #include <deque>
@@ -33,14 +46,19 @@ class ThreadPool {
   [[nodiscard]] std::size_t size() const { return workers_.size(); }
 
   /// Enqueues a job. Jobs must not block waiting for other queued jobs.
+  /// Throws std::runtime_error if the pool has been shut down.
   void submit(std::function<void()> job);
 
+  /// Drains the queue, joins all workers, and refuses further submits.
+  /// Idempotent; after it returns, size() is 0.
+  void shutdown();
+
   /// The process-wide pool (lazily constructed, joined at exit). All
-  /// parallel_for calls share it.
+  /// parallel_for calls share it. See the lifetime contract above.
   static ThreadPool& global();
 
  private:
-  void worker_loop();
+  void worker_loop(std::size_t worker_index);
 
   std::vector<std::thread> workers_;
   std::deque<std::function<void()>> queue_;

@@ -78,6 +78,33 @@ TEST(C2, RejectsIncompleteSchedule) {
   EXPECT_THROW(comm_cost_c2(inst, s), std::invalid_argument);
 }
 
+TEST(C2, RejectsZeroProcessorSchedule) {
+  // A zero-processor schedule would divide by zero in the (step, sender)
+  // key arithmetic.
+  const auto inst = chain4();
+  Schedule s(4, 1, 0, Assignment{0, 0, 0, 0});
+  for (TaskId t = 0; t < 4; ++t) s.set_start(t, static_cast<TimeStep>(t));
+  EXPECT_THROW(comm_cost_c2(inst, s), std::invalid_argument);
+}
+
+TEST(C2, RejectsTruncatedSchedule) {
+  // Schedule built for 3 cells against a 4-cell instance: reading task 3
+  // would run off the end of the start/assignment arrays.
+  const auto inst = chain4();
+  Schedule s(3, 1, 2, Assignment{0, 1, 0});
+  for (TaskId t = 0; t < 3; ++t) s.set_start(t, static_cast<TimeStep>(t));
+  EXPECT_THROW(comm_cost_c2(inst, s), std::invalid_argument);
+}
+
+TEST(C2, RejectsForeignDirectionCount) {
+  // Right cell count, wrong direction count: n_tasks mismatch must throw
+  // rather than index the task graph with foreign task ids.
+  const auto inst = chain4();
+  Schedule s(4, 2, 2, Assignment{0, 1, 0, 1});
+  for (TaskId t = 0; t < 8; ++t) s.set_start(t, 0);
+  EXPECT_THROW(comm_cost_c2(inst, s), std::invalid_argument);
+}
+
 TEST(C2, MuchSmallerThanC1OnRealInstances) {
   // The paper's Section 5.1 observation 2: C2 is far below C1.
   const auto m = test::small_tet_mesh(6, 6, 3);

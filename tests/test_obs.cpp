@@ -1,0 +1,292 @@
+// Tests for the observability layer (src/obs): metrics registry merge
+// semantics, trace-event JSON output, runtime gating, and the identity
+// guarantee — instrumentation must never change scheduler output.
+
+#include "obs/obs.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstddef>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "core/list_scheduler.hpp"
+#include "sweep/random_dag.hpp"
+#include "util/parallel.hpp"
+
+namespace sweep::obs {
+namespace {
+
+// Reset + arm around each metrics test; the registry is process-global.
+class MetricsTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    MetricsRegistry::instance().reset();
+    set_metrics_enabled(true);
+  }
+  void TearDown() override {
+    set_metrics_enabled(false);
+    MetricsRegistry::instance().reset();
+  }
+};
+
+std::uint64_t counter_value(const MetricsSnapshot& snap,
+                            const std::string& name) {
+  for (const auto& [n, v] : snap.counters) {
+    if (n == name) return v;
+  }
+  return 0;
+}
+
+const StatValue* find_stat(const std::vector<StatValue>& values,
+                           const std::string& name) {
+  for (const auto& v : values) {
+    if (v.name == name) return &v;
+  }
+  return nullptr;
+}
+
+TEST_F(MetricsTest, CounterAccumulates) {
+  auto c = MetricsRegistry::instance().counter("test.counter_a");
+  c.add();
+  c.add(41);
+  const auto snap = MetricsRegistry::instance().snapshot();
+  EXPECT_EQ(counter_value(snap, "test.counter_a"), 42u);
+}
+
+TEST_F(MetricsTest, CounterRegistrationIsIdempotent) {
+  auto a = MetricsRegistry::instance().counter("test.same_name");
+  auto b = MetricsRegistry::instance().counter("test.same_name");
+  a.add(1);
+  b.add(2);
+  const auto snap = MetricsRegistry::instance().snapshot();
+  EXPECT_EQ(counter_value(snap, "test.same_name"), 3u);
+}
+
+TEST_F(MetricsTest, CountsFromManyThreadsMerge) {
+  // Each pool worker (and the caller) writes to its own shard; the snapshot
+  // must see the total. Exercises the live-shard merge and, when workers
+  // exit later, the retirement fold.
+  auto c = MetricsRegistry::instance().counter("test.threads");
+  util::parallel_for(
+      1000, [&](std::size_t) { c.add(); }, 0);
+  const auto snap = MetricsRegistry::instance().snapshot();
+  EXPECT_EQ(counter_value(snap, "test.threads"), 1000u);
+}
+
+TEST_F(MetricsTest, ObserveTracksCountSumMinMax) {
+  auto& reg = MetricsRegistry::instance();
+  reg.observe("test.stat", 2.0);
+  reg.observe("test.stat", 6.0);
+  reg.observe("test.stat", 4.0);
+  const auto snap = reg.snapshot();
+  const StatValue* stat = find_stat(snap.stats, "test.stat");
+  ASSERT_NE(stat, nullptr);
+  EXPECT_EQ(stat->count, 3u);
+  EXPECT_DOUBLE_EQ(stat->sum, 12.0);
+  EXPECT_DOUBLE_EQ(stat->min, 2.0);
+  EXPECT_DOUBLE_EQ(stat->max, 6.0);
+  EXPECT_DOUBLE_EQ(stat->mean(), 4.0);
+}
+
+TEST_F(MetricsTest, TimersLandInTheTimerSection) {
+  MetricsRegistry::instance().observe_duration_ns("test.timer", 1.5e6);
+  const auto snap = MetricsRegistry::instance().snapshot();
+  const StatValue* timer = find_stat(snap.timers, "test.timer");
+  ASSERT_NE(timer, nullptr);
+  EXPECT_EQ(timer->count, 1u);
+  EXPECT_DOUBLE_EQ(timer->sum, 1.5e6);
+}
+
+TEST_F(MetricsTest, ResetZeroesEverything) {
+  auto c = MetricsRegistry::instance().counter("test.reset_me");
+  c.add(7);
+  MetricsRegistry::instance().observe("test.reset_stat", 1.0);
+  MetricsRegistry::instance().reset();
+  const auto snap = MetricsRegistry::instance().snapshot();
+  EXPECT_EQ(counter_value(snap, "test.reset_me"), 0u);
+  const StatValue* stat = find_stat(snap.stats, "test.reset_stat");
+  if (stat != nullptr) {
+    EXPECT_EQ(stat->count, 0u);
+  }
+}
+
+TEST_F(MetricsTest, DisabledMacrosRecordNothing) {
+  set_metrics_enabled(false);
+  SWEEP_OBS_COUNTER_ADD("test.gated_counter", 5);
+  SWEEP_OBS_OBSERVE("test.gated_stat", 3.0);
+  { SWEEP_OBS_TIMER("test.gated_timer"); }
+  const auto snap = MetricsRegistry::instance().snapshot();
+  EXPECT_EQ(counter_value(snap, "test.gated_counter"), 0u);
+  EXPECT_EQ(find_stat(snap.stats, "test.gated_stat"), nullptr);
+  EXPECT_EQ(find_stat(snap.timers, "test.gated_timer"), nullptr);
+}
+
+TEST_F(MetricsTest, JsonHasAllThreeSections) {
+  auto c = MetricsRegistry::instance().counter("test.json_counter");
+  c.add(3);
+  MetricsRegistry::instance().observe("test.json_stat", 1.25);
+  MetricsRegistry::instance().observe_duration_ns("test.json_timer", 2.0e6);
+  std::ostringstream out;
+  write_metrics_json(out);
+  const std::string json = out.str();
+  EXPECT_NE(json.find("\"counters\""), std::string::npos);
+  EXPECT_NE(json.find("\"stats\""), std::string::npos);
+  EXPECT_NE(json.find("\"timers\""), std::string::npos);
+  EXPECT_NE(json.find("\"test.json_counter\":3"), std::string::npos);
+  EXPECT_NE(json.find("test.json_stat"), std::string::npos);
+  EXPECT_NE(json.find("test.json_timer"), std::string::npos);
+}
+
+// ---------------------------------------------------------------------------
+// Trace spans
+
+class TraceTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    clear_trace();
+    start_tracing();
+  }
+  void TearDown() override {
+    stop_tracing();
+    clear_trace();
+  }
+};
+
+// Minimal structural JSON validator: brackets/braces balance outside
+// strings, quotes pair up. Enough to catch unescaped names and truncated
+// writes without a JSON dependency.
+bool balanced_json(const std::string& text) {
+  std::vector<char> stack;
+  bool in_string = false;
+  for (std::size_t i = 0; i < text.size(); ++i) {
+    const char ch = text[i];
+    if (in_string) {
+      if (ch == '\\') {
+        ++i;  // skip the escaped character
+      } else if (ch == '"') {
+        in_string = false;
+      }
+      continue;
+    }
+    switch (ch) {
+      case '"': in_string = true; break;
+      case '{': case '[': stack.push_back(ch); break;
+      case '}':
+        if (stack.empty() || stack.back() != '{') return false;
+        stack.pop_back();
+        break;
+      case ']':
+        if (stack.empty() || stack.back() != '[') return false;
+        stack.pop_back();
+        break;
+      default: break;
+    }
+  }
+  return !in_string && stack.empty();
+}
+
+TEST_F(TraceTest, SpansProduceCompleteEvents) {
+  { TraceSpan span("test.span_one"); }
+  { TraceSpan span("test.span_args", "k", 7); }
+  std::ostringstream out;
+  write_trace_json(out);
+  const std::string json = out.str();
+  EXPECT_TRUE(balanced_json(json)) << json;
+  EXPECT_NE(json.find("\"traceEvents\""), std::string::npos);
+  EXPECT_NE(json.find("\"ph\":\"X\""), std::string::npos);
+  EXPECT_NE(json.find("test.span_one"), std::string::npos);
+  EXPECT_NE(json.find("test.span_args"), std::string::npos);
+  EXPECT_NE(json.find("\"k\":7"), std::string::npos);
+}
+
+TEST_F(TraceTest, UnarmedSpansRecordNothing) {
+  stop_tracing();
+  clear_trace();
+  { TraceSpan span("test.invisible"); }
+  std::ostringstream out;
+  write_trace_json(out);
+  EXPECT_EQ(out.str().find("test.invisible"), std::string::npos);
+}
+
+TEST_F(TraceTest, PoolWorkerSpansCarryDistinctTids) {
+  // Spans recorded on pool workers end up in per-thread buffers with their
+  // own tids; the workers also self-name via set_thread_name, which must
+  // surface as thread_name metadata.
+  util::parallel_for(
+      64, [&](std::size_t) { TraceSpan span("test.pool_span"); }, 0);
+  std::ostringstream out;
+  write_trace_json(out);
+  const std::string json = out.str();
+  EXPECT_TRUE(balanced_json(json)) << json;
+  EXPECT_NE(json.find("test.pool_span"), std::string::npos);
+#if !defined(SWEEP_OBS_DISABLE)
+  // Workers self-name at startup only when instrumentation is compiled in.
+  EXPECT_NE(json.find("thread_name"), std::string::npos);
+#endif
+}
+
+#if !defined(SWEEP_OBS_DISABLE)
+TEST_F(TraceTest, PhaseSpanSplitsAtDone) {
+  MetricsRegistry::instance().reset();
+  set_metrics_enabled(true);
+  {
+    PhaseSpan phase("test.phase_a");
+    phase.done();
+    PhaseSpan phase_b("test.phase_b");
+  }
+  set_metrics_enabled(false);
+  std::ostringstream out;
+  write_trace_json(out);
+  const std::string json = out.str();
+  EXPECT_NE(json.find("test.phase_a"), std::string::npos);
+  EXPECT_NE(json.find("test.phase_b"), std::string::npos);
+  const auto snap = MetricsRegistry::instance().snapshot();
+  EXPECT_NE(find_stat(snap.timers, "test.phase_a"), nullptr);
+  EXPECT_NE(find_stat(snap.timers, "test.phase_b"), nullptr);
+  MetricsRegistry::instance().reset();
+}
+#endif  // SWEEP_OBS_DISABLE
+
+// ---------------------------------------------------------------------------
+// Identity: instrumentation must not change scheduler output.
+
+TEST(ObsIdentity, ListScheduleOutputUnchangedByInstrumentation) {
+  const auto inst = dag::random_instance(120, 4, 9, 2.0, 17);
+  core::Assignment assignment(inst.n_cells());
+  for (std::size_t v = 0; v < assignment.size(); ++v) {
+    assignment[v] = static_cast<core::ProcessorId>(v % 8);
+  }
+
+  set_metrics_enabled(false);
+  stop_tracing();
+  const auto baseline = core::list_schedule(inst, assignment, 8);
+
+  MetricsRegistry::instance().reset();
+  clear_trace();
+  set_metrics_enabled(true);
+  start_tracing();
+  const auto instrumented = core::list_schedule(inst, assignment, 8);
+  stop_tracing();
+  set_metrics_enabled(false);
+
+  ASSERT_EQ(instrumented.n_tasks(), baseline.n_tasks());
+  EXPECT_EQ(instrumented.starts(), baseline.starts());
+  EXPECT_EQ(instrumented.assignment(), baseline.assignment());
+
+#if !defined(SWEEP_OBS_DISABLE)
+  // And the run actually produced telemetry (so the identity check above
+  // compared an instrumented run, not a silently-disabled one).
+  const auto snap = MetricsRegistry::instance().snapshot();
+  EXPECT_GT(counter_value(snap, "engine.pops"), 0u);
+  std::ostringstream out;
+  write_trace_json(out);
+  EXPECT_NE(out.str().find("core.list_schedule"), std::string::npos);
+#endif
+  MetricsRegistry::instance().reset();
+  clear_trace();
+}
+
+}  // namespace
+}  // namespace sweep::obs

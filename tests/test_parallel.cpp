@@ -89,6 +89,33 @@ TEST(ThreadPool, GlobalPoolIsPersistent) {
   EXPECT_GE(pool.size() + 1, 1u);  // caller always counts as one executor
 }
 
+TEST(ThreadPool, ShutdownDrainsQueuedWork) {
+  // The lifetime contract: shutdown() lets already-queued jobs run to
+  // completion before joining, so no accepted work is dropped.
+  util::ThreadPool pool(2);
+  std::atomic<int> ran{0};
+  for (int i = 0; i < 32; ++i) {
+    pool.submit([&] { ran.fetch_add(1); });
+  }
+  pool.shutdown();
+  EXPECT_EQ(ran.load(), 32);
+}
+
+TEST(ThreadPool, SubmitAfterShutdownThrows) {
+  // A late submit must fail loudly rather than silently drop the job or
+  // deadlock a waiter: the contract is std::runtime_error.
+  util::ThreadPool pool(2);
+  pool.shutdown();
+  EXPECT_THROW(pool.submit([] {}), std::runtime_error);
+}
+
+TEST(ThreadPool, ShutdownIsIdempotent) {
+  util::ThreadPool pool(2);
+  pool.shutdown();
+  pool.shutdown();  // second call is a no-op, not a crash
+  EXPECT_THROW(pool.submit([] {}), std::runtime_error);
+}
+
 TEST(BuildInstanceParallel, MatchesSerialExactly) {
   const auto mesh = test::small_tet_mesh(6, 6, 3);
   const auto dirs = dag::level_symmetric(4);

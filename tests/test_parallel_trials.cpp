@@ -2,6 +2,7 @@
 
 #include <gtest/gtest.h>
 
+#include <stdexcept>
 #include <vector>
 
 #include "core/algorithms.hpp"
@@ -93,6 +94,34 @@ TEST(ParallelTrials, EmptyInputsYieldZeros) {
       parallel_trials(inst, {&spec, 1}, 0, 1, false, 2);
   ASSERT_EQ(zero_trials.size(), 1u);
   EXPECT_EQ(zero_trials[0], 0.0);
+}
+
+TEST(ParallelTrials, ManyMoreJobsThanPointsMatchesSerial) {
+  // jobs far beyond the number of (spec, trial) points: the extra workers
+  // must idle harmlessly and the result must stay bit-identical to serial.
+  const auto inst = dag::random_instance(40, 2, 5, 1.5, 29);
+  const TrialSpec spec{core::Algorithm::kRandomDelayPriorities, 4, nullptr};
+  const auto serial = parallel_trials(inst, {&spec, 1}, 2, 55, false, 1);
+  const auto flooded = parallel_trials(inst, {&spec, 1}, 2, 55, false, 64);
+  ASSERT_EQ(flooded.size(), serial.size());
+  EXPECT_EQ(flooded[0], serial[0]);
+}
+
+TEST(ParallelTrials, ThrowingTrialRethrowsDeterministically) {
+  // A spec with zero processors makes its trial body throw
+  // std::invalid_argument. Only that one point throws, so regardless of the
+  // fan-out the caller must see exactly that exception (parallel_for
+  // rethrows the first failure after the loop quiesces).
+  const auto inst = dag::random_instance(40, 2, 5, 1.5, 29);
+  const std::vector<TrialSpec> specs = {
+      {core::Algorithm::kRandomDelay, 4, nullptr},
+      {core::Algorithm::kRandomDelayPriorities, 0, nullptr},  // last point
+  };
+  for (std::size_t jobs : {1u, 4u, 0u}) {
+    EXPECT_THROW(parallel_trials(inst, specs, 1, 99, false, jobs),
+                 std::invalid_argument)
+        << "jobs " << jobs;
+  }
 }
 
 }  // namespace

@@ -3,8 +3,10 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <limits>
 #include <vector>
 
+#include "obs/obs.hpp"
 #include "util/rng.hpp"
 
 namespace sweep::util {
@@ -104,6 +106,40 @@ TEST(Histogram, DegenerateRange) {
   const auto h = histogram(values, 5.0, 5.0, 4);
   ASSERT_EQ(h.size(), 4u);
   for (auto c : h) EXPECT_EQ(c, 0u);
+}
+
+TEST(Histogram, SkipsNonFiniteValues) {
+  // NaN / ±inf have no defined bin (and casting them to an integer is UB);
+  // they must be dropped, leaving the finite values binned as usual.
+  const double nan = std::numeric_limits<double>::quiet_NaN();
+  const double inf = std::numeric_limits<double>::infinity();
+  const std::vector<double> values = {nan, 0.1, inf, 0.9, -inf, nan};
+  const auto h = histogram(values, 0.0, 1.0, 2);
+  ASSERT_EQ(h.size(), 2u);
+  EXPECT_EQ(h[0], 1u);
+  EXPECT_EQ(h[1], 1u);
+}
+
+TEST(Histogram, NonFiniteValuesAreCounted) {
+  // The dropped values are not silently lost: the metrics registry counts
+  // them under stats.histogram.non_finite when collection is armed.
+  obs::MetricsRegistry::instance().reset();
+  obs::set_metrics_enabled(true);
+  const double nan = std::numeric_limits<double>::quiet_NaN();
+  const double inf = std::numeric_limits<double>::infinity();
+  const std::vector<double> values = {nan, 0.5, inf, -inf};
+  (void)histogram(values, 0.0, 1.0, 4);
+  obs::set_metrics_enabled(false);
+  const auto snap = obs::MetricsRegistry::instance().snapshot();
+  std::uint64_t counted = 0;
+  for (const auto& [name, value] : snap.counters) {
+    if (name == "stats.histogram.non_finite") counted = value;
+  }
+#if defined(SWEEP_OBS_DISABLE)
+  EXPECT_EQ(counted, 0u);  // compiled-out instrumentation records nothing
+#else
+  EXPECT_EQ(counted, 3u);
+#endif
 }
 
 TEST(Summarize, MentionsAllFields) {

@@ -24,6 +24,7 @@
 #include "mesh/mesh_stats.hpp"
 #include "mesh/vtk.hpp"
 #include "mesh/zoo.hpp"
+#include "obs/obs.hpp"
 #include "partition/multilevel.hpp"
 #include "sim/machine.hpp"
 #include "sweep/instance_io.hpp"
@@ -53,11 +54,23 @@ int main(int argc, char** argv) {
   cli.add_option("save-instance", "", "write the instance to this path");
   cli.add_option("save-vtk", "",
                  "write cell centroids + processor/start fields as VTK");
+  cli.add_option("trace-out", "",
+                 "write a Chrome trace-event JSON (chrome://tracing, "
+                 "Perfetto) of this run to this path");
+  cli.add_option("metrics-out", "",
+                 "write the metrics registry (runtime timers + schedule "
+                 "quality) as JSON to this path");
   if (!cli.parse(argc, argv)) return 1;
+
+  const std::string trace_out = cli.str("trace-out");
+  const std::string metrics_out = cli.str("metrics-out");
+  if (!trace_out.empty()) obs::start_tracing();
+  if (!metrics_out.empty()) obs::set_metrics_enabled(true);
 
   util::Timer timer;
 
   // --- Instance -----------------------------------------------------------
+  obs::PhaseSpan instance_phase("cli.build_instance");
   std::unique_ptr<dag::SweepInstance> instance;
   std::unique_ptr<mesh::UnstructuredMesh> mesh_ptr;
   if (!cli.str("load-instance").empty()) {
@@ -83,6 +96,7 @@ int main(int argc, char** argv) {
                 dirs.size(), instance->total_edges(),
                 stats.total_dropped_edges, timer.seconds());
   }
+  instance_phase.done();
   if (!cli.str("save-instance").empty()) {
     dag::save_instance(*instance, cli.str("save-instance"));
     std::printf("instance written to %s\n", cli.str("save-instance").c_str());
@@ -111,8 +125,10 @@ int main(int argc, char** argv) {
   const core::Algorithm algorithm =
       core::algorithm_from_name(cli.str("algorithm"));
   timer.reset();
+  obs::PhaseSpan schedule_phase("cli.schedule");
   const core::Schedule schedule =
       core::run_algorithm(algorithm, *instance, m, rng, assignment);
+  schedule_phase.done();
   const double solve_seconds = timer.seconds();
   const auto valid = core::validate_schedule(*instance, schedule);
   if (!valid) {
@@ -127,6 +143,20 @@ int main(int argc, char** argv) {
 
   const auto c1 = core::comm_cost_c1(*instance, schedule.assignment());
   const auto c2 = core::comm_cost_c2(*instance, schedule);
+  SWEEP_OBS_OBSERVE("quality.makespan", schedule.makespan());
+  if (lb.value() > 0) {
+    SWEEP_OBS_OBSERVE("quality.makespan_over_lb",
+                      core::approximation_ratio(schedule, lb));
+  }
+  SWEEP_OBS_OBSERVE("quality.c1_cross_edges", c1.cross_edges);
+  SWEEP_OBS_OBSERVE("quality.c1_fraction", c1.fraction());
+  SWEEP_OBS_OBSERVE("quality.c2_total_delay", c2.total_delay);
+  if (schedule.makespan() > 0 && m > 0) {
+    SWEEP_OBS_OBSERVE("quality.idle_fraction",
+                      static_cast<double>(schedule.idle_slots()) /
+                          (static_cast<double>(schedule.makespan()) *
+                           static_cast<double>(m)));
+  }
   std::printf("C1 = %zu interprocessor edges (%.1f%% of %zu); C2 = %zu "
               "(worst round %zu)\n",
               c1.cross_edges, 100.0 * c1.fraction(), c1.total_edges,
@@ -175,6 +205,22 @@ int main(int argc, char** argv) {
     }
     mesh::save_vtk_points(*mesh_ptr, fields, cli.str("save-vtk"));
     std::printf("VTK point cloud written to %s\n", cli.str("save-vtk").c_str());
+  }
+  if (!trace_out.empty()) {
+    obs::stop_tracing();
+    if (obs::write_trace_json(trace_out)) {
+      std::printf("trace written to %s\n", trace_out.c_str());
+    } else {
+      std::fprintf(stderr, "FAILED to write trace to %s\n", trace_out.c_str());
+    }
+  }
+  if (!metrics_out.empty()) {
+    if (obs::write_metrics_json(metrics_out)) {
+      std::printf("metrics written to %s\n", metrics_out.c_str());
+    } else {
+      std::fprintf(stderr, "FAILED to write metrics to %s\n",
+                   metrics_out.c_str());
+    }
   }
   return 0;
 }
