@@ -9,9 +9,11 @@
 #include "core/priorities.hpp"
 #include "bench_common.hpp"
 
+#include "util/main_guard.hpp"
+
 using namespace sweep;
 
-int main(int argc, char** argv) {
+static int run_main(int argc, char** argv) {
   util::CliParser cli("ablation_block_size",
                       "Block-size sweep: C1 vs makespan trade-off");
   bench::add_common_options(cli);
@@ -75,4 +77,8 @@ int main(int argc, char** argv) {
               "rises gently until blocks get so large that load balance "
               "collapses.\n");
   return 0;
+}
+
+int main(int argc, char** argv) {
+  return sweep::util::guarded_main([&] { return run_main(argc, argv); });
 }

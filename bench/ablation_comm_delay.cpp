@@ -13,9 +13,11 @@
 #include "core/priorities.hpp"
 #include "bench_common.hpp"
 
+#include "util/main_guard.hpp"
+
 using namespace sweep;
 
-int main(int argc, char** argv) {
+static int run_main(int argc, char** argv) {
   util::CliParser cli("ablation_comm_delay",
                       "Makespan under per-message delays c; cell vs block");
   bench::add_common_options(cli);
@@ -89,4 +91,8 @@ int main(int argc, char** argv) {
               "realized communication rounds (last two columns), which track "
               "C1, not in the latency-only makespan.\n");
   return 0;
+}
+
+int main(int argc, char** argv) {
+  return sweep::util::guarded_main([&] { return run_main(argc, argv); });
 }

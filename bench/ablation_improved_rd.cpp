@@ -8,9 +8,11 @@
 #include "sweep/random_dag.hpp"
 #include "bench_common.hpp"
 
+#include "util/main_guard.hpp"
+
 using namespace sweep;
 
-int main(int argc, char** argv) {
+static int run_main(int argc, char** argv) {
   util::CliParser cli("ablation_improved_rd",
                       "Algorithm 1 vs Algorithm 3 vs Algorithm 2");
   bench::add_common_options(cli);
@@ -75,4 +77,8 @@ int main(int argc, char** argv) {
               "choice to evaluate Algorithms 1-2 empirically and keep "
               "Algorithm 3 as the theoretical result.\n");
   return 0;
+}
+
+int main(int argc, char** argv) {
+  return sweep::util::guarded_main([&] { return run_main(argc, argv); });
 }

@@ -12,9 +12,11 @@
 #include "sim/machine.hpp"
 #include "bench_common.hpp"
 
+#include "util/main_guard.hpp"
+
 using namespace sweep;
 
-int main(int argc, char** argv) {
+static int run_main(int argc, char** argv) {
   util::CliParser cli("ablation_machine_sim",
                       "Simulated wall-clock on alpha-beta machines");
   bench::add_common_options(cli);
@@ -82,4 +84,8 @@ int main(int argc, char** argv) {
               "block assignment wins end-to-end — the paper's reason for "
               "partitioning.\n");
   return 0;
+}
+
+int main(int argc, char** argv) {
+  return sweep::util::guarded_main([&] { return run_main(argc, argv); });
 }

@@ -10,9 +10,11 @@
 #include "partition/simple_partitioners.hpp"
 #include "bench_common.hpp"
 
+#include "util/main_guard.hpp"
+
 using namespace sweep;
 
-int main(int argc, char** argv) {
+static int run_main(int argc, char** argv) {
   util::CliParser cli("ablation_partitioner",
                       "Partitioner quality ablation at fixed block count");
   bench::add_common_options(cli);
@@ -96,4 +98,8 @@ int main(int argc, char** argv) {
               "cut and C1; makespans stay comparable (C1 is the quantity the "
               "partitioner buys).\n");
   return 0;
+}
+
+int main(int argc, char** argv) {
+  return sweep::util::guarded_main([&] { return run_main(argc, argv); });
 }

@@ -10,9 +10,11 @@
 #include "core/weighted_scheduler.hpp"
 #include "bench_common.hpp"
 
+#include "util/main_guard.hpp"
+
 using namespace sweep;
 
-int main(int argc, char** argv) {
+static int run_main(int argc, char** argv) {
   util::CliParser cli("ablation_weighted",
                       "Weighted (per-element-cost) sweep scheduling");
   bench::add_common_options(cli);
@@ -77,4 +79,8 @@ int main(int argc, char** argv) {
               "the randomized approach is insensitive to moderate task-cost "
               "heterogeneity.\n");
   return 0;
+}
+
+int main(int argc, char** argv) {
+  return sweep::util::guarded_main([&] { return run_main(argc, argv); });
 }

@@ -12,9 +12,11 @@
 #include "mesh/structured.hpp"
 #include "bench_common.hpp"
 
+#include "util/main_guard.hpp"
+
 using namespace sweep;
 
-int main(int argc, char** argv) {
+static int run_main(int argc, char** argv) {
   util::CliParser cli("baseline_kba",
                       "KBA vs randomized algorithms on a regular grid");
   bench::add_common_options(cli);
@@ -86,4 +88,8 @@ int main(int argc, char** argv) {
               "Work [6]); on unstructured meshes no such columns exist, "
               "which is the gap the paper's algorithms fill.\n");
   return 0;
+}
+
+int main(int argc, char** argv) {
+  return sweep::util::guarded_main([&] { return run_main(argc, argv); });
 }

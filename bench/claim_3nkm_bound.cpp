@@ -10,9 +10,11 @@
 
 #include "bench_common.hpp"
 
+#include "util/main_guard.hpp"
+
 using namespace sweep;
 
-int main(int argc, char** argv) {
+static int run_main(int argc, char** argv) {
   util::CliParser cli("claim_3nkm_bound",
                       "Verify makespan <= 3nk/m across the full grid");
   bench::add_common_options(cli);
@@ -92,4 +94,8 @@ int main(int argc, char** argv) {
   std::printf("Violations of 3nk/m in the load-dominated regime: %zu\n",
               violations);
   return violations == 0 ? 0 : 2;
+}
+
+int main(int argc, char** argv) {
+  return sweep::util::guarded_main([&] { return run_main(argc, argv); });
 }

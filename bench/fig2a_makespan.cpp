@@ -7,9 +7,11 @@
 
 #include "bench_common.hpp"
 
+#include "util/main_guard.hpp"
+
 using namespace sweep;
 
-int main(int argc, char** argv) {
+static int run_main(int argc, char** argv) {
   util::CliParser cli("fig2a_makespan",
                       "Figure 2(a): makespan vs processors, regular vs block "
                       "assignment (tetonly, 24 directions)");
@@ -74,4 +76,8 @@ int main(int argc, char** argv) {
   std::printf("\nExpected shape: block assignment increases makespan only "
               "modestly; ratio to nk/m stays small until m is very large.\n");
   return 0;
+}
+
+int main(int argc, char** argv) {
+  return sweep::util::guarded_main([&] { return run_main(argc, argv); });
 }

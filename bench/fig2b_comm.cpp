@@ -10,6 +10,8 @@
 #include "core/priorities.hpp"
 #include "bench_common.hpp"
 
+#include "util/main_guard.hpp"
+
 using namespace sweep;
 
 namespace {
@@ -48,7 +50,7 @@ CommPoint measure(const dag::SweepInstance& instance, std::size_t m,
 
 }  // namespace
 
-int main(int argc, char** argv) {
+static int run_main(int argc, char** argv) {
   util::CliParser cli("fig2b_comm",
                       "Figure 2(b): interprocessor edges (C1) and max "
                       "off-proc outdegree cost (C2) vs processors");
@@ -91,4 +93,8 @@ int main(int argc, char** argv) {
               "large factor (more with bigger blocks); C2 << C1 and changes "
               "much less with blocking.\n");
   return 0;
+}
+
+int main(int argc, char** argv) {
+  return sweep::util::guarded_main([&] { return run_main(argc, argv); });
 }

@@ -5,9 +5,11 @@
 
 #include "bench_common.hpp"
 
+#include "util/main_guard.hpp"
+
 using namespace sweep;
 
-int main(int argc, char** argv) {
+static int run_main(int argc, char** argv) {
   util::CliParser cli("fig2c_rd_vs_priorities",
                       "Figure 2(c): Random Delays vs Random Delays with "
                       "Priorities (mesh long, several k and m)");
@@ -63,4 +65,8 @@ int main(int argc, char** argv) {
   std::printf("Worst RD+Priorities makespan / (nk/m) observed: %.2f "
               "(paper: always <= 3)\n", worst_ratio);
   return 0;
+}
+
+int main(int argc, char** argv) {
+  return sweep::util::guarded_main([&] { return run_main(argc, argv); });
 }

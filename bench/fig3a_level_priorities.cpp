@@ -4,7 +4,9 @@
 
 #include "fig3_common.hpp"
 
-int main(int argc, char** argv) {
+#include "util/main_guard.hpp"
+
+static int run_main(int argc, char** argv) {
   sweep::bench::Fig3Config config;
   config.figure = "fig3a";
   config.mesh = "long";
@@ -18,4 +20,8 @@ int main(int argc, char** argv) {
   std::printf("\nExpected shape: level==RD+prio at small m; the random "
               "delays improve the makespan at high m (Figure 3(a)).\n");
   return rc;
+}
+
+int main(int argc, char** argv) {
+  return sweep::util::guarded_main([&] { return run_main(argc, argv); });
 }

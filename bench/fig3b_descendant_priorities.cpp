@@ -5,7 +5,9 @@
 
 #include "fig3_common.hpp"
 
-int main(int argc, char** argv) {
+#include "util/main_guard.hpp"
+
+static int run_main(int argc, char** argv) {
   sweep::bench::Fig3Config config;
   config.figure = "fig3b";
   config.mesh = "tetonly";
@@ -17,4 +19,8 @@ int main(int argc, char** argv) {
   std::printf("\nExpected shape: all close at small m or large k; "
               "descendants edge out RD at large m & small k (Figure 3(b)).\n");
   return rc;
+}
+
+int main(int argc, char** argv) {
+  return sweep::util::guarded_main([&] { return run_main(argc, argv); });
 }

@@ -5,7 +5,9 @@
 
 #include "fig3_common.hpp"
 
-int main(int argc, char** argv) {
+#include "util/main_guard.hpp"
+
+static int run_main(int argc, char** argv) {
   sweep::bench::Fig3Config config;
   config.figure = "fig3c";
   config.mesh = "well_logging";
@@ -17,4 +19,8 @@ int main(int argc, char** argv) {
   std::printf("\nExpected shape: DFDS ~= RD at small m; DFDS ahead at large "
               "m & small k; delays help DFDS only there (Figure 3(c)).\n");
   return rc;
+}
+
+int main(int argc, char** argv) {
+  return sweep::util::guarded_main([&] { return run_main(argc, argv); });
 }

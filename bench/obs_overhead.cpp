@@ -19,6 +19,8 @@
 #include "util/cli.hpp"
 #include "util/timer.hpp"
 
+#include "util/main_guard.hpp"
+
 using namespace sweep;
 
 namespace {
@@ -41,7 +43,7 @@ double median(std::vector<double>& times) {
 
 }  // namespace
 
-int main(int argc, char** argv) {
+static int run_main(int argc, char** argv) {
   util::CliParser cli("obs_overhead",
                       "Instrumentation overhead: list_schedule with "
                       "observability off / metrics / metrics+trace");
@@ -118,4 +120,8 @@ int main(int argc, char** argv) {
   std::printf("identical schedules in all three modes (checksum %zu)\n",
               checksum_off);
   return 0;
+}
+
+int main(int argc, char** argv) {
+  return sweep::util::guarded_main([&] { return run_main(argc, argv); });
 }

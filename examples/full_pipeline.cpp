@@ -28,7 +28,9 @@
 #include "transport/multigroup.hpp"
 #include "util/cli.hpp"
 
-int main(int argc, char** argv) {
+#include "util/main_guard.hpp"
+
+static int run_main(int argc, char** argv) {
   using namespace sweep;
   util::CliParser cli("full_pipeline", "End-to-end sweep scheduling study");
   cli.add_option("scale", "0.35", "mesh scale");
@@ -109,4 +111,8 @@ int main(int argc, char** argv) {
     std::printf("  group %zu mean scalar flux: %.4f\n", g, mean);
   }
   return solved.converged ? 0 : 1;
+}
+
+int main(int argc, char** argv) {
+  return sweep::util::guarded_main([&] { return run_main(argc, argv); });
 }

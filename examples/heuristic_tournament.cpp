@@ -19,7 +19,9 @@
 #include "util/table.hpp"
 #include "util/timer.hpp"
 
-int main(int argc, char** argv) {
+#include "util/main_guard.hpp"
+
+static int run_main(int argc, char** argv) {
   using namespace sweep;
   util::CliParser cli("heuristic_tournament",
                       "Rank all scheduling algorithms on one instance");
@@ -107,4 +109,8 @@ int main(int argc, char** argv) {
   }
   table.print("Tournament results");
   return 0;
+}
+
+int main(int argc, char** argv) {
+  return sweep::util::guarded_main([&] { return run_main(argc, argv); });
 }

@@ -18,7 +18,9 @@
 #include "util/cli.hpp"
 #include "util/table.hpp"
 
-int main(int argc, char** argv) {
+#include "util/main_guard.hpp"
+
+static int run_main(int argc, char** argv) {
   using namespace sweep;
   util::CliParser cli("partition_explorer",
                       "Explore block partitioning trade-offs for a mesh");
@@ -77,4 +79,8 @@ int main(int argc, char** argv) {
   table.print("Partition exploration (" + cli.str("partitioner") + ", " +
               m.name() + ", m=" + cli.str("m") + ")");
   return 0;
+}
+
+int main(int argc, char** argv) {
+  return sweep::util::guarded_main([&] { return run_main(argc, argv); });
 }

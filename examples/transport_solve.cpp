@@ -20,7 +20,9 @@
 #include "util/cli.hpp"
 #include "util/timer.hpp"
 
-int main(int argc, char** argv) {
+#include "util/main_guard.hpp"
+
+static int run_main(int argc, char** argv) {
   using namespace sweep;
   util::CliParser cli("transport_solve",
                       "Source-iteration transport solve driven by a sweep schedule");
@@ -84,4 +86,8 @@ int main(int argc, char** argv) {
   const bool identical = max_diff == 0.0;
   std::printf("bitwise identical: %s\n", identical ? "yes" : "NO");
   return identical && serial.converged ? 0 : 1;
+}
+
+int main(int argc, char** argv) {
+  return sweep::util::guarded_main([&] { return run_main(argc, argv); });
 }

@@ -11,6 +11,26 @@
 namespace sweep::core {
 namespace {
 
+/// Entry validation shared by Algorithms 1 and 3. The caller-supplied
+/// assignment is untrusted: an entry >= n_processors would index past
+/// proc_cursor in execute_layered and corrupt the heap, so reject it here
+/// (mirrors validate_inputs in the list-scheduling engine).
+void validate_rd_inputs(std::size_t n_cells, std::size_t n_processors,
+                        const Assignment& assignment, const char* who) {
+  if (n_processors == 0) {
+    throw std::invalid_argument(std::string(who) + ": need >= 1 processor");
+  }
+  if (assignment.size() != n_cells) {
+    throw std::invalid_argument(std::string(who) + ": bad assignment size");
+  }
+  for (ProcessorId p : assignment) {
+    if (p >= n_processors) {
+      throw std::invalid_argument(std::string(who) +
+                                  ": assignment entry out of range");
+    }
+  }
+}
+
 /// Shared core of Algorithms 1 and 3: given per-task layer indices
 /// (combined-DAG layers, already including the random delays), execute the
 /// layers synchronously — within a layer each processor runs its tasks
@@ -76,11 +96,13 @@ RandomDelayResult random_delay_schedule(const dag::SweepInstance& instance,
                                         util::Rng& rng, Assignment assignment) {
   const std::size_t n = instance.n_cells();
   const std::size_t k = instance.n_directions();
-  if (assignment.empty()) {
+  if (assignment.empty() && n > 0) {
+    if (n_processors == 0) {
+      throw std::invalid_argument("random_delay_schedule: need >= 1 processor");
+    }
     assignment = random_assignment(n, n_processors, rng);
-  } else if (assignment.size() != n) {
-    throw std::invalid_argument("random_delay_schedule: bad assignment size");
   }
+  validate_rd_inputs(n, n_processors, assignment, "random_delay_schedule");
 
   std::vector<TimeStep> delays = random_delays(k, rng);
   // Combined layer of task (v,i) = level_i(v) + X_i (step 2 of Algorithm 1).
@@ -104,12 +126,15 @@ RandomDelayResult improved_random_delay_schedule(
     util::Rng& rng, Assignment assignment) {
   const std::size_t n = instance.n_cells();
   const std::size_t k = instance.n_directions();
-  if (assignment.empty()) {
+  if (assignment.empty() && n > 0) {
+    if (n_processors == 0) {
+      throw std::invalid_argument(
+          "improved_random_delay_schedule: need >= 1 processor");
+    }
     assignment = random_assignment(n, n_processors, rng);
-  } else if (assignment.size() != n) {
-    throw std::invalid_argument(
-        "improved_random_delay_schedule: bad assignment size");
   }
+  validate_rd_inputs(n, n_processors, assignment,
+                     "improved_random_delay_schedule");
 
   // Preprocessing (step 1 of Algorithm 3): greedy list schedule of the union
   // DAG H on m machines; L'_{i,j} = direction-i tasks run at step j. Every

@@ -1,7 +1,9 @@
 #include "core/schedule_io.hpp"
 
 #include <algorithm>
+#include <cstdint>
 #include <fstream>
+#include <limits>
 #include <sstream>
 #include <stdexcept>
 
@@ -31,20 +33,42 @@ Schedule load_schedule(std::istream& in) {
   if (!(in >> magic >> version) || magic != "sweepsched" || version != 1) {
     throw std::runtime_error("load_schedule: bad header");
   }
-  std::size_t n = 0;
-  std::size_t k = 0;
-  std::size_t m = 0;
+  // The shape line is untrusted: a hostile or truncated file must throw here
+  // rather than produce a schedule that later corrupts comm_rounds /
+  // utilization_profile. Parse into fixed-width integers, then range-check
+  // before any allocation or arithmetic.
+  std::uint64_t n = 0;
+  std::uint64_t k = 0;
+  std::uint64_t m = 0;
   if (!(in >> n >> k >> m)) {
     throw std::runtime_error("load_schedule: bad shape line");
+  }
+  if (k != 0 && n > std::numeric_limits<std::size_t>::max() / k) {
+    throw std::runtime_error("load_schedule: n*k overflows size_t");
+  }
+  if (n > std::numeric_limits<CellId>::max() ||
+      k > std::numeric_limits<DirectionId>::max() ||
+      m > std::numeric_limits<ProcessorId>::max()) {
+    throw std::runtime_error("load_schedule: shape exceeds id range");
+  }
+  if (m == 0 && n != 0) {
+    throw std::runtime_error("load_schedule: zero processors with cells");
   }
   Assignment assignment(n);
   for (auto& p : assignment) {
     if (!(in >> p)) throw std::runtime_error("load_schedule: truncated assignment");
+    if (p >= m) {
+      throw std::runtime_error("load_schedule: assignment entry out of range");
+    }
   }
   Schedule schedule(n, k, m, std::move(assignment));
   for (TaskId t = 0; t < schedule.n_tasks(); ++t) {
     TimeStep start = 0;
     if (!(in >> start)) throw std::runtime_error("load_schedule: truncated starts");
+    if (start == kUnscheduled) {
+      throw std::runtime_error("load_schedule: start equals the unscheduled "
+                               "sentinel");
+    }
     schedule.set_start(t, start);
   }
   return schedule;

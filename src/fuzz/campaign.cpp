@@ -1,0 +1,90 @@
+#include "fuzz/campaign.hpp"
+
+#include <algorithm>
+#include <filesystem>
+#include <stdexcept>
+#include <utility>
+
+#include "fuzz/shrink.hpp"
+#include "util/parallel.hpp"
+#include "util/rng.hpp"
+
+namespace sweep::fuzz {
+namespace {
+
+struct TrialOutcome {
+  bool failed = false;
+  std::size_t checks = 0;
+  Scenario scenario;
+  OracleViolation violation;
+};
+
+}  // namespace
+
+CampaignResult run_campaign(const CampaignOptions& options) {
+  CampaignResult result;
+  result.trials = options.trials;
+  if (options.trials == 0) return result;
+
+  std::vector<TrialOutcome> outcomes(options.trials);
+  util::parallel_for(
+      options.trials,
+      [&](std::size_t trial) {
+        TrialOutcome& out = outcomes[trial];
+        // Same per-trial seeding discipline as bench::parallel_trials:
+        // results are byte-identical for any `jobs`.
+        util::Rng rng(options.seed + trial * 1000003ULL);
+        out.scenario = sample_scenario(rng);
+        try {
+          const OracleReport report = run_oracles(out.scenario);
+          out.checks = report.checks_run;
+          if (!report.ok()) {
+            out.failed = true;
+            out.violation = report.violations.front();
+          }
+        } catch (const std::exception& e) {
+          // run_oracles shields scenario content; reaching here means the
+          // harness itself broke — still report it, never crash the campaign.
+          out.failed = true;
+          out.violation = {"harness",
+                           std::string("uncaught exception: ") + e.what()};
+        }
+      },
+      options.jobs);
+
+  for (TrialOutcome& out : outcomes) result.checks += out.checks;
+
+  // Shrink + persist serially, in trial order, so repro numbering and the
+  // failure list are deterministic.
+  if (!options.repro_dir.empty()) {
+    std::filesystem::create_directories(options.repro_dir);
+  }
+  for (std::size_t trial = 0; trial < outcomes.size(); ++trial) {
+    TrialOutcome& out = outcomes[trial];
+    if (!out.failed) continue;
+    CampaignFailure failure;
+    failure.trial = trial;
+    failure.scenario = out.scenario;
+    failure.shrunk = out.scenario;
+    failure.violation = std::move(out.violation);
+    if (options.shrink && failure.violation.oracle != "harness") {
+      const ShrinkResult shrunk = shrink_scenario(out.scenario);
+      if (shrunk.oracle == failure.violation.oracle) {
+        failure.shrunk = shrunk.scenario;
+      }
+    }
+    if (!options.repro_dir.empty() &&
+        result.failures.size() < options.max_repros) {
+      const std::string path =
+          (std::filesystem::path(options.repro_dir) /
+           ("trial_" + std::to_string(trial) + ".sweepfuzz"))
+              .string();
+      save_repro({failure.shrunk, failure.violation.oracle}, path);
+      failure.repro_path = path;
+    }
+    result.failures.push_back(std::move(failure));
+  }
+  return result;
+}
+
+}  // namespace sweep::fuzz

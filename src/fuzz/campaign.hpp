@@ -1,0 +1,50 @@
+#pragma once
+// sweep_fuzz campaign driver: runs a seeded multi-threaded fuzzing campaign.
+// Trial `t` always fuzzes the scenario sampled from Rng(seed + t * 1000003)
+// — the same per-trial seeding discipline as bench::parallel_trials — so a
+// campaign's findings are byte-identical for any `jobs` value, and any
+// failing trial can be re-run in isolation from (seed, trial) alone.
+//
+// Failing scenarios are minimized by the shrinker and written as
+// self-contained `.sweepfuzz` repro files that `sweep_fuzz --replay`
+// reloads.
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "fuzz/oracles.hpp"
+#include "fuzz/scenario.hpp"
+
+namespace sweep::fuzz {
+
+struct CampaignOptions {
+  std::size_t trials = 200;
+  std::uint64_t seed = 1;
+  std::size_t jobs = 0;       ///< parallel_for convention: 0 = all cores
+  bool shrink = true;         ///< minimize failures before reporting
+  std::string repro_dir;      ///< when non-empty, write .sweepfuzz files here
+  std::size_t max_repros = 8; ///< cap on repro files per campaign
+};
+
+struct CampaignFailure {
+  std::size_t trial = 0;
+  Scenario scenario;            ///< as sampled
+  Scenario shrunk;              ///< after minimization (== scenario if off)
+  OracleViolation violation;    ///< first violation of the sampled scenario
+  std::string repro_path;       ///< written .sweepfuzz file ("" if none)
+};
+
+struct CampaignResult {
+  std::size_t trials = 0;
+  std::size_t checks = 0;  ///< total oracle checks across all trials
+  std::vector<CampaignFailure> failures;  ///< sorted by trial index
+
+  [[nodiscard]] bool ok() const { return failures.empty(); }
+};
+
+/// Runs the campaign. Deterministic in (trials, seed) regardless of jobs.
+CampaignResult run_campaign(const CampaignOptions& options);
+
+}  // namespace sweep::fuzz

@@ -1,0 +1,531 @@
+#include "fuzz/oracles.hpp"
+
+#include <algorithm>
+#include <optional>
+#include <sstream>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "bench/bench_common.hpp"
+#include "core/algorithms.hpp"
+#include "core/assignment.hpp"
+#include "core/comm_cost.hpp"
+#include "core/comm_rounds.hpp"
+#include "core/list_scheduler.hpp"
+#include "core/lower_bounds.hpp"
+#include "core/priorities.hpp"
+#include "core/random_delay.hpp"
+#include "core/schedule_io.hpp"
+#include "core/validate.hpp"
+#include "core/weighted_scheduler.hpp"
+#include "util/cli.hpp"
+
+namespace sweep::fuzz {
+namespace {
+
+using core::Assignment;
+using core::Schedule;
+using core::TimeStep;
+
+std::string describe(const Scenario& s) {
+  std::ostringstream out;
+  out << "family=" << static_cast<std::uint32_t>(s.family) << " seed=" << s.seed
+      << " n=" << s.n << " k=" << s.k << " m=" << s.m
+      << " algorithm=" << core::algorithm_name(
+             core::all_algorithms()[s.algorithm]);
+  return out.str();
+}
+
+/// Independent re-simulation of the layer-synchronous execution of
+/// Algorithms 1 and 3: recompute combined layers from `base_level` plus the
+/// returned delays and re-derive layer widths, per-processor layer loads and
+/// the makespan, then compare against what the algorithm reported.
+void recheck_random_delay(const dag::SweepInstance& instance, std::size_t m,
+                          const core::RandomDelayResult& result,
+                          std::span<const std::uint32_t> base_level,
+                          const char* name, OracleReport& report) {
+  const std::size_t n = instance.n_cells();
+  const std::size_t k = instance.n_directions();
+  const std::size_t total = n * k;
+  auto fail = [&](const std::string& msg) {
+    report.violations.push_back({name, msg});
+  };
+
+  const auto valid = core::validate_schedule(instance, result.schedule);
+  if (!valid) {
+    fail("infeasible schedule: " + valid.error);
+    return;
+  }
+  if (result.delays.size() != k) {
+    fail("delays vector has wrong size");
+    return;
+  }
+
+  std::vector<std::uint32_t> layer(total);
+  std::size_t n_layers = 0;
+  for (std::size_t t = 0; t < total; ++t) {
+    layer[t] = base_level[t] + result.delays[t / n];
+    n_layers = std::max<std::size_t>(n_layers, layer[t] + 1);
+  }
+  if (n_layers != result.combined_layers) {
+    fail("combined_layers mismatch: reported " +
+         std::to_string(result.combined_layers) + ", recomputed " +
+         std::to_string(n_layers));
+  }
+
+  // Bucket tasks by layer, then recount loads layer by layer.
+  std::vector<std::vector<std::size_t>> by_layer(n_layers);
+  for (std::size_t t = 0; t < total; ++t) by_layer[layer[t]].push_back(t);
+
+  std::vector<std::uint32_t> load(m, 0);
+  std::size_t max_load = 0;
+  std::size_t expected_makespan = 0;
+  for (const auto& tasks : by_layer) {
+    std::size_t layer_max = 0;
+    for (std::size_t t : tasks) {
+      const auto p = result.schedule.processor_of(t);
+      layer_max = std::max<std::size_t>(layer_max, ++load[p]);
+    }
+    if (layer_max > tasks.size()) {
+      fail("per-processor layer load exceeds layer width");
+    }
+    expected_makespan += layer_max;
+    max_load = std::max(max_load, layer_max);
+    for (std::size_t t : tasks) load[result.schedule.processor_of(t)] = 0;
+  }
+  if (max_load != result.max_layer_load) {
+    fail("max_layer_load mismatch: reported " +
+         std::to_string(result.max_layer_load) + ", recomputed " +
+         std::to_string(max_load));
+  }
+  if (expected_makespan != result.schedule.makespan()) {
+    fail("makespan is not the sum of per-layer maxima: schedule says " +
+         std::to_string(result.schedule.makespan()) + ", layers sum to " +
+         std::to_string(expected_makespan));
+  }
+}
+
+void run_benign_oracles(const Scenario& s, OracleReport& report) {
+  auto fail = [&](const char* oracle, const std::string& msg) {
+    report.violations.push_back({oracle, msg + " [" + describe(s) + "]"});
+  };
+  auto check = [&](const char* name, auto&& fn) {
+    ++report.checks_run;
+    try {
+      fn();
+    } catch (const std::exception& e) {
+      fail(name, std::string("unexpected exception: ") + e.what());
+    }
+  };
+
+  std::optional<dag::SweepInstance> instance;
+  ++report.checks_run;
+  try {
+    instance.emplace(materialize(s));
+  } catch (const std::exception& e) {
+    fail("materialize", std::string("generator threw: ") + e.what());
+    return;
+  }
+  const std::size_t n = instance->n_cells();
+  const std::size_t k = instance->n_directions();
+  const std::size_t m = std::max<std::uint32_t>(1, s.m);
+  const core::Algorithm algorithm = core::all_algorithms()[s.algorithm];
+
+  util::Rng assignment_rng(s.seed * 7 + 1);
+  const Assignment assignment = core::random_assignment(n, m, assignment_rng);
+
+  // Oracle 1: feasibility + completeness of the scheduled algorithm.
+  std::optional<Schedule> schedule;
+  check("validate", [&] {
+    util::Rng rng(s.seed);
+    schedule.emplace(core::run_algorithm(algorithm, *instance, m, rng,
+                                         assignment));
+    const auto valid = core::validate_schedule(*instance, *schedule);
+    if (!valid) fail("validate", "infeasible schedule: " + valid.error);
+    if (!schedule->complete()) fail("validate", "schedule is incomplete");
+  });
+  if (!schedule) return;
+
+  // Oracle 2: lower-bound sanity. makespan >= max{ceil(nk/m), k, D} with
+  // the k and D bounds applying only when there are cells to schedule
+  // (D = max level count = longest critical path of unit tasks).
+  check("lower_bound", [&] {
+    const std::size_t makespan = schedule->makespan();
+    const std::size_t avg = (n * k + m - 1) / m;  // ceil(nk/m)
+    std::size_t lb = avg;
+    if (n > 0) lb = std::max(lb, k);
+    lb = std::max(lb, instance->max_depth());
+    if (makespan < lb) {
+      fail("lower_bound", "makespan " + std::to_string(makespan) +
+                              " below lower bound " + std::to_string(lb));
+    }
+    if (n > 0) {
+      const auto bounds = core::compute_lower_bounds(*instance, m);
+      if (static_cast<double>(makespan) + 1e-9 < bounds.value()) {
+        fail("lower_bound", "makespan below compute_lower_bounds value");
+      }
+    }
+  });
+
+  // Oracle 3: engine identity — the production engine (both ready-queue
+  // implementations) against the preserved reference implementation,
+  // including release times and cross-message delays.
+  check("engine_identity", [&] {
+    const auto priorities = core::level_priorities(*instance);
+    std::vector<TimeStep> releases;
+    core::ListScheduleOptions options;
+    options.priorities = priorities;
+    options.cross_message_delay = s.delay;
+    if (s.seed % 2 == 0 && k > 0) {
+      util::Rng rng(s.seed + 17);
+      const auto delays = core::random_delays(k, rng);
+      releases = core::delay_release_times(*instance, delays);
+      options.release_times = releases;
+    }
+    options.ready_queue = core::ReadyQueueKind::kHeap;
+    const Schedule heap = core::list_schedule(*instance, assignment, m, options);
+    options.ready_queue = core::ReadyQueueKind::kBucket;
+    const Schedule bucket =
+        core::list_schedule(*instance, assignment, m, options);
+    const Schedule reference =
+        core::list_schedule_reference(*instance, assignment, m, options);
+    if (heap.starts() != reference.starts()) {
+      fail("engine_identity", "heap engine diverges from reference");
+    }
+    if (bucket.starts() != reference.starts()) {
+      fail("engine_identity", "bucket engine diverges from reference");
+    }
+  });
+
+  // Oracles 4+5: random-delay re-simulation (Algorithms 1 and 3).
+  check("rd_invariants", [&] {
+    util::Rng rng(s.seed + 1);
+    const auto result = core::random_delay_schedule(*instance, m, rng);
+    recheck_random_delay(*instance, m, result,
+                         instance->task_graph().levels(), "rd_invariants",
+                         report);
+  });
+  check("improved_rd_invariants", [&] {
+    util::Rng rng(s.seed + 2);
+    const auto result = core::improved_random_delay_schedule(*instance, m, rng);
+    const auto new_level = core::greedy_union_schedule(*instance, m);
+    // Preprocessing guarantee: every greedy step runs at most m tasks.
+    std::vector<std::size_t> width;
+    for (const TimeStep step : new_level) {
+      if (step >= width.size()) width.resize(step + 1, 0);
+      ++width[step];
+    }
+    for (const std::size_t w : width) {
+      if (w > m) {
+        fail("improved_rd_invariants",
+             "greedy union level wider than m tasks");
+        break;
+      }
+    }
+    recheck_random_delay(*instance, m, result, new_level,
+                         "improved_rd_invariants", report);
+  });
+
+  // Oracle 6: the C2 realization (greedy edge coloring) stays within its
+  // guarantee and agrees with C1 on the message count.
+  check("c2_rounds", [&] {
+    const auto rounds = core::realize_c2_rounds(*instance, *schedule);
+    const auto c1 = core::comm_cost_c1(*instance, schedule->assignment());
+    if (rounds.total_messages != c1.cross_edges) {
+      fail("c2_rounds", "realized message count disagrees with C1");
+    }
+    if (rounds.max_total_degree > 0 &&
+        rounds.max_round_count > 2 * rounds.max_total_degree - 1) {
+      fail("c2_rounds",
+           "a step used " + std::to_string(rounds.max_round_count) +
+               " rounds, above the 2*Delta-1 = " +
+               std::to_string(2 * rounds.max_total_degree - 1) + " guarantee");
+    }
+    if (rounds.max_round_count > rounds.total_rounds) {
+      fail("c2_rounds", "max_round_count exceeds total_rounds");
+    }
+  });
+
+  // Oracle 7: persistence round trip, with C1/C2 recomputed on the reloaded
+  // schedule.
+  check("roundtrip", [&] {
+    std::stringstream buffer;
+    core::save_schedule(*schedule, buffer);
+    const Schedule loaded = core::load_schedule(buffer);
+    if (loaded.n_cells() != schedule->n_cells() ||
+        loaded.n_directions() != schedule->n_directions() ||
+        loaded.n_processors() != schedule->n_processors() ||
+        loaded.assignment() != schedule->assignment() ||
+        loaded.starts() != schedule->starts()) {
+      fail("roundtrip", "save -> load round trip is not the identity");
+      return;
+    }
+    const auto valid = core::validate_schedule(*instance, loaded);
+    if (!valid) {
+      fail("roundtrip", "reloaded schedule fails validation: " + valid.error);
+    }
+    const auto c1a = core::comm_cost_c1(*instance, schedule->assignment());
+    const auto c1b = core::comm_cost_c1(*instance, loaded.assignment());
+    if (c1a.cross_edges != c1b.cross_edges) {
+      fail("roundtrip", "C1 changed across the round trip");
+    }
+    const auto c2a = core::comm_cost_c2(*instance, *schedule);
+    const auto c2b = core::comm_cost_c2(*instance, loaded);
+    if (c2a.total_delay != c2b.total_delay ||
+        c2a.max_step_degree != c2b.max_step_degree ||
+        c2a.busy_steps != c2b.busy_steps) {
+      fail("roundtrip", "C2 changed across the round trip");
+    }
+  });
+
+  // Oracle 8: the parallel trial harness is deterministic in the fan-out
+  // width (byte-identical means for any --jobs).
+  check("trials_determinism", [&] {
+    const bench::TrialSpec spec{algorithm, m, nullptr};
+    const auto serial =
+        bench::parallel_trials(*instance, {&spec, 1}, 2, s.seed, false, 1);
+    const auto threaded =
+        bench::parallel_trials(*instance, {&spec, 1}, 2, s.seed, false, 2);
+    if (serial != threaded) {
+      fail("trials_determinism",
+           "parallel_trials differs between jobs=1 and jobs=2");
+    }
+  });
+}
+
+/// Hostile channel 1: an assignment entry == m fed to every scheduler entry
+/// point must be rejected with std::invalid_argument — an unchecked entry
+/// used to index past proc_cursor and corrupt the heap.
+void check_oob_assignment(const Scenario& s, OracleReport& report) {
+  constexpr const char* kName = "hostile_oob";
+  Scenario base = s;
+  base.hostile = Hostility::kNone;
+  if (base.n == 0) base.n = 1;
+  if (base.family == Family::kEdgeless && base.k == 0) base.k = 1;
+  const dag::SweepInstance instance = materialize(base);
+  const std::size_t n = instance.n_cells();
+  const std::size_t m = std::max<std::uint32_t>(1, s.m);
+
+  util::Rng rng(s.seed);
+  Assignment bad = core::random_assignment(n, m, rng);
+  bad[s.seed % n] = static_cast<core::ProcessorId>(m);  // one past the end
+
+  auto expect_reject = [&](const char* what, auto&& fn) {
+    ++report.checks_run;
+    try {
+      fn();
+      report.violations.push_back(
+          {kName, std::string(what) +
+                      " accepted an out-of-range assignment entry [" +
+                      describe(s) + "]"});
+    } catch (const std::invalid_argument&) {
+      // correct rejection
+    } catch (const std::exception& e) {
+      report.violations.push_back(
+          {kName, std::string(what) + " failed with the wrong exception: " +
+                      e.what() + " [" + describe(s) + "]"});
+    }
+  };
+
+  expect_reject("random_delay_schedule", [&] {
+    util::Rng r(s.seed + 1);
+    (void)core::random_delay_schedule(instance, m, r, bad);
+  });
+  expect_reject("improved_random_delay_schedule", [&] {
+    util::Rng r(s.seed + 2);
+    (void)core::improved_random_delay_schedule(instance, m, r, bad);
+  });
+  expect_reject("list_schedule", [&] {
+    (void)core::list_schedule(instance, bad, m);
+  });
+  expect_reject("list_schedule_reference", [&] {
+    (void)core::list_schedule_reference(instance, bad, m);
+  });
+  expect_reject("weighted_list_schedule", [&] {
+    const std::vector<double> weights(n, 1.0);
+    (void)core::weighted_list_schedule(instance, bad, m, weights);
+  });
+  expect_reject("run_algorithm", [&] {
+    util::Rng r(s.seed + 3);
+    (void)core::run_algorithm(core::all_algorithms()[s.algorithm], instance, m,
+                              r, bad);
+  });
+}
+
+/// Hostile channel 2: a mutated schedule file must make load_schedule throw,
+/// never return a schedule that later corrupts comm_rounds / utilization.
+void check_corrupt_schedule_file(const Scenario& s, OracleReport& report) {
+  constexpr const char* kName = "hostile_schedule_file";
+  Scenario base = s;
+  base.hostile = Hostility::kNone;
+  base.family = Family::kRandomLayered;  // fixed token layout for surgery
+  base.n = 4 + s.n % 8;
+  base.k = std::max<std::uint32_t>(1, s.k);
+  base.m = std::max<std::uint32_t>(2, std::min<std::uint32_t>(s.m, 6));
+  const dag::SweepInstance instance = materialize(base);
+  const std::size_t n = instance.n_cells();
+  const std::size_t k = instance.n_directions();
+
+  util::Rng rng(s.seed);
+  const Schedule schedule = core::run_algorithm(
+      core::all_algorithms()[s.algorithm], instance, base.m, rng);
+  std::stringstream buffer;
+  core::save_schedule(schedule, buffer);
+
+  // Token layout: magic version n k m assignment[n] starts[n*k].
+  std::vector<std::string> tokens;
+  for (std::string t; buffer >> t;) tokens.push_back(std::move(t));
+
+  const std::size_t kind = s.seed % 5;
+  switch (kind) {
+    case 0:  // truncated mid-assignment
+      tokens.resize(5 + n / 2);
+      break;
+    case 1:  // zero processors with cells present
+      tokens[4] = "0";
+      break;
+    case 2:  // assignment entry == m (out of range)
+      tokens[5 + s.seed % n] = std::to_string(base.m);
+      break;
+    case 3:  // a start equal to the kUnscheduled sentinel
+      tokens[5 + n + s.seed % (n * k)] = "4294967295";
+      break;
+    default:  // shape that overflows n*k / exceeds the 32-bit id range
+      tokens[2] = "1000000000000";
+      tokens[3] = "1000000000000";
+      break;
+  }
+  std::string mutated;
+  for (const auto& t : tokens) {
+    mutated += t;
+    mutated += ' ';
+  }
+
+  ++report.checks_run;
+  try {
+    std::stringstream in(mutated);
+    const Schedule loaded = core::load_schedule(in);
+    (void)loaded;
+    report.violations.push_back(
+        {kName, "load_schedule accepted a corrupt file (mutation kind " +
+                    std::to_string(kind) + ") [" + describe(s) + "]"});
+  } catch (const std::runtime_error&) {
+    // correct rejection
+  } catch (const std::exception& e) {
+    report.violations.push_back(
+        {kName, std::string("load_schedule failed with the wrong exception: ") +
+                    e.what() + " [" + describe(s) + "]"});
+  }
+}
+
+/// Hostile channel 3: garbage CLI values must be reported (throw / parse
+/// error), never silently become 0 (the "--procs=abc runs with 0 processors"
+/// failure mode).
+void check_cli_garbage(const Scenario& s, OracleReport& report) {
+  constexpr const char* kName = "hostile_cli";
+  static const char* kGarbage[] = {"abc", "", "12x", "1e", "0.5.3"};
+  const std::string garbage = kGarbage[s.seed % 5];
+  auto fail = [&](const std::string& msg) {
+    report.violations.push_back({kName, msg + " (value '" + garbage + "')"});
+  };
+
+  {
+    util::CliParser cli("sweep_fuzz_probe", "hostile cli probe");
+    cli.add_option("procs", "8", "processors");
+    cli.add_option("scale", "1.0", "scale");
+    cli.add_option("list", "1,2", "list");
+    const std::string arg = "--procs=" + garbage;
+    const char* argv[] = {"sweep_fuzz_probe", arg.c_str()};
+    ++report.checks_run;
+    if (cli.parse(2, argv)) {
+      bool threw = false;
+      try {
+        (void)cli.integer("procs");
+      } catch (const std::invalid_argument&) {
+        threw = true;
+      }
+      if (!threw) fail("CliParser::integer silently accepted garbage");
+      threw = false;
+      try {
+        (void)cli.real("procs");
+      } catch (const std::invalid_argument&) {
+        threw = true;
+      }
+      if (!threw) fail("CliParser::real silently accepted garbage");
+    }
+  }
+  {
+    util::CliParser cli("sweep_fuzz_probe", "hostile cli probe");
+    cli.add_option("list", "1,2", "list");
+    const std::string arg = "--list=1," + garbage;
+    const char* argv[] = {"sweep_fuzz_probe", arg.c_str()};
+    ++report.checks_run;
+    if (cli.parse(2, argv)) {
+      bool threw = false;
+      try {
+        (void)cli.int_list("list");
+      } catch (const std::invalid_argument&) {
+        threw = true;
+      }
+      if (!threw) fail("CliParser::int_list silently accepted garbage");
+    }
+  }
+  {
+    util::CliParser cli("sweep_fuzz_probe", "hostile cli probe");
+    cli.add_flag("verbose", "verbosity");
+    const char* argv[] = {"sweep_fuzz_probe", "--verbose=yes"};
+    ++report.checks_run;
+    if (cli.parse(2, argv)) {
+      fail("a flag with a non-boolean inline value parsed successfully");
+    }
+  }
+}
+
+/// Synthetic canary used by the tests to exercise the shrinker: "fails"
+/// whenever the scenario is larger than a fixed threshold, so a correct
+/// shrinker must walk it down to the boundary deterministically.
+void check_self_test(const Scenario& s, OracleReport& report) {
+  ++report.checks_run;
+  if (s.n >= 8 || s.k >= 4) {
+    report.violations.push_back(
+        {"self_test", "canary: n >= 8 or k >= 4 (n=" + std::to_string(s.n) +
+                          ", k=" + std::to_string(s.k) + ")"});
+  }
+}
+
+}  // namespace
+
+bool OracleReport::violates(const std::string& name) const {
+  return std::any_of(violations.begin(), violations.end(),
+                     [&](const OracleViolation& v) { return v.oracle == name; });
+}
+
+OracleReport run_oracles(const Scenario& scenario) {
+  OracleReport report;
+  try {
+    switch (scenario.hostile) {
+      case Hostility::kNone:
+        run_benign_oracles(scenario, report);
+        break;
+      case Hostility::kOobAssignment:
+        check_oob_assignment(scenario, report);
+        break;
+      case Hostility::kCorruptScheduleFile:
+        check_corrupt_schedule_file(scenario, report);
+        break;
+      case Hostility::kCliGarbage:
+        check_cli_garbage(scenario, report);
+        break;
+      case Hostility::kSelfTest:
+        check_self_test(scenario, report);
+        break;
+    }
+  } catch (const std::exception& e) {
+    report.violations.push_back(
+        {"harness", std::string("uncaught exception: ") + e.what()});
+  }
+  return report;
+}
+
+}  // namespace sweep::fuzz

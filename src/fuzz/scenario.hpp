@@ -1,0 +1,94 @@
+#pragma once
+// sweep_fuzz scenario layer: a Scenario is a small, fully-serializable
+// description of one fuzz case — which instance family to build, its size
+// knobs, the processor count, the algorithm under test, and an optional
+// "hostility" channel that feeds deliberately malformed inputs (out-of-range
+// assignments, corrupted schedule files, garbage CLI values) to the
+// library's untrusted-input paths.
+//
+// Scenarios are the unit of generation (sample_scenario), execution
+// (fuzz::run_oracles), minimization (fuzz::shrink_scenario) and persistence:
+// a failing scenario round-trips through a self-contained `.sweepfuzz` text
+// file that `sweep_fuzz --replay` reloads.
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+
+#include "sweep/instance.hpp"
+#include "util/rng.hpp"
+
+namespace sweep::fuzz {
+
+/// Instance families across the generator zoo. Degenerate shapes (n=0, k=1,
+/// m=1, m >> nk, edgeless/disconnected DAGs) come from parameter sampling on
+/// top of these families.
+enum class Family : std::uint32_t {
+  kRandomLayered = 0,  ///< dag::random_instance (layered random DAGs)
+  kRandomOrder = 1,    ///< k random_order_dag over one cell set
+  kChain = 2,          ///< dag::chain_instance (adversarial chains)
+  kZoo = 3,            ///< MeshZoo mesh at small scale + S_2 directions
+  kStructured = 4,     ///< regular hex grid + Fibonacci directions
+  kExtruded = 5,       ///< extruded triangulation + Fibonacci directions
+  kEdgeless = 6,       ///< k empty DAGs (fully disconnected; n may be 0)
+};
+
+/// Hostile-input channels. kNone runs the correctness oracle bank; the other
+/// values feed malformed inputs to one untrusted path and expect a clean
+/// rejection (throw) instead of silent corruption. kSelfTest is a synthetic
+/// always-failing oracle used to exercise the shrinker deterministically.
+enum class Hostility : std::uint32_t {
+  kNone = 0,
+  kOobAssignment = 1,
+  kCorruptScheduleFile = 2,
+  kCliGarbage = 3,
+  kSelfTest = 4,
+};
+
+struct Scenario {
+  Family family = Family::kRandomLayered;
+  std::uint64_t seed = 1;
+  std::uint32_t n = 16;        ///< cells (family-dependent meaning)
+  std::uint32_t k = 2;         ///< directions (ignored by kZoo, which uses S_2)
+  std::uint32_t layers = 4;    ///< DAG layers / extrusion layers / grid depth
+  double out_degree = 1.5;     ///< random-DAG average out-degree
+  double scale = 0.12;         ///< zoo mesh scale
+  std::uint32_t m = 4;         ///< processors
+  std::uint32_t algorithm = 0; ///< index into core::all_algorithms()
+  std::uint32_t delay = 0;     ///< cross_message_delay for the engine oracle
+  Hostility hostile = Hostility::kNone;
+
+  bool operator==(const Scenario&) const = default;
+};
+
+/// Samples one scenario from `rng` (the campaign's per-trial generator).
+/// Degenerate shapes are forced with small probability so every campaign
+/// exercises the n=0 / k=1 / m=1 / m >> nk corners.
+Scenario sample_scenario(util::Rng& rng);
+
+/// Builds the instance a scenario describes. Deterministic in the scenario
+/// fields; throws only on internal generator bugs (which the campaign
+/// reports as violations).
+dag::SweepInstance materialize(const Scenario& scenario);
+
+/// One-line-per-field text encoding (the body of a .sweepfuzz file).
+std::string to_text(const Scenario& scenario);
+/// Inverse of to_text. Throws std::runtime_error on malformed input.
+Scenario scenario_from_text(std::istream& in);
+
+/// A persisted failing case: the (usually shrunk) scenario plus the name of
+/// the oracle it violates ("-" when unknown).
+struct Repro {
+  Scenario scenario;
+  std::string oracle = "-";
+};
+
+/// Writes/reads the self-contained `.sweepfuzz` repro format:
+///   sweepfuzz 1
+///   oracle <name>
+///   <scenario fields, one per line>
+void save_repro(const Repro& repro, const std::string& path);
+Repro load_repro(const std::string& path);
+Repro load_repro(std::istream& in);
+
+}  // namespace sweep::fuzz

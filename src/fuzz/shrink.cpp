@@ -1,0 +1,68 @@
+#include "fuzz/shrink.hpp"
+
+#include <vector>
+
+#include "fuzz/oracles.hpp"
+
+namespace sweep::fuzz {
+namespace {
+
+/// Fixed-order simplification candidates for one round. Order matters for
+/// determinism and for shrink quality: structural reductions (fewer cells,
+/// fewer directions) come before cosmetic ones (seed canonicalization).
+std::vector<Scenario> candidates(const Scenario& s) {
+  std::vector<Scenario> out;
+  auto push = [&](auto&& mutate) {
+    Scenario c = s;
+    mutate(c);
+    if (!(c == s)) out.push_back(c);
+  };
+  push([](Scenario& c) { c.n /= 2; });
+  push([](Scenario& c) { if (c.n > 0) c.n -= 1; });
+  push([](Scenario& c) { c.k /= 2; });
+  push([](Scenario& c) { if (c.k > 0) c.k -= 1; });
+  push([](Scenario& c) { if (c.m > 1) c.m /= 2; });
+  push([](Scenario& c) { c.m = 1; });
+  push([](Scenario& c) { if (c.layers > 1) c.layers /= 2; });
+  push([](Scenario& c) {
+    if (c.out_degree > 0.25) c.out_degree /= 2;
+  });
+  push([](Scenario& c) { c.scale = 0.08; });
+  push([](Scenario& c) { c.delay /= 2; });
+  push([](Scenario& c) { c.delay = 0; });
+  push([](Scenario& c) { c.seed = 1; });
+  push([](Scenario& c) { c.seed /= 2; });
+  return out;
+}
+
+}  // namespace
+
+ShrinkResult shrink_scenario(const Scenario& failing,
+                             std::size_t max_attempts) {
+  ShrinkResult result;
+  result.scenario = failing;
+
+  const OracleReport initial = run_oracles(failing);
+  ++result.attempts;
+  if (initial.ok()) return result;  // nothing to preserve
+  result.oracle = initial.violations.front().oracle;
+
+  bool progressed = true;
+  while (progressed && result.attempts < max_attempts) {
+    progressed = false;
+    for (const Scenario& candidate : candidates(result.scenario)) {
+      if (result.attempts >= max_attempts) break;
+      ++result.attempts;
+      const OracleReport report = run_oracles(candidate);
+      if (report.violates(result.oracle)) {
+        result.scenario = candidate;
+        ++result.accepted;
+        progressed = true;
+        break;  // restart the candidate list from the smaller scenario
+      }
+    }
+  }
+  return result;
+}
+
+}  // namespace sweep::fuzz

@@ -1,0 +1,30 @@
+#pragma once
+// sweep_fuzz shrinker: greedy deterministic minimization of a failing
+// scenario. Given a scenario with at least one oracle violation, repeatedly
+// tries a fixed-order list of simplification candidates (halve n, drop a
+// direction, shrink m, flatten the DAG, zero the delay, canonicalize the
+// seed) and keeps any candidate that still violates the SAME oracle. The
+// result is the smallest scenario the candidate set can reach, found in a
+// reproducible order — two runs on the same input produce identical output.
+
+#include <cstddef>
+#include <string>
+
+#include "fuzz/scenario.hpp"
+
+namespace sweep::fuzz {
+
+struct ShrinkResult {
+  Scenario scenario;       ///< minimized scenario (== input if nothing helped)
+  std::string oracle;      ///< the oracle the shrink preserved
+  std::size_t attempts = 0;  ///< candidate scenarios evaluated
+  std::size_t accepted = 0;  ///< candidates that kept the violation
+};
+
+/// Minimizes `failing`, preserving a violation of the first violated oracle.
+/// If `failing` does not currently violate anything, returns it unchanged
+/// with an empty oracle name. Runs at most `max_attempts` oracle evaluations.
+ShrinkResult shrink_scenario(const Scenario& failing,
+                             std::size_t max_attempts = 400);
+
+}  // namespace sweep::fuzz

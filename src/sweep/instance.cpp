@@ -62,6 +62,7 @@ const TaskGraph& SweepInstance::task_graph() const {
 std::size_t SweepInstance::max_depth() const {
   std::size_t depth = 0;
   for (const auto& lv : levels()) {
+    if (lv.empty()) continue;  // a direction with no cells has no levels
     std::uint32_t max_level = 0;
     for (std::uint32_t l : lv) max_level = std::max(max_level, l);
     depth = std::max(depth, static_cast<std::size_t>(max_level) + 1);

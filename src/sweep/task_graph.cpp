@@ -27,6 +27,7 @@ TaskGraph TaskGraph::build(
 
   TaskGraph tg;
   tg.n_cells_ = n_cells;
+  tg.n_directions_ = k;
   tg.offsets_.assign(total + 1, 0);
   tg.targets_.resize(total_edges);
   tg.indegree_.resize(total);

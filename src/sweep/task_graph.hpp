@@ -42,9 +42,7 @@ class TaskGraph {
   [[nodiscard]] std::size_t n_tasks() const { return level_.size(); }
   [[nodiscard]] std::size_t n_edges() const { return targets_.size(); }
   [[nodiscard]] std::size_t n_cells() const { return n_cells_; }
-  [[nodiscard]] std::size_t n_directions() const {
-    return n_cells_ == 0 ? 0 : level_.size() / n_cells_;
-  }
+  [[nodiscard]] std::size_t n_directions() const { return n_directions_; }
 
   /// Successor task ids of task t (same direction, downwind cells).
   [[nodiscard]] std::span<const Task> successors(std::size_t t) const {
@@ -72,6 +70,9 @@ class TaskGraph {
 
  private:
   std::size_t n_cells_ = 0;
+  // Stored, not derived as n_tasks/n_cells: that division collapses to 0
+  // for an instance with directions but no cells.
+  std::size_t n_directions_ = 0;
   std::vector<std::uint32_t> offsets_ = {0};  // n_tasks + 1 entries
   std::vector<Task> targets_;                 // n_edges entries
   std::vector<std::uint32_t> indegree_;       // per task

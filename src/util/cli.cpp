@@ -1,10 +1,55 @@
 #include "util/cli.hpp"
 
+#include <cerrno>
+#include <cmath>
 #include <cstdio>
 #include <cstdlib>
 #include <stdexcept>
 
 namespace sweep::util {
+namespace {
+
+/// Strict integer parsing: the whole token must be one base-10 integer in
+/// range. strtoll with a null endptr would silently turn "--procs=abc" into
+/// 0 downstream; here every malformed value names the offending option.
+std::int64_t parse_strict_int(const std::string& name,
+                              const std::string& text) {
+  errno = 0;
+  char* end = nullptr;
+  const std::int64_t value = std::strtoll(text.c_str(), &end, 10);
+  if (text.empty() || end == text.c_str() || *end != '\0') {
+    throw std::invalid_argument("--" + name + ": expected an integer, got '" +
+                                text + "'");
+  }
+  if (errno == ERANGE) {
+    throw std::invalid_argument("--" + name + ": integer out of range: '" +
+                                text + "'");
+  }
+  return value;
+}
+
+double parse_strict_real(const std::string& name, const std::string& text) {
+  errno = 0;
+  char* end = nullptr;
+  const double value = std::strtod(text.c_str(), &end);
+  if (text.empty() || end == text.c_str() || *end != '\0') {
+    throw std::invalid_argument("--" + name + ": expected a number, got '" +
+                                text + "'");
+  }
+  // Overflow to +-HUGE_VAL is an error; denormal underflow (also ERANGE) is
+  // an acceptable rounding and kept.
+  if (errno == ERANGE && (value == HUGE_VAL || value == -HUGE_VAL)) {
+    throw std::invalid_argument("--" + name + ": number out of range: '" +
+                                text + "'");
+  }
+  return value;
+}
+
+bool is_boolean_token(const std::string& text) {
+  return text == "true" || text == "false" || text == "1" || text == "0";
+}
+
+}  // namespace
 
 void CliParser::add_flag(const std::string& name, const std::string& help) {
   options_[name] = Option{help, "false", /*is_flag=*/true, false};
@@ -45,7 +90,15 @@ bool CliParser::parse(int argc, const char* const* argv) {
     Option& opt = it->second;
     opt.seen = true;
     if (opt.is_flag) {
-      opt.value = inline_value.value_or("true");
+      const std::string value = inline_value.value_or("true");
+      if (!is_boolean_token(value)) {
+        std::fprintf(stderr,
+                     "%s: flag '--%s' takes no value or true/false/1/0, "
+                     "got '%s'\n",
+                     program_.c_str(), name.c_str(), value.c_str());
+        return false;
+      }
+      opt.value = value;
     } else if (inline_value) {
       opt.value = *inline_value;
     } else {
@@ -70,22 +123,23 @@ std::string CliParser::str(const std::string& name) const {
 }
 
 std::int64_t CliParser::integer(const std::string& name) const {
-  return std::strtoll(options_.at(name).value.c_str(), nullptr, 10);
+  return parse_strict_int(name, options_.at(name).value);
 }
 
 double CliParser::real(const std::string& name) const {
-  return std::strtod(options_.at(name).value.c_str(), nullptr);
+  return parse_strict_real(name, options_.at(name).value);
 }
 
 std::vector<std::int64_t> CliParser::int_list(const std::string& name) const {
   std::vector<std::int64_t> values;
   const std::string& text = options_.at(name).value;
+  if (text.empty()) return values;  // "" is the conventional empty default
   std::size_t start = 0;
-  while (start < text.size()) {
+  for (;;) {
     std::size_t comma = text.find(',', start);
     if (comma == std::string::npos) comma = text.size();
-    values.push_back(
-        std::strtoll(text.substr(start, comma - start).c_str(), nullptr, 10));
+    values.push_back(parse_strict_int(name, text.substr(start, comma - start)));
+    if (comma == text.size()) break;
     start = comma + 1;
   }
   return values;

@@ -28,9 +28,13 @@ class CliParser {
 
   [[nodiscard]] bool flag(const std::string& name) const;
   [[nodiscard]] std::string str(const std::string& name) const;
+  /// Numeric accessors parse strictly (whole token, in range) and throw
+  /// std::invalid_argument naming the option on malformed values — a typo
+  /// like "--procs=abc" must not silently become 0 processors downstream.
   [[nodiscard]] std::int64_t integer(const std::string& name) const;
   [[nodiscard]] double real(const std::string& name) const;
-  /// Comma-separated integer list, e.g. "--procs 8,16,32".
+  /// Comma-separated integer list, e.g. "--procs 8,16,32". Empty string is
+  /// the empty list; empty or malformed elements throw.
   [[nodiscard]] std::vector<std::int64_t> int_list(const std::string& name) const;
 
   void print_help() const;

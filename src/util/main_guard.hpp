@@ -1,0 +1,22 @@
+#pragma once
+// guarded_main: wraps a binary's real entry point so setup exceptions —
+// most commonly the strict CliParser numeric parsers rejecting a garbage
+// option value — print one clean line to stderr and exit 2 instead of
+// reaching std::terminate.
+
+#include <cstdio>
+#include <exception>
+
+namespace sweep::util {
+
+template <typename Fn>
+int guarded_main(Fn&& run) {
+  try {
+    return run();
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 2;
+  }
+}
+
+}  // namespace sweep::util

@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include <stdexcept>
+
 namespace sweep::util {
 namespace {
 
@@ -39,7 +41,76 @@ TEST(Cli, ParsesIntegerLists) {
   ASSERT_TRUE(cli.parse(3, argv));
   EXPECT_EQ(cli.int_list("procs"),
             (std::vector<std::int64_t>{1, 2, 4, 8, 512}));
-  EXPECT_EQ(cli.integer("scale"), 0);  // strtoll of "0.5"
+  // "0.5" is not an integer: strict parsing reports it instead of the old
+  // silent strtoll -> 0.
+  EXPECT_THROW(cli.integer("scale"), std::invalid_argument);
+}
+
+TEST(Cli, IntegerRejectsGarbage) {
+  CliParser cli = make_parser();
+  const char* argv[] = {"prog", "--name=abc", "--scale", "12x"};
+  ASSERT_TRUE(cli.parse(4, argv));
+  EXPECT_THROW(cli.integer("name"), std::invalid_argument);   // "abc"
+  EXPECT_THROW(cli.integer("scale"), std::invalid_argument);  // "12x"
+  EXPECT_THROW(cli.real("name"), std::invalid_argument);
+}
+
+TEST(Cli, IntegerRejectsEmptyAndOverflow) {
+  CliParser cli = make_parser();
+  const char* argv[] = {"prog", "--name=", "--scale",
+                        "99999999999999999999999999"};
+  ASSERT_TRUE(cli.parse(4, argv));
+  EXPECT_THROW(cli.integer("name"), std::invalid_argument);
+  EXPECT_THROW(cli.integer("scale"), std::invalid_argument);
+}
+
+TEST(Cli, RealRejectsTrailingGarbage) {
+  CliParser cli = make_parser();
+  const char* argv[] = {"prog", "--scale", "0.5.3"};
+  ASSERT_TRUE(cli.parse(3, argv));
+  EXPECT_THROW(cli.real("scale"), std::invalid_argument);
+  EXPECT_THROW(cli.real("name"), std::invalid_argument);  // "tetonly"
+}
+
+TEST(Cli, IntListRejectsMalformedElements) {
+  CliParser cli = make_parser();
+  const char* argv[] = {"prog", "--procs", "1,,2"};
+  ASSERT_TRUE(cli.parse(3, argv));
+  EXPECT_THROW(cli.int_list("procs"), std::invalid_argument);
+
+  CliParser cli2 = make_parser();
+  const char* argv2[] = {"prog", "--procs", "1,abc"};
+  ASSERT_TRUE(cli2.parse(3, argv2));
+  EXPECT_THROW(cli2.int_list("procs"), std::invalid_argument);
+
+  CliParser cli3 = make_parser();
+  const char* argv3[] = {"prog", "--procs", "1,2,"};
+  ASSERT_TRUE(cli3.parse(3, argv3));
+  EXPECT_THROW(cli3.int_list("procs"), std::invalid_argument);
+}
+
+TEST(Cli, EmptyStringIsEmptyIntList) {
+  CliParser cli("prog", "t");
+  cli.add_option("list", "", "optional list");
+  const char* argv[] = {"prog"};
+  ASSERT_TRUE(cli.parse(1, argv));
+  EXPECT_TRUE(cli.int_list("list").empty());
+}
+
+TEST(Cli, FlagRejectsNonBooleanInlineValue) {
+  CliParser cli = make_parser();
+  const char* argv[] = {"prog", "--full=yes"};
+  EXPECT_FALSE(cli.parse(2, argv));  // error, not a silent false
+
+  CliParser cli2 = make_parser();
+  const char* argv2[] = {"prog", "--full=false"};
+  ASSERT_TRUE(cli2.parse(2, argv2));
+  EXPECT_FALSE(cli2.flag("full"));
+
+  CliParser cli3 = make_parser();
+  const char* argv3[] = {"prog", "--full=1"};
+  ASSERT_TRUE(cli3.parse(2, argv3));
+  EXPECT_TRUE(cli3.flag("full"));
 }
 
 TEST(Cli, RejectsUnknownOption) {

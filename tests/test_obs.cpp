@@ -7,6 +7,7 @@
 #include <gtest/gtest.h>
 
 #include <cstddef>
+#include <future>
 #include <sstream>
 #include <string>
 #include <vector>
@@ -14,6 +15,7 @@
 #include "core/list_scheduler.hpp"
 #include "sweep/random_dag.hpp"
 #include "util/parallel.hpp"
+#include "util/thread_pool.hpp"
 
 namespace sweep::obs {
 namespace {
@@ -213,7 +215,16 @@ TEST_F(TraceTest, UnarmedSpansRecordNothing) {
 TEST_F(TraceTest, PoolWorkerSpansCarryDistinctTids) {
   // Spans recorded on pool workers end up in per-thread buffers with their
   // own tids; the workers also self-name via set_thread_name, which must
-  // surface as thread_name metadata.
+  // surface as thread_name metadata. Submit directly and wait: on a loaded
+  // single-core host, parallel_for's main thread can drain every chunk (and
+  // write the trace) before a freshly spawned worker is ever scheduled, let
+  // alone self-named.
+  std::promise<void> done;
+  util::ThreadPool::global().submit([&] {
+    TraceSpan span("test.pool_span");
+    done.set_value();
+  });
+  done.get_future().wait();
   util::parallel_for(
       64, [&](std::size_t) { TraceSpan span("test.pool_span"); }, 0);
   std::ostringstream out;

@@ -9,6 +9,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <stdexcept>
 
 #include "core/list_scheduler.hpp"
 #include "core/lower_bounds.hpp"
@@ -42,6 +43,37 @@ TEST(RandomDelay, RespectsProvidedAssignment) {
   const auto result = random_delay_schedule(inst, 5, rng, fixed);
   EXPECT_EQ(result.schedule.assignment(), fixed);
   EXPECT_EQ(result.schedule.makespan(), inst.n_tasks());  // serial on proc 2
+}
+
+TEST(RandomDelay, RejectsOutOfRangeAssignment) {
+  // Regression: an assignment entry >= m used to index past proc_cursor in
+  // execute_layered and corrupt the heap. It must throw instead.
+  const auto inst = dag::random_instance(20, 2, 4, 1.5, 23);
+  Assignment bad(20, 0);
+  bad[7] = 5;  // == m, one past the last valid processor
+  {
+    util::Rng rng(34);
+    EXPECT_THROW(random_delay_schedule(inst, 5, rng, bad),
+                 std::invalid_argument);
+  }
+  {
+    util::Rng rng(34);
+    EXPECT_THROW(improved_random_delay_schedule(inst, 5, rng, bad),
+                 std::invalid_argument);
+  }
+}
+
+TEST(RandomDelay, RejectsZeroProcessorsAndBadSize) {
+  const auto inst = dag::random_instance(20, 2, 4, 1.5, 24);
+  util::Rng rng(35);
+  EXPECT_THROW(random_delay_schedule(inst, 0, rng), std::invalid_argument);
+  EXPECT_THROW(improved_random_delay_schedule(inst, 0, rng),
+               std::invalid_argument);
+  const Assignment short_assignment(10, 0);
+  EXPECT_THROW(random_delay_schedule(inst, 4, rng, short_assignment),
+               std::invalid_argument);
+  EXPECT_THROW(improved_random_delay_schedule(inst, 4, rng, short_assignment),
+               std::invalid_argument);
 }
 
 TEST(RandomDelay, Lemma2FewCopiesPerLayer) {

@@ -39,6 +39,36 @@ TEST(ScheduleIo, RejectsBadInput) {
                std::runtime_error);
 }
 
+TEST(ScheduleIo, RejectsZeroProcessorsWithCells) {
+  // m=0 with cells present: every assignment entry would be out of range and
+  // later consumers (comm_rounds, utilization) divide by m.
+  std::stringstream zero_m("sweepsched 1\n2 1 0\n0 0\n0 1\n");
+  EXPECT_THROW(load_schedule(zero_m), std::runtime_error);
+  // The fully-empty schedule (no cells) still round-trips.
+  std::stringstream empty("sweepsched 1\n0 0 0\n");
+  const Schedule loaded = load_schedule(empty);
+  EXPECT_EQ(loaded.n_tasks(), 0u);
+}
+
+TEST(ScheduleIo, RejectsOutOfRangeAssignmentEntry) {
+  std::stringstream oob("sweepsched 1\n2 1 4\n0 4\n0 1\n");
+  EXPECT_THROW(load_schedule(oob), std::runtime_error);
+}
+
+TEST(ScheduleIo, RejectsUnscheduledSentinelStart) {
+  std::stringstream sentinel("sweepsched 1\n2 1 4\n0 1\n0 4294967295\n");
+  EXPECT_THROW(load_schedule(sentinel), std::runtime_error);
+}
+
+TEST(ScheduleIo, RejectsOverflowingShape) {
+  // n*k would overflow std::size_t / exceed the 32-bit id range; must throw
+  // before allocating anything.
+  std::stringstream huge("sweepsched 1\n1000000000000 1000000000000 4\n");
+  EXPECT_THROW(load_schedule(huge), std::runtime_error);
+  std::stringstream huge_m("sweepsched 1\n1 1 99999999999\n0\n0\n");
+  EXPECT_THROW(load_schedule(huge_m), std::runtime_error);
+}
+
 TEST(ScheduleIo, FileRoundTrip) {
   const Schedule original = sample_schedule();
   const std::string path = ::testing::TempDir() + "/sweep_sched_io.txt";

@@ -32,7 +32,9 @@
 #include "util/cli.hpp"
 #include "util/timer.hpp"
 
-int main(int argc, char** argv) {
+#include "util/main_guard.hpp"
+
+static int run_main(int argc, char** argv) {
   using namespace sweep;
   util::CliParser cli("sweep_cli", "Run sweep-scheduling algorithms on meshes "
                                    "or saved instances and report metrics");
@@ -223,4 +225,8 @@ int main(int argc, char** argv) {
     }
   }
   return 0;
+}
+
+int main(int argc, char** argv) {
+  return sweep::util::guarded_main([&] { return run_main(argc, argv); });
 }
