@@ -1,16 +1,73 @@
 #include "core/comm_cost.hpp"
 
 #include <algorithm>
+#include <limits>
 #include <stdexcept>
 #include <unordered_map>
 #include <vector>
 
+#include "obs/obs.hpp"
 #include "sweep/task_graph.hpp"
+#include "util/parallel.hpp"
 
 namespace sweep::core {
+namespace {
+
+void check_c2_schedule(const dag::SweepInstance& instance,
+                       const Schedule& schedule) {
+  // A schedule from a different (or truncated) instance would make the
+  // start/assignment reads below run out of bounds, and zero processors
+  // would divide by zero in the (step, sender) key arithmetic.
+  if (schedule.n_processors() == 0) {
+    throw std::invalid_argument("comm_cost_c2: schedule has zero processors");
+  }
+  if (schedule.n_cells() != instance.n_cells() ||
+      schedule.n_tasks() != instance.task_graph().n_tasks()) {
+    throw std::invalid_argument(
+        "comm_cost_c2: schedule does not match instance "
+        "(truncated or foreign schedule)");
+  }
+}
+
+}  // namespace
 
 C1Cost comm_cost_c1(const dag::SweepInstance& instance,
-                    const Assignment& assignment) {
+                    const Assignment& assignment, std::size_t jobs) {
+  if (assignment.size() != instance.n_cells()) {
+    throw std::invalid_argument("comm_cost_c1: assignment size != n_cells");
+  }
+  SWEEP_OBS_TIMER("comm.c1");
+  const dag::TaskGraph& tg = instance.task_graph();
+  const std::uint32_t* cell = tg.cells().data();
+  const std::size_t n = tg.n_cells();
+  const std::size_t k = tg.n_directions();
+  C1Cost cost;
+  cost.total_edges = tg.n_edges();
+  // Each direction's tasks are the contiguous id range [i*n, (i+1)*n) and
+  // all successors stay in-direction, so per-direction counts are
+  // independent and sum without synchronization.
+  std::vector<std::size_t> cross(k, 0);
+  util::parallel_for(
+      k,
+      [&](std::size_t i) {
+        std::size_t local = 0;
+        const std::size_t begin = i * n;
+        const std::size_t end = begin + n;
+        for (std::size_t t = begin; t < end; ++t) {
+          const ProcessorId p = assignment[cell[t]];
+          for (dag::TaskGraph::Task succ : tg.successors(t)) {
+            if (assignment[cell[succ]] != p) ++local;
+          }
+        }
+        cross[i] = local;
+      },
+      jobs);
+  for (std::size_t c : cross) cost.cross_edges += c;
+  return cost;
+}
+
+C1Cost comm_cost_c1_reference(const dag::SweepInstance& instance,
+                              const Assignment& assignment) {
   if (assignment.size() != instance.n_cells()) {
     throw std::invalid_argument("comm_cost_c1: assignment size != n_cells");
   }
@@ -29,19 +86,85 @@ C1Cost comm_cost_c1(const dag::SweepInstance& instance,
 
 C2Cost comm_cost_c2(const dag::SweepInstance& instance,
                     const Schedule& schedule) {
+  check_c2_schedule(instance, schedule);
+  SWEEP_OBS_TIMER("comm.c2");
   const dag::TaskGraph& tg = instance.task_graph();
-  // A schedule from a different (or truncated) instance would make the
-  // start/assignment reads below run out of bounds, and zero processors
-  // would divide by zero in the (step, sender) key arithmetic.
-  if (schedule.n_processors() == 0) {
-    throw std::invalid_argument("comm_cost_c2: schedule has zero processors");
-  }
-  if (schedule.n_cells() != instance.n_cells() ||
-      schedule.n_tasks() != tg.n_tasks()) {
+  const std::uint32_t* cell = tg.cells().data();
+  const std::size_t m = schedule.n_processors();
+  const std::size_t horizon = schedule.makespan();
+  // Key arithmetic guard: every (step, sender) pair below packs into
+  // step * m + sender <= horizon * m - 1. A schedule whose horizon * m
+  // exceeds 2^64 cannot be keyed (and could only come from a corrupted or
+  // adversarial schedule); reject it instead of wrapping silently.
+  if (horizon > 0 &&
+      horizon > std::numeric_limits<std::uint64_t>::max() / m) {
     throw std::invalid_argument(
-        "comm_cost_c2: schedule does not match instance "
-        "(truncated or foreign schedule)");
+        "comm_cost_c2: makespan * n_processors overflows the (step, sender) "
+        "key space");
   }
+
+  // One flat record per sending task; sorted by packed key and reduced in
+  // one pass. No hash map, and no O(horizon) dense array — sparse huge
+  // horizons cost O(senders log senders).
+  struct SendRecord {
+    std::uint64_t key;       // step * m + sender
+    std::uint32_t messages;  // cross-processor successors of one task
+  };
+  std::vector<SendRecord> sends;
+  sends.reserve(256);
+  for (std::size_t t = 0; t < tg.n_tasks(); ++t) {
+    const ProcessorId pu = schedule.processor_of_cell(cell[t]);
+    const TimeStep tu = schedule.start(t);
+    if (tu == kUnscheduled) {
+      throw std::invalid_argument("comm_cost_c2: schedule is incomplete");
+    }
+    if (static_cast<std::size_t>(tu) >= horizon) {
+      // makespan() bounds every scheduled start; a start past it means the
+      // schedule was mutated mid-call.
+      throw std::invalid_argument(
+          "comm_cost_c2: start step beyond schedule horizon");
+    }
+    std::uint32_t messages = 0;
+    for (dag::TaskGraph::Task succ : tg.successors(t)) {
+      if (schedule.processor_of_cell(cell[succ]) != pu) ++messages;
+    }
+    if (messages > 0) {
+      sends.push_back({static_cast<std::uint64_t>(tu) * m + pu, messages});
+    }
+  }
+  std::sort(sends.begin(), sends.end(),
+            [](const SendRecord& a, const SendRecord& b) {
+              return a.key < b.key;
+            });
+
+  // Grouped reduction: per (step, sender) sum the messages, per step take
+  // the max over senders, then fold the step maxima into the cost.
+  C2Cost cost;
+  std::size_t i = 0;
+  while (i < sends.size()) {
+    const std::uint64_t step = sends[i].key / m;
+    std::uint64_t step_max = 0;
+    while (i < sends.size() && sends[i].key / m == step) {
+      const std::uint64_t key = sends[i].key;
+      std::uint64_t sender_total = 0;
+      while (i < sends.size() && sends[i].key == key) {
+        sender_total += sends[i].messages;
+        ++i;
+      }
+      step_max = std::max(step_max, sender_total);
+    }
+    cost.total_delay += step_max;
+    cost.max_step_degree =
+        std::max<std::size_t>(cost.max_step_degree, step_max);
+    ++cost.busy_steps;
+  }
+  return cost;
+}
+
+C2Cost comm_cost_c2_reference(const dag::SweepInstance& instance,
+                              const Schedule& schedule) {
+  check_c2_schedule(instance, schedule);
+  const dag::TaskGraph& tg = instance.task_graph();
   const std::uint32_t* cell = tg.cells().data();
   const std::size_t horizon = schedule.makespan();
 
@@ -56,8 +179,6 @@ C2Cost comm_cost_c2(const dag::SweepInstance& instance,
       throw std::invalid_argument("comm_cost_c2: schedule is incomplete");
     }
     if (static_cast<std::size_t>(tu) >= horizon) {
-      // makespan() bounds every scheduled start; a start past it means the
-      // schedule was mutated mid-call. Writing step_max[tu] would be OOB.
       throw std::invalid_argument(
           "comm_cost_c2: start step beyond schedule horizon");
     }

@@ -10,6 +10,16 @@
 //        messages any single processor must send in that round; C2 is the
 //        sum of those maxima over the schedule. (An optimistic model — the
 //        paper notes it can be realized with distributed edge coloring.)
+//
+// Evaluation throughput (DESIGN.md §11): C1 fans the edge scan out across
+// directions (each direction's tasks are a contiguous id range with
+// same-direction successors, so per-direction cross-edge counts sum without
+// synchronization). C2 accumulates (step, sender, messages) records flat
+// and sorts by a packed 64-bit step*m+sender key instead of funneling every
+// task through an unordered_map — no hash, no per-node allocation, and no
+// O(horizon) dense array, so schedules with huge sparse horizons cost
+// O(senders log senders), not O(makespan). The *_reference twins preserve
+// the original serial implementations as differential baselines.
 
 #include <cstdint>
 
@@ -28,9 +38,15 @@ struct C1Cost {
   }
 };
 
-/// C1 depends only on the assignment, not on start times.
+/// C1 depends only on the assignment, not on start times. Counted in
+/// parallel over directions; identical for any `jobs` (0 = all cores,
+/// 1 = serial).
 C1Cost comm_cost_c1(const dag::SweepInstance& instance,
-                    const Assignment& assignment);
+                    const Assignment& assignment, std::size_t jobs = 0);
+
+/// Preserved serial single-loop C1 (differential baseline).
+C1Cost comm_cost_c1_reference(const dag::SweepInstance& instance,
+                              const Assignment& assignment);
 
 struct C2Cost {
   std::size_t total_delay = 0;       ///< sum over steps of max per-proc sends
@@ -40,7 +56,16 @@ struct C2Cost {
 
 /// C2 requires the schedule (who finishes what when). A message is one cross-
 /// processor DAG edge, charged to the sender at the step its source finishes.
+/// Throws std::invalid_argument if makespan * n_processors overflows the
+/// packed 64-bit (step, sender) key space (a schedule that large is
+/// malformed, not merely expensive).
 C2Cost comm_cost_c2(const dag::SweepInstance& instance,
                     const Schedule& schedule);
+
+/// Preserved unordered_map implementation (differential baseline). Unlike
+/// comm_cost_c2 it allocates an O(makespan) dense reduction array, so only
+/// feed it schedules with modest horizons.
+C2Cost comm_cost_c2_reference(const dag::SweepInstance& instance,
+                              const Schedule& schedule);
 
 }  // namespace sweep::core

@@ -5,10 +5,73 @@
 #include <span>
 #include <stdexcept>
 
+#include "obs/obs.hpp"
 #include "sweep/descendants.hpp"
 #include "sweep/task_graph.hpp"
+#include "util/parallel.hpp"
 
 namespace sweep::core {
+namespace {
+
+/// Fills direction i's slice of a descendant-priority vector from its
+/// counts; shared by the parallel path and the serial reference.
+void fill_descendant_slice(const std::vector<double>& counts, std::size_t n,
+                           DirectionId i, std::vector<std::int64_t>& out) {
+  for (CellId v = 0; v < n; ++v) {
+    // Higher descendant count runs first -> negate for the min-first engine.
+    out[task_id(v, i, n)] =
+        -static_cast<std::int64_t>(std::llround(counts[v]));
+  }
+}
+
+/// Direction i's DFDS priority slice (off-processor-children rule); shared
+/// by the parallel path and the serial reference.
+void fill_dfds_slice(const dag::SweepInstance& instance,
+                     const Assignment& assignment, std::size_t n,
+                     DirectionId i, std::vector<std::int64_t>& out) {
+  const dag::SweepDag& g = instance.dag(i);
+  const std::vector<std::uint32_t> blevel = g.b_levels();
+  std::uint32_t depth = 0;
+  for (std::uint32_t b : blevel) depth = std::max(depth, b);
+  const auto big_c = static_cast<std::int64_t>(depth);  // C >= #levels
+
+  // Reverse topological order so children are finalized before parents.
+  const std::vector<dag::NodeId> topo = g.topological_order();
+  std::vector<std::int64_t> prio(n, 0);
+  for (auto it = topo.rbegin(); it != topo.rend(); ++it) {
+    const dag::NodeId v = *it;
+    std::int64_t max_offproc_blevel = -1;
+    std::int64_t max_child_prio = -1;
+    for (dag::NodeId w : g.successors(v)) {
+      if (assignment[w] != assignment[v]) {
+        max_offproc_blevel =
+            std::max(max_offproc_blevel, static_cast<std::int64_t>(blevel[w]));
+      }
+      max_child_prio = std::max(max_child_prio, prio[w]);
+    }
+    if (max_offproc_blevel >= 0) {
+      prio[v] = big_c + max_offproc_blevel;
+    } else if (max_child_prio > 0) {
+      prio[v] = max_child_prio - 1;
+    } else {
+      prio[v] = 0;  // no off-processor descendants
+    }
+  }
+  for (CellId v = 0; v < n; ++v) {
+    out[task_id(v, i, n)] = -prio[v];  // higher preferred
+  }
+}
+
+void fill_blevel_slice(const dag::SweepInstance& instance, std::size_t n,
+                       DirectionId i, std::vector<std::int64_t>& out) {
+  const std::vector<std::uint32_t> blevel = instance.dag(i).b_levels();
+  for (CellId v = 0; v < n; ++v) {
+    // Deeper remaining path runs first -> negate for the min-first engine.
+    out[task_id(v, i, n)] = -static_cast<std::int64_t>(blevel[v]);
+  }
+}
+
+}  // namespace
 
 std::vector<TimeStep> random_delays(std::size_t n_directions, util::Rng& rng) {
   std::vector<TimeStep> delays(n_directions);
@@ -24,6 +87,31 @@ std::vector<std::int64_t> level_priorities(const dag::SweepInstance& instance) {
 }
 
 std::vector<std::int64_t> random_delay_priorities(
+    const dag::SweepInstance& instance, const std::vector<TimeStep>& delays,
+    std::size_t jobs) {
+  if (delays.size() != instance.n_directions()) {
+    throw std::invalid_argument("random_delay_priorities: delays size != k");
+  }
+  SWEEP_OBS_TIMER("priorities.random_delay");
+  const std::size_t n = instance.n_cells();
+  const std::size_t k = instance.n_directions();
+  const std::span<const std::uint32_t> level = instance.task_graph().levels();
+  std::vector<std::int64_t> priorities(n * k);
+  util::parallel_for(
+      k,
+      [&](std::size_t i) {
+        const auto delay = static_cast<std::int64_t>(delays[i]);
+        const std::size_t base = i * n;
+        for (std::size_t v = 0; v < n; ++v) {
+          priorities[base + v] =
+              static_cast<std::int64_t>(level[base + v]) + delay;
+        }
+      },
+      jobs);
+  return priorities;
+}
+
+std::vector<std::int64_t> random_delay_priorities_reference(
     const dag::SweepInstance& instance, const std::vector<TimeStep>& delays) {
   if (delays.size() != instance.n_directions()) {
     throw std::invalid_argument("random_delay_priorities: delays size != k");
@@ -43,38 +131,108 @@ std::vector<std::int64_t> random_delay_priorities(
 }
 
 std::vector<std::int64_t> descendant_priorities(
+    const dag::SweepInstance& instance, util::Rng& rng, std::size_t jobs) {
+  SWEEP_OBS_SPAN_ARGS("priorities.descendant", "k",
+                      static_cast<std::int64_t>(instance.n_directions()),
+                      "n", static_cast<std::int64_t>(instance.n_cells()));
+  SWEEP_OBS_TIMER("priorities.descendant");
+  const std::size_t n = instance.n_cells();
+  const std::size_t k = instance.n_directions();
+  // One draw splits the caller's stream; each direction then owns an
+  // order-independent stream (see the stream-splitting note in rng.hpp).
+  const std::uint64_t base = rng();
+  std::vector<std::int64_t> priorities(n * k);
+  util::parallel_for(
+      k,
+      [&](std::size_t i) {
+        if (n <= dag::kDefaultExactThreshold) {
+          // Exact counts are rng-independent and trial-invariant, so reuse
+          // the instance-level cache: the figure harnesses rebuild these
+          // priorities once per trial and pay for the transitive closure
+          // only on the first call. The stream draw above is still
+          // consumed, keeping rng state identical to the reference.
+          const std::vector<std::uint64_t>& counts =
+              instance.exact_descendant_counts(i);
+          for (CellId v = 0; v < n; ++v) {
+            priorities[task_id(v, static_cast<DirectionId>(i), n)] =
+                -static_cast<std::int64_t>(counts[v]);
+          }
+        } else {
+          util::Rng dir_rng = util::Rng::for_stream(base, i);
+          const std::vector<double> counts =
+              dag::estimated_descendant_counts(instance.dag(i), dir_rng);
+          fill_descendant_slice(counts, n, static_cast<DirectionId>(i),
+                                priorities);
+        }
+      },
+      jobs);
+  return priorities;
+}
+
+std::vector<std::int64_t> descendant_priorities_reference(
     const dag::SweepInstance& instance, util::Rng& rng) {
   const std::size_t n = instance.n_cells();
   const std::size_t k = instance.n_directions();
+  const std::uint64_t base = rng();  // same split as the parallel path
   std::vector<std::int64_t> priorities(n * k);
   for (DirectionId i = 0; i < k; ++i) {
+    util::Rng dir_rng = util::Rng::for_stream(base, i);
     const std::vector<double> counts =
-        dag::descendant_counts(instance.dag(i), rng);
-    for (CellId v = 0; v < n; ++v) {
-      // Higher descendant count runs first -> negate for the min-first engine.
-      priorities[task_id(v, i, n)] =
-          -static_cast<std::int64_t>(std::llround(counts[v]));
-    }
+        dag::descendant_counts_reference(instance.dag(i), dir_rng);
+    fill_descendant_slice(counts, n, i, priorities);
   }
   return priorities;
 }
 
-std::vector<std::int64_t> blevel_priorities(const dag::SweepInstance& instance) {
+std::vector<std::int64_t> blevel_priorities(const dag::SweepInstance& instance,
+                                            std::size_t jobs) {
+  SWEEP_OBS_TIMER("priorities.blevel");
+  const std::size_t n = instance.n_cells();
+  const std::size_t k = instance.n_directions();
+  std::vector<std::int64_t> priorities(n * k);
+  util::parallel_for(
+      k,
+      [&](std::size_t i) {
+        fill_blevel_slice(instance, n, static_cast<DirectionId>(i),
+                          priorities);
+      },
+      jobs);
+  return priorities;
+}
+
+std::vector<std::int64_t> blevel_priorities_reference(
+    const dag::SweepInstance& instance) {
   const std::size_t n = instance.n_cells();
   const std::size_t k = instance.n_directions();
   std::vector<std::int64_t> priorities(n * k);
   for (DirectionId i = 0; i < k; ++i) {
-    const std::vector<std::uint32_t> blevel = instance.dag(i).b_levels();
-    for (CellId v = 0; v < n; ++v) {
-      // Deeper remaining path runs first -> negate for the min-first engine.
-      priorities[task_id(v, i, n)] = -static_cast<std::int64_t>(blevel[v]);
-    }
+    fill_blevel_slice(instance, n, i, priorities);
   }
   return priorities;
 }
 
 std::vector<std::int64_t> dfds_priorities(const dag::SweepInstance& instance,
-                                          const Assignment& assignment) {
+                                          const Assignment& assignment,
+                                          std::size_t jobs) {
+  const std::size_t n = instance.n_cells();
+  const std::size_t k = instance.n_directions();
+  if (assignment.size() != n) {
+    throw std::invalid_argument("dfds_priorities: assignment size != n_cells");
+  }
+  SWEEP_OBS_TIMER("priorities.dfds");
+  std::vector<std::int64_t> priorities(n * k);
+  util::parallel_for(
+      k,
+      [&](std::size_t i) {
+        fill_dfds_slice(instance, assignment, n, static_cast<DirectionId>(i),
+                        priorities);
+      },
+      jobs);
+  return priorities;
+}
+
+std::vector<std::int64_t> dfds_priorities_reference(
+    const dag::SweepInstance& instance, const Assignment& assignment) {
   const std::size_t n = instance.n_cells();
   const std::size_t k = instance.n_directions();
   if (assignment.size() != n) {
@@ -82,37 +240,7 @@ std::vector<std::int64_t> dfds_priorities(const dag::SweepInstance& instance,
   }
   std::vector<std::int64_t> priorities(n * k);
   for (DirectionId i = 0; i < k; ++i) {
-    const dag::SweepDag& g = instance.dag(i);
-    const std::vector<std::uint32_t> blevel = g.b_levels();
-    std::uint32_t depth = 0;
-    for (std::uint32_t b : blevel) depth = std::max(depth, b);
-    const auto big_c = static_cast<std::int64_t>(depth);  // C >= #levels
-
-    // Reverse topological order so children are finalized before parents.
-    const std::vector<dag::NodeId> topo = g.topological_order();
-    std::vector<std::int64_t> prio(n, 0);
-    for (auto it = topo.rbegin(); it != topo.rend(); ++it) {
-      const dag::NodeId v = *it;
-      std::int64_t max_offproc_blevel = -1;
-      std::int64_t max_child_prio = -1;
-      for (dag::NodeId w : g.successors(v)) {
-        if (assignment[w] != assignment[v]) {
-          max_offproc_blevel =
-              std::max(max_offproc_blevel, static_cast<std::int64_t>(blevel[w]));
-        }
-        max_child_prio = std::max(max_child_prio, prio[w]);
-      }
-      if (max_offproc_blevel >= 0) {
-        prio[v] = big_c + max_offproc_blevel;
-      } else if (max_child_prio > 0) {
-        prio[v] = max_child_prio - 1;
-      } else {
-        prio[v] = 0;  // no off-processor descendants
-      }
-    }
-    for (CellId v = 0; v < n; ++v) {
-      priorities[task_id(v, i, n)] = -prio[v];  // higher preferred
-    }
+    fill_dfds_slice(instance, assignment, n, i, priorities);
   }
   return priorities;
 }

@@ -19,6 +19,7 @@
 #include "core/schedule_io.hpp"
 #include "core/validate.hpp"
 #include "core/weighted_scheduler.hpp"
+#include "sweep/descendants.hpp"
 #include "util/cli.hpp"
 
 namespace sweep::fuzz {
@@ -279,6 +280,50 @@ void run_benign_oracles(const Scenario& s, OracleReport& report) {
     }
   });
 
+  auto preproc_identity = [&] {
+    util::Rng delay_rng(s.seed + 11);
+    const auto delays = core::random_delays(std::max<std::size_t>(k, 1),
+                                            delay_rng);
+    util::Rng ref_rng(s.seed + 13);
+    const auto ref_descendant =
+        core::descendant_priorities_reference(*instance, ref_rng);
+    const auto ref_blevel = core::blevel_priorities_reference(*instance);
+    const auto ref_dfds =
+        core::dfds_priorities_reference(*instance, assignment);
+    const auto ref_delay =
+        k > 0 ? core::random_delay_priorities_reference(*instance, delays)
+              : std::vector<std::int64_t>{};
+    for (const std::size_t jobs : {1u, 2u}) {
+      const std::string at = " diverges from reference at jobs=" +
+                             std::to_string(jobs);
+      util::Rng par_rng(s.seed + 13);
+      if (core::descendant_priorities(*instance, par_rng, jobs) !=
+          ref_descendant) {
+        fail("preproc_identity", "descendant_priorities" + at);
+      }
+      if (core::blevel_priorities(*instance, jobs) != ref_blevel) {
+        fail("preproc_identity", "blevel_priorities" + at);
+      }
+      if (core::dfds_priorities(*instance, assignment, jobs) != ref_dfds) {
+        fail("preproc_identity", "dfds_priorities" + at);
+      }
+      if (k > 0 &&
+          core::random_delay_priorities(*instance, delays, jobs) != ref_delay) {
+        fail("preproc_identity", "random_delay_priorities" + at);
+      }
+    }
+    for (const std::size_t i : {std::size_t{0}, k - 1}) {
+      if (i >= k) break;
+      const dag::SweepDag& g = instance->dag(i);
+      if (dag::exact_descendant_counts(g) !=
+          dag::exact_descendant_counts_reference(g)) {
+        fail("preproc_identity",
+             "tiled exact_descendant_counts diverges from reference "
+             "(direction " + std::to_string(i) + ")");
+      }
+    }
+  };
+
   // Oracle 8: the parallel trial harness is deterministic in the fan-out
   // width (byte-identical means for any --jobs).
   check("trials_determinism", [&] {
@@ -292,6 +337,11 @@ void run_benign_oracles(const Scenario& s, OracleReport& report) {
            "parallel_trials differs between jobs=1 and jobs=2");
     }
   });
+
+  // Oracle 9: preprocessing identity — the parallel priority constructors
+  // and the tiled descendant counter are byte-identical to their preserved
+  // serial references for every fan-out width.
+  check("preproc_identity", preproc_identity);
 }
 
 /// Hostile channel 1: an assignment entry == m fed to every scheduler entry

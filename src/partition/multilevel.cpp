@@ -7,6 +7,7 @@
 #include <unordered_map>
 
 #include "obs/obs.hpp"
+#include "util/parallel.hpp"
 #include "util/rng.hpp"
 
 namespace sweep::partition {
@@ -186,6 +187,34 @@ void fm_refine(const Graph& graph, Partition& part, std::int64_t target0,
     return g;
   };
 
+  // Balance repair before hill climbing. The starting partition (greedy
+  // growing on the coarsest graph, or a projection of a coarser solution)
+  // may violate the tolerance, and the gain-driven passes below cannot fix
+  // that: rollback keeps only gain-positive prefixes. Force-move the
+  // cheapest (max-gain) vertices off the heavy side until both sides fit;
+  // each vertex moves at most once, so the loop terminates even when the
+  // tolerance is infeasible for the given vertex weights.
+  {
+    std::int64_t weight0 = 0;
+    for (VertexId v = 0; v < n; ++v) {
+      if (part[v] == 0) weight0 += graph.vertex_weight(v);
+    }
+    std::vector<char> moved(n, 0);
+    using Entry = std::pair<std::int64_t, VertexId>;
+    while (weight0 > max0 || total - weight0 > max1) {
+      const std::uint32_t heavy = weight0 > max0 ? 0 : 1;
+      std::priority_queue<Entry> heap;
+      for (VertexId v = 0; v < n; ++v) {
+        if (part[v] == heavy && !moved[v]) heap.push({compute_gain(v), v});
+      }
+      if (heap.empty()) break;
+      const VertexId v = heap.top().second;
+      moved[v] = 1;
+      part[v] = 1 - heavy;
+      weight0 += heavy == 0 ? -graph.vertex_weight(v) : graph.vertex_weight(v);
+    }
+  }
+
   for (std::size_t pass = 0; pass < passes; ++pass) {
     std::int64_t weight0 = 0;
     for (VertexId v = 0; v < n; ++v) {
@@ -278,6 +307,12 @@ Partition multilevel_bisect(const Graph& graph, std::int64_t target0,
 
 // ---------------------------------------------------------------------------
 // Recursive bisection to k parts.
+//
+// Every tree node derives its Rng from util::split_seed(options.seed, id)
+// where the root is id 1 and node id's children are 2*id and 2*id+1 — no
+// state is threaded through the recursion, so sibling subproblems are
+// independent and can run as pool tasks while staying bit-identical to the
+// serial reference recursion.
 // ---------------------------------------------------------------------------
 
 struct Subgraph {
@@ -286,6 +321,43 @@ struct Subgraph {
 };
 
 Subgraph extract(const Graph& graph, const std::vector<VertexId>& vertices) {
+  Subgraph sub;
+  sub.to_global = vertices;
+  // Flat parent-local -> sub-local map (the parent ids are dense); the
+  // old unordered_map lookup dominated extraction at bench scale.
+  std::vector<VertexId> to_local(graph.n_vertices(), kUnmatched);
+  for (std::size_t i = 0; i < vertices.size(); ++i) {
+    to_local[vertices[i]] = static_cast<VertexId>(i);
+  }
+  std::vector<std::uint32_t> offsets(vertices.size() + 1, 0);
+  std::vector<VertexId> neighbors;
+  std::vector<std::int64_t> edge_weights;
+  std::vector<std::int64_t> vertex_weights(vertices.size());
+  for (std::size_t i = 0; i < vertices.size(); ++i) {
+    const VertexId g = vertices[i];
+    vertex_weights[i] = graph.vertex_weight(g);
+    const auto nbrs = graph.neighbors(g);
+    const auto weights = graph.edge_weights(g);
+    for (std::size_t e = 0; e < nbrs.size(); ++e) {
+      const VertexId local = to_local[nbrs[e]];
+      if (local == kUnmatched) continue;
+      neighbors.push_back(local);
+      edge_weights.push_back(weights[e]);
+    }
+    offsets[i + 1] = static_cast<std::uint32_t>(neighbors.size());
+  }
+  sub.graph = Graph(std::move(offsets), std::move(neighbors),
+                    std::move(edge_weights), std::move(vertex_weights));
+  return sub;
+}
+
+/// The original hash-map extraction, kept verbatim as the reference
+/// recursion's implementation so bench/pipeline_throughput measures the
+/// production pipeline against the preserved baseline. Produces exactly the
+/// same subgraph as extract() — vertices and edges are visited in the same
+/// order; only the id-lookup structure differs.
+Subgraph extract_reference(const Graph& graph,
+                           const std::vector<VertexId>& vertices) {
   Subgraph sub;
   sub.to_global = vertices;
   std::unordered_map<VertexId, VertexId> to_local;
@@ -315,14 +387,21 @@ Subgraph extract(const Graph& graph, const std::vector<VertexId>& vertices) {
   return sub;
 }
 
+/// Don't spawn a pool task for subproblems below this many vertices: the
+/// submit + wake cost exceeds the bisection work (value is not tuned finely;
+/// determinism does not depend on it).
+constexpr std::size_t kParallelBranchMinVertices = 512;
+
 void recursive_bisect(const Graph& graph, const std::vector<VertexId>& to_global,
                       std::size_t k, std::uint32_t first_block,
-                      const MultilevelOptions& options, Rng& rng,
-                      Partition& global_part) {
+                      std::uint64_t node_id, const MultilevelOptions& options,
+                      Partition& global_part, bool parallel,
+                      bool reference_extract) {
   if (k <= 1) {
     for (VertexId v : to_global) global_part[v] = first_block;
     return;
   }
+  Rng rng = Rng::for_stream(options.seed, node_id);
   const std::size_t k0 = k / 2;
   const std::int64_t target0 =
       graph.total_vertex_weight() * static_cast<std::int64_t>(k0) /
@@ -344,19 +423,41 @@ void recursive_bisect(const Graph& graph, const std::vector<VertexId>& to_global
   }
 
   auto descend = [&](const std::vector<VertexId>& side, std::size_t kk,
-                     std::uint32_t base) {
+                     std::uint32_t base, std::uint64_t child_id) {
     if (side.empty()) return;
-    Subgraph sub = extract(graph, side);
+    Subgraph sub = reference_extract ? extract_reference(graph, side)
+                                     : extract(graph, side);
     std::vector<VertexId> global_ids(side.size());
     for (std::size_t i = 0; i < side.size(); ++i) {
       global_ids[i] = to_global[side[i]];
     }
     sub.to_global = std::move(global_ids);
-    recursive_bisect(sub.graph, sub.to_global, kk, base, options, rng,
-                     global_part);
+    recursive_bisect(sub.graph, sub.to_global, kk, base, child_id, options,
+                     global_part, parallel, reference_extract);
   };
-  descend(side0, k0, first_block);
-  descend(side1, k - k0, first_block + static_cast<std::uint32_t>(k0));
+
+  // The two branches touch disjoint global_part entries and only read the
+  // shared parent graph, so they can run concurrently.
+  if (parallel && std::min(side0.size(), side1.size()) >=
+                      kParallelBranchMinVertices) {
+    SWEEP_OBS_COUNTER_ADD("partition.parallel_branches", 1);
+    util::parallel_for(
+        2,
+        [&](std::size_t side) {
+          if (side == 0) {
+            descend(side0, k0, first_block, 2 * node_id);
+          } else {
+            descend(side1, k - k0,
+                    first_block + static_cast<std::uint32_t>(k0),
+                    2 * node_id + 1);
+          }
+        },
+        options.jobs);
+  } else {
+    descend(side0, k0, first_block, 2 * node_id);
+    descend(side1, k - k0, first_block + static_cast<std::uint32_t>(k0),
+            2 * node_id + 1);
+  }
 }
 
 }  // namespace
@@ -374,11 +475,28 @@ Partition multilevel_partition(const Graph& graph,
   const std::size_t n = graph.n_vertices();
   Partition part(n, 0);
   if (options.n_parts == 1 || n == 0) return part;
-  Rng rng(options.seed);
   std::vector<VertexId> all(n);
   for (std::size_t i = 0; i < n; ++i) all[i] = static_cast<VertexId>(i);
-  recursive_bisect(graph, all, std::min(options.n_parts, n), 0, options, rng,
-                   part);
+  recursive_bisect(graph, all, std::min(options.n_parts, n), 0, /*node_id=*/1,
+                   options, part, /*parallel=*/options.jobs != 1,
+                   /*reference_extract=*/false);
+  return part;
+}
+
+Partition multilevel_partition_reference(const Graph& graph,
+                                         const MultilevelOptions& options) {
+  if (options.n_parts == 0) {
+    throw std::invalid_argument(
+        "multilevel_partition_reference: n_parts must be >= 1");
+  }
+  const std::size_t n = graph.n_vertices();
+  Partition part(n, 0);
+  if (options.n_parts == 1 || n == 0) return part;
+  std::vector<VertexId> all(n);
+  for (std::size_t i = 0; i < n; ++i) all[i] = static_cast<VertexId>(i);
+  recursive_bisect(graph, all, std::min(options.n_parts, n), 0, /*node_id=*/1,
+                   options, part, /*parallel=*/false,
+                   /*reference_extract=*/true);
   return part;
 }
 

@@ -8,6 +8,16 @@
 // k-way partitions come from recursive bisection with proportional weight
 // targets, so any k (not just powers of two) is supported — the paper's
 // experiments sweep block counts derived from block sizes 64/128/256.
+//
+// Parallelism (DESIGN.md §11): the two branches of every recursive bisection
+// are independent subproblems over disjoint vertex sets, so they run as
+// thread-pool tasks. Determinism is preserved by seeding every subproblem
+// from its position in the bisection tree — node `id` (root 1, children
+// 2*id and 2*id+1) draws from util::split_seed(options.seed, id) — instead
+// of threading one Rng through the recursion. Within a subproblem the
+// coarsening/matching visit order is fixed by that stream, so cuts are
+// bit-identical to multilevel_partition_reference (the preserved serial
+// recursion over the same primitives) for any `jobs`.
 
 #include <cstdint>
 
@@ -22,11 +32,22 @@ struct MultilevelOptions {
   std::size_t initial_tries = 6;    ///< greedy-graph-growing restarts
   std::size_t fm_passes = 6;        ///< refinement passes per level
   std::uint64_t seed = 12345;
+  /// Bisection-branch fan-out width: 0 = all pool workers, 1 = serial.
+  /// The produced partition is byte-identical for any value.
+  std::size_t jobs = 0;
 };
 
-/// Partitions `graph` into options.n_parts blocks (ids 0..n_parts-1).
+/// Partitions `graph` into options.n_parts blocks (ids 0..n_parts-1),
+/// running independent bisection branches on the global thread pool.
 Partition multilevel_partition(const Graph& graph,
                                const MultilevelOptions& options);
+
+/// Preserved serial recursion (same primitives, same per-subproblem seeds,
+/// original hash-map subgraph extraction); differential baseline for tests
+/// and bench/pipeline_throughput. Bit-identical to multilevel_partition for
+/// every seed.
+Partition multilevel_partition_reference(const Graph& graph,
+                                         const MultilevelOptions& options);
 
 /// Convenience used by the paper's experiments: partition into
 /// ceil(n / block_size) blocks of ~block_size cells each.

@@ -3,10 +3,60 @@
 #include <algorithm>
 #include <stdexcept>
 
+#include "obs/obs.hpp"
+
 namespace sweep::dag {
 
 std::vector<std::uint64_t> exact_descendant_counts(const SweepDag& dag,
-                                                   std::size_t max_nodes) {
+                                                   std::size_t max_nodes,
+                                                   TiledCountStats* stats) {
+  const std::size_t n = dag.n_nodes();
+  if (n > max_nodes) {
+    throw std::invalid_argument(
+        "exact_descendant_counts: DAG too large; use the estimator");
+  }
+  SWEEP_OBS_TIMER("descendants.exact_tiled");
+  std::vector<std::uint64_t> counts(n, 0);
+  constexpr std::size_t kTileColumns = kTileWords * 64;
+  const std::size_t strips = (n + kTileColumns - 1) / kTileColumns;
+  if (stats != nullptr) {
+    stats->strips = strips;
+    stats->scratch_bytes_per_worker = n * kTileWords * sizeof(std::uint64_t);
+  }
+  if (n == 0) return counts;
+  const std::vector<NodeId> topo = dag.topological_order();
+
+  // tile[v] = the kTileColumns columns of reach-row v covered by the
+  // current strip: one cache line per node, reused across strips, so the
+  // per-edge OR below never leaves L2 no matter how large n^2/8 gets.
+  std::vector<std::uint64_t> tile(n * kTileWords);
+  for (std::size_t strip = 0; strip < strips; ++strip) {
+    const std::size_t column_base = strip * kTileColumns;
+    for (auto it = topo.rbegin(); it != topo.rend(); ++it) {
+      const NodeId v = *it;
+      std::uint64_t* row = tile.data() + static_cast<std::size_t>(v) * kTileWords;
+      for (std::size_t j = 0; j < kTileWords; ++j) row[j] = 0;
+      const std::size_t local = static_cast<std::size_t>(v) - column_base;
+      if (local < kTileColumns) row[local / 64] = 1ull << (local % 64);
+      for (NodeId s : dag.successors(v)) {
+        const std::uint64_t* srow =
+            tile.data() + static_cast<std::size_t>(s) * kTileWords;
+        for (std::size_t j = 0; j < kTileWords; ++j) row[j] |= srow[j];
+      }
+      std::uint64_t popcount = 0;
+      for (std::size_t j = 0; j < kTileWords; ++j) {
+        popcount += static_cast<std::uint64_t>(__builtin_popcountll(row[j]));
+      }
+      counts[v] += popcount;
+    }
+  }
+  for (std::size_t v = 0; v < n; ++v) --counts[v];  // exclude v itself
+  SWEEP_OBS_COUNTER_ADD("descendants.tiled.strips", strips);
+  return counts;
+}
+
+std::vector<std::uint64_t> exact_descendant_counts_reference(
+    const SweepDag& dag, std::size_t max_nodes) {
   const std::size_t n = dag.n_nodes();
   if (n > max_nodes) {
     throw std::invalid_argument(
@@ -69,6 +119,16 @@ std::vector<double> descendant_counts(const SweepDag& dag, util::Rng& rng,
                                       std::size_t exact_threshold) {
   if (dag.n_nodes() <= exact_threshold) {
     const auto exact = exact_descendant_counts(dag, exact_threshold);
+    return {exact.begin(), exact.end()};
+  }
+  return estimated_descendant_counts(dag, rng);
+}
+
+std::vector<double> descendant_counts_reference(const SweepDag& dag,
+                                                util::Rng& rng,
+                                                std::size_t exact_threshold) {
+  if (dag.n_nodes() <= exact_threshold) {
+    const auto exact = exact_descendant_counts_reference(dag, exact_threshold);
     return {exact.begin(), exact.end()};
   }
   return estimated_descendant_counts(dag, rng);

@@ -5,16 +5,25 @@
 
 #include "obs/obs.hpp"
 #include "sweep/dag_builder.hpp"
+#include "sweep/descendants.hpp"
 #include "util/parallel.hpp"
 
 namespace sweep::dag {
+
+std::unique_ptr<SweepInstance::LazyCaches> SweepInstance::fresh_caches(
+    std::size_t k) {
+  auto caches = std::make_unique<LazyCaches>();
+  caches->descendant_once = std::make_unique<std::once_flag[]>(k);
+  caches->descendant_counts.resize(k);
+  return caches;
+}
 
 SweepInstance::SweepInstance(std::size_t n_cells, std::vector<SweepDag> dags,
                              std::string name)
     : n_cells_(n_cells),
       dags_(std::move(dags)),
       name_(std::move(name)),
-      caches_(std::make_unique<LazyCaches>()) {
+      caches_(fresh_caches(dags_.size())) {
   for (const SweepDag& g : dags_) {
     if (g.n_nodes() != n_cells_) {
       throw std::invalid_argument(
@@ -30,14 +39,14 @@ SweepInstance::SweepInstance(const SweepInstance& other)
     : n_cells_(other.n_cells_),
       dags_(other.dags_),
       name_(other.name_),
-      caches_(std::make_unique<LazyCaches>()) {}
+      caches_(fresh_caches(dags_.size())) {}
 
 SweepInstance& SweepInstance::operator=(const SweepInstance& other) {
   if (this != &other) {
     n_cells_ = other.n_cells_;
     dags_ = other.dags_;
     name_ = other.name_;
-    caches_ = std::make_unique<LazyCaches>();
+    caches_ = fresh_caches(dags_.size());
   }
   return *this;
 }
@@ -57,6 +66,17 @@ const TaskGraph& SweepInstance::task_graph() const {
     SWEEP_OBS_COUNTER_ADD("dag.task_graph.builds", 1);
   });
   return caches_->task_graph;
+}
+
+const std::vector<std::uint64_t>& SweepInstance::exact_descendant_counts(
+    std::size_t i) const {
+  std::call_once(caches_->descendant_once[i], [this, i] {
+    SWEEP_OBS_SCOPE("dag.descendant_counts.build");
+    caches_->descendant_counts[i] =
+        dag::exact_descendant_counts(dags_[i], dags_[i].n_nodes());
+    SWEEP_OBS_COUNTER_ADD("dag.descendant_counts.builds", 1);
+  });
+  return caches_->descendant_counts[i];
 }
 
 std::size_t SweepInstance::max_depth() const {

@@ -45,6 +45,17 @@ class SweepInstance {
   /// on first call and cached; safe to call concurrently.
   [[nodiscard]] const TaskGraph& task_graph() const;
 
+  /// Exact |descendants| of every cell in direction i (the tiled transitive
+  /// closure, see sweep/descendants.hpp). The counts are rng-independent
+  /// and trial-invariant, so they are cached per direction: the figure
+  /// harnesses rebuild descendant priorities once per trial, and every
+  /// rebuild after the first reuses this cache. Computed under a per-
+  /// direction once_flag; safe to call concurrently. Unconditional — the
+  /// caller gates on DAG size (dag::kDefaultExactThreshold); footprint is
+  /// 8 bytes per task for the directions actually requested.
+  [[nodiscard]] const std::vector<std::uint64_t>& exact_descendant_counts(
+      std::size_t i) const;
+
   /// Max number of levels over all directions (D in the paper).
   [[nodiscard]] std::size_t max_depth() const;
 
@@ -59,7 +70,13 @@ class SweepInstance {
     std::vector<std::vector<std::uint32_t>> levels;
     std::once_flag task_graph_once;
     TaskGraph task_graph;
+    // One flag + slot per direction (sized at construction; once_flag is
+    // not movable, hence the raw array).
+    std::unique_ptr<std::once_flag[]> descendant_once;
+    std::vector<std::vector<std::uint64_t>> descendant_counts;
   };
+
+  static std::unique_ptr<LazyCaches> fresh_caches(std::size_t k);
 
   std::size_t n_cells_;
   std::vector<SweepDag> dags_;

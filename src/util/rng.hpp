@@ -23,6 +23,38 @@ inline std::uint64_t splitmix64(std::uint64_t& state) noexcept {
   return z ^ (z >> 31);
 }
 
+// ---------------------------------------------------------------------------
+// Deterministic stream splitting (DESIGN.md §11).
+//
+// Components that fan work out across a parallel_for (per-direction priority
+// construction, per-subproblem partitioner bisections, per-trial benchmark
+// runs) must NOT share one Rng: the draw order would then depend on which
+// worker runs first, and on how much state an earlier stream happened to
+// consume. Instead, every independent unit of work i derives its own seed
+//
+//     split_seed(base, i) = splitmix64(base ^ (PHI64 * (i + 1)))
+//
+// where `base` is either the caller's literal seed or a single draw from the
+// caller's Rng (so the parent stream advances by exactly one step no matter
+// how many children are split off). PHI64 is SplitMix64's golden-ratio
+// increment, so consecutive stream ids land on well-separated points of the
+// SplitMix64 sequence before the finalizer mixes them. Two properties make
+// the scheme safe to rely on:
+//  - order independence: stream i's seed depends only on (base, i), never on
+//    which other streams exist or have already run, so serial and parallel
+//    execution produce byte-identical output, and
+//  - no trivial collisions: split_seed is injective in `i` for fixed base
+//    (x -> PHI64 * x is invertible mod 2^64 and splitmix64's finalizer is a
+//    bijection).
+// ---------------------------------------------------------------------------
+
+/// Seed for independent stream `stream` of base seed `base` (see above).
+inline std::uint64_t split_seed(std::uint64_t base,
+                                std::uint64_t stream) noexcept {
+  std::uint64_t s = base ^ (0x9e3779b97f4a7c15ULL * (stream + 1));
+  return splitmix64(s);
+}
+
 /// xoshiro256** PRNG. Satisfies UniformRandomBitGenerator so it can be used
 /// with <random> distributions, but the member helpers below avoid the
 /// distribution objects entirely for speed and cross-platform determinism.
@@ -108,6 +140,12 @@ class Rng {
 
   /// Derive an independent child generator (for per-component streams).
   Rng fork() noexcept { return Rng((*this)() ^ 0xa3c59ac2ULL); }
+
+  /// Generator for independent stream `stream` of base seed `base`
+  /// (the stream-splitting scheme documented above split_seed).
+  static Rng for_stream(std::uint64_t base, std::uint64_t stream) noexcept {
+    return Rng(split_seed(base, stream));
+  }
 
  private:
   static constexpr std::uint64_t rotl(std::uint64_t x, int k) noexcept {

@@ -105,6 +105,68 @@ TEST(C2, RejectsForeignDirectionCount) {
   EXPECT_THROW(comm_cost_c2(inst, s), std::invalid_argument);
 }
 
+TEST(C1, ParallelMatchesReferenceForAnyJobs) {
+  const auto inst = dag::random_instance(400, 4, 8, 2.0, 5);
+  for (const std::size_t m : {2u, 7u, 16u}) {
+    util::Rng rng(m);
+    const auto a = random_assignment(400, m, rng);
+    const auto reference = comm_cost_c1_reference(inst, a);
+    for (const std::size_t jobs : {0u, 1u, 2u, 8u}) {
+      const auto parallel = comm_cost_c1(inst, a, jobs);
+      EXPECT_EQ(parallel.cross_edges, reference.cross_edges)
+          << "m=" << m << " jobs=" << jobs;
+      EXPECT_EQ(parallel.total_edges, reference.total_edges);
+    }
+  }
+}
+
+TEST(C2, FlatMatchesReferenceOnRandomInstances) {
+  // The sort-based accumulator must agree with the preserved unordered_map
+  // implementation on every field.
+  for (const std::uint64_t seed : {1u, 2u, 3u}) {
+    const auto inst = dag::random_instance(300, 3, 6, 2.0, seed);
+    util::Rng rng(seed + 50);
+    const std::size_t m = 2 + seed * 3;
+    const auto a = random_assignment(300, m, rng);
+    const Schedule s = list_schedule(inst, a, m);
+    const auto flat = comm_cost_c2(inst, s);
+    const auto reference = comm_cost_c2_reference(inst, s);
+    EXPECT_EQ(flat.total_delay, reference.total_delay) << "seed=" << seed;
+    EXPECT_EQ(flat.max_step_degree, reference.max_step_degree);
+    EXPECT_EQ(flat.busy_steps, reference.busy_steps);
+  }
+}
+
+TEST(C2, RejectsKeySpaceOverflow) {
+  // A schedule whose makespan * n_processors exceeds 2^64 cannot pack its
+  // (step, sender) pairs into the 64-bit key; it must be rejected up front
+  // instead of wrapping and silently merging unrelated send records. The
+  // horizon here is the TimeStep maximum (~2^32) and m is 2^33, so the
+  // product overflows while each value alone is representable.
+  const auto inst = chain4();
+  Schedule s(4, 1, std::size_t{1} << 33, Assignment{0, 1, 0, 1});
+  for (TaskId t = 0; t < 4; ++t) {
+    s.set_start(t, kUnscheduled - 1);  // horizon = 2^32 - 1
+  }
+  EXPECT_THROW(comm_cost_c2(inst, s), std::invalid_argument);
+}
+
+TEST(C2, HugeSparseHorizonStaysCheap) {
+  // Starts near the top of the TimeStep range: the flat accumulator must
+  // handle a ~2^32 horizon without allocating a dense per-step array (the
+  // reference would need 16 GiB here). Also pins the grouped reduction on a
+  // sparse far-apart step pattern.
+  const auto inst = chain4();
+  Schedule s(4, 1, 2, Assignment{0, 1, 0, 1});
+  for (TaskId t = 0; t < 4; ++t) {
+    s.set_start(t, static_cast<TimeStep>(1000000000u * (t + 1)));
+  }
+  const auto c2 = comm_cost_c2(inst, s);
+  EXPECT_EQ(c2.total_delay, 3u);
+  EXPECT_EQ(c2.max_step_degree, 1u);
+  EXPECT_EQ(c2.busy_steps, 3u);
+}
+
 TEST(C2, MuchSmallerThanC1OnRealInstances) {
   // The paper's Section 5.1 observation 2: C2 is far below C1.
   const auto m = test::small_tet_mesh(6, 6, 3);

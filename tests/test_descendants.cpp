@@ -44,6 +44,42 @@ TEST(ExactDescendants, Chain) {
 TEST(ExactDescendants, RefusesHugeGraphs) {
   const SweepDag g = test::make_dag(100, {{0, 1}});
   EXPECT_THROW(exact_descendant_counts(g, 50), std::invalid_argument);
+  EXPECT_THROW(exact_descendant_counts_reference(g, 50), std::invalid_argument);
+}
+
+TEST(ExactDescendants, TiledMatchesReferenceOnRandomDags) {
+  // Node counts straddle the strip width (kTileWords * 64 = 512 columns)
+  // and the 64-bit word width: below/at/past one word, below/at/past one
+  // strip, and a multi-strip graph not a multiple of either.
+  for (const std::size_t n : {1u, 63u, 64u, 65u, 511u, 512u, 513u, 1200u}) {
+    util::Rng rng(n);
+    const SweepDag g =
+        random_layered_dag(n, std::max<std::size_t>(n / 20, 2), 2.5, rng);
+    EXPECT_EQ(exact_descendant_counts(g), exact_descendant_counts_reference(g))
+        << "n=" << n;
+  }
+}
+
+TEST(ExactDescendants, TiledStatsReportBoundedScratch) {
+  // The tiled counter's working set is kTileWords words (one cache line)
+  // per node, reused across strips: n * tile_width / 8 = 64n bytes,
+  // independent of the strip count (DESIGN.md §11).
+  util::Rng rng(4);
+  const SweepDag g = random_layered_dag(1500, 12, 2.0, rng);
+  TiledCountStats stats;
+  const auto tiled = exact_descendant_counts(g, 1u << 14, &stats);
+  EXPECT_EQ(stats.strips, (1500 + kTileWords * 64 - 1) / (kTileWords * 64));
+  EXPECT_GE(stats.strips, 2u);  // actually exercises strip reuse
+  EXPECT_EQ(stats.scratch_bytes_per_worker,
+            1500 * kTileWords * sizeof(std::uint64_t));
+  EXPECT_EQ(tiled, exact_descendant_counts_reference(g));
+}
+
+TEST(ExactDescendants, TiledEmptyDag) {
+  const SweepDag g = test::make_dag(0, {});
+  TiledCountStats stats;
+  EXPECT_TRUE(exact_descendant_counts(g, 1u << 14, &stats).empty());
+  EXPECT_EQ(stats.strips, 0u);
 }
 
 TEST(EstimatedDescendants, RejectsTooFewRounds) {

@@ -74,6 +74,24 @@ TEST_P(KWaySweep, BalancedNonEmptyAndBetterThanRandom) {
 INSTANTIATE_TEST_SUITE_P(PartCounts, KWaySweep,
                          ::testing::Values(2, 3, 4, 7, 8, 16, 31, 64));
 
+TEST(Multilevel, ParallelBitIdenticalToReference) {
+  // The pool-task recursion must produce the same cuts as the preserved
+  // serial recursion for every seed and fan-out width: per-subproblem
+  // seeding by bisection-tree node id makes branch order irrelevant.
+  const Graph g = mesh_graph();
+  for (const std::uint64_t seed : {3u, 11u, 23u}) {
+    MultilevelOptions opts;
+    opts.n_parts = 16;
+    opts.seed = seed;
+    const Partition reference = multilevel_partition_reference(g, opts);
+    for (const std::size_t jobs : {0u, 1u, 2u, 8u}) {
+      opts.jobs = jobs;
+      EXPECT_EQ(multilevel_partition(g, opts), reference)
+          << "seed=" << seed << " jobs=" << jobs;
+    }
+  }
+}
+
 TEST(PartitionIntoBlocks, BlockSizesRoughlyRespected) {
   const Graph g = mesh_graph();
   for (std::size_t block_size : {16u, 64u, 256u}) {
