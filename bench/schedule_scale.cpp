@@ -1,0 +1,230 @@
+// Paper-scale engine throughput report (DESIGN.md §12): drives the sharded
+// work-stealing list-scheduling engine on a prismtet instance — at full
+// settings (--scale 1.05 --order 8), >= 10M tasks — sweeping the engine
+// worker count, and checks every configuration's schedule against
+// list_schedule_reference by FNV-1a checksum. Any divergence makes the
+// binary exit nonzero, so the same harness doubles as the bench_scale_smoke
+// integration test at tiny scale (and runs under the tsan-concurrency
+// preset to certify the stealing protocol).
+//
+// Output: --json PATH (default BENCH_schedule_scale.json), schema:
+//   { "mesh": ..., "scale": ..., "n_cells": ..., "n_directions": ...,
+//     "n_tasks": ..., "n_edges": ..., "n_processors": ...,
+//     "hardware_concurrency": ...,
+//     "reference": { "seconds_per_run": ..., "tasks_per_sec": ...,
+//                    "checksum": "0x..." },
+//     "threads": [ { "threads": T, "seconds_per_run": ...,
+//                    "tasks_per_sec": ..., "speedup_vs_1thread": ...,
+//                    "speedup_vs_reference": ..., "steals_per_run": ...,
+//                    "checksum": "0x...", "identical": true }, ... ] }
+// tasks_per_sec is the aggregate rate across all engine workers (one
+// schedule run retires n_tasks tasks regardless of T). On hosts with fewer
+// cores than T the thread rows still certify determinism and the stealing
+// protocol; wall-clock scaling is only meaningful when
+// hardware_concurrency >= T.
+
+#include <cstdint>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "core/list_scheduler.hpp"
+#include "core/priorities.hpp"
+
+namespace {
+
+using namespace sweep;
+
+std::uint64_t fnv1a_mix(std::uint64_t hash, std::uint64_t value) {
+  for (int byte = 0; byte < 8; ++byte) {
+    hash ^= (value >> (8 * byte)) & 0xffu;
+    hash *= 1099511628211ull;
+  }
+  return hash;
+}
+
+template <typename T>
+std::uint64_t fnv1a(const std::vector<T>& values) {
+  std::uint64_t hash = 14695981039346656037ull;
+  for (const T& v : values) {
+    hash = fnv1a_mix(hash, static_cast<std::uint64_t>(v));
+  }
+  return hash;
+}
+
+struct EngineRow {
+  std::size_t threads = 0;
+  double seconds_per_run = 0.0;
+  double steals_per_run = 0.0;
+  std::uint64_t checksum = 0;
+  bool identical = false;
+};
+
+/// Times fn() (one schedule run returning a checksum) `reps` times and
+/// returns the fastest; every rep's checksum must agree with the first.
+template <typename Fn>
+double time_runs(std::size_t reps, std::uint64_t& checksum, Fn&& fn) {
+  double best = -1.0;
+  for (std::size_t r = 0; r < std::max<std::size_t>(reps, 1); ++r) {
+    util::Timer timer;
+    const std::uint64_t h = fn();
+    const double s = timer.seconds();
+    if (r == 0) checksum = h;
+    if (h != checksum) {
+      std::fprintf(stderr, "FATAL: checksum unstable across repetitions\n");
+      std::exit(1);
+    }
+    if (best < 0.0 || s < best) best = s;
+  }
+  return best;
+}
+
+std::uint64_t steals_counter() {
+  for (const auto& [name, value] : obs::MetricsRegistry::instance().snapshot().counters) {
+    if (name == "engine.sharded.steals") return value;
+  }
+  return 0;
+}
+
+std::vector<std::size_t> parse_threads(const std::string& csv) {
+  std::vector<std::size_t> out;
+  std::stringstream ss(csv);
+  std::string item;
+  while (std::getline(ss, item, ',')) {
+    const auto v = static_cast<std::size_t>(std::strtoul(item.c_str(), nullptr, 10));
+    if (v > 0) out.push_back(v);
+  }
+  return out;
+}
+
+}  // namespace
+
+int main(int argc, const char** argv) {
+  util::CliParser cli("schedule_scale",
+                      "sharded engine throughput at paper scale, checksummed "
+                      "against list_schedule_reference");
+  bench::add_common_options(cli);
+  cli.add_option("order", "8", "Sn quadrature order (8 => 80 directions)");
+  cli.add_option("procs", "512", "simulated processors m");
+  cli.add_option("threads", "1,2,4,8", "engine worker counts to sweep");
+  cli.add_option("reps", "3", "timing repetitions per point (fastest wins)");
+  cli.add_option("json", "BENCH_schedule_scale.json", "output report path");
+  if (!cli.parse(argc, argv)) return 2;
+  bench::configure_jobs(cli);
+
+  const double scale = bench::resolve_scale(cli);
+  const auto order = static_cast<std::size_t>(cli.integer("order"));
+  const auto m = static_cast<std::size_t>(cli.integer("procs"));
+  const auto reps = static_cast<std::size_t>(cli.integer("reps"));
+  const auto seed = static_cast<std::uint64_t>(cli.integer("seed"));
+  const std::vector<std::size_t> thread_counts =
+      parse_threads(cli.str("threads"));
+  if (thread_counts.empty()) {
+    std::fprintf(stderr, "FATAL: --threads parsed to an empty sweep\n");
+    return 2;
+  }
+
+  const bench::BenchInstance bi =
+      bench::make_instance("prismtet", scale, order, seed);
+  const dag::SweepInstance& inst = bi.instance;
+  (void)inst.task_graph();  // warm the lazy CSR outside every timer
+  const double n_tasks = static_cast<double>(inst.n_tasks());
+
+  util::Rng rng(seed);
+  const core::Assignment assignment =
+      core::random_assignment(inst.n_cells(), m, rng);
+  const std::vector<std::int64_t> priorities = core::level_priorities(inst);
+
+  // The oracle: the preserved per-direction-walk implementation.
+  std::uint64_t reference_checksum = 0;
+  double reference_seconds = 0.0;
+  {
+    core::ListScheduleOptions options;
+    options.priorities = priorities;
+    reference_seconds = time_runs(reps, reference_checksum, [&] {
+      return fnv1a(
+          core::list_schedule_reference(inst, assignment, m, options)
+              .starts());
+    });
+    std::printf("[scale] reference          %8.3fs  %12.0f tasks/s\n",
+                reference_seconds, n_tasks / reference_seconds);
+  }
+
+  obs::set_metrics_enabled(true);  // steal counters for the report
+  std::vector<EngineRow> rows;
+  bool all_identical = true;
+  double serial_seconds = 0.0;
+  for (const std::size_t threads : thread_counts) {
+    core::ListScheduleOptions options;
+    options.priorities = priorities;
+    options.jobs = threads;
+    obs::MetricsRegistry::instance().reset();
+    EngineRow row;
+    row.threads = threads;
+    row.seconds_per_run = time_runs(reps, row.checksum, [&] {
+      return fnv1a(list_schedule(inst, assignment, m, options).starts());
+    });
+    row.steals_per_run = static_cast<double>(steals_counter()) /
+                         static_cast<double>(std::max<std::size_t>(reps, 1));
+    row.identical = row.checksum == reference_checksum;
+    all_identical = all_identical && row.identical;
+    if (threads == thread_counts.front()) serial_seconds = row.seconds_per_run;
+    rows.push_back(row);
+    std::printf("[scale] threads=%-2zu         %8.3fs  %12.0f tasks/s  "
+                "%6.0f steals/run  %s\n",
+                threads, row.seconds_per_run, n_tasks / row.seconds_per_run,
+                row.steals_per_run, row.identical ? "identical" : "MISMATCH");
+  }
+
+  const std::string path = cli.str("json");
+  std::ofstream out(path);
+  if (!out) {
+    std::fprintf(stderr, "FATAL: cannot write %s\n", path.c_str());
+    return 1;
+  }
+  out << "{\n"
+      << "  \"mesh\": \"prismtet\",\n"
+      << "  \"scale\": " << scale << ",\n"
+      << "  \"n_cells\": " << inst.n_cells() << ",\n"
+      << "  \"n_directions\": " << inst.n_directions() << ",\n"
+      << "  \"n_tasks\": " << inst.n_tasks() << ",\n"
+      << "  \"n_edges\": " << inst.total_edges() << ",\n"
+      << "  \"n_processors\": " << m << ",\n"
+      << "  \"hardware_concurrency\": " << std::thread::hardware_concurrency()
+      << ",\n"
+      << "  \"reference\": {\"seconds_per_run\": " << reference_seconds
+      << ", \"tasks_per_sec\": "
+      << static_cast<std::uint64_t>(n_tasks / reference_seconds)
+      << ", \"checksum\": \"0x" << std::hex << reference_checksum << std::dec
+      << "\"},\n"
+      << "  \"threads\": [\n";
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    const EngineRow& r = rows[i];
+    out << "    {\"threads\": " << r.threads << ", \"seconds_per_run\": "
+        << r.seconds_per_run << ", \"tasks_per_sec\": "
+        << static_cast<std::uint64_t>(n_tasks / r.seconds_per_run)
+        << ", \"speedup_vs_1thread\": "
+        << (r.seconds_per_run > 0.0 ? serial_seconds / r.seconds_per_run : 0.0)
+        << ", \"speedup_vs_reference\": "
+        << (r.seconds_per_run > 0.0 ? reference_seconds / r.seconds_per_run
+                                    : 0.0)
+        << ", \"steals_per_run\": " << r.steals_per_run
+        << ", \"checksum\": \"0x" << std::hex << r.checksum << std::dec
+        << "\", \"identical\": " << (r.identical ? "true" : "false") << "}"
+        << (i + 1 < rows.size() ? "," : "") << "\n";
+  }
+  out << "  ]\n}\n";
+  out.close();
+  std::printf("[scale] wrote %s\n", path.c_str());
+
+  if (!all_identical) {
+    std::fprintf(stderr,
+                 "FATAL: sharded engine diverged from the reference\n");
+    return 1;
+  }
+  return 0;
+}

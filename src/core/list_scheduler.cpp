@@ -7,8 +7,10 @@
 #include <stdexcept>
 #include <vector>
 
+#include "core/sharded_schedule.hpp"
 #include "obs/obs.hpp"
 #include "sweep/task_graph.hpp"
+#include "util/arena.hpp"
 
 namespace sweep::core {
 namespace {
@@ -181,33 +183,25 @@ Schedule run_heap_engine(const dag::TaskGraph& tg, const Assignment& assignment,
   return schedule;
 }
 
-/// Per-thread scratch buffers for the slot engine. list_schedule is called
-/// in tight loops (trial fan-outs run thousands of schedules per thread);
-/// reusing the large per-call arrays instead of reallocating them avoids
-/// ~1MB of mmap/page-zeroing traffic per call. Buffers only grow, bounded by
-/// the largest instance scheduled on the thread, and entries are either
-/// re-zeroed per call (bucket_next, bitmap, queued, active_flag) or fully
-/// overwritten before use (packed; task_at and hint are only read at slots /
-/// processors the current call populated).
+/// Per-thread scratch for the slot engine. list_schedule is called in tight
+/// loops (trial fan-outs run thousands of schedules per thread); reusing the
+/// large per-call lanes instead of reallocating them avoids ~1MB of
+/// mmap/page-zeroing traffic per call. The hot lanes (packed, task_at,
+/// bitmap, hint, queued, active_flag) live as a structure-of-arrays in one
+/// 64-byte-aligned arena — each lane starts on its own cache line and the
+/// per-call carve-out is free once the arena is warm. Only bucket_next stays
+/// a vector: the histogram that sizes the slot space must run before the
+/// arena can be reserved. Lanes are either zero-filled per call (bitmap,
+/// queued, active_flag) or fully overwritten before use (packed; task_at and
+/// hint are only read at slots / processors the current call populated).
 struct SlotScratch {
   std::vector<std::uint32_t> bucket_next;
-  std::vector<std::uint32_t> packed;
-  std::vector<Task32> task_at;
-  std::vector<std::uint64_t> bitmap;
-  std::vector<std::uint32_t> hint;
-  std::vector<std::uint32_t> queued;
-  std::vector<char> active_flag;
+  util::Arena arena;
 };
 
 SlotScratch& slot_scratch() {
   thread_local SlotScratch scratch;
   return scratch;
-}
-
-template <typename T>
-T* uninitialized_span(std::vector<T>& v, std::size_t n) {
-  if (v.size() < n) v.resize(n);
-  return v.data();
 }
 
 /// The slot-map engine: the fast path for bounded-small-integer priorities.
@@ -264,6 +258,15 @@ std::optional<Schedule> run_slot_engine(const dag::TaskGraph& tg,
   const std::size_t n_slots = n_processors << log2r;
   if (n_slots > kMaxPackedSlots) return std::nullopt;
 
+  // One reservation covers every lane of this call; the allocs below are
+  // cursor bumps into the warm block.
+  util::Arena& arena = scratch.arena;
+  arena.reserve(util::Arena::lane_bytes<std::uint32_t>(total) +
+                util::Arena::lane_bytes<Task32>(n_slots) +
+                util::Arena::lane_bytes<std::uint64_t>(n_slots / 64 + 1) +
+                util::Arena::lane_bytes<std::uint32_t>(n_processors) * 2 +
+                util::Arena::lane_bytes<char>(n_processors));
+
   // Exclusive scan, in place: bucket_next[pb] becomes the next free slot of
   // bucket pb, starting each processor's run at its padded region base.
   for (std::size_t p = 0; p < n_processors; ++p) {
@@ -277,8 +280,8 @@ std::optional<Schedule> run_slot_engine(const dag::TaskGraph& tg,
 
   // Pass 2: assign slots (ascending t within a bucket => ascending task id,
   // the tie-break order) and build the packed words + slot -> task map.
-  std::uint32_t* packed = uninitialized_span(scratch.packed, total);
-  Task32* task_at = uninitialized_span(scratch.task_at, n_slots);
+  std::uint32_t* packed = arena.alloc<std::uint32_t>(total);
+  Task32* task_at = arena.alloc<Task32>(n_slots);
   for (std::size_t t = 0; t < total; ++t) {
     const std::size_t p = assignment[cell[t]];
     const std::size_t b =
@@ -291,14 +294,11 @@ std::optional<Schedule> run_slot_engine(const dag::TaskGraph& tg,
   }
 
   Schedule schedule(tg.n_cells(), tg.n_directions(), n_processors, assignment);
-  scratch.bitmap.assign(n_slots / 64 + 1, 0);
-  std::uint64_t* bitmap = scratch.bitmap.data();
+  std::uint64_t* bitmap = arena.alloc_zero<std::uint64_t>(n_slots / 64 + 1);
   // hint[p]: no live slot of processor p is below this (valid iff queued>0).
-  std::uint32_t* hint = uninitialized_span(scratch.hint, n_processors);
-  scratch.queued.assign(n_processors, 0);
-  std::uint32_t* queued = scratch.queued.data();
-  scratch.active_flag.assign(n_processors, 0);
-  char* active_flag = scratch.active_flag.data();
+  std::uint32_t* hint = arena.alloc<std::uint32_t>(n_processors);
+  std::uint32_t* queued = arena.alloc_zero<std::uint32_t>(n_processors);
+  char* active_flag = arena.alloc_zero<char>(n_processors);
   std::vector<ProcessorId> active;
   active.reserve(n_processors);
 
@@ -483,14 +483,34 @@ Schedule list_schedule(const dag::SweepInstance& instance,
     max_priority = *hi;
   }
   const auto range = static_cast<std::uint64_t>(max_priority - min_priority);
-  const bool bucketable =
-      range <= kMaxBucketRange &&
-      (range + 1) * n_processors <= kMaxTotalBuckets &&
-      tg.max_indegree() <= kMaxPackedIndegree;
+  // Bucketable = the priority span fits the (range + 1) * m bucket layout.
+  // The serial slot engine additionally needs indegrees to fit its packed
+  // (slot << 8) | indegree words; the sharded engine keeps a full u32
+  // indegree lane and has no such cap.
+  const bool bucketable = range <= kMaxBucketRange &&
+                          (range + 1) * n_processors <= kMaxTotalBuckets;
+  const bool slottable = bucketable && tg.max_indegree() <= kMaxPackedIndegree;
+  if (options.ready_queue == ReadyQueueKind::kBucket && !slottable) {
+    // The explicit kBucket request is about to be served by the heap; the
+    // fallback used to be silent, which hid misconfigured benchmarks.
+    SWEEP_OBS_COUNTER_ADD("engine.bucket_fallback", 1);
+  }
   const bool use_slots =
-      options.ready_queue != ReadyQueueKind::kHeap && bucketable;
+      options.ready_queue != ReadyQueueKind::kHeap && slottable;
   const bool gated =
       !options.release_times.empty() || options.cross_message_delay > 0;
+
+  if (options.jobs != 1 && !gated && bucketable &&
+      options.ready_queue != ReadyQueueKind::kHeap &&
+      detail::resolve_engine_workers(options.jobs, n_processors) > 1) {
+    const auto width = static_cast<std::size_t>(range) + 1;
+    std::optional<Schedule> result = detail::sharded_list_schedule(
+        tg, assignment, n_processors, options.priorities, min_priority, width,
+        options.jobs);
+    if (result.has_value()) return *std::move(result);
+    // Padded slot space overflowed: fall through to the serial engines.
+    SWEEP_OBS_COUNTER_ADD("engine.sharded.fallbacks", 1);
+  }
 
   if (use_slots) {
     const auto width = static_cast<std::size_t>(range) + 1;

@@ -37,8 +37,17 @@ struct ListScheduleOptions {
   /// zero-communication analysis setting.
   TimeStep cross_message_delay = 0;
   /// Ready-set implementation. kBucket is honored only when the priority
-  /// range is narrow enough to bucket (otherwise the heap is used anyway).
+  /// range is narrow enough to bucket (otherwise the heap is used anyway,
+  /// counted by the `engine.bucket_fallback` metric).
   ReadyQueueKind ready_queue = ReadyQueueKind::kAuto;
+  /// Engine worker threads: 1 (default) = the serial engines; 0 = one
+  /// worker per core; N = at most N workers (clamped to n_processors).
+  /// Values other than 1 route eligible calls through the sharded
+  /// work-stealing engine (DESIGN.md §12). Every value of `jobs` produces
+  /// the same bit-identical schedule; gated calls (release times or
+  /// cross_message_delay), ready_queue == kHeap, and priority ranges too
+  /// wide to bucket always use the serial engines regardless.
+  std::size_t jobs = 1;
 };
 
 /// Runs prioritized list scheduling of `instance` on `n_processors`

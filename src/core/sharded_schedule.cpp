@@ -1,0 +1,399 @@
+#include "core/sharded_schedule.hpp"
+
+#include <algorithm>
+#include <bit>
+#include <cassert>
+#include <cstring>
+#include <memory>
+#include <stdexcept>
+#include <vector>
+
+#include "obs/obs.hpp"
+#include "util/arena.hpp"
+#include "util/parallel.hpp"
+#include "util/steal_deque.hpp"
+#include "util/thread_pool.hpp"
+
+// The sharded superstep engine (DESIGN.md §12).
+//
+// The serial slot-map engine (list_scheduler.cpp) already reduces a
+// timestep to "for each active processor, pop the lowest live slot, then
+// decrement successors". This file distributes exactly that over W worker
+// shards while keeping the output bit-identical to list_schedule_reference
+// for every W:
+//
+//   - Every simulated processor belongs to one shard (static contiguous
+//     map). A processor's ready state — its padded slot region's bitmap
+//     words, hint and queued counters — is only ever touched by (a) the
+//     one thread that pops it this step (pop phase) or (b) its owner shard
+//     (resolve phase); the phases are fork/join-separated, so no atomics
+//     guard any per-task or per-processor state.
+//   - Pop phase: each worker drains its own Chase–Lev deque of active
+//     processors, then steals from the other shards, so skewed shards
+//     (tail levels where only a few processors are active) cannot idle the
+//     rest of the machine. Which thread pops a processor affects only load
+//     balance: the popped task is the processor's (priority, task-id)
+//     minimum either way. Completions do not touch successor state
+//     directly; the popper drains each finished task's contiguous CSR
+//     successor run into per-(worker, destination-shard) outboxes.
+//   - Resolve phase: each shard drains the W outboxes addressed to it and
+//     decrements its own tasks' indegrees in one batched pass over the
+//     buffered ids — the scatter stays shard-private, which is what makes
+//     the whole step lock-free, and newly-ready tasks enter the bitmap via
+//     their precomputed slot. All of these updates commute (decrements,
+//     bit sets, min-hints), so the arrival order — the only thing stealing
+//     perturbs — cannot change the outcome. The shard then rebuilds its
+//     deque for the next step in fixed processor order.
+//
+// Scheduling state lives in one 64-byte-aligned structure-of-arrays arena
+// (indegree / slot / processor lanes plus the slot->task map and bitmap)
+// instead of the scattered per-call vectors of the serial engines; the
+// lane fills are contiguous uint32 loops over the arena (memcpy /
+// subtract-and-store, autovectorized), and the per-call footprint is
+// reused across calls per thread.
+
+namespace sweep::core::detail {
+namespace {
+
+using Task32 = dag::TaskGraph::Task;
+
+/// Padded slot-space cap: task_at is one u32 per slot, so 2^26 slots caps
+/// the map at 256 MiB. Beyond this (pathologically skewed assignments) the
+/// caller falls back to the serial heap engine, as the serial slot engine
+/// does at its own cap.
+constexpr std::size_t kMaxShardedSlots = 1u << 26;
+
+/// Per-shard worker state. alignas(64): pops/active/steals are written by
+/// one thread per phase but sit in an indexed array; padding keeps a
+/// worker's counters off its neighbours' cache lines.
+struct alignas(64) WorkerState {
+  util::StealDeque<std::uint32_t> deque;        // active procs this step
+  std::vector<std::vector<Task32>> outbox;      // [dest shard] successor ids
+  std::uint32_t proc_lo = 0;                    // owned processor range
+  std::uint32_t proc_hi = 0;
+  std::uint32_t pops = 0;                       // pops this step
+  std::uint32_t active = 0;                     // active procs after resolve
+  std::uint64_t steals = 0;                     // cumulative
+  std::uint64_t queue_depth = 0;                // Σ queued over owned procs
+};
+
+/// Reused per-thread scratch: the SoA arena plus the containers whose
+/// capacity should survive across calls (trial fan-outs and fuzz campaigns
+/// schedule thousands of instances per thread).
+struct ShardedScratch {
+  util::Arena arena;
+  // unique_ptr: WorkerState holds atomics (non-movable), so the vector
+  // could never resize holding them by value.
+  std::vector<std::unique_ptr<WorkerState>> workers;
+  std::vector<std::uint32_t> hist;  // [block][proc * width + bucket]
+  std::vector<std::uint32_t> shard_of;  // processor -> shard
+};
+
+ShardedScratch& sharded_scratch() {
+  thread_local ShardedScratch scratch;
+  return scratch;
+}
+
+}  // namespace
+
+std::size_t resolve_engine_workers(std::size_t jobs,
+                                   std::size_t n_processors) {
+  std::size_t w = jobs != 0 ? jobs : util::ThreadPool::global().size() + 1;
+  w = std::min(w, n_processors);
+  return std::max<std::size_t>(w, 1);
+}
+
+std::optional<Schedule> sharded_list_schedule(
+    const dag::TaskGraph& tg, const Assignment& assignment,
+    std::size_t n_processors, std::span<const std::int64_t> priorities,
+    std::int64_t min_priority, std::size_t width, std::size_t jobs) {
+  SWEEP_OBS_SPAN("engine.sharded.run");
+  const std::size_t total = tg.n_tasks();
+  const std::size_t m = n_processors;
+  const std::size_t W = resolve_engine_workers(jobs, m);
+  const std::uint32_t* cell = tg.cells().data();
+  const std::uint32_t* offsets = tg.offsets().data();
+  const Task32* targets = tg.targets().data();
+  const std::int64_t* priority =
+      priorities.empty() ? nullptr : priorities.data();
+  assert(width >= 1);
+
+  obs::PhaseSpan build_phase("engine.sharded.build");
+  ShardedScratch& scratch = sharded_scratch();
+
+  // ---- Pass 1: per-block (processor, bucket) histograms. Fixed block
+  // boundaries make the layered slot cursors — and hence the whole slot
+  // map — independent of how parallel_for interleaves the blocks.
+  const std::size_t n_blocks = W;
+  auto block_lo = [&](std::size_t i) { return i * total / n_blocks; };
+  scratch.hist.assign(n_blocks * m * width, 0);
+  std::uint32_t* hist = scratch.hist.data();
+  util::parallel_for(
+      n_blocks,
+      [&](std::size_t i) {
+        std::uint32_t* h = hist + i * m * width;
+        const std::size_t lo = block_lo(i);
+        const std::size_t hi = block_lo(i + 1);
+        for (std::size_t t = lo; t < hi; ++t) {
+          const std::size_t p = assignment[cell[t]];
+          const std::size_t b =
+              priority != nullptr
+                  ? static_cast<std::size_t>(priority[t] - min_priority)
+                  : 0;
+          ++h[p * width + b];
+        }
+      },
+      W);
+
+  // Per-processor load and the padded region size (same power-of-two
+  // layout as the serial slot engine: region base p << log2r, >= 1 bitmap
+  // word per processor so no two processors share a word).
+  std::size_t max_per_proc = 64;
+  {
+    for (std::size_t p = 0; p < m; ++p) {
+      std::size_t load = 0;
+      for (std::size_t i = 0; i < n_blocks; ++i) {
+        const std::uint32_t* h = hist + i * m * width + p * width;
+        for (std::size_t b = 0; b < width; ++b) load += h[b];
+      }
+      max_per_proc = std::max(max_per_proc, load);
+    }
+  }
+  const auto log2r =
+      static_cast<std::uint32_t>(std::bit_width(max_per_proc - 1));
+  const std::size_t n_slots = m << log2r;
+  if (n_slots > kMaxShardedSlots) return std::nullopt;
+
+  // ---- SoA arena: every per-task / per-slot lane in one 64-byte-aligned
+  // block.
+  util::Arena& arena = scratch.arena;
+  arena.reserve(util::Arena::lane_bytes<std::uint32_t>(total) * 3 +
+                util::Arena::lane_bytes<Task32>(n_slots) +
+                util::Arena::lane_bytes<std::uint64_t>(n_slots / 64 + 1) +
+                util::Arena::lane_bytes<std::uint32_t>(m) * 3);
+  std::uint32_t* indeg = arena.alloc<std::uint32_t>(total);
+  std::uint32_t* slot_of = arena.alloc<std::uint32_t>(total);
+  std::uint32_t* proc_of = arena.alloc<std::uint32_t>(total);
+  Task32* task_at = arena.alloc<Task32>(n_slots);
+  std::uint64_t* bitmap = arena.alloc_zero<std::uint64_t>(n_slots / 64 + 1);
+  std::uint32_t* hint = arena.alloc<std::uint32_t>(m);
+  std::uint32_t* queued = arena.alloc_zero<std::uint32_t>(m);
+  std::uint32_t* load = arena.alloc<std::uint32_t>(m);
+
+  // ---- Pass 2: layered exclusive scan, in place. hist[block i] becomes
+  // block i's next-free-slot cursor per (processor, bucket): slots are
+  // ordered (processor, bucket, block, task id) = (processor, priority,
+  // task id), the reference tie-break order, since task ids ascend within
+  // a block and blocks are task-ordered.
+  for (std::size_t p = 0; p < m; ++p) {
+    auto acc = static_cast<std::uint32_t>(p << log2r);
+    for (std::size_t b = 0; b < width; ++b) {
+      for (std::size_t i = 0; i < n_blocks; ++i) {
+        std::uint32_t& h = hist[i * m * width + p * width + b];
+        const std::uint32_t count = h;
+        h = acc;
+        acc += count;
+      }
+    }
+    load[p] = acc - static_cast<std::uint32_t>(p << log2r);
+  }
+
+  // ---- Pass 3: fill the lanes. Each block owns its cursor copy, so the
+  // scatter into slot_of/task_at is write-disjoint across blocks.
+  util::parallel_for(
+      n_blocks,
+      [&](std::size_t i) {
+        std::uint32_t* h = hist + i * m * width;
+        const std::size_t lo = block_lo(i);
+        const std::size_t hi = block_lo(i + 1);
+        const std::uint32_t* indeg_src = tg.indegrees().data();
+        // Contiguous u32 lane copy (vectorized memcpy).
+        std::memcpy(indeg + lo, indeg_src + lo, (hi - lo) * sizeof(*indeg));
+        for (std::size_t t = lo; t < hi; ++t) {
+          const auto p = static_cast<std::uint32_t>(assignment[cell[t]]);
+          const std::size_t b =
+              priority != nullptr
+                  ? static_cast<std::size_t>(priority[t] - min_priority)
+                  : 0;
+          const std::uint32_t s = h[p * width + b]++;
+          proc_of[t] = p;
+          slot_of[t] = s;
+          task_at[s] = static_cast<Task32>(t);
+        }
+      },
+      W);
+
+  // ---- Shard map + worker state.
+  scratch.shard_of.resize(m);
+  std::uint32_t* shard_of = scratch.shard_of.data();
+  while (scratch.workers.size() < W) {
+    scratch.workers.push_back(std::make_unique<WorkerState>());
+  }
+  const std::unique_ptr<WorkerState>* workers = scratch.workers.data();
+  for (std::size_t w = 0; w < W; ++w) {
+    WorkerState& ws = *workers[w];
+    ws.proc_lo = static_cast<std::uint32_t>(w * m / W);
+    ws.proc_hi = static_cast<std::uint32_t>((w + 1) * m / W);
+    for (std::uint32_t p = ws.proc_lo; p < ws.proc_hi; ++p) shard_of[p] = w;
+    ws.outbox.resize(W);
+    for (auto& box : ws.outbox) box.clear();
+    ws.pops = 0;
+    ws.active = 0;
+    ws.steals = 0;
+    ws.queue_depth = 0;
+  }
+
+  Schedule schedule(tg.n_cells(), tg.n_directions(), m, assignment);
+
+  // Pushes slot s of a processor owned by the calling shard.
+  auto push_slot = [&](std::uint32_t s) {
+    const std::uint32_t p = s >> log2r;
+    bitmap[s >> 6] |= 1ull << (s & 63);
+    if (queued[p] == 0 || s < hint[p]) hint[p] = s;
+    ++queued[p];
+  };
+
+  // Rebuilds shard w's deque from its queued counters (fixed processor
+  // order => deterministic deque contents) and publishes its active count
+  // and aggregate queue depth.
+  auto rebuild_deque = [&](WorkerState& ws) {
+    ws.deque.reset(ws.proc_hi - ws.proc_lo);
+    std::uint32_t active = 0;
+    std::uint64_t depth = 0;
+    for (std::uint32_t p = ws.proc_lo; p < ws.proc_hi; ++p) {
+      if (queued[p] > 0) {
+        ws.deque.push(p);
+        ++active;
+        depth += queued[p];
+      }
+    }
+    ws.active = active;
+    ws.queue_depth = depth;
+  };
+
+  // ---- Initial ready set: each shard scans its processors' populated
+  // slot ranges (Σ load = n_tasks total work, shard-disjoint writes).
+  util::parallel_for(
+      W,
+      [&](std::size_t w) {
+        WorkerState& ws = *workers[w];
+        for (std::uint32_t p = ws.proc_lo; p < ws.proc_hi; ++p) {
+          const std::uint32_t base = p << log2r;
+          for (std::uint32_t s = base; s < base + load[p]; ++s) {
+            if (indeg[task_at[s]] == 0) push_slot(s);
+          }
+        }
+        rebuild_deque(ws);
+      },
+      W);
+  build_phase.done();
+  obs::PhaseSpan run_phase("engine.sharded.steps");
+
+  // ---- Superstep loop.
+  std::size_t done = 0;
+  std::size_t total_active = 0;
+  std::uint64_t queue_depth_sum = 0;
+  std::size_t peak_active = 0;
+  for (std::size_t w = 0; w < W; ++w) {
+    total_active += workers[w]->active;
+    queue_depth_sum += workers[w]->queue_depth;
+  }
+
+  TimeStep now = 0;
+  while (total_active > 0) {
+    peak_active = std::max(peak_active, total_active);
+    // Pop phase: drain own deque, then steal from the other shards.
+    util::parallel_for(
+        W,
+        [&](std::size_t w) {
+          WorkerState& ws = *workers[w];
+          std::uint32_t pops = 0;
+          std::uint64_t steals = 0;
+          auto run_processor = [&](std::uint32_t p) {
+            // Pop the processor's lowest live slot — its (priority, task
+            // id) minimum, exactly the reference heap's choice.
+            std::size_t word = hint[p] >> 6;
+            std::uint64_t bits = bitmap[word] & (~0ull << (hint[p] & 63));
+            while (bits == 0) bits = bitmap[++word];
+            const auto s = static_cast<std::uint32_t>(
+                (word << 6) + static_cast<std::uint32_t>(
+                                  std::countr_zero(bits)));
+            bitmap[word] &= ~(1ull << (s & 63));
+            hint[p] = s;
+            --queued[p];
+            const Task32 task = task_at[s];
+            schedule.set_start(task, now);
+            ++pops;
+            // Drain the finished task's contiguous CSR successor run into
+            // the per-destination-shard outboxes.
+            for (std::uint32_t e = offsets[task]; e < offsets[task + 1];
+                 ++e) {
+              const Task32 succ = targets[e];
+              ws.outbox[shard_of[proc_of[succ]]].push_back(succ);
+            }
+          };
+          std::uint32_t p;
+          while (ws.deque.take(&p)) run_processor(p);
+          for (std::size_t d = 1; d < W; ++d) {
+            util::StealDeque<std::uint32_t>& victim =
+                workers[(w + d) % W]->deque;
+            while (victim.steal(&p)) {
+              run_processor(p);
+              ++steals;
+            }
+          }
+          ws.pops = pops;
+          ws.steals += steals;
+        },
+        W);
+    for (std::size_t w = 0; w < W; ++w) done += workers[w]->pops;
+
+    // Resolve phase: each shard drains the outboxes addressed to it —
+    // contiguous u32 batches — and decrements its own tasks' indegrees.
+    util::parallel_for(
+        W,
+        [&](std::size_t w) {
+          for (std::size_t src = 0; src < W; ++src) {
+            std::vector<Task32>& box = workers[src]->outbox[w];
+            for (const Task32 succ : box) {
+              if (--indeg[succ] == 0) push_slot(slot_of[succ]);
+            }
+            box.clear();
+          }
+          rebuild_deque(*workers[w]);
+        },
+        W);
+    total_active = 0;
+    for (std::size_t w = 0; w < W; ++w) {
+      total_active += workers[w]->active;
+      queue_depth_sum += workers[w]->queue_depth;
+    }
+    ++now;
+  }
+  run_phase.done();
+  if (done < total) {
+    throw std::logic_error(
+        "list_schedule: deadlock — instance DAG has a cycle");
+  }
+
+  std::uint64_t steals = 0;
+  for (std::size_t w = 0; w < W; ++w) steals += workers[w]->steals;
+  SWEEP_OBS_COUNTER_ADD("engine.sharded.runs", 1);
+  SWEEP_OBS_COUNTER_ADD("engine.sharded.steals", steals);
+  SWEEP_OBS_COUNTER_ADD("engine.pops", done);
+  SWEEP_OBS_COUNTER_ADD("engine.steps", now);
+  SWEEP_OBS_OBSERVE("engine.sharded.workers", static_cast<double>(W));
+  if (now > 0) {
+    SWEEP_OBS_OBSERVE("engine.occupancy",
+                      static_cast<double>(done) /
+                          (static_cast<double>(now) * static_cast<double>(m)));
+    SWEEP_OBS_OBSERVE("engine.sharded.queue_depth",
+                      static_cast<double>(queue_depth_sum) /
+                          static_cast<double>(now));
+    SWEEP_OBS_OBSERVE("engine.peak_active_procs",
+                      static_cast<double>(peak_active));
+  }
+  return schedule;
+}
+
+}  // namespace sweep::core::detail

@@ -1,0 +1,49 @@
+#pragma once
+// Internal: the multi-threaded sharded superstep engine behind
+// list_schedule(options.jobs != 1) — see DESIGN.md §12. Not part of the
+// public scheduling API; exposed in a header so the engine-identity tests
+// and the fuzz oracle can drive it directly.
+
+#include <cstddef>
+#include <cstdint>
+#include <optional>
+#include <span>
+
+#include "core/schedule.hpp"
+#include "sweep/task_graph.hpp"
+
+namespace sweep::core::detail {
+
+/// Runs prioritized list scheduling with the sharded work-stealing engine:
+/// the m simulated processors are statically sharded over `jobs` workers,
+/// every timestep is a superstep (pop phase, then a dependency-resolution
+/// phase that drains per-shard completion buffers), and idle workers steal
+/// tail-level processors through Chase–Lev deques. The emitted schedule is
+/// bit-identical to list_schedule_reference for every `jobs` value.
+///
+/// Preconditions (checked by the list_schedule dispatcher, asserted here):
+/// no release times / cross-message delay, and the priority span fits the
+/// bucket layout: max - min <= 2^16 - 1 and (span + 1) * m <= 2^20.
+/// `priorities` may be empty (all tasks equal). Returns nullopt when the
+/// padded slot space would overflow (pathologically skewed assignment);
+/// the caller falls back to the serial engines.
+std::optional<Schedule> sharded_list_schedule(
+    const dag::TaskGraph& tg, const Assignment& assignment,
+    std::size_t n_processors, std::span<const std::int64_t> priorities,
+    std::int64_t min_priority, std::size_t width, std::size_t jobs);
+
+/// The static processor->shard map: shard w of `n_shards` owns the
+/// contiguous processor block [floor(w*m/W), floor((w+1)*m/W)). The closed
+/// form below is the inverse of those floor boundaries. Exposed for tests.
+[[nodiscard]] inline std::size_t shard_of_processor(std::size_t p,
+                                                    std::size_t m,
+                                                    std::size_t n_shards) {
+  return (p * n_shards + n_shards - 1) / m;
+}
+
+/// Resolves options.jobs to a worker count: 0 = all cores, otherwise
+/// `jobs`, clamped to [1, n_processors].
+[[nodiscard]] std::size_t resolve_engine_workers(std::size_t jobs,
+                                                 std::size_t n_processors);
+
+}  // namespace sweep::core::detail

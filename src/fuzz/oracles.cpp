@@ -197,6 +197,20 @@ void run_benign_oracles(const Scenario& s, OracleReport& report) {
     if (bucket.starts() != reference.starts()) {
       fail("engine_identity", "bucket engine diverges from reference");
     }
+    // The sharded work-stealing engine must match too, for every worker
+    // count. Gated inputs (releases / delay) silently use the serial
+    // engines — that dispatch decision is part of what this exercises.
+    options.ready_queue = core::ReadyQueueKind::kAuto;
+    for (const std::size_t jobs : {2u, 8u}) {
+      options.jobs = jobs;
+      const Schedule sharded =
+          core::list_schedule(*instance, assignment, m, options);
+      if (sharded.starts() != reference.starts()) {
+        fail("engine_identity", "sharded engine (jobs=" +
+                                    std::to_string(jobs) +
+                                    ") diverges from reference");
+      }
+    }
   });
 
   // Oracles 4+5: random-delay re-simulation (Algorithms 1 and 3).

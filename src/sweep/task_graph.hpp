@@ -61,6 +61,15 @@ class TaskGraph {
   /// whether the packed slot-map ready queue applies).
   [[nodiscard]] std::uint32_t max_indegree() const { return max_indegree_; }
 
+  /// Raw CSR arrays (offsets() has n_tasks() + 1 entries). The sharded
+  /// engine drains whole successor runs [offsets()[t], offsets()[t+1])
+  /// from targets() in one contiguous read instead of going through the
+  /// per-task successors() span.
+  [[nodiscard]] std::span<const std::uint32_t> offsets() const {
+    return offsets_;
+  }
+  [[nodiscard]] std::span<const Task> targets() const { return targets_; }
+
   /// Contiguous per-task arrays (all sized n_tasks()).
   [[nodiscard]] std::span<const std::uint32_t> indegrees() const {
     return indegree_;

@@ -1,0 +1,122 @@
+#pragma once
+// Fixed-capacity Chase–Lev work-stealing deque (Chase & Lev, "Dynamic
+// Circular Work-Stealing Deque", SPAA'05; memory orderings after Lê,
+// Pop, Cohen & Zappa Nardelli, "Correct and Efficient Work-Stealing for
+// Weak Memory Models", PPoPP'13).
+//
+// Used by the sharded list-scheduling engine (DESIGN.md §12): each worker
+// owns one deque holding the simulated processors it must pop this
+// timestep; idle workers steal tail-level work from the other shards.
+//
+// The engine's superstep structure lets us keep this deque deliberately
+// narrower than the general algorithm, and race-free at the plain-memory
+// level (clean under ThreadSanitizer, no instrumented-atomics caveats):
+//
+//  - FILL phase (owner only, externally synchronized): reset() + push().
+//    No take()/steal() runs concurrently, so push() never races with a
+//    buffer read and the circular-array growth protocol is unnecessary —
+//    capacity is fixed by reset() and push() past it is a logic error
+//    (asserted).
+//  - DRAIN phase: the owner calls take(), any thread calls steal().
+//    Buffer elements were all written in the fill phase, so the only
+//    contended state is the top/bottom indices, handled exactly as in the
+//    published algorithm (seq_cst fence in take(), CAS on top).
+//
+// Every element pushed is claimed by exactly one take()/steal() — the
+// engine relies on this for determinism (each active processor must run
+// exactly once per timestep). steal() retries internally on a lost CAS,
+// so a false return always means "observed empty", never "gave up".
+
+#include <atomic>
+#include <cassert>
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace sweep::util {
+
+template <typename T>
+class StealDeque {
+ public:
+  StealDeque() = default;
+
+  /// Fill phase: empties the deque and guarantees room for `capacity`
+  /// pushes. Must not run concurrently with any other member.
+  void reset(std::size_t capacity) {
+    if (buffer_.size() < capacity) buffer_.resize(capacity);
+    top_.store(0, std::memory_order_relaxed);
+    bottom_.store(0, std::memory_order_relaxed);
+  }
+
+  /// Fill phase, owner only: appends at the bottom. The fill phase is
+  /// externally synchronized, so the element write cannot race a reader.
+  void push(T value) {
+    const std::int64_t b = bottom_.load(std::memory_order_relaxed);
+    assert(static_cast<std::size_t>(b) < buffer_.size());
+    buffer_[static_cast<std::size_t>(b)] = value;
+    bottom_.store(b + 1, std::memory_order_release);
+  }
+
+  /// Drain phase, owner only: claims the bottom (most recently pushed)
+  /// element. Returns false iff the deque is empty (every element already
+  /// claimed by take() or a concurrent steal()).
+  bool take(T* out) {
+    const std::int64_t b = bottom_.load(std::memory_order_relaxed) - 1;
+    bottom_.store(b, std::memory_order_relaxed);
+    std::atomic_thread_fence(std::memory_order_seq_cst);
+    std::int64_t t = top_.load(std::memory_order_relaxed);
+    if (t <= b) {
+      // Non-empty.
+      *out = buffer_[static_cast<std::size_t>(b)];
+      if (t == b) {
+        // Last element: race the thieves for it.
+        const bool won = top_.compare_exchange_strong(
+            t, t + 1, std::memory_order_seq_cst, std::memory_order_relaxed);
+        bottom_.store(b + 1, std::memory_order_relaxed);
+        return won;
+      }
+      return true;
+    }
+    // Already empty; restore bottom.
+    bottom_.store(b + 1, std::memory_order_relaxed);
+    return false;
+  }
+
+  /// Drain phase, any thread: claims the top (oldest) element. Retries on
+  /// a lost CAS; returns false only when the deque is observed empty.
+  bool steal(T* out) {
+    for (;;) {
+      std::int64_t t = top_.load(std::memory_order_acquire);
+      std::atomic_thread_fence(std::memory_order_seq_cst);
+      const std::int64_t b = bottom_.load(std::memory_order_acquire);
+      if (t >= b) return false;  // empty
+      const T value = buffer_[static_cast<std::size_t>(t)];
+      if (top_.compare_exchange_strong(t, t + 1, std::memory_order_seq_cst,
+                                       std::memory_order_relaxed)) {
+        *out = value;
+        return true;
+      }
+      // Lost the race to another thief (or the owner's last-element take);
+      // retry until success or empty so no element is ever abandoned.
+    }
+  }
+
+  /// Snapshot size; exact only between phases.
+  [[nodiscard]] std::size_t size() const {
+    const std::int64_t b = bottom_.load(std::memory_order_relaxed);
+    const std::int64_t t = top_.load(std::memory_order_relaxed);
+    return b > t ? static_cast<std::size_t>(b - t) : 0;
+  }
+  [[nodiscard]] bool empty() const { return size() == 0; }
+
+ private:
+  std::vector<T> buffer_;
+  // Both indices only grow within a fill/drain cycle; reset() rewinds them.
+  // 64-byte padding between them would buy little here: the owner touches
+  // both ends every take() anyway, and one deque per worker is tiny state
+  // next to the engine's per-shard arrays.
+  std::atomic<std::int64_t> top_{0};
+  std::atomic<std::int64_t> bottom_{0};
+};
+
+}  // namespace sweep::util

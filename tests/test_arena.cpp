@@ -1,0 +1,63 @@
+#include "util/arena.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+
+namespace sweep::util {
+namespace {
+
+bool aligned64(const void* p) {
+  return reinterpret_cast<std::uintptr_t>(p) % Arena::kAlignment == 0;
+}
+
+TEST(Arena, LanesAre64ByteAligned) {
+  Arena arena;
+  arena.reserve(Arena::lane_bytes<std::uint32_t>(100) +
+                Arena::lane_bytes<char>(3) +
+                Arena::lane_bytes<std::uint64_t>(7));
+  EXPECT_TRUE(aligned64(arena.alloc<std::uint32_t>(100)));
+  // An odd-sized lane must not knock the next lane off its cache line.
+  EXPECT_TRUE(aligned64(arena.alloc<char>(3)));
+  EXPECT_TRUE(aligned64(arena.alloc<std::uint64_t>(7)));
+}
+
+TEST(Arena, AllocZeroZeroesTheLane) {
+  Arena arena;
+  arena.reserve(Arena::lane_bytes<std::uint32_t>(64));
+  std::uint32_t* lane = arena.alloc<std::uint32_t>(64);
+  for (std::size_t i = 0; i < 64; ++i) lane[i] = 0xDEADBEEF;
+  arena.reserve(Arena::lane_bytes<std::uint32_t>(64));  // rewind, reuse block
+  lane = arena.alloc_zero<std::uint32_t>(64);
+  for (std::size_t i = 0; i < 64; ++i) ASSERT_EQ(lane[i], 0u);
+}
+
+TEST(Arena, ReserveRewindsAndGrowsMonotonically) {
+  Arena arena;
+  arena.reserve(256);
+  EXPECT_GE(arena.capacity(), 256u);
+  (void)arena.alloc<char>(100);
+  EXPECT_GT(arena.used(), 0u);
+  const std::size_t cap = arena.capacity();
+  arena.reserve(64);  // smaller: rewinds, never shrinks
+  EXPECT_EQ(arena.used(), 0u);
+  EXPECT_EQ(arena.capacity(), cap);
+  arena.reserve(4096);
+  EXPECT_GE(arena.capacity(), 4096u);
+}
+
+TEST(Arena, AllocBeyondReservationThrows) {
+  Arena arena;
+  arena.reserve(128);
+  (void)arena.alloc<char>(128);
+  EXPECT_THROW((void)arena.alloc<char>(1), std::logic_error);
+}
+
+TEST(Arena, EmptyLaneIsAllowed) {
+  Arena arena;
+  arena.reserve(Arena::lane_bytes<std::uint32_t>(0));
+  EXPECT_NO_THROW((void)arena.alloc<std::uint32_t>(0));
+}
+
+}  // namespace
+}  // namespace sweep::util

@@ -7,6 +7,7 @@
 #include "core/assignment.hpp"
 #include "core/priorities.hpp"
 #include "core/validate.hpp"
+#include "obs/obs.hpp"
 #include "sweep/dag_builder.hpp"
 #include "sweep/directions.hpp"
 #include "sweep/random_dag.hpp"
@@ -138,9 +139,10 @@ INSTANTIATE_TEST_SUITE_P(
 
 // ---------------------------------------------------------------------------
 // Engine-identity tests: the slot-map fast path (kAuto), the heap fallback
-// (kHeap), and the per-direction-walk reference implementation must produce
-// the exact same schedule — same start time for every task, not merely the
-// same makespan — under every priority scheme and gating variant.
+// (kHeap), the sharded work-stealing engine (jobs != 1), and the
+// per-direction-walk reference implementation must produce the exact same
+// schedule — same start time for every task, not merely the same makespan —
+// under every priority scheme and gating variant.
 
 void expect_identical_engines(const dag::SweepInstance& inst,
                               const Assignment& assignment, std::size_t m,
@@ -156,6 +158,18 @@ void expect_identical_engines(const dag::SweepInstance& inst,
         << what << ": slot engine diverges at task " << t;
     ASSERT_EQ(heap.start(t), reference.start(t))
         << what << ": heap engine diverges at task " << t;
+  }
+  // jobs axis: 0 = all cores, 1 = serial, N = sharded with N workers.
+  // Gated or heap-only calls silently use the serial engines; either way
+  // the schedule may not depend on the jobs value.
+  options.ready_queue = ReadyQueueKind::kAuto;
+  for (std::size_t jobs : {0u, 1u, 2u, 8u}) {
+    options.jobs = jobs;
+    const Schedule s = list_schedule(inst, assignment, m, options);
+    for (TaskId t = 0; t < reference.n_tasks(); ++t) {
+      ASSERT_EQ(s.start(t), reference.start(t))
+          << what << ": jobs=" << jobs << " diverges at task " << t;
+    }
   }
 }
 
@@ -258,6 +272,87 @@ TEST(EngineIdentity, NegativePrioritiesMatch) {
   options.priorities = negative;
   expect_identical_engines(inst, assignment, 4, options, "negative");
 }
+
+TEST(EngineIdentity, CornerShapesMatchAcrossJobs) {
+  util::Rng rng(77);
+
+  // Single direction (k = 1).
+  {
+    const auto inst = dag::random_instance(40, 1, 6, 1.5, 11);
+    const Assignment assignment = random_assignment(40, 4, rng);
+    expect_identical_engines(inst, assignment, 4, {}, "k=1");
+  }
+  // Single processor: the engine degenerates to one serial shard.
+  {
+    const auto inst = dag::random_instance(30, 3, 5, 1.5, 13);
+    expect_identical_engines(inst, Assignment(30, 0), 1, {}, "m=1");
+  }
+  // Far more processors than tasks: most shards are permanently idle.
+  {
+    const auto inst = dag::random_instance(6, 2, 3, 1.0, 17);
+    const Assignment assignment = random_assignment(6, 90, rng);
+    expect_identical_engines(inst, assignment, 90, {}, "m >> nk");
+  }
+  // Empty instance: zero cells (one direction — the minimum), zero tasks.
+  {
+    std::vector<dag::SweepDag> dags;
+    dags.push_back(test::make_dag(0, {}));
+    auto inst = dag::SweepInstance(0, std::move(dags), "empty");
+    expect_identical_engines(inst, Assignment{}, 3, {}, "empty");
+  }
+}
+
+// The fallback-counter tests assert nonzero metric values, which only exist
+// when observability is compiled in (SWEEP_OBS=ON, the default).
+#if !defined(SWEEP_OBS_DISABLE)
+std::uint64_t counter_value_of(const char* name) {
+  const auto snap = obs::MetricsRegistry::instance().snapshot();
+  for (const auto& [n, v] : snap.counters) {
+    if (n == name) return v;
+  }
+  return 0;
+}
+
+TEST(ListScheduler, ExplicitBucketFallbackIsCounted) {
+  // An explicit kBucket request that the engine cannot honor (priority range
+  // too wide) must bump engine.bucket_fallback — it used to be silent.
+  obs::MetricsRegistry::instance().reset();
+  obs::set_metrics_enabled(true);
+  const auto inst = dag::random_instance(40, 2, 5, 1.5, 7);
+  util::Rng rng(3);
+  const Assignment assignment = random_assignment(inst.n_cells(), 4, rng);
+  std::vector<std::int64_t> wide(inst.n_tasks());
+  for (std::size_t t = 0; t < wide.size(); ++t) {
+    wide[t] = static_cast<std::int64_t>(t % 5) * 10000000;
+  }
+  ListScheduleOptions options;
+  options.priorities = wide;
+  options.ready_queue = ReadyQueueKind::kBucket;
+  const Schedule s = list_schedule(inst, assignment, 4, options);
+  EXPECT_TRUE(s.complete());
+  EXPECT_EQ(counter_value_of("engine.bucket_fallback"), 1u);
+  obs::set_metrics_enabled(false);
+}
+
+TEST(ListScheduler, HonoredBucketRequestIsNotCounted) {
+  // The other branch: a narrow priority range is served by the slot engine
+  // and the fallback counter must stay at zero.
+  obs::MetricsRegistry::instance().reset();
+  obs::set_metrics_enabled(true);
+  const auto inst = dag::random_instance(40, 2, 5, 1.5, 7);
+  util::Rng rng(3);
+  const Assignment assignment = random_assignment(inst.n_cells(), 4, rng);
+  const auto level = level_priorities(inst);
+  ListScheduleOptions options;
+  options.priorities = level;
+  options.ready_queue = ReadyQueueKind::kBucket;
+  const Schedule s = list_schedule(inst, assignment, 4, options);
+  EXPECT_TRUE(s.complete());
+  EXPECT_EQ(counter_value_of("engine.bucket_fallback"), 0u);
+  EXPECT_EQ(counter_value_of("engine.slot.runs"), 1u);
+  obs::set_metrics_enabled(false);
+}
+#endif  // SWEEP_OBS_DISABLE
 
 TEST(GreedyUnionSchedule, RespectsPrecedenceAndWidth) {
   const auto inst = dag::random_instance(120, 4, 10, 2.0, 55);

@@ -1,0 +1,116 @@
+#include "util/steal_deque.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <atomic>
+#include <cstdint>
+#include <thread>
+#include <vector>
+
+namespace sweep::util {
+namespace {
+
+TEST(StealDeque, TakeIsLifo) {
+  StealDeque<std::uint32_t> dq;
+  dq.reset(4);
+  for (std::uint32_t v = 0; v < 4; ++v) dq.push(v);
+  EXPECT_EQ(dq.size(), 4u);
+  std::uint32_t out = 0;
+  for (std::uint32_t expect : {3u, 2u, 1u, 0u}) {
+    ASSERT_TRUE(dq.take(&out));
+    EXPECT_EQ(out, expect);
+  }
+  EXPECT_FALSE(dq.take(&out));
+  EXPECT_TRUE(dq.empty());
+}
+
+TEST(StealDeque, StealIsFifo) {
+  StealDeque<std::uint32_t> dq;
+  dq.reset(4);
+  for (std::uint32_t v = 0; v < 4; ++v) dq.push(v);
+  std::uint32_t out = 0;
+  for (std::uint32_t expect : {0u, 1u, 2u, 3u}) {
+    ASSERT_TRUE(dq.steal(&out));
+    EXPECT_EQ(out, expect);
+  }
+  EXPECT_FALSE(dq.steal(&out));
+}
+
+TEST(StealDeque, TakeAndStealMeetInTheMiddle) {
+  StealDeque<std::uint32_t> dq;
+  dq.reset(6);
+  for (std::uint32_t v = 0; v < 6; ++v) dq.push(v);
+  std::uint32_t out = 0;
+  ASSERT_TRUE(dq.steal(&out));
+  EXPECT_EQ(out, 0u);
+  ASSERT_TRUE(dq.take(&out));
+  EXPECT_EQ(out, 5u);
+  ASSERT_TRUE(dq.steal(&out));
+  EXPECT_EQ(out, 1u);
+  ASSERT_TRUE(dq.take(&out));
+  EXPECT_EQ(out, 4u);
+  ASSERT_TRUE(dq.take(&out));
+  EXPECT_EQ(out, 3u);
+  // One element left: both ends contend for it, only one can win.
+  ASSERT_TRUE(dq.steal(&out));
+  EXPECT_EQ(out, 2u);
+  EXPECT_FALSE(dq.take(&out));
+  EXPECT_FALSE(dq.steal(&out));
+}
+
+TEST(StealDeque, ResetReusesBufferAcrossCycles) {
+  StealDeque<std::uint32_t> dq;
+  for (int cycle = 0; cycle < 3; ++cycle) {
+    dq.reset(8);
+    EXPECT_TRUE(dq.empty());
+    for (std::uint32_t v = 0; v < 8; ++v) dq.push(v + 100u * cycle);
+    std::uint32_t out = 0;
+    std::size_t claimed = 0;
+    while (dq.take(&out)) ++claimed;
+    EXPECT_EQ(claimed, 8u);
+  }
+}
+
+// The property the sharded engine's determinism rests on: every pushed
+// element is claimed by exactly one take() or steal(), even with the owner
+// and several thieves draining concurrently.
+TEST(StealDeque, ConcurrentDrainClaimsEveryElementExactlyOnce) {
+  constexpr std::uint32_t kItems = 4096;
+  constexpr std::size_t kThieves = 3;
+  StealDeque<std::uint32_t> dq;
+
+  for (int round = 0; round < 8; ++round) {
+    dq.reset(kItems);
+    for (std::uint32_t v = 0; v < kItems; ++v) dq.push(v);
+
+    std::vector<std::vector<std::uint32_t>> stolen(kThieves);
+    std::atomic<bool> go{false};
+    std::vector<std::thread> thieves;
+    thieves.reserve(kThieves);
+    for (std::size_t i = 0; i < kThieves; ++i) {
+      thieves.emplace_back([&, i] {
+        while (!go.load(std::memory_order_acquire)) {
+        }
+        std::uint32_t v = 0;
+        while (dq.steal(&v)) stolen[i].push_back(v);
+      });
+    }
+    std::vector<std::uint32_t> taken;
+    go.store(true, std::memory_order_release);
+    std::uint32_t v = 0;
+    while (dq.take(&v)) taken.push_back(v);
+    for (auto& th : thieves) th.join();
+
+    std::vector<std::uint32_t> all = taken;
+    for (const auto& s : stolen) all.insert(all.end(), s.begin(), s.end());
+    ASSERT_EQ(all.size(), kItems) << "round " << round;
+    std::sort(all.begin(), all.end());
+    for (std::uint32_t i = 0; i < kItems; ++i) {
+      ASSERT_EQ(all[i], i) << "round " << round;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace sweep::util
