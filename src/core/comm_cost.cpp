@@ -13,16 +13,15 @@
 namespace sweep::core {
 namespace {
 
-void check_c2_schedule(const dag::SweepInstance& instance,
-                       const Schedule& schedule) {
+void check_c2_schedule(const dag::TaskGraph& tg, const Schedule& schedule) {
   // A schedule from a different (or truncated) instance would make the
   // start/assignment reads below run out of bounds, and zero processors
   // would divide by zero in the (step, sender) key arithmetic.
   if (schedule.n_processors() == 0) {
     throw std::invalid_argument("comm_cost_c2: schedule has zero processors");
   }
-  if (schedule.n_cells() != instance.n_cells() ||
-      schedule.n_tasks() != instance.task_graph().n_tasks()) {
+  if (schedule.n_cells() != tg.n_cells() ||
+      schedule.n_tasks() != tg.n_tasks()) {
     throw std::invalid_argument(
         "comm_cost_c2: schedule does not match instance "
         "(truncated or foreign schedule)");
@@ -33,11 +32,15 @@ void check_c2_schedule(const dag::SweepInstance& instance,
 
 C1Cost comm_cost_c1(const dag::SweepInstance& instance,
                     const Assignment& assignment, std::size_t jobs) {
-  if (assignment.size() != instance.n_cells()) {
+  return comm_cost_c1(instance.task_graph(), assignment, jobs);
+}
+
+C1Cost comm_cost_c1(const dag::TaskGraph& tg, const Assignment& assignment,
+                    std::size_t jobs) {
+  if (assignment.size() != tg.n_cells()) {
     throw std::invalid_argument("comm_cost_c1: assignment size != n_cells");
   }
   SWEEP_OBS_TIMER("comm.c1");
-  const dag::TaskGraph& tg = instance.task_graph();
   const std::uint32_t* cell = tg.cells().data();
   const std::size_t n = tg.n_cells();
   const std::size_t k = tg.n_directions();
@@ -86,9 +89,12 @@ C1Cost comm_cost_c1_reference(const dag::SweepInstance& instance,
 
 C2Cost comm_cost_c2(const dag::SweepInstance& instance,
                     const Schedule& schedule) {
-  check_c2_schedule(instance, schedule);
+  return comm_cost_c2(instance.task_graph(), schedule);
+}
+
+C2Cost comm_cost_c2(const dag::TaskGraph& tg, const Schedule& schedule) {
+  check_c2_schedule(tg, schedule);
   SWEEP_OBS_TIMER("comm.c2");
-  const dag::TaskGraph& tg = instance.task_graph();
   const std::uint32_t* cell = tg.cells().data();
   const std::size_t m = schedule.n_processors();
   const std::size_t horizon = schedule.makespan();
@@ -163,8 +169,8 @@ C2Cost comm_cost_c2(const dag::SweepInstance& instance,
 
 C2Cost comm_cost_c2_reference(const dag::SweepInstance& instance,
                               const Schedule& schedule) {
-  check_c2_schedule(instance, schedule);
   const dag::TaskGraph& tg = instance.task_graph();
+  check_c2_schedule(tg, schedule);
   const std::uint32_t* cell = tg.cells().data();
   const std::size_t horizon = schedule.makespan();
 

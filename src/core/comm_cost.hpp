@@ -44,6 +44,12 @@ struct C1Cost {
 C1Cost comm_cost_c1(const dag::SweepInstance& instance,
                     const Assignment& assignment, std::size_t jobs = 0);
 
+/// TaskGraph-direct variant used by the serving path (the daemon evaluates
+/// costs straight from an mmap'ed artifact). Identical result to the
+/// instance overload for instance.task_graph().
+C1Cost comm_cost_c1(const dag::TaskGraph& graph, const Assignment& assignment,
+                    std::size_t jobs = 0);
+
 /// Preserved serial single-loop C1 (differential baseline).
 C1Cost comm_cost_c1_reference(const dag::SweepInstance& instance,
                               const Assignment& assignment);
@@ -61,6 +67,10 @@ struct C2Cost {
 /// malformed, not merely expensive).
 C2Cost comm_cost_c2(const dag::SweepInstance& instance,
                     const Schedule& schedule);
+
+/// TaskGraph-direct variant (serving path); identical result to the
+/// instance overload for instance.task_graph().
+C2Cost comm_cost_c2(const dag::TaskGraph& graph, const Schedule& schedule);
 
 /// Preserved unordered_map implementation (differential baseline). Unlike
 /// comm_cost_c2 it allocates an O(makespan) dense reduction array, so only

@@ -434,11 +434,9 @@ std::optional<Schedule> run_slot_engine(const dag::TaskGraph& tg,
   return schedule;
 }
 
-void validate_inputs(const dag::SweepInstance& instance,
+void validate_inputs(std::size_t n, std::size_t total,
                      const Assignment& assignment, std::size_t n_processors,
                      const ListScheduleOptions& options, const char* who) {
-  const std::size_t n = instance.n_cells();
-  const std::size_t total = n * instance.n_directions();
   if (assignment.size() != n) {
     throw std::invalid_argument(std::string(who) +
                                 ": assignment size != n_cells");
@@ -467,10 +465,16 @@ void validate_inputs(const dag::SweepInstance& instance,
 Schedule list_schedule(const dag::SweepInstance& instance,
                        const Assignment& assignment, std::size_t n_processors,
                        const ListScheduleOptions& options) {
+  return list_schedule(instance.task_graph(), assignment, n_processors,
+                       options);
+}
+
+Schedule list_schedule(const dag::TaskGraph& tg, const Assignment& assignment,
+                       std::size_t n_processors,
+                       const ListScheduleOptions& options) {
   SWEEP_OBS_SCOPE("core.list_schedule");
-  validate_inputs(instance, assignment, n_processors, options,
-                  "list_schedule");
-  const dag::TaskGraph& tg = instance.task_graph();
+  validate_inputs(tg.n_cells(), tg.n_tasks(), assignment, n_processors,
+                  options, "list_schedule");
   const std::int64_t* priority =
       options.priorities.empty() ? nullptr : options.priorities.data();
 
@@ -547,7 +551,7 @@ Schedule list_schedule_reference(const dag::SweepInstance& instance,
   const std::size_t n = instance.n_cells();
   const std::size_t k = instance.n_directions();
   const std::size_t total = n * k;
-  validate_inputs(instance, assignment, n_processors, options,
+  validate_inputs(n, total, assignment, n_processors, options,
                   "list_schedule");
 
   auto priority_of = [&](TaskId t) -> std::int64_t {

@@ -59,6 +59,14 @@ Schedule list_schedule(const dag::SweepInstance& instance,
                        const Assignment& assignment, std::size_t n_processors,
                        const ListScheduleOptions& options = {});
 
+/// Same engine, driven straight from a flat TaskGraph — the serving path
+/// (sweep_serve) schedules out of an mmap'ed artifact without ever
+/// materializing a SweepInstance. Bit-identical to the instance overload for
+/// the graph that instance.task_graph() returns.
+Schedule list_schedule(const dag::TaskGraph& graph, const Assignment& assignment,
+                       std::size_t n_processors,
+                       const ListScheduleOptions& options = {});
+
 /// The pre-engine implementation (per-direction DAG walks, task-id
 /// arithmetic per edge, binary heaps). Produces bit-identical schedules to
 /// list_schedule; kept as the oracle for the engine equivalence tests and as

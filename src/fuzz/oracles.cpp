@@ -19,7 +19,10 @@
 #include "core/schedule_io.hpp"
 #include "core/validate.hpp"
 #include "core/weighted_scheduler.hpp"
+#include "serve/wire.hpp"
+#include "sweep/artifact.hpp"
 #include "sweep/descendants.hpp"
+#include "sweep/instance_io.hpp"
 #include "util/cli.hpp"
 
 namespace sweep::fuzz {
@@ -546,6 +549,248 @@ void check_cli_garbage(const Scenario& s, OracleReport& report) {
   }
 }
 
+/// Hostile channel 5: a mutated instance text file. load_instance must either
+/// throw std::runtime_error (clean rejection) or return an instance that
+/// itself survives a save -> load round trip — it must never crash, hang on
+/// a hostile edge count, or hand back an instance with out-of-range
+/// endpoints.
+void check_corrupt_instance_file(const Scenario& s, OracleReport& report) {
+  constexpr const char* kName = "hostile_instance_file";
+  Scenario base = s;
+  base.hostile = Hostility::kNone;
+  base.family = Family::kRandomLayered;
+  base.n = 2 + s.n % 12;
+  base.k = std::max<std::uint32_t>(1, std::min<std::uint32_t>(s.k, 3));
+  const dag::SweepInstance instance = materialize(base);
+
+  std::ostringstream saved_stream;
+  dag::save_instance(instance, saved_stream);
+  std::string text = saved_stream.str();
+
+  util::Rng rng(s.seed * 31 + 5);
+  const std::size_t kind = rng.next_below(4);
+  switch (kind) {
+    case 0: {  // flip one byte anywhere in the file
+      const std::size_t pos = rng.next_below(text.size());
+      text[pos] = static_cast<char>(text[pos] ^ (1 + rng.next_below(255)));
+      break;
+    }
+    case 1:  // truncate mid-file
+      text.resize(rng.next_below(text.size()));
+      break;
+    case 2: {  // splice a huge number over a numeric token (hostile counts)
+      const std::size_t pos = rng.next_below(text.size());
+      const std::size_t cut = std::min<std::size_t>(text.size() - pos,
+                                                    1 + rng.next_below(8));
+      text.replace(pos, cut, "184467440737095516");
+      break;
+    }
+    default: {  // duplicate a chunk (shifts every later token)
+      const std::size_t pos = rng.next_below(text.size());
+      const std::size_t len = std::min<std::size_t>(text.size() - pos,
+                                                    1 + rng.next_below(16));
+      text.insert(pos, text.substr(pos, len));
+      break;
+    }
+  }
+
+  ++report.checks_run;
+  try {
+    std::istringstream in(text);
+    const dag::SweepInstance loaded = dag::load_instance(in);
+    // The mutation happened to parse — fine, but only if what came back is a
+    // well-formed instance: saving and reloading it must be the identity.
+    std::ostringstream second;
+    dag::save_instance(loaded, second);
+    std::istringstream again(second.str());
+    const dag::SweepInstance reloaded = dag::load_instance(again);
+    std::ostringstream third;
+    dag::save_instance(reloaded, third);
+    if (second.str() != third.str()) {
+      report.violations.push_back(
+          {kName, "accepted mutation (kind " + std::to_string(kind) +
+                      ") produced an instance that does not round-trip [" +
+                      describe(s) + "]"});
+    }
+  } catch (const std::runtime_error&) {
+    // correct rejection
+  } catch (const std::exception& e) {
+    report.violations.push_back(
+        {kName, std::string("load_instance failed with the wrong exception: ") +
+                    e.what() + " [" + describe(s) + "]"});
+  }
+}
+
+/// Hostile channel 6: mutated artifact bytes fed to Artifact::from_memory.
+/// Every corruption — truncation, header surgery, section-table surgery, or
+/// a payload byte flip (which must trip the content hash) — has to end in
+/// ArtifactError or a fully valid artifact; never a crash, over-read, or an
+/// artifact whose accessors lie about its shape.
+void check_corrupt_artifact(const Scenario& s, OracleReport& report) {
+  constexpr const char* kName = "hostile_artifact";
+  Scenario base = s;
+  base.hostile = Hostility::kNone;
+  base.family = Family::kRandomLayered;
+  base.n = 2 + s.n % 12;
+  base.k = std::max<std::uint32_t>(1, std::min<std::uint32_t>(s.k, 3));
+  const dag::SweepInstance instance = materialize(base);
+  dag::ArtifactWriteOptions options;
+  options.include_descendants = (s.seed % 2) == 0;
+  std::vector<std::byte> bytes = dag::pack_artifact(instance, options);
+
+  util::Rng rng(s.seed * 131 + 7);
+  const std::size_t kind = rng.next_below(4);
+  switch (kind) {
+    case 0: {  // flip one byte anywhere (header, tables, or payload)
+      const std::size_t pos = rng.next_below(bytes.size());
+      bytes[pos] ^= static_cast<std::byte>(1 + rng.next_below(255));
+      break;
+    }
+    case 1:  // truncate (possibly into the header itself)
+      bytes.resize(rng.next_below(bytes.size()));
+      break;
+    case 2: {  // 8-byte splice of an overflow-bait value into the first 256
+               // bytes: header counts, section offsets/sizes
+      const std::size_t window = std::min<std::size_t>(bytes.size(), 256) - 8;
+      const std::size_t pos = rng.next_below(window + 1);
+      const std::uint64_t bait =
+          (rng.next_below(2) == 0) ? ~std::uint64_t{0} : 0x8000000000000000ULL;
+      for (std::size_t i = 0; i < 8; ++i) {
+        bytes[pos + i] = static_cast<std::byte>((bait >> (8 * i)) & 0xff);
+      }
+      break;
+    }
+    default:  // append trailing garbage (file_bytes must catch the mismatch)
+      for (std::size_t i = 0; i < 1 + rng.next_below(64); ++i) {
+        bytes.push_back(static_cast<std::byte>(rng.next_below(256)));
+      }
+      break;
+  }
+
+  ++report.checks_run;
+  try {
+    const auto artifact = dag::Artifact::from_memory(std::move(bytes));
+    // Accepted (e.g. the flip landed in unhashed padding): the artifact must
+    // still describe a coherent graph.
+    const dag::TaskGraph& graph = artifact->task_graph();
+    if (graph.n_tasks() != artifact->n_cells() * artifact->n_directions() ||
+        graph.n_edges() != artifact->n_edges()) {
+      report.violations.push_back(
+          {kName, "accepted mutation (kind " + std::to_string(kind) +
+                      ") yields inconsistent accessors [" + describe(s) + "]"});
+    }
+  } catch (const dag::ArtifactError&) {
+    // correct rejection
+  } catch (const std::exception& e) {
+    report.violations.push_back(
+        {kName,
+         std::string("from_memory failed with the wrong exception: ") +
+             e.what() + " (mutation kind " + std::to_string(kind) + ") [" +
+             describe(s) + "]"});
+  }
+}
+
+/// Hostile channel 7: the serve wire decoders on malformed payloads. Strict
+/// prefixes of valid messages, trailing bytes, out-of-range enums, and pure
+/// random bytes must all end in WireError (or, for random bytes only, a
+/// clean accidental decode) — never a crash or unbounded allocation.
+void check_wire_garbage(const Scenario& s, OracleReport& report) {
+  constexpr const char* kName = "hostile_wire";
+  util::Rng rng(s.seed * 17 + 3);
+  auto fail = [&](const std::string& msg) {
+    report.violations.push_back({kName, msg + " [" + describe(s) + "]"});
+  };
+  auto expect_wire_error = [&](const char* what, auto&& fn) {
+    ++report.checks_run;
+    try {
+      fn();
+      fail(std::string(what) + " accepted malformed bytes");
+    } catch (const serve::WireError&) {
+      // correct rejection
+    } catch (const std::exception& e) {
+      fail(std::string(what) + " threw the wrong exception: " + e.what());
+    }
+  };
+
+  // A valid request of every type, for surgery.
+  serve::Request request;
+  switch (rng.next_below(4)) {
+    case 0:
+      request.type = serve::MsgType::kPing;
+      break;
+    case 1:
+      request.type = serve::MsgType::kInfo;
+      break;
+    case 2:
+      request.type = serve::MsgType::kQuery;
+      request.query.scheme = serve::Scheme::kRandomDelay;
+      request.query.m = 1 + static_cast<std::uint32_t>(rng.next_below(16));
+      request.query.seed = rng();
+      break;
+    default:
+      request.type = serve::MsgType::kSwap;
+      request.swap.path = "/tmp/x.sweepart";
+      break;
+  }
+  const std::vector<std::byte> valid = serve::encode_request(request);
+
+  // Round trip sanity first: the valid frame must decode to itself.
+  ++report.checks_run;
+  try {
+    const serve::Request back = serve::decode_request(valid);
+    if (back.type != request.type) fail("valid request decoded to wrong type");
+  } catch (const std::exception& e) {
+    fail(std::string("valid request failed to decode: ") + e.what());
+  }
+
+  // Strict prefix: every truncation of a valid frame is malformed.
+  expect_wire_error("decode_request(prefix)", [&] {
+    (void)serve::decode_request(
+        std::span<const std::byte>(valid.data(),
+                                   rng.next_below(valid.size())));
+  });
+
+  // Trailing bytes after a complete message.
+  expect_wire_error("decode_request(trailing)", [&] {
+    std::vector<std::byte> padded = valid;
+    padded.push_back(static_cast<std::byte>(rng.next_below(256)));
+    (void)serve::decode_request(padded);
+  });
+
+  // Out-of-range message type in an otherwise intact frame.
+  expect_wire_error("decode_request(bad type)", [&] {
+    std::vector<std::byte> mutated = valid;
+    const std::uint32_t bad =
+        7 + static_cast<std::uint32_t>(rng.next_below(1000));
+    for (std::size_t i = 0; i < 4; ++i) {
+      mutated[i] = static_cast<std::byte>((bad >> (8 * i)) & 0xff);
+    }
+    (void)serve::decode_request(mutated);
+  });
+
+  // Pure random bytes against both decoders: anything but a crash.
+  std::vector<std::byte> garbage(rng.next_below(96));
+  for (std::byte& b : garbage) {
+    b = static_cast<std::byte>(rng.next_below(256));
+  }
+  ++report.checks_run;
+  try {
+    (void)serve::decode_request(garbage);
+  } catch (const serve::WireError&) {
+  } catch (const std::exception& e) {
+    fail(std::string("decode_request(garbage) threw the wrong exception: ") +
+         e.what());
+  }
+  ++report.checks_run;
+  try {
+    (void)serve::decode_response(garbage);
+  } catch (const serve::WireError&) {
+  } catch (const std::exception& e) {
+    fail(std::string("decode_response(garbage) threw the wrong exception: ") +
+         e.what());
+  }
+}
+
 /// Synthetic canary used by the tests to exercise the shrinker: "fails"
 /// whenever the scenario is larger than a fixed threshold, so a correct
 /// shrinker must walk it down to the boundary deterministically.
@@ -583,6 +828,15 @@ OracleReport run_oracles(const Scenario& scenario) {
         break;
       case Hostility::kSelfTest:
         check_self_test(scenario, report);
+        break;
+      case Hostility::kCorruptInstanceFile:
+        check_corrupt_instance_file(scenario, report);
+        break;
+      case Hostility::kCorruptArtifact:
+        check_corrupt_artifact(scenario, report);
+        break;
+      case Hostility::kWireGarbage:
+        check_wire_garbage(scenario, report);
         break;
     }
   } catch (const std::exception& e) {

@@ -58,9 +58,12 @@ Scenario sample_scenario(util::Rng& rng) {
     s.family = Family::kEdgeless;
   } else {
     // Hostile-input channel: feed malformed data to one untrusted path.
+    // Draw {0..5} -> {1,2,3,5,6,7}: every channel except kNone and the
+    // shrinker's synthetic kSelfTest canary.
     s.family = Family::kRandomLayered;
     s.n = static_cast<std::uint32_t>(1 + rng.next_below(40));
-    s.hostile = static_cast<Hostility>(1 + rng.next_below(3));
+    const std::uint64_t pick = rng.next_below(6);
+    s.hostile = static_cast<Hostility>(pick < 3 ? 1 + pick : 2 + pick);
     return s;
   }
 
@@ -202,7 +205,7 @@ Scenario scenario_from_text(std::istream& in) {
     } else if (key == "hostile") {
       std::uint32_t v = 0;
       if (!(in >> v) ||
-          v > static_cast<std::uint32_t>(Hostility::kSelfTest)) {
+          v > static_cast<std::uint32_t>(Hostility::kWireGarbage)) {
         throw std::runtime_error("sweepfuzz: bad hostile");
       }
       s.hostile = static_cast<Hostility>(v);

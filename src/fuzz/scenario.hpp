@@ -3,8 +3,8 @@
 // description of one fuzz case — which instance family to build, its size
 // knobs, the processor count, the algorithm under test, and an optional
 // "hostility" channel that feeds deliberately malformed inputs (out-of-range
-// assignments, corrupted schedule files, garbage CLI values) to the
-// library's untrusted-input paths.
+// assignments, corrupted schedule/instance/artifact files, garbage CLI
+// values, mangled wire frames) to the library's untrusted-input paths.
 //
 // Scenarios are the unit of generation (sample_scenario), execution
 // (fuzz::run_oracles), minimization (fuzz::shrink_scenario) and persistence:
@@ -43,6 +43,9 @@ enum class Hostility : std::uint32_t {
   kCorruptScheduleFile = 2,
   kCliGarbage = 3,
   kSelfTest = 4,
+  kCorruptInstanceFile = 5,  ///< mutated instance text -> load_instance
+  kCorruptArtifact = 6,      ///< mutated artifact bytes -> Artifact::from_memory
+  kWireGarbage = 7,          ///< malformed frames -> serve wire decoders
 };
 
 struct Scenario {

@@ -1,0 +1,46 @@
+#pragma once
+// Blocking client for the sweep_serve socket: connect, call, close. Used by
+// the sweep_query CLI, the smoke test, and anything else that wants typed
+// request/response instead of raw frames.
+
+#include <string>
+
+#include "serve/wire.hpp"
+
+namespace sweep::serve {
+
+class Client {
+ public:
+  /// Connects to the daemon's AF_UNIX socket; throws std::runtime_error if
+  /// the daemon is not there.
+  explicit Client(const std::string& socket_path);
+  ~Client();
+  Client(const Client&) = delete;
+  Client& operator=(const Client&) = delete;
+  Client(Client&& other) noexcept;
+  Client& operator=(Client&& other) noexcept;
+
+  /// One round trip: encode, frame, await the framed response, decode.
+  /// Throws on transport errors or a malformed response; a daemon-side
+  /// failure comes back as Response::status != 0, not an exception.
+  Response call(const Request& request);
+
+  /// Convenience wrappers.
+  Response ping() { return call(typed_request(MsgType::kPing)); }
+  Response info() { return call(typed_request(MsgType::kInfo)); }
+  Response stats() { return call(typed_request(MsgType::kStats)); }
+  Response shutdown_server() {
+    return call(typed_request(MsgType::kShutdown));
+  }
+
+ private:
+  static Request typed_request(MsgType type) {
+    Request request;
+    request.type = type;
+    return request;
+  }
+
+  int fd_ = -1;
+};
+
+}  // namespace sweep::serve

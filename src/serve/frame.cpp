@@ -1,0 +1,73 @@
+#include "serve/frame.hpp"
+
+#include <sys/socket.h>
+
+#include <cerrno>
+#include <cstdint>
+#include <cstring>
+#include <stdexcept>
+
+#include "serve/wire.hpp"
+
+namespace sweep::serve {
+namespace {
+
+/// Reads exactly `len` bytes. Returns false only on EOF before the FIRST
+/// byte when `eof_ok`; any other short read throws.
+bool read_exact(int fd, void* buf, std::size_t len, bool eof_ok) {
+  auto* p = static_cast<char*>(buf);
+  std::size_t got = 0;
+  while (got < len) {
+    const ssize_t r = ::recv(fd, p + got, len - got, 0);
+    if (r == 0) {
+      if (got == 0 && eof_ok) return false;
+      throw std::runtime_error("serve: connection closed mid-frame");
+    }
+    if (r < 0) {
+      if (errno == EINTR) continue;
+      throw std::runtime_error(std::string("serve: recv: ") +
+                               std::strerror(errno));
+    }
+    got += static_cast<std::size_t>(r);
+  }
+  return true;
+}
+
+void write_exact(int fd, const void* buf, std::size_t len) {
+  const auto* p = static_cast<const char*>(buf);
+  std::size_t sent = 0;
+  while (sent < len) {
+    const ssize_t r = ::send(fd, p + sent, len - sent, MSG_NOSIGNAL);
+    if (r < 0) {
+      if (errno == EINTR) continue;
+      throw std::runtime_error(std::string("serve: send: ") +
+                               std::strerror(errno));
+    }
+    sent += static_cast<std::size_t>(r);
+  }
+}
+
+}  // namespace
+
+bool read_frame(int fd, std::vector<std::byte>& payload) {
+  std::uint32_t len = 0;
+  if (!read_exact(fd, &len, sizeof(len), /*eof_ok=*/true)) return false;
+  if (len > kMaxFrameBytes) {
+    throw std::runtime_error("serve: frame length " + std::to_string(len) +
+                             " exceeds the cap");
+  }
+  payload.resize(len);
+  if (len > 0) read_exact(fd, payload.data(), len, /*eof_ok=*/false);
+  return true;
+}
+
+void write_frame(int fd, std::span<const std::byte> payload) {
+  if (payload.size() > kMaxFrameBytes) {
+    throw std::runtime_error("serve: refusing to send oversized frame");
+  }
+  const auto len = static_cast<std::uint32_t>(payload.size());
+  write_exact(fd, &len, sizeof(len));
+  if (!payload.empty()) write_exact(fd, payload.data(), payload.size());
+}
+
+}  // namespace sweep::serve

@@ -1,0 +1,20 @@
+#pragma once
+// Length-prefixed frame IO over a connected stream socket (the transport
+// half of wire.hpp). Shared by Server and Client.
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace sweep::serve {
+
+/// Reads one frame into `payload`. Returns false on a clean EOF at a frame
+/// boundary (peer closed). Throws std::runtime_error on mid-frame EOF, IO
+/// errors, or a length prefix above kMaxFrameBytes.
+bool read_frame(int fd, std::vector<std::byte>& payload);
+
+/// Writes the 4-byte length prefix + payload. Throws std::runtime_error on
+/// IO errors (including a peer that closed early; SIGPIPE is suppressed).
+void write_frame(int fd, std::span<const std::byte> payload);
+
+}  // namespace sweep::serve

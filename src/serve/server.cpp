@@ -1,0 +1,184 @@
+#include "serve/server.hpp"
+
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <cstring>
+#include <stdexcept>
+
+#include "obs/obs.hpp"
+#include "serve/frame.hpp"
+
+namespace sweep::serve {
+namespace {
+
+sockaddr_un make_address(const std::string& path) {
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  if (path.size() >= sizeof(addr.sun_path)) {
+    throw std::runtime_error("serve: socket path too long: " + path);
+  }
+  std::memcpy(addr.sun_path, path.c_str(), path.size() + 1);
+  return addr;
+}
+
+}  // namespace
+
+Server::Server(ServeService& service, ServerOptions options)
+    : service_(service), options_(std::move(options)), pool_(options_.threads) {
+  if (options_.unlink_existing) ::unlink(options_.socket_path.c_str());
+  const int fd = ::socket(AF_UNIX, SOCK_STREAM | SOCK_CLOEXEC, 0);
+  if (fd < 0) {
+    throw std::runtime_error(std::string("serve: socket: ") +
+                             std::strerror(errno));
+  }
+  const sockaddr_un addr = make_address(options_.socket_path);
+  if (::bind(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) !=
+      0) {
+    const int err = errno;
+    ::close(fd);
+    throw std::runtime_error("serve: bind " + options_.socket_path + ": " +
+                             std::strerror(err));
+  }
+  if (::listen(fd, 64) != 0) {
+    const int err = errno;
+    ::close(fd);
+    ::unlink(options_.socket_path.c_str());
+    throw std::runtime_error(std::string("serve: listen: ") +
+                             std::strerror(err));
+  }
+  listen_fd_.store(fd, std::memory_order_release);
+}
+
+Server::~Server() { stop(); }
+
+void Server::start() {
+  std::lock_guard<std::mutex> lock(state_mutex_);
+  if (accept_thread_.joinable() || stopping_) return;
+  accept_thread_ = std::thread([this] { accept_loop(); });
+}
+
+void Server::accept_loop() {
+  const int lfd = listen_fd_.load(std::memory_order_acquire);
+  for (;;) {
+    const int fd = ::accept4(lfd, nullptr, nullptr, SOCK_CLOEXEC);
+    if (fd < 0) {
+      if (errno == EINTR) continue;
+      // EINVAL after close_listener() shut the socket down, or a real
+      // error: either way the loop is done (stop() owns cleanup).
+      break;
+    }
+    SWEEP_OBS_COUNTER_ADD("serve.connections", 1);
+    bool submitted = false;
+    {
+      std::lock_guard<std::mutex> lock(state_mutex_);
+      if (!stopping_) {
+        open_fds_.push_back(fd);
+        submitted = true;
+      }
+    }
+    if (!submitted) {
+      ::close(fd);
+      continue;
+    }
+    try {
+      pool_.submit([this, fd] { serve_connection(fd); });
+    } catch (const std::exception&) {
+      // Pool already shut down (stop raced us): drop the connection.
+      std::lock_guard<std::mutex> lock(state_mutex_);
+      open_fds_.erase(std::remove(open_fds_.begin(), open_fds_.end(), fd),
+                      open_fds_.end());
+      ::close(fd);
+    }
+  }
+  {
+    std::lock_guard<std::mutex> lock(state_mutex_);
+    accept_done_ = true;
+  }
+  stopped_cv_.notify_all();
+}
+
+void Server::serve_connection(int fd) {
+  bool shutdown_requested = false;
+  try {
+    std::vector<std::byte> payload;
+    while (read_frame(fd, payload)) {
+      {
+        // Queue depth = connections currently inside a handler; sampled per
+        // frame so the stats show how loaded the pool is.
+        std::lock_guard<std::mutex> lock(state_mutex_);
+        SWEEP_OBS_OBSERVE("serve.queue_depth",
+                          static_cast<double>(open_fds_.size()));
+      }
+      Response response;
+      MsgType type = MsgType::kPing;
+      try {
+        const Request request = decode_request(payload);
+        type = request.type;
+        response = service_.handle(request);
+      } catch (const WireError& e) {
+        SWEEP_OBS_COUNTER_ADD("serve.wire_errors", 1);
+        response.status = 1;
+        response.type = MsgType::kPing;
+        response.error = e.what();
+      }
+      write_frame(fd, encode_response(response));
+      if (type == MsgType::kShutdown && response.status == 0) {
+        shutdown_requested = true;
+        break;
+      }
+    }
+  } catch (const std::exception&) {
+    // IO error or hostile framing: drop this connection, keep serving.
+    SWEEP_OBS_COUNTER_ADD("serve.dropped_connections", 1);
+  }
+  {
+    std::lock_guard<std::mutex> lock(state_mutex_);
+    open_fds_.erase(std::remove(open_fds_.begin(), open_fds_.end(), fd),
+                    open_fds_.end());
+  }
+  ::close(fd);
+  // After the ack is on the wire: stop accepting and wake wait()ers. Must
+  // not join the pool from inside one of its own jobs — initiation only;
+  // the owning thread finishes shutdown via stop().
+  if (shutdown_requested) close_listener();
+}
+
+void Server::close_listener() {
+  std::vector<int> to_wake;
+  {
+    std::lock_guard<std::mutex> lock(state_mutex_);
+    if (stopping_) return;
+    stopping_ = true;
+    to_wake = open_fds_;
+  }
+  // shutdown() unblocks a concurrent accept(); the fd itself is closed by
+  // stop() only after the accept thread has been joined, so its number
+  // can't be recycled while accept4 still references it.
+  const int lfd = listen_fd_.load(std::memory_order_acquire);
+  if (lfd >= 0) ::shutdown(lfd, SHUT_RDWR);
+  // Wake blocked readers; SHUT_RD leaves in-flight responses flushing.
+  for (int fd : to_wake) ::shutdown(fd, SHUT_RD);
+  stopped_cv_.notify_all();
+}
+
+void Server::wait() {
+  std::unique_lock<std::mutex> lock(state_mutex_);
+  stopped_cv_.wait(lock, [this] {
+    return stopping_ && (accept_done_ || !accept_thread_.joinable());
+  });
+}
+
+void Server::stop() {
+  close_listener();
+  if (accept_thread_.joinable()) accept_thread_.join();
+  pool_.shutdown();  // drains connection jobs; they all see EOF/SHUT_RD
+  const int lfd = listen_fd_.exchange(-1, std::memory_order_acq_rel);
+  if (lfd >= 0) ::close(lfd);
+  ::unlink(options_.socket_path.c_str());
+}
+
+}  // namespace sweep::serve

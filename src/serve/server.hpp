@@ -1,0 +1,83 @@
+#pragma once
+// Unix-domain-socket front end for ServeService.
+//
+// One accept thread takes connections on an AF_UNIX stream socket; each
+// connection becomes one job on a util::ThreadPool, which loops reading
+// length-prefixed frames, dispatches them through ServeService::handle, and
+// writes the framed response — so N pool workers serve N connections
+// concurrently while the hot-swap machinery in ServeService keeps every
+// in-flight query on the artifact it started with.
+//
+// A connection job blocks on its own socket only (never on other queued
+// jobs), which satisfies the pool's no-deadlock contract. A kShutdown frame
+// is acked first, then stops the accept loop and wakes every open
+// connection; stop() does the same from the owning thread. Both paths are
+// idempotent.
+
+#include <atomic>
+#include <condition_variable>
+#include <cstddef>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "serve/service.hpp"
+#include "util/thread_pool.hpp"
+
+namespace sweep::serve {
+
+struct ServerOptions {
+  std::string socket_path;     ///< filesystem path of the AF_UNIX socket
+  std::size_t threads = 0;     ///< pool workers; 0 = hardware concurrency
+  bool unlink_existing = true; ///< remove a stale socket file before bind
+};
+
+class Server {
+ public:
+  /// Binds and listens (throws std::runtime_error on socket errors) but
+  /// does not accept yet; call start().
+  Server(ServeService& service, ServerOptions options);
+  ~Server();
+  Server(const Server&) = delete;
+  Server& operator=(const Server&) = delete;
+
+  /// Launches the accept thread. Idempotent.
+  void start();
+
+  /// Stops accepting, wakes and drains every open connection, joins the
+  /// pool, and unlinks the socket file. Idempotent; safe from any thread
+  /// except a connection handler's own.
+  void stop();
+
+  /// Blocks until a kShutdown frame (or stop()) terminates the server.
+  void wait();
+
+  [[nodiscard]] const std::string& socket_path() const {
+    return options_.socket_path;
+  }
+
+ private:
+  void accept_loop();
+  void serve_connection(int fd);
+  void close_listener();
+
+  ServeService& service_;
+  ServerOptions options_;
+  /// Atomic because the accept thread reads it while close_listener()
+  /// shuts it down from a pool worker. The fd stays open (shutdown only)
+  /// until stop() has joined the accept thread, so the number can't be
+  /// recycled under a blocked accept4().
+  std::atomic<int> listen_fd_{-1};
+  util::ThreadPool pool_;
+  std::thread accept_thread_;
+
+  std::mutex state_mutex_;
+  std::condition_variable stopped_cv_;
+  bool stopping_ = false;
+  bool accept_done_ = false;
+  std::vector<int> open_fds_;  ///< live connection sockets (for wakeup)
+};
+
+}  // namespace sweep::serve

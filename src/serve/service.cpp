@@ -1,0 +1,208 @@
+#include "serve/service.hpp"
+
+#include <exception>
+#include <utility>
+#include <vector>
+
+#include "core/assignment.hpp"
+#include "core/comm_cost.hpp"
+#include "core/list_scheduler.hpp"
+#include "core/priorities.hpp"
+#include "obs/obs.hpp"
+#include "util/hash.hpp"
+#include "util/rng.hpp"
+
+namespace sweep::serve {
+namespace {
+
+Response error_response(MsgType type, std::string what) {
+  Response response;
+  response.status = 1;
+  response.type = type;
+  response.error = std::move(what);
+  return response;
+}
+
+}  // namespace
+
+ServeService::ServeService(std::shared_ptr<const dag::Artifact> artifact)
+    : artifact_(std::move(artifact)) {
+  if (artifact_ == nullptr) {
+    throw std::invalid_argument("ServeService: null artifact");
+  }
+}
+
+ServeService ServeService::from_file(const std::string& path) {
+  SWEEP_OBS_TIMER("serve.load_ns");
+  return ServeService(dag::Artifact::map_file(path));
+}
+
+std::shared_ptr<const dag::Artifact> ServeService::artifact() const {
+  std::lock_guard<std::mutex> lock(artifact_mutex_);
+  return artifact_;
+}
+
+void ServeService::swap_to(const std::string& path) {
+  // Map and fully validate BEFORE touching the served pointer: a corrupt
+  // replacement throws here and the old artifact keeps serving.
+  std::shared_ptr<const dag::Artifact> fresh;
+  {
+    SWEEP_OBS_TIMER("serve.load_ns");
+    fresh = dag::Artifact::map_file(path);
+  }
+  {
+    std::lock_guard<std::mutex> lock(artifact_mutex_);
+    artifact_.swap(fresh);
+  }
+  // `fresh` now holds the OLD artifact; it unmaps when the last in-flight
+  // query that grabbed it before the flip finishes.
+  swaps_.fetch_add(1, std::memory_order_relaxed);
+  SWEEP_OBS_COUNTER_ADD("serve.swaps", 1);
+}
+
+Response ServeService::handle(const Request& request) {
+  try {
+    switch (request.type) {
+      case MsgType::kPing:
+      case MsgType::kShutdown: {
+        // Shutdown acks like a ping; actually stopping the accept loop is
+        // the Server's job (it sees the type after sending the ack).
+        Response response;
+        response.type = request.type;
+        return response;
+      }
+      case MsgType::kInfo:
+        return handle_info();
+      case MsgType::kQuery:
+        return handle_query(request.query);
+      case MsgType::kSwap: {
+        swap_to(request.swap.path);
+        Response response;
+        response.type = MsgType::kSwap;
+        return response;
+      }
+      case MsgType::kStats:
+        return handle_stats();
+    }
+    errors_.fetch_add(1, std::memory_order_relaxed);
+    return error_response(request.type, "unhandled message type");
+  } catch (const std::exception& e) {
+    errors_.fetch_add(1, std::memory_order_relaxed);
+    SWEEP_OBS_COUNTER_ADD("serve.errors", 1);
+    return error_response(request.type, e.what());
+  }
+}
+
+Response ServeService::handle_info() {
+  const std::shared_ptr<const dag::Artifact> a = artifact();
+  Response response;
+  response.type = MsgType::kInfo;
+  response.info.name = std::string(a->name());
+  response.info.n_cells = a->n_cells();
+  response.info.n_directions = a->n_directions();
+  response.info.n_edges = a->n_edges();
+  response.info.content_hash = a->content_hash();
+  response.info.n_partitions = a->n_partitions();
+  response.info.has_descendants = a->has_descendants();
+  return response;
+}
+
+Response ServeService::handle_query(const QueryRequest& query) {
+  SWEEP_OBS_TIMER("serve.query_ns");
+  // Snapshot once: this whole query runs against one artifact even if a
+  // swap lands mid-flight.
+  const std::shared_ptr<const dag::Artifact> a = artifact();
+  const dag::TaskGraph& tg = a->task_graph();
+  const std::size_t n = tg.n_cells();
+  const std::size_t k = tg.n_directions();
+
+  util::Rng rng(query.seed);
+  core::Assignment assignment;
+  std::size_t m = query.m;
+  if (query.partition >= 0) {
+    const auto j = static_cast<std::uint64_t>(query.partition);
+    if (j >= a->n_partitions()) {
+      throw std::invalid_argument("query: partition index out of range");
+    }
+    m = static_cast<std::size_t>(a->partition_parts(j));
+    const std::span<const std::uint32_t> part = a->partition(j);
+    assignment.assign(part.begin(), part.end());
+  } else {
+    if (m == 0) throw std::invalid_argument("query: m must be positive");
+    assignment = core::random_assignment(n, m, rng);
+  }
+
+  // Priority vectors replicate core/priorities.cpp exactly, including rng
+  // stream consumption, so the result is bit-identical to the in-process
+  // path (see the contract in service.hpp).
+  std::vector<std::int64_t> priorities(tg.n_tasks());
+  switch (query.scheme) {
+    case Scheme::kLevel: {
+      const std::span<const std::uint32_t> level = tg.levels();
+      for (std::size_t t = 0; t < priorities.size(); ++t) {
+        priorities[t] = static_cast<std::int64_t>(level[t]);
+      }
+      break;
+    }
+    case Scheme::kRandomDelay: {
+      const std::vector<core::TimeStep> delays = core::random_delays(k, rng);
+      const std::span<const std::uint32_t> level = tg.levels();
+      for (std::size_t t = 0; t < priorities.size(); ++t) {
+        priorities[t] = static_cast<std::int64_t>(level[t]) +
+                        static_cast<std::int64_t>(delays[t / n]);
+      }
+      break;
+    }
+    case Scheme::kDescendant: {
+      if (!a->has_descendants()) {
+        throw std::invalid_argument(
+            "query: artifact was packed without descendant counts");
+      }
+      // Consume the stream-split draw exactly like descendant_priorities
+      // (which burns it even on the exact path) to keep rng state aligned.
+      (void)rng();
+      const std::span<const std::uint64_t> counts = a->descendant_counts_flat();
+      for (std::size_t t = 0; t < priorities.size(); ++t) {
+        priorities[t] = -static_cast<std::int64_t>(counts[t]);
+      }
+      break;
+    }
+  }
+
+  core::ListScheduleOptions options;
+  options.priorities = priorities;
+  const core::Schedule schedule =
+      core::list_schedule(tg, assignment, m, options);
+  const core::C1Cost c1 = core::comm_cost_c1(tg, assignment);
+  const core::C2Cost c2 = core::comm_cost_c2(tg, schedule);
+
+  Response response;
+  response.type = MsgType::kQuery;
+  response.query.makespan = schedule.makespan();
+  response.query.c1_cross_edges = c1.cross_edges;
+  response.query.c1_total_edges = c1.total_edges;
+  response.query.c2_total_delay = c2.total_delay;
+  response.query.c2_max_step_degree = c2.max_step_degree;
+  response.query.c2_busy_steps = c2.busy_steps;
+  response.query.schedule_hash = util::fnv1a_span<core::TimeStep>(
+      schedule.starts(),
+      util::fnv1a_span<core::ProcessorId>(schedule.assignment()));
+  if (query.want_starts) response.query.starts = schedule.starts();
+
+  queries_.fetch_add(1, std::memory_order_relaxed);
+  SWEEP_OBS_COUNTER_ADD("serve.queries", 1);
+  return response;
+}
+
+Response ServeService::handle_stats() {
+  Response response;
+  response.type = MsgType::kStats;
+  response.stats.entries = {
+      {"queries", queries_.load(std::memory_order_relaxed)},
+      {"swaps", swaps_.load(std::memory_order_relaxed)},
+      {"errors", errors_.load(std::memory_order_relaxed)},
+  };
+  return response;
+}
+
+}  // namespace sweep::serve

@@ -1,0 +1,116 @@
+#pragma once
+// sweep_serve wire protocol (DESIGN.md §13).
+//
+// Transport framing: every message is a 4-byte native-endian length prefix
+// followed by that many payload bytes (length excludes the prefix, capped at
+// kMaxFrameBytes so a hostile peer cannot demand an unbounded allocation).
+// The payload encoding lives entirely in encode_*/decode_* below — pure
+// byte-vector functions with no socket anywhere in sight, so the fuzz
+// harness drives decode_request/decode_response on raw garbage without a
+// file descriptor (the kWireGarbage hostility channel).
+//
+// Payload layout: u32 message type, then type-specific fixed-width fields.
+// Strings are u32 length + raw bytes. Every decoder is bounds-checked and
+// throws WireError on truncation, trailing bytes, unknown types, or
+// out-of-range enums; it never reads past the span it was given.
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <stdexcept>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace sweep::serve {
+
+/// Every malformed-message path throws this.
+class WireError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+/// Frame payload ceiling: a full schedule response for a bench-scale
+/// instance (~3M tasks * 4 bytes) fits with room to spare.
+inline constexpr std::uint32_t kMaxFrameBytes = 1u << 26;
+
+enum class MsgType : std::uint32_t {
+  kPing = 1,      ///< liveness check; empty body
+  kInfo = 2,      ///< describe the currently served artifact
+  kQuery = 3,     ///< schedule + cost evaluation
+  kSwap = 4,      ///< hot-swap to a new artifact file
+  kStats = 5,     ///< daemon counters
+  kShutdown = 6,  ///< stop the daemon (responds before exiting)
+};
+
+/// Priority schemes the daemon can evaluate. Values are wire format.
+enum class Scheme : std::uint32_t {
+  kLevel = 0,        ///< Gamma(v,i) = level_i(v)
+  kRandomDelay = 1,  ///< Algorithm 2: level + per-direction random delay
+  kDescendant = 2,   ///< exact descendant counts (needs the packed section)
+};
+
+struct QueryRequest {
+  Scheme scheme = Scheme::kLevel;
+  std::uint32_t m = 1;        ///< processors (ignored when partition >= 0)
+  std::uint64_t seed = 1;     ///< drives assignment + priority randomness
+  /// < 0: uniform random assignment of n_cells to m from `seed`.
+  /// >= 0: use the artifact's embedded partition with this index (m becomes
+  /// that partition's part count).
+  std::int64_t partition = -1;
+  bool want_starts = false;   ///< return the full per-task start array
+};
+
+struct SwapRequest {
+  std::string path;  ///< artifact file to map and switch to
+};
+
+struct Request {
+  MsgType type = MsgType::kPing;
+  QueryRequest query;  ///< meaningful iff type == kQuery
+  SwapRequest swap;    ///< meaningful iff type == kSwap
+};
+
+struct InfoResponse {
+  std::string name;
+  std::uint64_t n_cells = 0;
+  std::uint64_t n_directions = 0;
+  std::uint64_t n_edges = 0;
+  std::uint64_t content_hash = 0;
+  std::uint64_t n_partitions = 0;
+  bool has_descendants = false;
+};
+
+struct QueryResponse {
+  std::uint64_t makespan = 0;
+  std::uint64_t c1_cross_edges = 0;
+  std::uint64_t c1_total_edges = 0;
+  std::uint64_t c2_total_delay = 0;
+  std::uint64_t c2_max_step_degree = 0;
+  std::uint64_t c2_busy_steps = 0;
+  /// FNV-1a over the schedule's start array then its assignment — the
+  /// fingerprint the smoke test compares against the in-process path.
+  std::uint64_t schedule_hash = 0;
+  std::vector<std::uint32_t> starts;  ///< filled iff want_starts
+};
+
+struct StatsResponse {
+  std::vector<std::pair<std::string, std::uint64_t>> entries;
+};
+
+struct Response {
+  std::uint32_t status = 0;  ///< 0 = ok; anything else carries `error`
+  MsgType type = MsgType::kPing;
+  std::string error;
+  InfoResponse info;    ///< meaningful iff ok and type == kInfo
+  QueryResponse query;  ///< meaningful iff ok and type == kQuery
+  StatsResponse stats;  ///< meaningful iff ok and type == kStats
+};
+
+std::vector<std::byte> encode_request(const Request& request);
+Request decode_request(std::span<const std::byte> payload);
+
+std::vector<std::byte> encode_response(const Response& response);
+Response decode_response(std::span<const std::byte> payload);
+
+}  // namespace sweep::serve

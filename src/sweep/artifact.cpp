@@ -1,0 +1,441 @@
+#include "sweep/artifact.hpp"
+
+#include <fcntl.h>
+#include <sys/mman.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <cstring>
+#include <fstream>
+#include <limits>
+#include <utility>
+
+#include "util/hash.hpp"
+
+namespace sweep::dag {
+namespace {
+
+constexpr char kMagic[8] = {'S', 'W', 'E', 'E', 'P', 'A', 'R', 'T'};
+constexpr std::uint32_t kFormatVersion = 1;
+constexpr std::uint64_t kAlign = 64;
+constexpr std::uint64_t kMaxSections = 64;
+constexpr std::uint64_t kMaxNameBytes = 1u << 16;
+/// Shared with TaskGraph::build and load_instance: 32-bit id space.
+constexpr std::uint64_t kMaxIndex =
+    std::numeric_limits<std::uint32_t>::max() - 1;
+
+struct RawHeader {
+  char magic[8];
+  std::uint32_t version;
+  std::uint32_t header_bytes;
+  std::uint64_t content_hash;  ///< FNV-1a over payloads in table order
+  std::uint64_t n_cells;
+  std::uint64_t n_directions;
+  std::uint64_t n_edges;
+  std::uint32_t max_level;
+  std::uint32_t max_indegree;
+  std::uint64_t n_sections;
+  std::uint64_t section_table_offset;
+  std::uint64_t file_bytes;
+  std::uint8_t reserved[16];
+};
+static_assert(sizeof(RawHeader) == 96, "header layout is part of the format");
+
+struct RawSection {
+  std::uint32_t id;
+  std::uint32_t reserved;
+  std::uint64_t offset;  ///< from file start; kAlign-aligned
+  std::uint64_t size;    ///< payload bytes
+  std::uint64_t count;   ///< payload elements
+};
+static_assert(sizeof(RawSection) == 32, "entry layout is part of the format");
+
+[[noreturn]] void fail(const std::string& what) {
+  throw ArtifactError("artifact: " + what);
+}
+
+constexpr std::uint64_t align_up(std::uint64_t x) {
+  return (x + (kAlign - 1)) & ~(kAlign - 1);
+}
+
+/// A section staged for writing: id + the payload bytes it serializes.
+struct Staged {
+  ArtifactSection id;
+  std::span<const std::byte> payload;
+  std::uint64_t count;
+};
+
+template <typename T>
+Staged stage(ArtifactSection id, std::span<const T> values) {
+  return {id, std::as_bytes(values), values.size()};
+}
+
+/// Bounds-checked typed view of one section payload. Alignment holds by
+/// construction: offsets are kAlign-aligned and both backing stores (mmap,
+/// operator new) are at least 16-byte aligned.
+template <typename T>
+std::span<const T> typed_span(std::span<const std::byte> bytes,
+                              const RawSection& s, const char* what) {
+  if (s.size % sizeof(T) != 0 || s.count != s.size / sizeof(T)) {
+    fail(std::string(what) + ": size/count mismatch");
+  }
+  return {reinterpret_cast<const T*>(bytes.data() + s.offset),
+          static_cast<std::size_t>(s.count)};
+}
+
+}  // namespace
+
+std::vector<std::byte> pack_artifact(const SweepInstance& instance,
+                                     const ArtifactWriteOptions& options) {
+  const TaskGraph& tg = instance.task_graph();
+  const std::size_t n = instance.n_cells();
+  const std::size_t k = instance.n_directions();
+
+  std::vector<Staged> sections;
+  const std::string& name = instance.name();
+  if (!name.empty()) {
+    if (name.size() > kMaxNameBytes) fail("pack: name too long");
+    sections.push_back(stage<char>(ArtifactSection::kName,
+                                   {name.data(), name.size()}));
+  }
+  sections.push_back(stage(ArtifactSection::kCsrOffsets, tg.offsets()));
+  sections.push_back(stage(ArtifactSection::kCsrTargets, tg.targets()));
+  sections.push_back(stage(ArtifactSection::kIndegree, tg.indegrees()));
+  sections.push_back(stage(ArtifactSection::kLevel, tg.levels()));
+  sections.push_back(stage(ArtifactSection::kCell, tg.cells()));
+
+  std::vector<double> dir_xyz;
+  if (options.directions != nullptr) {
+    const DirectionSet& dirs = *options.directions;
+    if (dirs.size() != k || dirs.weights.size() != k) {
+      fail("pack: direction set size != n_directions");
+    }
+    dir_xyz.reserve(3 * k);
+    for (const mesh::Vec3& d : dirs.directions) {
+      dir_xyz.push_back(d.x);
+      dir_xyz.push_back(d.y);
+      dir_xyz.push_back(d.z);
+    }
+    sections.push_back(stage(ArtifactSection::kDirections,
+                             std::span<const double>(dir_xyz)));
+    sections.push_back(stage(ArtifactSection::kDirWeights,
+                             std::span<const double>(dirs.weights)));
+  }
+
+  std::vector<std::uint64_t> descendants;
+  if (options.include_descendants) {
+    descendants.reserve(tg.n_tasks());
+    for (std::size_t i = 0; i < k; ++i) {
+      const std::vector<std::uint64_t>& counts =
+          instance.exact_descendant_counts(i);
+      descendants.insert(descendants.end(), counts.begin(), counts.end());
+    }
+    sections.push_back(stage(ArtifactSection::kDescendants,
+                             std::span<const std::uint64_t>(descendants)));
+  }
+
+  std::vector<std::uint64_t> part_sizes;
+  std::vector<std::uint32_t> part_data;
+  if (options.partitions != nullptr && !options.partitions->empty()) {
+    for (const ArtifactPartition& p : *options.partitions) {
+      if (p.n_parts == 0 || p.n_parts > kMaxIndex) {
+        fail("pack: partition part count out of range");
+      }
+      if (p.assignment.size() != n) {
+        fail("pack: partition assignment size != n_cells");
+      }
+      for (std::uint32_t a : p.assignment) {
+        if (a >= p.n_parts) fail("pack: partition assignment out of range");
+      }
+      part_sizes.push_back(p.n_parts);
+      part_data.insert(part_data.end(), p.assignment.begin(),
+                       p.assignment.end());
+    }
+    sections.push_back(stage(ArtifactSection::kPartitionSizes,
+                             std::span<const std::uint64_t>(part_sizes)));
+    sections.push_back(stage(ArtifactSection::kPartitionData,
+                             std::span<const std::uint32_t>(part_data)));
+  }
+
+  // Lay out: header, table, then payloads in table order, each aligned.
+  std::vector<RawSection> table(sections.size());
+  std::uint64_t cursor =
+      align_up(sizeof(RawHeader) + sections.size() * sizeof(RawSection));
+  for (std::size_t s = 0; s < sections.size(); ++s) {
+    table[s] = {static_cast<std::uint32_t>(sections[s].id), 0, cursor,
+                sections[s].payload.size(), sections[s].count};
+    cursor = align_up(cursor + sections[s].payload.size());
+  }
+  const std::uint64_t file_bytes = cursor;
+
+  std::uint64_t hash = util::kFnv1aOffsetBasis;
+  for (const Staged& s : sections) hash = util::fnv1a(s.payload, hash);
+
+  RawHeader header{};
+  std::memcpy(header.magic, kMagic, sizeof(kMagic));
+  header.version = kFormatVersion;
+  header.header_bytes = sizeof(RawHeader);
+  header.content_hash = hash;
+  header.n_cells = n;
+  header.n_directions = k;
+  header.n_edges = tg.n_edges();
+  header.max_level = tg.max_level();
+  header.max_indegree = tg.max_indegree();
+  header.n_sections = sections.size();
+  header.section_table_offset = sizeof(RawHeader);
+  header.file_bytes = file_bytes;
+
+  std::vector<std::byte> out(static_cast<std::size_t>(file_bytes),
+                             std::byte{0});
+  std::memcpy(out.data(), &header, sizeof(header));
+  std::memcpy(out.data() + sizeof(header), table.data(),
+              table.size() * sizeof(RawSection));
+  for (std::size_t s = 0; s < sections.size(); ++s) {
+    std::memcpy(out.data() + table[s].offset, sections[s].payload.data(),
+                sections[s].payload.size());
+  }
+  return out;
+}
+
+void save_artifact(const SweepInstance& instance, const std::string& path,
+                   const ArtifactWriteOptions& options) {
+  const std::vector<std::byte> bytes = pack_artifact(instance, options);
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out) fail("cannot open " + path + " for writing");
+  out.write(reinterpret_cast<const char*>(bytes.data()),
+            static_cast<std::streamsize>(bytes.size()));
+  if (!out) fail("short write to " + path);
+}
+
+Artifact::~Artifact() {
+  if (map_ != nullptr) ::munmap(map_, map_bytes_);
+}
+
+std::shared_ptr<const Artifact> Artifact::map_file(const std::string& path) {
+  const int fd = ::open(path.c_str(), O_RDONLY | O_CLOEXEC);
+  if (fd < 0) {
+    throw std::runtime_error("artifact: cannot open " + path + ": " +
+                             std::strerror(errno));
+  }
+  struct stat st{};
+  if (::fstat(fd, &st) != 0) {
+    const int err = errno;
+    ::close(fd);
+    throw std::runtime_error("artifact: fstat " + path + ": " +
+                             std::strerror(err));
+  }
+  const auto size = static_cast<std::size_t>(st.st_size);
+  if (size < sizeof(RawHeader)) {
+    ::close(fd);
+    fail(path + ": file shorter than the header");
+  }
+  void* map = ::mmap(nullptr, size, PROT_READ, MAP_PRIVATE, fd, 0);
+  ::close(fd);  // the mapping keeps the file alive
+  if (map == MAP_FAILED) {
+    throw std::runtime_error("artifact: mmap " + path + ": " +
+                             std::strerror(errno));
+  }
+  // shared_ptr<const Artifact> with a private ctor: build via raw new.
+  std::shared_ptr<Artifact> artifact(new Artifact());
+  artifact->map_ = map;
+  artifact->map_bytes_ = size;
+  artifact->mapped_ = true;
+  artifact->bytes_ = {static_cast<const std::byte*>(map), size};
+  artifact->parse();  // dtor unmaps if this throws
+  return artifact;
+}
+
+std::shared_ptr<const Artifact> Artifact::from_memory(
+    std::vector<std::byte> bytes) {
+  std::shared_ptr<Artifact> artifact(new Artifact());
+  artifact->buffer_ = std::move(bytes);
+  artifact->bytes_ = {artifact->buffer_.data(), artifact->buffer_.size()};
+  artifact->parse();
+  return artifact;
+}
+
+void Artifact::parse() {
+  const std::span<const std::byte> bytes = bytes_;
+  if (bytes.size() < sizeof(RawHeader)) fail("truncated header");
+  RawHeader header{};
+  std::memcpy(&header, bytes.data(), sizeof(header));
+  if (std::memcmp(header.magic, kMagic, sizeof(kMagic)) != 0) {
+    fail("bad magic (not a sweep artifact, or foreign endianness)");
+  }
+  if (header.version != kFormatVersion) {
+    fail("unsupported version " + std::to_string(header.version));
+  }
+  if (header.header_bytes != sizeof(RawHeader)) fail("bad header size");
+  if (header.file_bytes != bytes.size()) {
+    fail("file size mismatch (truncated or padded file)");
+  }
+  if (header.n_sections > kMaxSections) fail("too many sections");
+  if (header.section_table_offset < sizeof(RawHeader) ||
+      header.section_table_offset > bytes.size() ||
+      header.n_sections * sizeof(RawSection) >
+          bytes.size() - header.section_table_offset) {
+    fail("section table out of bounds");
+  }
+
+  // Load and bounds-check the table; reject duplicate ids so a hostile file
+  // cannot smuggle two conflicting copies of one section.
+  std::vector<RawSection> table(static_cast<std::size_t>(header.n_sections));
+  std::uint32_t seen_ids[kMaxSections] = {};
+  for (std::size_t s = 0; s < table.size(); ++s) {
+    std::memcpy(&table[s],
+                bytes.data() + header.section_table_offset +
+                    s * sizeof(RawSection),
+                sizeof(RawSection));
+    const RawSection& sec = table[s];
+    if (sec.id == 0) fail("section id 0 is reserved");
+    if (sec.offset % kAlign != 0) fail("unaligned section offset");
+    if (sec.offset > bytes.size() || sec.size > bytes.size() - sec.offset) {
+      fail("section payload out of bounds");
+    }
+    for (std::size_t t = 0; t < s; ++t) {
+      if (seen_ids[t] == sec.id) fail("duplicate section id");
+    }
+    seen_ids[s] = sec.id;
+  }
+
+  // Content hash before structural interpretation: a corrupted file fails
+  // here with a clear message instead of tripping some invariant check.
+  std::uint64_t hash = util::kFnv1aOffsetBasis;
+  for (const RawSection& sec : table) {
+    hash = util::fnv1a(bytes.subspan(sec.offset, sec.size), hash);
+  }
+  if (hash != header.content_hash) fail("content hash mismatch");
+
+  const auto find = [&](ArtifactSection id) -> const RawSection* {
+    for (const RawSection& sec : table) {
+      if (sec.id == static_cast<std::uint32_t>(id)) return &sec;
+    }
+    return nullptr;  // unknown ids in the table are simply never looked up
+  };
+  const auto require = [&](ArtifactSection id,
+                           const char* what) -> const RawSection& {
+    const RawSection* sec = find(id);
+    if (sec == nullptr) fail(std::string("missing section: ") + what);
+    return *sec;
+  };
+
+  // Shape. Same 32-bit ceiling as TaskGraph::build (overflow-safe).
+  const std::uint64_t n = header.n_cells;
+  const std::uint64_t k = header.n_directions;
+  if (n > kMaxIndex || k > kMaxIndex ||
+      (k != 0 && n != 0 && k > kMaxIndex / n)) {
+    fail("shape exceeds the 32-bit task id space");
+  }
+  const std::uint64_t total = n * k;
+  if (header.n_edges > kMaxIndex) fail("edge count exceeds 32-bit offsets");
+
+  const auto offsets = typed_span<std::uint32_t>(
+      bytes, require(ArtifactSection::kCsrOffsets, "csr offsets"), "offsets");
+  const auto targets = typed_span<std::uint32_t>(
+      bytes, require(ArtifactSection::kCsrTargets, "csr targets"), "targets");
+  const auto indegree = typed_span<std::uint32_t>(
+      bytes, require(ArtifactSection::kIndegree, "indegree"), "indegree");
+  const auto level = typed_span<std::uint32_t>(
+      bytes, require(ArtifactSection::kLevel, "level"), "level");
+  const auto cell = typed_span<std::uint32_t>(
+      bytes, require(ArtifactSection::kCell, "cell"), "cell");
+  if (offsets.size() != total + 1) fail("offsets count != n_tasks + 1");
+  if (targets.size() != header.n_edges) fail("targets count != n_edges");
+  if (indegree.size() != total || level.size() != total ||
+      cell.size() != total) {
+    fail("per-task section count != n_tasks");
+  }
+
+  // CSR structural invariants.
+  if (offsets[0] != 0) fail("offsets[0] != 0");
+  for (std::size_t t = 0; t < total; ++t) {
+    if (offsets[t + 1] < offsets[t]) fail("offsets not monotone");
+  }
+  if (offsets[total] != targets.size()) {
+    fail("offsets[n_tasks] != targets count");
+  }
+  std::uint32_t max_level = 0;
+  std::uint32_t max_indegree = 0;
+  std::vector<std::uint32_t> recount(static_cast<std::size_t>(total), 0);
+  for (std::size_t t = 0; t < total; ++t) {
+    if (cell[t] != t % n) fail("cell id inconsistent with task id");
+    max_level = std::max(max_level, level[t]);
+    max_indegree = std::max(max_indegree, indegree[t]);
+    const std::uint64_t dir = t / n;
+    for (std::uint32_t e = offsets[t]; e < offsets[t + 1]; ++e) {
+      const std::uint32_t succ = targets[e];
+      if (succ >= total) fail("edge target out of range");
+      if (succ / n != dir) fail("edge crosses directions");
+      // Strictly increasing levels along edges proves acyclicity — the
+      // scheduling engines' termination depends on it.
+      if (level[succ] <= level[t]) fail("edge does not increase level");
+      ++recount[succ];
+    }
+  }
+  for (std::size_t t = 0; t < total; ++t) {
+    if (recount[t] != indegree[t]) fail("stored indegree != CSR recount");
+  }
+  if (max_level != header.max_level) fail("header max_level mismatch");
+  if (max_indegree != header.max_indegree) {
+    fail("header max_indegree mismatch");
+  }
+
+  // Optional sections.
+  if (const RawSection* sec = find(ArtifactSection::kName)) {
+    if (sec->size > kMaxNameBytes) fail("name too long");
+    const auto chars = typed_span<char>(bytes, *sec, "name");
+    name_ = {chars.data(), chars.size()};
+  }
+  const RawSection* dirs = find(ArtifactSection::kDirections);
+  const RawSection* weights = find(ArtifactSection::kDirWeights);
+  if ((dirs == nullptr) != (weights == nullptr)) {
+    fail("directions and weights sections must appear together");
+  }
+  if (dirs != nullptr) {
+    direction_xyz_ = typed_span<double>(bytes, *dirs, "directions");
+    direction_weights_ = typed_span<double>(bytes, *weights, "weights");
+    if (direction_xyz_.size() != 3 * k || direction_weights_.size() != k) {
+      fail("direction section count != n_directions");
+    }
+  }
+  if (const RawSection* sec = find(ArtifactSection::kDescendants)) {
+    descendants_ = typed_span<std::uint64_t>(bytes, *sec, "descendants");
+    if (descendants_.size() != total) fail("descendants count != n_tasks");
+  }
+  const RawSection* psizes = find(ArtifactSection::kPartitionSizes);
+  const RawSection* pdata = find(ArtifactSection::kPartitionData);
+  if ((psizes == nullptr) != (pdata == nullptr)) {
+    fail("partition sections must appear together");
+  }
+  if (psizes != nullptr) {
+    partition_sizes_ =
+        typed_span<std::uint64_t>(bytes, *psizes, "partition sizes");
+    partition_data_ =
+        typed_span<std::uint32_t>(bytes, *pdata, "partition data");
+    if (n != 0 && partition_sizes_.size() > kMaxIndex / n) {
+      fail("partition data count overflows");
+    }
+    if (partition_data_.size() != partition_sizes_.size() * n) {
+      fail("partition data count != n_partitions * n_cells");
+    }
+    for (std::size_t j = 0; j < partition_sizes_.size(); ++j) {
+      const std::uint64_t parts = partition_sizes_[j];
+      if (parts == 0 || parts > kMaxIndex) {
+        fail("partition part count out of range");
+      }
+      for (std::uint32_t a : partition_data_.subspan(j * n, n)) {
+        if (a >= parts) fail("partition assignment out of range");
+      }
+    }
+  }
+
+  content_hash_ = header.content_hash;
+  graph_ = TaskGraph::from_views(static_cast<std::size_t>(n),
+                                 static_cast<std::size_t>(k), offsets, targets,
+                                 indegree, level, cell, max_level,
+                                 max_indegree);
+}
+
+}  // namespace sweep::dag

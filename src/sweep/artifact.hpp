@@ -1,0 +1,195 @@
+#pragma once
+// Sweep artifacts: the versioned zero-copy binary format behind sweep_pack /
+// sweep_serve (DESIGN.md §13).
+//
+// An artifact freezes everything the serving path needs to answer scheduling
+// queries about one instance — the flat CSR TaskGraph, the direction set,
+// cached exact descendant counts, and precomputed partitions — in a layout a
+// reader can mmap read-only and use in place. The big arrays (CSR offsets/
+// targets, per-task indegree/level/cell) are stored exactly as TaskGraph
+// holds them in memory, 64-byte aligned, so Artifact::task_graph() is a
+// TaskGraph::from_views over the mapping: no copy, no parse, the schedulers
+// run straight out of the page cache. The same pages are shared by every
+// process serving the file (the OSRM shared-storage model).
+//
+// File layout (all integers native-endian; the magic doubles as an
+// endianness check):
+//
+//   [RawHeader, 96 bytes]
+//     magic "SWEEPART", version, header size, FNV-1a content hash over the
+//     section payloads in table order, instance shape (n_cells,
+//     n_directions, n_edges, max_level, max_indegree), section count, table
+//     offset, total file size.
+//   [section table: n_sections x RawSection, 32 bytes each]
+//     id, payload offset, payload size in bytes, element count.
+//   [section payloads, each 64-byte aligned]
+//
+// Sections may appear in any order; ids are unique. Unknown ids are skipped
+// on load (forward compatibility: a newer writer may add sections without
+// bumping the version, as long as the existing ones keep their meaning).
+// Required: the five CSR/per-task arrays. Optional: name, directions +
+// weights (paired), descendant counts, partitions (sizes + data, paired).
+//
+// The loader trusts nothing: every offset/size is bounds- and
+// overflow-checked, CSR offsets must be monotone and end at the edge count,
+// targets must be in range, cell ids must match tid % n_cells, levels must
+// strictly increase along every edge (which proves acyclicity — the
+// schedulers' termination depends on it), the stored indegrees must equal a
+// recount from the CSR, and the content hash must match. A file that fails
+// any check throws ArtifactError and is never partially exposed.
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "mesh/vec3.hpp"
+#include "sweep/instance.hpp"
+#include "sweep/task_graph.hpp"
+
+namespace sweep::dag {
+
+/// Every rejection path in pack/load throws this (derives runtime_error so
+/// existing catch sites and the fuzz oracles treat it like the IO errors).
+class ArtifactError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+/// Section ids. Values are part of the on-disk format; never renumber.
+enum class ArtifactSection : std::uint32_t {
+  kName = 1,            ///< char[] instance name (raw bytes)
+  kCsrOffsets = 2,      ///< u32[n_tasks + 1] successor offsets
+  kCsrTargets = 3,      ///< u32[n_edges] successor task ids
+  kIndegree = 4,        ///< u32[n_tasks]
+  kLevel = 5,           ///< u32[n_tasks]
+  kCell = 6,            ///< u32[n_tasks] (tid % n_cells, stored for zero-copy)
+  kDirections = 7,      ///< f64[3 * n_directions] unit vectors
+  kDirWeights = 8,      ///< f64[n_directions] quadrature weights
+  kDescendants = 9,     ///< u64[n_tasks] exact per-task descendant counts
+  kPartitionSizes = 10, ///< u64[n_partitions] part count of each partition
+  kPartitionData = 11,  ///< u32[n_partitions * n_cells] cell -> part
+};
+
+/// One precomputed cell partition embedded in an artifact.
+struct ArtifactPartition {
+  std::uint64_t n_parts = 0;
+  std::vector<std::uint32_t> assignment;  ///< size n_cells, values < n_parts
+};
+
+struct ArtifactWriteOptions {
+  /// Optional angular quadrature (size must equal instance.n_directions()).
+  const DirectionSet* directions = nullptr;
+  /// Optional precomputed partitions (each assignment sized n_cells).
+  const std::vector<ArtifactPartition>* partitions = nullptr;
+  /// Embed exact descendant counts for every direction (lets the daemon
+  /// serve the descendant priority scheme without the transitive closure).
+  bool include_descendants = false;
+};
+
+/// Serializes `instance` (plus the optional sections) to artifact bytes.
+/// Deterministic: same instance + options -> same bytes, same content hash.
+std::vector<std::byte> pack_artifact(const SweepInstance& instance,
+                                     const ArtifactWriteOptions& options = {});
+
+/// pack_artifact + atomic-ish write (tmp file + rename is the packer tool's
+/// job; this is a plain write).
+void save_artifact(const SweepInstance& instance, const std::string& path,
+                   const ArtifactWriteOptions& options = {});
+
+/// A loaded artifact: validated views over an mmap'ed file or an owned byte
+/// buffer. Immutable and internally synchronization-free, so one instance
+/// may serve any number of concurrent query threads; lifetime is managed by
+/// shared_ptr so sweep_serve can hot-swap artifacts while old queries drain
+/// (the unmap happens when the last reader drops its reference).
+class Artifact {
+ public:
+  Artifact(const Artifact&) = delete;
+  Artifact& operator=(const Artifact&) = delete;
+  ~Artifact();
+
+  /// Maps `path` read-only and validates it. Throws ArtifactError on any
+  /// malformed input, std::runtime_error on OS-level failures.
+  static std::shared_ptr<const Artifact> map_file(const std::string& path);
+
+  /// Validates an in-memory image (takes ownership of the buffer). The fuzz
+  /// harness drives the hostile-artifact channel through this — byte-level
+  /// corruption without touching the filesystem.
+  static std::shared_ptr<const Artifact> from_memory(
+      std::vector<std::byte> bytes);
+
+  /// The zero-copy task graph (borrows this artifact's memory; never
+  /// outlives it because every consumer holds the shared_ptr).
+  [[nodiscard]] const TaskGraph& task_graph() const { return graph_; }
+
+  [[nodiscard]] std::string_view name() const { return name_; }
+  [[nodiscard]] std::size_t n_cells() const { return graph_.n_cells(); }
+  [[nodiscard]] std::size_t n_directions() const {
+    return graph_.n_directions();
+  }
+  [[nodiscard]] std::size_t n_tasks() const { return graph_.n_tasks(); }
+  [[nodiscard]] std::size_t n_edges() const { return graph_.n_edges(); }
+  [[nodiscard]] std::uint64_t content_hash() const { return content_hash_; }
+  [[nodiscard]] std::size_t file_bytes() const { return bytes_.size(); }
+  /// True when backed by an mmap (false for from_memory buffers).
+  [[nodiscard]] bool mapped() const { return mapped_; }
+
+  [[nodiscard]] bool has_directions() const { return !direction_xyz_.empty(); }
+  [[nodiscard]] mesh::Vec3 direction(std::size_t i) const {
+    return {direction_xyz_[3 * i], direction_xyz_[3 * i + 1],
+            direction_xyz_[3 * i + 2]};
+  }
+  [[nodiscard]] std::span<const double> direction_weights() const {
+    return direction_weights_;
+  }
+
+  [[nodiscard]] bool has_descendants() const { return !descendants_.empty(); }
+  /// Exact descendant counts of direction i's cells (empty span if the
+  /// packer skipped the section).
+  [[nodiscard]] std::span<const std::uint64_t> descendant_counts(
+      std::size_t i) const {
+    if (descendants_.empty()) return {};
+    return descendants_.subspan(i * n_cells(), n_cells());
+  }
+  /// All n_tasks counts, task-id indexed (empty if absent).
+  [[nodiscard]] std::span<const std::uint64_t> descendant_counts_flat() const {
+    return descendants_;
+  }
+
+  [[nodiscard]] std::size_t n_partitions() const {
+    return partition_sizes_.size();
+  }
+  [[nodiscard]] std::uint64_t partition_parts(std::size_t j) const {
+    return partition_sizes_[j];
+  }
+  [[nodiscard]] std::span<const std::uint32_t> partition(std::size_t j) const {
+    return partition_data_.subspan(j * n_cells(), n_cells());
+  }
+
+ private:
+  Artifact() = default;
+
+  /// Parses + validates `bytes_` (already set) and binds every view.
+  void parse();
+
+  std::span<const std::byte> bytes_;     // the whole file image
+  std::vector<std::byte> buffer_;        // owns bytes_ in from_memory mode
+  void* map_ = nullptr;                  // owns bytes_ in map_file mode
+  std::size_t map_bytes_ = 0;
+  bool mapped_ = false;
+
+  TaskGraph graph_;  // borrowing views into bytes_
+  std::string_view name_;
+  std::uint64_t content_hash_ = 0;
+  std::span<const double> direction_xyz_;
+  std::span<const double> direction_weights_;
+  std::span<const std::uint64_t> descendants_;
+  std::span<const std::uint64_t> partition_sizes_;
+  std::span<const std::uint32_t> partition_data_;
+};
+
+}  // namespace sweep::dag

@@ -30,9 +30,9 @@ SweepInstance::SweepInstance(std::size_t n_cells, std::vector<SweepDag> dags,
           "SweepInstance: all DAGs must share the cell id space");
     }
   }
-  if (dags_.empty()) {
-    throw std::invalid_argument("SweepInstance: need at least one direction");
-  }
+  // Zero directions is a legal (fully degenerate) instance, symmetric with
+  // the n_cells == 0 support: it has no tasks, an empty task graph, and
+  // round-trips through save_instance/load_instance.
 }
 
 SweepInstance::SweepInstance(const SweepInstance& other)

@@ -1,16 +1,44 @@
 #include "sweep/instance_io.hpp"
 
+#include <algorithm>
+#include <cstdint>
 #include <fstream>
+#include <limits>
 #include <stdexcept>
 #include <utility>
 #include <vector>
 
 namespace sweep::dag {
+namespace {
+
+// Version history:
+//   1 — name stored as a single >> token. Names with whitespace broke the
+//       round trip (the loader consumed only the first word and then
+//       misparsed the shape line); still accepted on load for old files.
+//   2 — name stored length-prefixed ("name <bytes> <raw name>"), so any
+//       byte sequence round-trips; k == 0 accepted on load (symmetric with
+//       save, which always wrote it).
+constexpr int kVersion = 2;
+
+/// Upper bound on a stored name; a hostile length prefix must not drive a
+/// multi-GB string allocation.
+constexpr std::size_t kMaxNameBytes = 1u << 16;
+
+/// Task-id / edge-offset ceiling shared with TaskGraph::build (32-bit ids).
+constexpr std::uint64_t kMaxIndex =
+    std::numeric_limits<std::uint32_t>::max() - 1;
+
+/// Edge lists grow incrementally from what the stream actually contains;
+/// this only caps how much we pre-reserve from the untrusted header count.
+constexpr std::uint64_t kReserveCap = 1u << 20;
+
+}  // namespace
 
 void save_instance(const SweepInstance& instance, std::ostream& out) {
-  out << "sweepinst 1\n";
-  out << "name " << (instance.name().empty() ? "unnamed" : instance.name())
-      << "\n";
+  out << "sweepinst " << kVersion << "\n";
+  const std::string& raw = instance.name();
+  const std::string name = raw.empty() ? "unnamed" : raw;
+  out << "name " << name.size() << ' ' << name << "\n";
   out << instance.n_cells() << ' ' << instance.n_directions() << "\n";
   for (const SweepDag& g : instance.dags()) {
     out << g.n_edges() << "\n";
@@ -31,33 +59,71 @@ void save_instance(const SweepInstance& instance, const std::string& path) {
 SweepInstance load_instance(std::istream& in) {
   std::string magic;
   int version = 0;
-  if (!(in >> magic >> version) || magic != "sweepinst" || version != 1) {
+  if (!(in >> magic >> version) || magic != "sweepinst" || version < 1 ||
+      version > kVersion) {
     throw std::runtime_error("load_instance: bad header");
   }
   std::string key;
-  std::string name;
-  if (!(in >> key >> name) || key != "name") {
+  if (!(in >> key) || key != "name") {
     throw std::runtime_error("load_instance: expected 'name'");
   }
-  std::size_t n = 0;
-  std::size_t k = 0;
-  if (!(in >> n >> k) || k == 0) {
+  std::string name;
+  if (version == 1) {
+    // Legacy single-token name (whitespace was never representable in v1).
+    if (!(in >> name)) {
+      throw std::runtime_error("load_instance: truncated name");
+    }
+  } else {
+    std::uint64_t name_bytes = 0;
+    if (!(in >> name_bytes) || name_bytes > kMaxNameBytes) {
+      throw std::runtime_error("load_instance: bad name length");
+    }
+    if (in.get() == std::char_traits<char>::eof()) {
+      throw std::runtime_error("load_instance: truncated name");
+    }
+    name.resize(static_cast<std::size_t>(name_bytes));
+    if (name_bytes > 0 &&
+        !in.read(name.data(), static_cast<std::streamsize>(name_bytes))) {
+      throw std::runtime_error("load_instance: truncated name");
+    }
+  }
+  std::uint64_t n = 0;
+  std::uint64_t k = 0;
+  if (!(in >> n >> k)) {
     throw std::runtime_error("load_instance: bad shape line");
   }
+  // Same ceiling TaskGraph::build enforces: n node ids and n*k task ids must
+  // fit 32 bits (overflow-safe formulation — n * k itself may wrap u64).
+  if (n > kMaxIndex || (k != 0 && n != 0 && k > kMaxIndex / n)) {
+    throw std::runtime_error("load_instance: instance too large for 32-bit ids");
+  }
   std::vector<SweepDag> dags;
-  dags.reserve(k);
-  for (std::size_t i = 0; i < k; ++i) {
-    std::size_t edges = 0;
+  dags.reserve(static_cast<std::size_t>(k));
+  for (std::uint64_t i = 0; i < k; ++i) {
+    std::uint64_t edges = 0;
     if (!(in >> edges)) throw std::runtime_error("load_instance: missing edge count");
-    std::vector<std::pair<NodeId, NodeId>> edge_list(edges);
-    for (auto& [u, v] : edge_list) {
+    if (edges > kMaxIndex) {
+      throw std::runtime_error("load_instance: edge count too large");
+    }
+    // The declared count caps the loop, but memory grows only with edges
+    // actually present in the stream — a hostile header claiming 2^32 edges
+    // over a 3-line file fails on the first missing edge, not in operator new.
+    std::vector<std::pair<NodeId, NodeId>> edge_list;
+    edge_list.reserve(static_cast<std::size_t>(std::min(edges, kReserveCap)));
+    for (std::uint64_t e = 0; e < edges; ++e) {
+      std::uint64_t u = 0;
+      std::uint64_t v = 0;
       if (!(in >> u >> v)) {
         throw std::runtime_error("load_instance: truncated edge list");
       }
+      if (u >= n || v >= n) {
+        throw std::runtime_error("load_instance: edge endpoint out of range");
+      }
+      edge_list.emplace_back(static_cast<NodeId>(u), static_cast<NodeId>(v));
     }
-    dags.emplace_back(n, edge_list);
+    dags.emplace_back(static_cast<std::size_t>(n), edge_list);
   }
-  return SweepInstance(n, std::move(dags), name);
+  return SweepInstance(static_cast<std::size_t>(n), std::move(dags), name);
 }
 
 SweepInstance load_instance(const std::string& path) {

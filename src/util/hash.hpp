@@ -1,0 +1,42 @@
+#pragma once
+// FNV-1a 64-bit hashing. Used as the content hash of sweep artifacts
+// (sweep/artifact.hpp) and as the schedule fingerprint the serve smoke test
+// compares against the in-process path ("bit-identical" is literal: same
+// bytes, same FNV-1a).
+//
+// FNV-1a is not cryptographic; it detects corruption and divergence, not
+// adversaries with hash-forging budgets. That is the right tradeoff for a
+// format whose loader already validates every structural invariant.
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <type_traits>
+
+namespace sweep::util {
+
+inline constexpr std::uint64_t kFnv1aOffsetBasis = 14695981039346656037ULL;
+inline constexpr std::uint64_t kFnv1aPrime = 1099511628211ULL;
+
+/// Folds `bytes` into a running FNV-1a state (pass the previous return value
+/// as `state` to hash discontiguous regions as one stream).
+[[nodiscard]] constexpr std::uint64_t fnv1a(
+    std::span<const std::byte> bytes,
+    std::uint64_t state = kFnv1aOffsetBasis) {
+  for (std::byte b : bytes) {
+    state ^= static_cast<std::uint64_t>(b);
+    state *= kFnv1aPrime;
+  }
+  return state;
+}
+
+/// Hashes the object representation of a trivially-copyable span (u32 CSR
+/// arrays, i64 priority vectors, schedule start times, ...).
+template <typename T>
+  requires std::is_trivially_copyable_v<T>
+[[nodiscard]] std::uint64_t fnv1a_span(
+    std::span<const T> values, std::uint64_t state = kFnv1aOffsetBasis) {
+  return fnv1a(std::as_bytes(values), state);
+}
+
+}  // namespace sweep::util

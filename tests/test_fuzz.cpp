@@ -59,13 +59,19 @@ TEST(FuzzRepro, CommittedReprosStayClean) {
   // Each committed repro is a minimized scenario that failed before its bug
   // was fixed: out-of-range assignments corrupting execute_layered, schedule
   // files loaded without validation, CLI values silently parsing to zero,
-  // and the n=0 TaskGraph::n_directions collapse found by the fuzzer itself.
+  // the n=0 TaskGraph::n_directions collapse found by the fuzzer itself,
+  // instance files whose claimed edge count pre-allocated unbounded memory,
+  // artifact images with overflowing section offsets, and wire frames that
+  // decoded past their span.
   const std::filesystem::path dir(SWEEP_FUZZ_DATA_DIR);
   const char* files[] = {
       "oob_assignment.sweepfuzz",
       "corrupt_schedule_file.sweepfuzz",
       "cli_silent_zero.sweepfuzz",
       "edgeless_n0.sweepfuzz",
+      "corrupt_instance_file.sweepfuzz",
+      "corrupt_artifact.sweepfuzz",
+      "wire_garbage.sweepfuzz",
   };
   for (const char* file : files) {
     const std::string path = (dir / file).string();

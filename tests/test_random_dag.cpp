@@ -99,7 +99,16 @@ TEST(SweepInstance, RejectsMismatchedDags) {
   dags.push_back(chain_dag(10, rng));
   dags.push_back(chain_dag(11, rng));
   EXPECT_THROW(SweepInstance(10, std::move(dags)), std::invalid_argument);
-  EXPECT_THROW(SweepInstance(10, {}), std::invalid_argument);
+}
+
+TEST(SweepInstance, ZeroDirectionsIsLegal) {
+  // k == 0 instances are valid (and round-trip through instance_io): the
+  // schedulers degrade to the empty schedule instead of the constructor
+  // rejecting them.
+  const SweepInstance inst(10, {});
+  EXPECT_EQ(inst.n_directions(), 0u);
+  EXPECT_EQ(inst.n_cells(), 10u);
+  EXPECT_EQ(inst.task_graph().n_tasks(), 0u);
 }
 
 }  // namespace

@@ -1,0 +1,348 @@
+// Tests for the sweep_serve stack below the socket layer: wire-protocol
+// round trips and malformed-frame rejection, and ServeService request
+// handling — bit-identity of query responses against the in-process
+// scheduling path, error statuses that keep the daemon alive, and hot swap
+// through a kSwap request.
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <cstring>
+#include <filesystem>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "core/assignment.hpp"
+#include "core/comm_cost.hpp"
+#include "core/list_scheduler.hpp"
+#include "core/priorities.hpp"
+#include "serve/service.hpp"
+#include "serve/wire.hpp"
+#include "sweep/artifact.hpp"
+#include "sweep/random_dag.hpp"
+#include "util/hash.hpp"
+#include "util/rng.hpp"
+
+namespace sweep::serve {
+namespace {
+
+TEST(Wire, RequestRoundTripsEveryType) {
+  {
+    Request r;
+    r.type = MsgType::kPing;
+    EXPECT_EQ(decode_request(encode_request(r)).type, MsgType::kPing);
+  }
+  {
+    Request r;
+    r.type = MsgType::kQuery;
+    r.query.scheme = Scheme::kDescendant;
+    r.query.m = 12;
+    r.query.seed = 0xfeedfaceULL;
+    r.query.partition = 3;
+    r.query.want_starts = true;
+    const Request back = decode_request(encode_request(r));
+    EXPECT_EQ(back.type, MsgType::kQuery);
+    EXPECT_EQ(back.query.scheme, Scheme::kDescendant);
+    EXPECT_EQ(back.query.m, 12u);
+    EXPECT_EQ(back.query.seed, 0xfeedfaceULL);
+    EXPECT_EQ(back.query.partition, 3);
+    EXPECT_TRUE(back.query.want_starts);
+  }
+  {
+    Request r;
+    r.type = MsgType::kSwap;
+    r.swap.path = "/tmp/with spaces and\nnewlines.sweepart";
+    const Request back = decode_request(encode_request(r));
+    EXPECT_EQ(back.type, MsgType::kSwap);
+    EXPECT_EQ(back.swap.path, r.swap.path);
+  }
+  for (const MsgType t : {MsgType::kInfo, MsgType::kStats, MsgType::kShutdown}) {
+    Request r;
+    r.type = t;
+    EXPECT_EQ(decode_request(encode_request(r)).type, t);
+  }
+}
+
+TEST(Wire, ResponseRoundTrips) {
+  {
+    Response r;
+    r.status = 0;
+    r.type = MsgType::kInfo;
+    r.info.name = "tet mesh";
+    r.info.n_cells = 100;
+    r.info.n_directions = 8;
+    r.info.n_edges = 421;
+    r.info.content_hash = 0x1234567890abcdefULL;
+    r.info.n_partitions = 2;
+    r.info.has_descendants = true;
+    const Response back = decode_response(encode_response(r));
+    EXPECT_EQ(back.info.name, "tet mesh");
+    EXPECT_EQ(back.info.n_edges, 421u);
+    EXPECT_EQ(back.info.content_hash, r.info.content_hash);
+    EXPECT_TRUE(back.info.has_descendants);
+  }
+  {
+    Response r;
+    r.status = 0;
+    r.type = MsgType::kQuery;
+    r.query.makespan = 77;
+    r.query.c1_cross_edges = 5;
+    r.query.c1_total_edges = 9;
+    r.query.c2_total_delay = 3;
+    r.query.schedule_hash = 42;
+    r.query.starts = {0, 1, 2, 7};
+    const Response back = decode_response(encode_response(r));
+    EXPECT_EQ(back.query.makespan, 77u);
+    EXPECT_EQ(back.query.starts, r.query.starts);
+  }
+  {
+    Response r;
+    r.status = 0;
+    r.type = MsgType::kStats;
+    r.stats.entries = {{"serve.queries", 10}, {"serve.swaps", 1}};
+    const Response back = decode_response(encode_response(r));
+    EXPECT_EQ(back.stats.entries, r.stats.entries);
+  }
+  {
+    Response r;  // error responses carry only the message
+    r.status = 2;
+    r.type = MsgType::kQuery;
+    r.error = "no such partition";
+    const Response back = decode_response(encode_response(r));
+    EXPECT_EQ(back.status, 2u);
+    EXPECT_EQ(back.error, "no such partition");
+  }
+}
+
+TEST(Wire, MalformedFramesAreRejected) {
+  EXPECT_THROW(decode_request({}), WireError);
+  EXPECT_THROW(decode_response({}), WireError);
+
+  Request query;
+  query.type = MsgType::kQuery;
+  const std::vector<std::byte> valid = encode_request(query);
+  // Every strict prefix of a valid frame is truncated.
+  for (std::size_t keep = 0; keep < valid.size(); ++keep) {
+    EXPECT_THROW(
+        decode_request(std::span<const std::byte>(valid.data(), keep)),
+        WireError)
+        << "prefix " << keep;
+  }
+  // Trailing bytes are malformed, not forward-compatible.
+  std::vector<std::byte> padded = valid;
+  padded.push_back(std::byte{0});
+  EXPECT_THROW(decode_request(padded), WireError);
+  // Unknown message type (0 and out-of-range).
+  for (const std::uint32_t bad : {0u, 7u, 4096u}) {
+    std::vector<std::byte> frame(4);
+    std::memcpy(frame.data(), &bad, 4);
+    EXPECT_THROW(decode_request(frame), WireError);
+  }
+  // Out-of-range scheme in an otherwise intact query.
+  std::vector<std::byte> bad_scheme = valid;
+  const std::uint32_t scheme = 3;
+  std::memcpy(bad_scheme.data() + 4, &scheme, 4);
+  EXPECT_THROW(decode_request(bad_scheme), WireError);
+  // A string length that claims more bytes than the frame holds.
+  Request swap;
+  swap.type = MsgType::kSwap;
+  swap.swap.path = "x";
+  std::vector<std::byte> lying = encode_request(swap);
+  const std::uint32_t huge = 1u << 20;
+  std::memcpy(lying.data() + 4, &huge, 4);
+  EXPECT_THROW(decode_request(lying), WireError);
+}
+
+// ---------------------------------------------------------------------------
+// ServeService
+
+dag::SweepInstance make_instance() {
+  return dag::random_instance(80, 3, 5, 1.8, 23);
+}
+
+ServeService make_service(const dag::SweepInstance& instance,
+                          bool descendants = true) {
+  dag::ArtifactWriteOptions options;
+  options.include_descendants = descendants;
+  return ServeService(
+      dag::Artifact::from_memory(dag::pack_artifact(instance, options)));
+}
+
+Request query_request(Scheme scheme, std::uint32_t m, std::uint64_t seed) {
+  Request request;
+  request.type = MsgType::kQuery;
+  request.query.scheme = scheme;
+  request.query.m = m;
+  request.query.seed = seed;
+  return request;
+}
+
+TEST(ServeService, QueriesAreBitIdenticalToTheInProcessPath) {
+  const dag::SweepInstance instance = make_instance();
+  ServeService service = make_service(instance);
+  for (const Scheme scheme :
+       {Scheme::kLevel, Scheme::kRandomDelay, Scheme::kDescendant}) {
+    const std::uint32_t m = 4;
+    const std::uint64_t seed = 99;
+    // The documented recipe (serve/service.hpp).
+    util::Rng rng(seed);
+    const core::Assignment assignment =
+        core::random_assignment(instance.n_cells(), m, rng);
+    std::vector<std::int64_t> priorities;
+    switch (scheme) {
+      case Scheme::kLevel:
+        priorities = core::level_priorities(instance);
+        break;
+      case Scheme::kRandomDelay: {
+        const auto delays = core::random_delays(instance.n_directions(), rng);
+        priorities = core::random_delay_priorities(instance, delays);
+        break;
+      }
+      case Scheme::kDescendant:
+        priorities = core::descendant_priorities(instance, rng);
+        break;
+    }
+    core::ListScheduleOptions options;
+    options.priorities = priorities;
+    const core::Schedule schedule =
+        core::list_schedule(instance, assignment, m, options);
+    const std::uint64_t want_hash = util::fnv1a_span<core::TimeStep>(
+        schedule.starts(),
+        util::fnv1a_span<core::ProcessorId>(schedule.assignment()));
+
+    Request request = query_request(scheme, m, seed);
+    request.query.want_starts = true;
+    const Response r = service.handle(request);
+    ASSERT_EQ(r.status, 0u) << r.error;
+    EXPECT_EQ(r.query.makespan, schedule.makespan());
+    EXPECT_EQ(r.query.schedule_hash, want_hash);
+    EXPECT_EQ(r.query.starts, schedule.starts());
+    EXPECT_EQ(r.query.c1_cross_edges,
+              core::comm_cost_c1(instance, assignment).cross_edges);
+    EXPECT_EQ(r.query.c2_total_delay,
+              core::comm_cost_c2(instance, schedule).total_delay);
+  }
+  EXPECT_EQ(service.queries_served(), 3u);
+  EXPECT_EQ(service.errors_returned(), 0u);
+}
+
+TEST(ServeService, ErrorStatusesInsteadOfThrows) {
+  const dag::SweepInstance instance = make_instance();
+  ServeService service = make_service(instance, /*descendants=*/false);
+  {
+    const Response r = service.handle(query_request(Scheme::kLevel, 0, 1));
+    EXPECT_NE(r.status, 0u);  // m == 0
+    EXPECT_FALSE(r.error.empty());
+  }
+  {
+    // Descendant scheme without the packed section.
+    const Response r =
+        service.handle(query_request(Scheme::kDescendant, 4, 1));
+    EXPECT_NE(r.status, 0u);
+  }
+  {
+    Request request = query_request(Scheme::kLevel, 4, 1);
+    request.query.partition = 7;  // no partitions packed
+    const Response r = service.handle(request);
+    EXPECT_NE(r.status, 0u);
+  }
+  {
+    Request request;
+    request.type = MsgType::kSwap;
+    request.swap.path = "/nonexistent/not.sweepart";
+    const Response r = service.handle(request);
+    EXPECT_NE(r.status, 0u);
+    EXPECT_EQ(service.swaps_completed(), 0u);
+  }
+  // The service is still healthy after every error.
+  EXPECT_EQ(service.handle(query_request(Scheme::kLevel, 4, 1)).status, 0u);
+  EXPECT_GE(service.errors_returned(), 4u);
+}
+
+TEST(ServeService, InfoAndEmbeddedPartition) {
+  const dag::SweepInstance instance = make_instance();
+  dag::ArtifactPartition part;
+  part.n_parts = 3;
+  for (std::size_t v = 0; v < instance.n_cells(); ++v) {
+    part.assignment.push_back(static_cast<std::uint32_t>(v % 3));
+  }
+  const std::vector<dag::ArtifactPartition> partitions = {part};
+  dag::ArtifactWriteOptions options;
+  options.partitions = &partitions;
+  ServeService service(
+      dag::Artifact::from_memory(dag::pack_artifact(instance, options)));
+
+  Request info;
+  info.type = MsgType::kInfo;
+  const Response i = service.handle(info);
+  ASSERT_EQ(i.status, 0u);
+  EXPECT_EQ(i.info.n_cells, instance.n_cells());
+  EXPECT_EQ(i.info.n_partitions, 1u);
+  EXPECT_FALSE(i.info.has_descendants);
+
+  // Partition queries ignore m and schedule on the embedded assignment.
+  Request request = query_request(Scheme::kLevel, 0, 5);
+  request.query.partition = 0;
+  const Response r = service.handle(request);
+  ASSERT_EQ(r.status, 0u) << r.error;
+  core::ListScheduleOptions schedule_options;
+  const std::vector<std::int64_t> priorities =
+      core::level_priorities(instance);
+  schedule_options.priorities = priorities;
+  const core::Schedule schedule =
+      core::list_schedule(instance, part.assignment, 3, schedule_options);
+  EXPECT_EQ(r.query.makespan, schedule.makespan());
+}
+
+TEST(ServeService, SwapInstallsTheNewArtifact) {
+  const dag::SweepInstance inst_a = make_instance();
+  const dag::SweepInstance inst_b = dag::random_instance(50, 2, 4, 1.5, 31);
+  ServeService service = make_service(inst_a);
+  const std::uint64_t hash_a = service.artifact()->content_hash();
+
+  const std::string path =
+      (std::filesystem::path(::testing::TempDir()) / "swap_target.sweepart")
+          .string();
+  dag::save_artifact(inst_b, path);
+
+  Request request;
+  request.type = MsgType::kSwap;
+  request.swap.path = path;
+  const Response r = service.handle(request);
+  ASSERT_EQ(r.status, 0u) << r.error;
+  EXPECT_EQ(service.swaps_completed(), 1u);
+  EXPECT_NE(service.artifact()->content_hash(), hash_a);
+  EXPECT_EQ(service.artifact()->n_cells(), inst_b.n_cells());
+
+  // Queries now answer for B.
+  const Response q = service.handle(query_request(Scheme::kLevel, 2, 1));
+  ASSERT_EQ(q.status, 0u);
+  util::Rng rng(1);
+  const core::Assignment assignment =
+      core::random_assignment(inst_b.n_cells(), 2, rng);
+  core::ListScheduleOptions options;
+  const std::vector<std::int64_t> priorities = core::level_priorities(inst_b);
+  options.priorities = priorities;
+  EXPECT_EQ(q.query.makespan,
+            core::list_schedule(inst_b, assignment, 2, options).makespan());
+  std::filesystem::remove(path);
+}
+
+TEST(ServeService, PingStatsAndShutdownAck) {
+  ServeService service = make_service(make_instance());
+  Request ping;
+  ping.type = MsgType::kPing;
+  EXPECT_EQ(service.handle(ping).status, 0u);
+  Request stats;
+  stats.type = MsgType::kStats;
+  const Response s = service.handle(stats);
+  ASSERT_EQ(s.status, 0u);
+  EXPECT_FALSE(s.stats.entries.empty());
+  Request shutdown;
+  shutdown.type = MsgType::kShutdown;
+  EXPECT_EQ(service.handle(shutdown).status, 0u);
+}
+
+}  // namespace
+}  // namespace sweep::serve

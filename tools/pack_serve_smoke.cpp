@@ -1,0 +1,331 @@
+// pack_serve_smoke: the end-to-end ctest for the artifact + daemon stack
+// (DESIGN.md §13). In one process (so the tsan-concurrency preset
+// instruments every thread) it:
+//
+//   1. builds two instances, packs both to artifact files (descendants +
+//      an embedded partition included),
+//   2. maps artifact A and starts a real Server on a Unix socket,
+//   3. checks every query scheme against the in-process path — makespan,
+//      C1/C2, the FNV-1a schedule hash, and (for one case) the raw start
+//      array must be bit-identical,
+//   4. exercises the error paths (bad scheme target, bad swap path) and
+//      verifies the daemon keeps serving,
+//   5. hot-swaps to artifact B while four client threads hammer queries —
+//      zero failed requests allowed, and every response must match either
+//      artifact's expected hash,
+//   6. shuts down cleanly through the protocol.
+//
+// Exit 0 = pass. Any mismatch prints a diagnostic and exits 1.
+
+#include <unistd.h>
+
+#include <atomic>
+#include <cstdio>
+#include <cstdlib>
+#include <map>
+#include <string>
+#include <thread>
+#include <tuple>
+#include <vector>
+
+#include "core/assignment.hpp"
+#include "core/comm_cost.hpp"
+#include "core/list_scheduler.hpp"
+#include "core/priorities.hpp"
+#include "serve/client.hpp"
+#include "serve/server.hpp"
+#include "serve/service.hpp"
+#include "sweep/artifact.hpp"
+#include "sweep/random_dag.hpp"
+#include "util/hash.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using namespace sweep;
+
+int failures = 0;
+
+void check(bool ok, const std::string& what) {
+  if (!ok) {
+    std::fprintf(stderr, "FAIL: %s\n", what.c_str());
+    ++failures;
+  }
+}
+
+struct Expected {
+  std::uint64_t makespan = 0;
+  std::uint64_t c1_cross = 0;
+  std::uint64_t c2_delay = 0;
+  std::uint64_t hash = 0;
+  std::vector<core::TimeStep> starts;
+};
+
+/// The in-process reference: the exact recipe the daemon promises to
+/// reproduce (see serve/service.hpp).
+Expected expected_query(const dag::SweepInstance& instance,
+                        serve::Scheme scheme, std::uint32_t m,
+                        std::uint64_t seed) {
+  util::Rng rng(seed);
+  const core::Assignment assignment =
+      core::random_assignment(instance.n_cells(), m, rng);
+  std::vector<std::int64_t> priorities;
+  switch (scheme) {
+    case serve::Scheme::kLevel:
+      priorities = core::level_priorities(instance);
+      break;
+    case serve::Scheme::kRandomDelay: {
+      const std::vector<core::TimeStep> delays =
+          core::random_delays(instance.n_directions(), rng);
+      priorities = core::random_delay_priorities(instance, delays);
+      break;
+    }
+    case serve::Scheme::kDescendant:
+      priorities = core::descendant_priorities(instance, rng);
+      break;
+  }
+  core::ListScheduleOptions options;
+  options.priorities = priorities;
+  const core::Schedule schedule =
+      core::list_schedule(instance, assignment, m, options);
+  Expected e;
+  e.makespan = schedule.makespan();
+  e.c1_cross = core::comm_cost_c1(instance, assignment).cross_edges;
+  e.c2_delay = core::comm_cost_c2(instance, schedule).total_delay;
+  e.hash = util::fnv1a_span<core::TimeStep>(
+      schedule.starts(),
+      util::fnv1a_span<core::ProcessorId>(schedule.assignment()));
+  e.starts = schedule.starts();
+  return e;
+}
+
+serve::Request query_request(serve::Scheme scheme, std::uint32_t m,
+                             std::uint64_t seed, bool want_starts = false) {
+  serve::Request request;
+  request.type = serve::MsgType::kQuery;
+  request.query.scheme = scheme;
+  request.query.m = m;
+  request.query.seed = seed;
+  request.query.want_starts = want_starts;
+  return request;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const std::string scratch = argc > 1 ? argv[1] : "/tmp";
+  const std::string tag = std::to_string(static_cast<long>(::getpid()));
+  const std::string path_a = scratch + "/smoke_a." + tag + ".sweepart";
+  const std::string path_b = scratch + "/smoke_b." + tag + ".sweepart";
+  const std::string socket_path = "/tmp/sweep_smoke." + tag + ".sock";
+
+  // --- 1. Pack two artifacts ---------------------------------------------
+  const dag::SweepInstance inst_a = dag::random_instance(240, 4, 7, 2.0, 11);
+  const dag::SweepInstance inst_b = dag::random_instance(180, 3, 5, 1.7, 29);
+  dag::ArtifactPartition part_a;
+  part_a.n_parts = 5;
+  for (std::size_t v = 0; v < inst_a.n_cells(); ++v) {
+    part_a.assignment.push_back(static_cast<std::uint32_t>(v % 5));
+  }
+  const std::vector<dag::ArtifactPartition> parts_a = {part_a};
+  dag::ArtifactWriteOptions pack_options;
+  pack_options.include_descendants = true;
+  pack_options.partitions = &parts_a;
+  dag::save_artifact(inst_a, path_a, pack_options);
+  dag::ArtifactWriteOptions pack_b;  // no descendants: exercises that error
+  dag::save_artifact(inst_b, path_b, pack_b);
+
+  // --- 2. Serve artifact A -----------------------------------------------
+  serve::ServeService service(dag::Artifact::map_file(path_a));
+  const std::uint64_t hash_a = service.artifact()->content_hash();
+  serve::ServerOptions server_options;
+  server_options.socket_path = socket_path;
+  server_options.threads = 4;
+  serve::Server server(service, server_options);
+  server.start();
+
+  {
+    serve::Client client(socket_path);
+    check(client.ping().status == 0, "ping");
+    const serve::Response info = client.info();
+    check(info.status == 0 && info.info.n_cells == inst_a.n_cells() &&
+              info.info.content_hash == hash_a &&
+              info.info.n_partitions == 1 && info.info.has_descendants,
+          "info matches packed artifact");
+
+    // --- 3. Bit-identity vs the in-process path ---------------------------
+    const serve::Scheme schemes[] = {serve::Scheme::kLevel,
+                                     serve::Scheme::kRandomDelay,
+                                     serve::Scheme::kDescendant};
+    for (const serve::Scheme scheme : schemes) {
+      for (const std::uint32_t m : {1u, 3u, 8u}) {
+        for (const std::uint64_t seed : {1ull, 42ull}) {
+          const Expected e = expected_query(inst_a, scheme, m, seed);
+          const serve::Response r =
+              client.call(query_request(scheme, m, seed));
+          const std::string label =
+              "scheme=" + std::to_string(static_cast<int>(scheme)) +
+              " m=" + std::to_string(m) + " seed=" + std::to_string(seed);
+          check(r.status == 0, "query ok " + label);
+          if (r.status != 0) continue;
+          check(r.query.makespan == e.makespan, "makespan " + label);
+          check(r.query.c1_cross_edges == e.c1_cross, "C1 " + label);
+          check(r.query.c2_total_delay == e.c2_delay, "C2 " + label);
+          check(r.query.schedule_hash == e.hash, "schedule hash " + label);
+        }
+      }
+    }
+    // Raw start array, once, to make "bit-identical" literal.
+    {
+      const Expected e =
+          expected_query(inst_a, serve::Scheme::kRandomDelay, 8, 42);
+      const serve::Response r = client.call(
+          query_request(serve::Scheme::kRandomDelay, 8, 42, true));
+      check(r.status == 0 && r.query.starts == e.starts,
+            "full start array is bit-identical");
+    }
+    // Embedded partition: assignment comes from the artifact, m from its
+    // part count; replicate in-process.
+    {
+      serve::Request request = query_request(serve::Scheme::kLevel, 0, 1);
+      request.query.partition = 0;
+      const serve::Response r = client.call(request);
+      core::ListScheduleOptions options;
+      const std::vector<std::int64_t> priorities =
+          core::level_priorities(inst_a);
+      options.priorities = priorities;
+      const core::Schedule schedule =
+          core::list_schedule(inst_a, part_a.assignment, 5, options);
+      check(r.status == 0 && r.query.makespan == schedule.makespan(),
+            "embedded partition query");
+    }
+
+    // --- 4. Error paths keep the daemon alive ------------------------------
+    {
+      serve::Request request = query_request(serve::Scheme::kLevel, 0, 1);
+      const serve::Response r = client.call(request);  // m == 0
+      check(r.status != 0, "m=0 rejected");
+    }
+    {
+      serve::Request request;
+      request.type = serve::MsgType::kSwap;
+      request.swap.path = scratch + "/does_not_exist." + tag;
+      const serve::Response r = client.call(request);
+      check(r.status != 0, "swap to missing file rejected");
+      check(client.info().status == 0 &&
+                client.info().info.content_hash == hash_a,
+            "old artifact still serving after failed swap");
+    }
+  }
+
+  // --- 5. Hot swap under concurrent load ---------------------------------
+  // Expected hashes for both artifacts over the case set: during the swap
+  // window each response must match one of them — never a torn mix.
+  struct Case {
+    serve::Scheme scheme;
+    std::uint32_t m;
+    std::uint64_t seed;
+  };
+  const std::vector<Case> cases = {{serve::Scheme::kLevel, 3, 7},
+                                   {serve::Scheme::kRandomDelay, 8, 9},
+                                   {serve::Scheme::kLevel, 1, 13}};
+  std::vector<std::pair<std::uint64_t, std::uint64_t>> allowed;
+  for (const Case& c : cases) {
+    allowed.emplace_back(expected_query(inst_a, c.scheme, c.m, c.seed).hash,
+                         expected_query(inst_b, c.scheme, c.m, c.seed).hash);
+  }
+  std::atomic<int> query_failures{0};
+  std::atomic<std::uint64_t> served_a{0};
+  std::atomic<std::uint64_t> served_b{0};
+  std::vector<std::thread> hammer;
+  for (int w = 0; w < 4; ++w) {
+    hammer.emplace_back([&, w] {
+      try {
+        serve::Client client(socket_path);
+        for (int round = 0; round < 40; ++round) {
+          const std::size_t pick =
+              (static_cast<std::size_t>(w) + round) % cases.size();
+          const Case& c = cases[pick];
+          const serve::Response r =
+              client.call(query_request(c.scheme, c.m, c.seed));
+          if (r.status != 0) {
+            query_failures.fetch_add(1);
+            continue;
+          }
+          if (r.query.schedule_hash == allowed[pick].first) {
+            served_a.fetch_add(1);
+          } else if (r.query.schedule_hash == allowed[pick].second) {
+            served_b.fetch_add(1);
+          } else {
+            query_failures.fetch_add(1);
+          }
+        }
+      } catch (const std::exception& e) {
+        std::fprintf(stderr, "hammer thread: %s\n", e.what());
+        query_failures.fetch_add(1000);
+      }
+    });
+  }
+  {
+    serve::Client client(socket_path);
+    serve::Request request;
+    request.type = serve::MsgType::kSwap;
+    request.swap.path = path_b;
+    const serve::Response r = client.call(request);
+    check(r.status == 0, "hot swap to artifact B");
+  }
+  for (std::thread& t : hammer) t.join();
+  check(query_failures.load() == 0,
+        "zero failed/torn requests across the hot swap");
+  // The hammer threads may finish before the swap lands (e.g. under TSan
+  // slowdown), so "B was served" is verified deterministically: the swap
+  // ack happens-after the flip, so every query issued now must hit B.
+  {
+    serve::Client client(socket_path);
+    for (std::size_t pick = 0; pick < cases.size(); ++pick) {
+      const Case& c = cases[pick];
+      const serve::Response r =
+          client.call(query_request(c.scheme, c.m, c.seed));
+      check(r.status == 0 && r.query.schedule_hash == allowed[pick].second,
+            "post-swap query served by artifact B, case " +
+                std::to_string(pick));
+      if (r.status == 0 &&
+          r.query.schedule_hash == allowed[pick].second) {
+        served_b.fetch_add(1);
+      }
+    }
+  }
+  check(served_b.load() > 0, "artifact B served after the swap");
+  {
+    serve::Client client(socket_path);
+    const serve::Response info = client.info();
+    check(info.status == 0 && info.info.n_cells == inst_b.n_cells() &&
+              !info.info.has_descendants,
+          "artifact B is current after the swap");
+    const serve::Response r =
+        client.call(query_request(serve::Scheme::kDescendant, 4, 1));
+    check(r.status != 0, "descendant scheme rejected without packed counts");
+    const serve::Response stats = client.stats();
+    check(stats.status == 0 && !stats.stats.entries.empty(),
+          "stats respond");
+  }
+
+  // --- 6. Clean protocol shutdown ----------------------------------------
+  {
+    serve::Client client(socket_path);
+    check(client.shutdown_server().status == 0, "shutdown acked");
+  }
+  server.wait();
+  server.stop();
+  check(service.swaps_completed() == 1, "exactly one completed swap");
+
+  std::remove(path_a.c_str());
+  std::remove(path_b.c_str());
+  if (failures == 0) {
+    std::printf("pack_serve_smoke: all checks passed (%llu queries)\n",
+                static_cast<unsigned long long>(service.queries_served()));
+    return 0;
+  }
+  std::fprintf(stderr, "pack_serve_smoke: %d failures\n", failures);
+  return 1;
+}

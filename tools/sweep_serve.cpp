@@ -1,0 +1,67 @@
+// sweep_serve: the sweep-as-a-service daemon. Maps a packed artifact
+// (sweep_pack) read-only and answers scheduling/cost queries over a
+// Unix-domain socket until a shutdown request (or SIGINT/SIGTERM via the
+// client's --op shutdown) arrives.
+//
+//   sweep_serve --artifact tet.sweepart --socket /tmp/sweep.sock --threads 8
+//
+// Queries are served concurrently on a thread pool; a kSwap request maps a
+// replacement artifact, validates it fully, and flips the served pointer
+// atomically — in-flight queries finish on the artifact they started with
+// (see serve/service.hpp). Ask it things with sweep_query.
+
+#include <cstdio>
+#include <string>
+
+#include "serve/server.hpp"
+#include "serve/service.hpp"
+#include "util/cli.hpp"
+#include "util/main_guard.hpp"
+
+static int run_main(int argc, char** argv) {
+  using namespace sweep;
+  util::CliParser cli("sweep_serve",
+                      "Serve scheduling queries for a packed sweep artifact "
+                      "over a Unix socket");
+  cli.add_option("artifact", "", "packed artifact to serve (required)");
+  cli.add_option("socket", "/tmp/sweep_serve.sock", "Unix socket path");
+  cli.add_option("threads", "0", "worker threads (0 = hardware concurrency)");
+  if (!cli.parse(argc, argv)) return 1;
+  if (cli.str("artifact").empty()) {
+    std::fprintf(stderr, "--artifact is required\n");
+    return 1;
+  }
+
+  serve::ServeService service =
+      serve::ServeService::from_file(cli.str("artifact"));
+  {
+    const auto artifact = service.artifact();
+    std::printf("serving '%.*s': %zu cells x %zu directions, %zu edges, "
+                "hash %016llx, %zu partitions, descendants=%s\n",
+                static_cast<int>(artifact->name().size()),
+                artifact->name().data(), artifact->n_cells(),
+                artifact->n_directions(), artifact->n_edges(),
+                static_cast<unsigned long long>(artifact->content_hash()),
+                artifact->n_partitions(),
+                artifact->has_descendants() ? "yes" : "no");
+  }
+
+  serve::ServerOptions options;
+  options.socket_path = cli.str("socket");
+  options.threads = static_cast<std::size_t>(cli.integer("threads"));
+  serve::Server server(service, options);
+  server.start();
+  std::printf("listening on %s\n", options.socket_path.c_str());
+  std::fflush(stdout);
+  server.wait();
+  server.stop();
+  std::printf("shut down after %llu queries, %llu swaps, %llu errors\n",
+              static_cast<unsigned long long>(service.queries_served()),
+              static_cast<unsigned long long>(service.swaps_completed()),
+              static_cast<unsigned long long>(service.errors_returned()));
+  return 0;
+}
+
+int main(int argc, char** argv) {
+  return sweep::util::guarded_main([&] { return run_main(argc, argv); });
+}
