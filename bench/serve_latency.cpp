@@ -1,0 +1,228 @@
+// serve_latency: end-to-end request latency of the sweep_serve daemon,
+// measured by the daemon itself. For each thread count the bench starts a
+// real Server on a Unix socket, hammers it with one client per server
+// thread, and then reads the p50/p90/p99/p99.9/max ladder of
+// serve.request_ns straight off the stats wire (v2) — the same shard-merged
+// histogram machinery sweep_top renders, so the numbers in the JSON report
+// are exactly what an operator would see live.
+//
+//   serve_latency [--n 2000] [--reqs 400] [--threads 1,4,8]
+//                 [--json serve_latency.json]
+//
+// Requires an instrumented build; under SWEEP_OBS=OFF there is no histogram
+// to read and the bench exits 0 with a note.
+
+#include <unistd.h>
+
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "obs/obs.hpp"
+#include "serve/client.hpp"
+#include "serve/server.hpp"
+#include "serve/service.hpp"
+#include "sweep/artifact.hpp"
+#include "sweep/random_dag.hpp"
+#include "util/cli.hpp"
+#include "util/timer.hpp"
+
+#include "util/main_guard.hpp"
+
+using namespace sweep;
+
+namespace {
+
+std::vector<std::size_t> parse_threads(const std::string& csv) {
+  std::vector<std::size_t> out;
+  std::stringstream ss(csv);
+  std::string item;
+  while (std::getline(ss, item, ',')) {
+    const auto v =
+        static_cast<std::size_t>(std::strtoul(item.c_str(), nullptr, 10));
+    if (v > 0) out.push_back(v);
+  }
+  return out;
+}
+
+struct Row {
+  std::size_t threads = 0;
+  std::uint64_t requests = 0;
+  double wall_seconds = 0.0;
+  serve::StatsHistogram hist;  // serve.request_ns ladder off the wire
+};
+
+}  // namespace
+
+static int run_main(int argc, char** argv) {
+  util::CliParser cli("serve_latency",
+                      "sweep_serve request latency quantiles per thread "
+                      "count, read off the daemon's own stats wire");
+  cli.add_option("n", "2000", "cells in the served artifact");
+  cli.add_option("k", "4", "directions");
+  cli.add_option("m", "8", "processors per query");
+  cli.add_option("reqs", "400", "queries per client thread");
+  cli.add_option("threads", "1,4,8", "server thread counts to sweep");
+  cli.add_option("seed", "2024", "RNG seed");
+  cli.add_option("json", "serve_latency.json", "JSON report path");
+  if (!cli.parse(argc, argv)) return 1;
+
+#if defined(SWEEP_OBS_DISABLE)
+  std::printf("serve_latency: built with SWEEP_OBS=OFF — no request "
+              "histograms to read; nothing to do\n");
+  return 0;
+#else
+  const auto n = static_cast<std::size_t>(cli.integer("n"));
+  const auto k = static_cast<std::size_t>(cli.integer("k"));
+  const auto m = static_cast<std::uint32_t>(cli.integer("m"));
+  const auto reqs = static_cast<std::size_t>(cli.integer("reqs"));
+  const auto seed = static_cast<std::uint64_t>(cli.integer("seed"));
+  const std::vector<std::size_t> thread_counts =
+      parse_threads(cli.str("threads"));
+  if (thread_counts.empty()) {
+    std::fprintf(stderr, "FATAL: --threads parsed to an empty sweep\n");
+    return 1;
+  }
+
+  const std::string tag = std::to_string(static_cast<long>(::getpid()));
+  const std::string artifact_path = "/tmp/serve_latency." + tag + ".sweepart";
+  const dag::SweepInstance instance = dag::random_instance(n, k, 7, 2.0, seed);
+  const dag::ArtifactWriteOptions pack_options;
+  dag::save_artifact(instance, artifact_path, pack_options);
+  serve::ServeService service(dag::Artifact::map_file(artifact_path));
+
+  obs::set_metrics_enabled(true);
+
+  std::vector<Row> rows;
+  for (const std::size_t threads : thread_counts) {
+    // Fresh histograms per thread count; the server is down in between, so
+    // no shard is being written while we reset.
+    obs::MetricsRegistry::instance().reset();
+
+    const std::string socket_path =
+        "/tmp/serve_latency." + tag + "." + std::to_string(threads) + ".sock";
+    serve::ServerOptions options;
+    options.socket_path = socket_path;
+    options.threads = threads;
+    options.slow_request_ns = 0;  // latency runs should not spam stderr
+    serve::Server server(service, options);
+    server.start();
+
+    util::Timer wall;
+    std::vector<std::thread> clients;
+    std::atomic<int> io_failures{0};
+    for (std::size_t w = 0; w < threads; ++w) {
+      clients.emplace_back([&, w] {
+        try {
+          serve::Client client(socket_path);
+          for (std::size_t i = 0; i < reqs; ++i) {
+            serve::Request request;
+            request.type = serve::MsgType::kQuery;
+            request.query.scheme = (i % 2 == 0) ? serve::Scheme::kLevel
+                                                : serve::Scheme::kRandomDelay;
+            request.query.m = m;
+            request.query.seed = w * 1000003 + i;
+            if (client.call(request).status != 0) io_failures.fetch_add(1);
+          }
+        } catch (const std::exception& e) {
+          std::fprintf(stderr, "client: %s\n", e.what());
+          io_failures.fetch_add(1000);
+        }
+      });
+    }
+    for (std::thread& t : clients) t.join();
+    const double wall_seconds = wall.seconds();
+
+    Row row;
+    row.threads = threads;
+    row.requests = static_cast<std::uint64_t>(threads) * reqs;
+    row.wall_seconds = wall_seconds;
+    {
+      serve::Client client(socket_path);
+      serve::Request request;
+      request.type = serve::MsgType::kStats;
+      // The server records serve.request_ns after the response bytes hit
+      // the socket, so the last request's sample can land just after the
+      // clients join — poll until the histogram has seen every request.
+      for (int attempt = 0; attempt < 100; ++attempt) {
+        const serve::Response r = client.call(request);
+        if (r.status != 0) {
+          std::fprintf(stderr, "FATAL: stats frame failed at threads=%zu\n",
+                       threads);
+          return 2;
+        }
+        row.hist = serve::StatsHistogram{};
+        for (const serve::StatsHistogram& h : r.stats.histograms) {
+          if (h.name == "serve.request_ns") row.hist = h;
+        }
+        if (row.hist.count >= row.requests) break;
+        std::this_thread::sleep_for(std::chrono::milliseconds(10));
+      }
+      if (client.shutdown_server().status != 0) {
+        std::fprintf(stderr, "FATAL: shutdown refused at threads=%zu\n",
+                     threads);
+        return 2;
+      }
+    }
+    server.wait();
+    server.stop();
+
+    if (io_failures.load() != 0 || row.hist.name.empty() ||
+        row.hist.count < row.requests) {
+      std::fprintf(stderr,
+                   "FATAL: threads=%zu io_failures=%d hist_count=%llu "
+                   "(expected >= %llu)\n",
+                   threads, io_failures.load(),
+                   static_cast<unsigned long long>(row.hist.count),
+                   static_cast<unsigned long long>(row.requests));
+      return 2;
+    }
+    std::printf("[latency] threads=%-2zu  %6llu reqs  %8.0f req/s   "
+                "p50 %7.1fus  p99 %7.1fus  p99.9 %7.1fus  max %7.1fus\n",
+                threads, static_cast<unsigned long long>(row.requests),
+                static_cast<double>(row.requests) / wall_seconds,
+                static_cast<double>(row.hist.p50) / 1e3,
+                static_cast<double>(row.hist.p99) / 1e3,
+                static_cast<double>(row.hist.p999) / 1e3,
+                static_cast<double>(row.hist.max) / 1e3);
+    rows.push_back(row);
+  }
+  std::remove(artifact_path.c_str());
+
+  std::ofstream out(cli.str("json"));
+  out << "{\n"
+      << "  \"bench\": \"serve_latency\",\n"
+      << "  \"histogram\": \"serve.request_ns\",\n"
+      << "  \"instance\": {\"n_cells\": " << n << ", \"k\": " << k
+      << ", \"m\": " << m << ", \"seed\": " << seed << "},\n"
+      << "  \"requests_per_client\": " << reqs << ",\n"
+      << "  \"threads\": [\n";
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    const Row& r = rows[i];
+    out << "    {\"threads\": " << r.threads << ", \"requests\": "
+        << r.requests << ", \"wall_seconds\": " << r.wall_seconds
+        << ", \"p50_ns\": " << r.hist.p50 << ", \"p90_ns\": " << r.hist.p90
+        << ", \"p99_ns\": " << r.hist.p99 << ", \"p999_ns\": " << r.hist.p999
+        << ", \"max_ns\": " << r.hist.max << ", \"count\": " << r.hist.count
+        << "}" << (i + 1 < rows.size() ? "," : "") << "\n";
+  }
+  out << "  ]\n}\n";
+  if (!out) {
+    std::fprintf(stderr, "FATAL: could not write %s\n",
+                 cli.str("json").c_str());
+    return 2;
+  }
+  std::printf("wrote %s\n", cli.str("json").c_str());
+  return 0;
+#endif
+}
+
+int main(int argc, char** argv) {
+  return sweep::util::guarded_main([&] { return run_main(argc, argv); });
+}

@@ -768,6 +768,99 @@ void check_wire_garbage(const Scenario& s, OracleReport& report) {
     (void)serve::decode_request(mutated);
   });
 
+  // Stats wire v2: a response with telemetry views must round-trip
+  // exactly, every strict prefix into the quantile block must be
+  // rejected, and an absurd entry count must be rejected before any
+  // allocation proportional to it.
+  {
+    serve::Response stats;
+    stats.status = 0;
+    stats.type = serve::MsgType::kStats;
+    stats.stats.proto_version = serve::kStatsProtoVersion;
+    const std::size_t n_plain = rng.next_below(4);
+    for (std::size_t i = 0; i < n_plain; ++i) {
+      stats.stats.entries.emplace_back("k" + std::to_string(i), rng());
+    }
+    const std::size_t n_gauges = rng.next_below(3);
+    for (std::size_t i = 0; i < n_gauges; ++i) {
+      stats.stats.gauges.emplace_back(
+          "g" + std::to_string(i), static_cast<std::int64_t>(rng()));
+    }
+    const std::size_t n_hists = 1 + rng.next_below(3);
+    for (std::size_t i = 0; i < n_hists; ++i) {
+      serve::StatsHistogram h;
+      h.name = "h" + std::to_string(i);
+      h.count = rng();
+      h.p50 = rng();
+      h.p90 = rng();
+      h.p99 = rng();
+      h.p999 = rng();
+      h.max = rng();  // absurd uncorrelated counts are fine on the wire
+      stats.stats.histograms.push_back(std::move(h));
+    }
+    const std::vector<std::byte> encoded = serve::encode_response(stats);
+
+    ++report.checks_run;
+    try {
+      const serve::Response back = serve::decode_response(encoded);
+      if (back.stats.proto_version != stats.stats.proto_version ||
+          back.stats.entries != stats.stats.entries ||
+          back.stats.gauges != stats.stats.gauges ||
+          back.stats.histograms != stats.stats.histograms) {
+        fail("stats v2 typed views did not round-trip");
+      }
+    } catch (const std::exception& e) {
+      fail(std::string("stats v2 round trip failed to decode: ") + e.what());
+    }
+
+    expect_wire_error("decode_response(truncated v2 stats)", [&] {
+      // Cut somewhere after the header so the break lands inside the
+      // entry list / quantile block, not in the status word.
+      const std::size_t keep = 8 + rng.next_below(encoded.size() - 8);
+      (void)serve::decode_response(
+          std::span<const std::byte>(encoded.data(), keep));
+    });
+
+    expect_wire_error("decode_response(absurd stats count)", [&] {
+      std::vector<std::byte> mutated = encoded;
+      const std::uint64_t bait = (rng.next_below(2) == 0)
+                                     ? ~std::uint64_t{0}
+                                     : 0x8000000000000000ULL;
+      for (std::size_t i = 0; i < 8; ++i) {
+        mutated[8 + i] = static_cast<std::byte>((bait >> (8 * i)) & 0xff);
+      }
+      (void)serve::decode_response(mutated);
+    });
+
+    // Hostile namespaced keys: malformed gauge./hist. entries must decode
+    // to plain entries (never crash, never vanish), and re-encoding the
+    // decoded response must be idempotent.
+    ++report.checks_run;
+    try {
+      serve::Response hostile;
+      hostile.status = 0;
+      hostile.type = serve::MsgType::kStats;
+      hostile.stats.proto_version = 1;  // encode as a bare entry list
+      const char* keys[] = {"gauge.", "hist.", "hist.x",
+                            "hist..p50", "hist.x.bogus", "hist.x.p50"};
+      for (const char* key : keys) {
+        hostile.stats.entries.emplace_back(key, rng());
+      }
+      const serve::Response once =
+          serve::decode_response(serve::encode_response(hostile));
+      const serve::Response twice =
+          serve::decode_response(serve::encode_response(once));
+      if (once.stats.entries != twice.stats.entries ||
+          once.stats.gauges != twice.stats.gauges ||
+          once.stats.histograms != twice.stats.histograms) {
+        fail("hostile namespaced keys: decode/encode not idempotent");
+      }
+    } catch (const std::exception& e) {
+      fail(std::string("hostile namespaced keys crashed the decoder: ") +
+           e.what());
+    }
+  }
+
   // Pure random bytes against both decoders: anything but a crash.
   std::vector<std::byte> garbage(rng.next_below(96));
   for (std::byte& b : garbage) {

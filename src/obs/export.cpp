@@ -1,0 +1,173 @@
+#include "obs/export.hpp"
+
+#include <cstdio>
+#include <fstream>
+#include <ostream>
+
+namespace sweep::obs {
+namespace {
+
+void write_json_escaped(std::ostream& out, const std::string& text) {
+  for (char c : text) {
+    switch (c) {
+      case '"': out << "\\\""; break;
+      case '\\': out << "\\\\"; break;
+      case '\n': out << "\\n"; break;
+      case '\t': out << "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          out << buf;
+        } else {
+          out << c;
+        }
+    }
+  }
+}
+
+void write_stat_block(
+    std::ostream& out, const std::vector<StatValue>& values, bool as_timer) {
+  bool first = true;
+  for (const StatValue& v : values) {
+    if (!first) out << ",";
+    first = false;
+    out << "\"";
+    write_json_escaped(out, v.name);
+    // Timers are recorded in nanoseconds; report milliseconds.
+    const double unit = as_timer ? 1e-6 : 1.0;
+    out << "\":{\"count\":" << v.count
+        << (as_timer ? ",\"total_ms\":" : ",\"sum\":") << v.sum * unit
+        << (as_timer ? ",\"mean_ms\":" : ",\"mean\":") << v.mean() * unit
+        << (as_timer ? ",\"min_ms\":" : ",\"min\":") << v.min * unit
+        << (as_timer ? ",\"max_ms\":" : ",\"max\":") << v.max * unit << "}";
+  }
+}
+
+/// Prometheus metric names: [a-zA-Z_:][a-zA-Z0-9_:]*; everything else
+/// (the registry's dots, mostly) becomes '_'.
+std::string prometheus_name(const std::string& name) {
+  std::string out = "sweep_";
+  for (const char c : name) {
+    const bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                    (c >= '0' && c <= '9') || c == '_' || c == ':';
+    out.push_back(ok ? c : '_');
+  }
+  return out;
+}
+
+void prometheus_stat_block(std::ostream& out,
+                           const std::vector<StatValue>& values,
+                           bool as_timer) {
+  for (const StatValue& v : values) {
+    // Timers are nanoseconds internally; Prometheus convention is base
+    // seconds with a unit suffix.
+    std::string name = prometheus_name(v.name);
+    if (as_timer) name += "_seconds";
+    const double unit = as_timer ? 1e-9 : 1.0;
+    out << "# TYPE " << name << " summary\n";
+    out << name << "_count " << v.count << "\n";
+    out << name << "_sum " << v.sum * unit << "\n";
+    out << "# TYPE " << name << "_min gauge\n";
+    out << name << "_min " << v.min * unit << "\n";
+    out << "# TYPE " << name << "_max gauge\n";
+    out << name << "_max " << v.max * unit << "\n";
+  }
+}
+
+}  // namespace
+
+void write_metrics_json(std::ostream& out, const MetricsSnapshot& snap) {
+  out << "{\"counters\":{";
+  bool first = true;
+  for (const auto& [name, value] : snap.counters) {
+    if (!first) out << ",";
+    first = false;
+    out << "\"";
+    write_json_escaped(out, name);
+    out << "\":" << value;
+  }
+  out << "},\"stats\":{";
+  write_stat_block(out, snap.stats, /*as_timer=*/false);
+  out << "},\"timers\":{";
+  write_stat_block(out, snap.timers, /*as_timer=*/true);
+  out << "},\"gauges\":{";
+  first = true;
+  for (const auto& [name, value] : snap.gauges) {
+    if (!first) out << ",";
+    first = false;
+    out << "\"";
+    write_json_escaped(out, name);
+    out << "\":" << value;
+  }
+  out << "},\"histograms\":{";
+  first = true;
+  for (const HistogramSnapshot& h : snap.histograms) {
+    if (!first) out << ",";
+    first = false;
+    out << "\"";
+    write_json_escaped(out, h.name);
+    out << "\":{\"count\":" << h.count << ",\"mean\":" << h.mean()
+        << ",\"p50\":" << h.quantile(0.50) << ",\"p90\":" << h.quantile(0.90)
+        << ",\"p99\":" << h.quantile(0.99)
+        << ",\"p999\":" << h.quantile(0.999)
+        << ",\"max\":" << h.max_estimate() << ",\"sum\":" << h.sum << "}";
+  }
+  out << "}}\n";
+}
+
+void write_metrics_json(std::ostream& out) {
+  write_metrics_json(out, MetricsRegistry::instance().snapshot());
+}
+
+bool write_metrics_json(const std::string& path) {
+  std::ofstream out(path);
+  if (!out) return false;
+  write_metrics_json(out);
+  return out.good();
+}
+
+void write_metrics_prometheus(std::ostream& out,
+                              const MetricsSnapshot& snap) {
+  for (const auto& [name, value] : snap.counters) {
+    const std::string p = prometheus_name(name) + "_total";
+    out << "# TYPE " << p << " counter\n" << p << " " << value << "\n";
+  }
+  for (const auto& [name, value] : snap.gauges) {
+    const std::string p = prometheus_name(name);
+    out << "# TYPE " << p << " gauge\n" << p << " " << value << "\n";
+  }
+  prometheus_stat_block(out, snap.stats, /*as_timer=*/false);
+  prometheus_stat_block(out, snap.timers, /*as_timer=*/true);
+  for (const HistogramSnapshot& h : snap.histograms) {
+    // Only non-empty buckets are emitted (plus +Inf); the cumulative
+    // counts stay correct because skipped buckets add nothing.
+    const std::string p = prometheus_name(h.name);
+    out << "# TYPE " << p << " histogram\n";
+    std::uint64_t cumulative = 0;
+    for (std::size_t b = 0; b < h.buckets.size(); ++b) {
+      if (h.buckets[b] == 0) continue;
+      cumulative += h.buckets[b];
+      const std::uint64_t upper = b + 1 < detail::kHistBuckets
+                                      ? detail::hist_bucket_lower(b + 1) - 1
+                                      : detail::kHistMaxValue;
+      out << p << "_bucket{le=\"" << upper << "\"} " << cumulative << "\n";
+    }
+    out << p << "_bucket{le=\"+Inf\"} " << h.count << "\n";
+    out << p << "_sum " << h.sum << "\n";
+    out << p << "_count " << h.count << "\n";
+  }
+}
+
+void write_metrics_prometheus(std::ostream& out) {
+  write_metrics_prometheus(out, MetricsRegistry::instance().snapshot());
+}
+
+bool write_metrics_prometheus(const std::string& path) {
+  std::ofstream out(path);
+  if (!out) return false;
+  write_metrics_prometheus(out);
+  return out.good();
+}
+
+}  // namespace sweep::obs

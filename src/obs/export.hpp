@@ -1,0 +1,42 @@
+#pragma once
+// Unified snapshot exposition: one MetricsSnapshot (counters + stats +
+// timers + gauges + latency histograms, see metrics.hpp), two writers.
+//
+// JSON keeps the exact shape PR 2 shipped — the "counters"/"stats"/
+// "timers" sections are byte-identical to the old writer — with two new
+// sections appended at the end ("gauges", "histograms"), so old consumers
+// keep parsing unchanged (wire-evolution rule: existing keys never move
+// or change meaning; new telemetry only ever appends).
+//
+// Prometheus is the text exposition format (v0.0.4): metric names are
+// sanitized (dots -> underscores) and prefixed "sweep_", counters/gauges
+// map 1:1, stats and timers emit <name>_count/_sum (+_min/_max gauges;
+// timers converted to seconds), and each latency histogram emits a
+// classic cumulative histogram — `_bucket{le="..."}` at every non-empty
+// bucket's upper edge plus `le="+Inf"`, `_sum`, and `_count` — which any
+// Prometheus scraper of a metrics dump ingests directly.
+
+#include <iosfwd>
+#include <string>
+
+#include "obs/metrics.hpp"
+
+namespace sweep::obs {
+
+/// Writes `snap` as a JSON object:
+///   {"counters":{...},"stats":{name:{count,sum,mean,min,max}},
+///    "timers":{name:{count,total_ms,mean_ms,min_ms,max_ms}},
+///    "gauges":{...},
+///    "histograms":{name:{count,mean,p50,p90,p99,p999,max,sum}}}
+void write_metrics_json(std::ostream& out, const MetricsSnapshot& snap);
+/// Snapshot-then-write convenience on the process registry.
+void write_metrics_json(std::ostream& out);
+/// Returns false (and writes nothing) if the file cannot be opened.
+bool write_metrics_json(const std::string& path);
+
+/// Writes `snap` in the Prometheus text exposition format.
+void write_metrics_prometheus(std::ostream& out, const MetricsSnapshot& snap);
+void write_metrics_prometheus(std::ostream& out);
+bool write_metrics_prometheus(const std::string& path);
+
+}  // namespace sweep::obs

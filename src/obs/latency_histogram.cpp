@@ -1,0 +1,188 @@
+#include "obs/latency_histogram.hpp"
+
+#include <algorithm>
+#include <array>
+#include <atomic>
+#include <cmath>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <new>
+#include <stdexcept>
+
+namespace sweep::obs {
+namespace {
+
+/// One thread's bucket array for one histogram. Written only by the owning
+/// thread (relaxed), read by snapshots (relaxed) — the same discipline as
+/// the counter shards.
+struct ShardBlock {
+  std::array<std::atomic<std::uint64_t>, detail::kHistBuckets> buckets{};
+  std::atomic<std::uint64_t> sum{0};
+};
+
+/// Plain (non-atomic) accumulator for shards whose owning thread exited.
+struct RetiredBlock {
+  std::array<std::uint64_t, detail::kHistBuckets> buckets{};
+  std::uint64_t sum = 0;
+};
+
+/// All histogram registry state, behind one mutex except the shard slots
+/// themselves. Leaked — thread_local destructors fold shards in here
+/// during static destruction (see metrics.hpp).
+struct HistState {
+  std::mutex mutex;
+  std::map<std::string, std::uint32_t> ids;  // name -> histogram id
+  std::array<std::vector<ShardBlock*>, detail::kMaxHistograms> live{};
+  std::array<RetiredBlock, detail::kMaxHistograms> retired{};
+};
+
+HistState& state() {
+  static HistState* s = new HistState();
+  return *s;
+}
+
+/// Thread-local shard owner: blocks allocate lazily on the thread's first
+/// record into each histogram and fold into `retired` on thread exit.
+struct ShardOwner {
+  std::array<std::unique_ptr<ShardBlock>, detail::kMaxHistograms> blocks{};
+
+  ~ShardOwner() {
+    HistState& s = state();
+    std::lock_guard<std::mutex> lock(s.mutex);
+    for (std::size_t id = 0; id < blocks.size(); ++id) {
+      ShardBlock* block = blocks[id].get();
+      if (block == nullptr) continue;
+      RetiredBlock& fold = s.retired[id];
+      for (std::size_t b = 0; b < detail::kHistBuckets; ++b) {
+        fold.buckets[b] += block->buckets[b].load(std::memory_order_relaxed);
+      }
+      fold.sum += block->sum.load(std::memory_order_relaxed);
+      auto& live = s.live[id];
+      live.erase(std::find(live.begin(), live.end(), block));
+    }
+  }
+};
+
+ShardOwner& tls_owner() {
+  thread_local ShardOwner owner;
+  return owner;
+}
+
+}  // namespace
+
+namespace detail {
+
+std::uint32_t hist_register(const std::string& name) {
+  HistState& s = state();
+  std::lock_guard<std::mutex> lock(s.mutex);
+  auto it = s.ids.find(name);
+  if (it == s.ids.end()) {
+    const auto id = static_cast<std::uint32_t>(s.ids.size());
+    if (id >= kMaxHistograms) {
+      throw std::runtime_error("MetricsRegistry: too many histograms");
+    }
+    it = s.ids.emplace(name, id).first;
+  }
+  return it->second;
+}
+
+void hist_record(std::uint32_t id, std::uint64_t value) noexcept {
+  ShardOwner& owner = tls_owner();
+  ShardBlock* block = owner.blocks[id].get();
+  if (block == nullptr) {
+    // First record by this thread: allocate and publish the shard. On
+    // allocation failure the sample is dropped (record must not throw).
+    auto fresh = std::unique_ptr<ShardBlock>(new (std::nothrow) ShardBlock());
+    if (fresh == nullptr) return;
+    block = fresh.get();
+    HistState& s = state();
+    std::lock_guard<std::mutex> lock(s.mutex);
+    s.live[id].push_back(block);
+    owner.blocks[id] = std::move(fresh);
+  }
+  if (value > kHistMaxValue) value = kHistMaxValue;
+  block->buckets[hist_bucket(value)].fetch_add(1, std::memory_order_relaxed);
+  block->sum.fetch_add(value, std::memory_order_relaxed);
+}
+
+void hist_snapshot_into(std::vector<HistogramSnapshot>& out) {
+  HistState& s = state();
+  std::lock_guard<std::mutex> lock(s.mutex);
+  out.reserve(out.size() + s.ids.size());
+  for (const auto& [name, id] : s.ids) {  // map iteration: name-sorted
+    HistogramSnapshot snap;
+    snap.name = name;
+    snap.buckets.assign(kHistBuckets, 0);
+    const RetiredBlock& fold = s.retired[id];
+    for (std::size_t b = 0; b < kHistBuckets; ++b) {
+      snap.buckets[b] = fold.buckets[b];
+    }
+    snap.sum = fold.sum;
+    for (const ShardBlock* block : s.live[id]) {
+      for (std::size_t b = 0; b < kHistBuckets; ++b) {
+        snap.buckets[b] += block->buckets[b].load(std::memory_order_relaxed);
+      }
+      snap.sum += block->sum.load(std::memory_order_relaxed);
+    }
+    for (const std::uint64_t c : snap.buckets) snap.count += c;
+    out.push_back(std::move(snap));
+  }
+}
+
+void hist_reset() {
+  HistState& s = state();
+  std::lock_guard<std::mutex> lock(s.mutex);
+  for (auto& fold : s.retired) fold = RetiredBlock{};
+  for (auto& live : s.live) {
+    for (ShardBlock* block : live) {
+      for (auto& bucket : block->buckets) {
+        bucket.store(0, std::memory_order_relaxed);
+      }
+      block->sum.store(0, std::memory_order_relaxed);
+    }
+  }
+}
+
+}  // namespace detail
+
+std::uint64_t HistogramSnapshot::quantile(double q) const {
+  if (count == 0 || buckets.empty()) return 0;
+  q = std::clamp(q, 0.0, 1.0);
+  const auto rank = std::max<std::uint64_t>(
+      1, static_cast<std::uint64_t>(
+             std::ceil(q * static_cast<double>(count))));
+  std::uint64_t seen = 0;
+  for (std::size_t b = 0; b < buckets.size(); ++b) {
+    seen += buckets[b];
+    if (seen >= rank) return detail::hist_bucket_mid(b);
+  }
+  return detail::hist_bucket_mid(buckets.size() - 1);
+}
+
+std::uint64_t HistogramSnapshot::max_estimate() const {
+  for (std::size_t b = buckets.size(); b-- > 0;) {
+    if (buckets[b] != 0) {
+      const std::uint64_t lower = detail::hist_bucket_lower(b);
+      const std::uint64_t next = b + 1 < detail::kHistBuckets
+                                     ? detail::hist_bucket_lower(b + 1) - 1
+                                     : detail::kHistMaxValue;
+      return std::max(lower, next);
+    }
+  }
+  return 0;
+}
+
+void HistogramSnapshot::merge(const HistogramSnapshot& other) {
+  if (buckets.empty()) buckets.assign(detail::kHistBuckets, 0);
+  if (other.buckets.size() != buckets.size()) {
+    throw std::invalid_argument("HistogramSnapshot::merge: layout mismatch");
+  }
+  for (std::size_t b = 0; b < buckets.size(); ++b) {
+    buckets[b] += other.buckets[b];
+  }
+  count += other.count;
+  sum += other.sum;
+}
+
+}  // namespace sweep::obs

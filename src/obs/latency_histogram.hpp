@@ -1,0 +1,128 @@
+#pragma once
+// HDR-style log-linear latency histogram with per-thread shards.
+//
+// Bucket layout: values below kHistSubBuckets (32) get one exact bucket
+// each; every octave above contributes kHistSubBuckets/2 log-linear
+// buckets (the upper half of the mantissa range), up to kHistMaxValueBits
+// bits (~18 minutes in nanoseconds — larger values clamp into the top
+// bucket). A bucket holding [lo, lo + 2^e - 1] is reported at its
+// midpoint, so any quantile estimate is within 2^-kHistSubBits (~3.1%)
+// relative error of the true sample — the bound test_latency_histogram
+// checks against a sorted-reference oracle.
+//
+// Hot-path design mirrors the counter shards (metrics.hpp): record() is a
+// relaxed fetch_add on a bucket array owned by the calling thread, so
+// concurrent recording never takes a lock and never contends a cache line
+// with another thread. Shard blocks are allocated lazily on a thread's
+// first record into a given histogram and folded into a retired
+// accumulator when the thread exits, so no sample is ever lost. Snapshots
+// merge live shards + retired values and are themselves mergeable
+// (bucket-wise addition), which is how multi-phase benches and the wire
+// layer combine them.
+//
+// Obtain handles via MetricsRegistry::latency_histogram() (or the
+// SWEEP_OBS_HIST_RECORD macro, which caches one per call site and gates
+// on metrics_enabled()). The registry state is leaked for the same
+// static-destruction-order reason as the counters.
+
+#include <bit>
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace sweep::obs {
+
+namespace detail {
+
+/// 2^kHistSubBits sub-buckets per octave: worst-case relative error of a
+/// midpoint representative is 2^-kHistSubBits ~ 3.1%.
+constexpr unsigned kHistSubBits = 5;
+constexpr std::uint64_t kHistSubBuckets = 1ull << kHistSubBits;  // 32
+/// Value ceiling: 2^40 ns ~ 18.3 minutes. Larger values clamp.
+constexpr unsigned kHistMaxValueBits = 40;
+constexpr std::uint64_t kHistMaxValue = (1ull << kHistMaxValueBits) - 1;
+/// 32 exact buckets + 16 per octave above: 592 total (4.6 KiB per shard).
+constexpr std::size_t kHistBuckets =
+    kHistSubBuckets +
+    (kHistMaxValueBits - kHistSubBits) * (kHistSubBuckets / 2);
+/// Upper bound on distinct histogram names; registering more throws.
+constexpr std::size_t kMaxHistograms = 64;
+
+[[nodiscard]] constexpr std::size_t hist_bucket(std::uint64_t value) noexcept {
+  if (value > kHistMaxValue) value = kHistMaxValue;
+  const unsigned width = static_cast<unsigned>(std::bit_width(value | 1));
+  if (width <= kHistSubBits) return static_cast<std::size_t>(value);
+  const unsigned e = width - kHistSubBits;
+  return static_cast<std::size_t>(e) * (kHistSubBuckets / 2) +
+         static_cast<std::size_t>(value >> e);
+}
+
+[[nodiscard]] constexpr std::uint64_t hist_bucket_lower(
+    std::size_t bucket) noexcept {
+  if (bucket < kHistSubBuckets) return bucket;
+  const std::uint64_t e = bucket / (kHistSubBuckets / 2) - 1;
+  const std::uint64_t mantissa = bucket - e * (kHistSubBuckets / 2);
+  return mantissa << e;
+}
+
+/// Midpoint representative: halves the worst-case quantile error vs the
+/// lower bound.
+[[nodiscard]] constexpr std::uint64_t hist_bucket_mid(
+    std::size_t bucket) noexcept {
+  if (bucket < kHistSubBuckets) return bucket;  // exact
+  const std::uint64_t e = bucket / (kHistSubBuckets / 2) - 1;
+  const std::uint64_t lower = hist_bucket_lower(bucket);
+  return lower + ((1ull << e) >> 1);
+}
+
+void hist_record(std::uint32_t id, std::uint64_t value) noexcept;
+
+}  // namespace detail
+
+/// Merged view of one histogram: raw bucket counts plus the value sum.
+/// Mergeable: merge() is bucket-wise addition, so snapshots taken on
+/// different processes/phases combine exactly (counts are integers).
+struct HistogramSnapshot {
+  std::string name;
+  std::uint64_t count = 0;  ///< total samples (== sum of buckets)
+  std::uint64_t sum = 0;    ///< sum of recorded (clamped) values
+  std::vector<std::uint64_t> buckets;  ///< detail::kHistBuckets entries
+
+  [[nodiscard]] double mean() const {
+    return count ? static_cast<double>(sum) / static_cast<double>(count) : 0.0;
+  }
+
+  /// Value at quantile q in [0, 1]: the midpoint representative of the
+  /// bucket containing sample rank ceil(q * count) (rank 1 for q = 0).
+  /// Returns 0 on an empty histogram. Relative error <= 2^-kHistSubBits.
+  [[nodiscard]] std::uint64_t quantile(double q) const;
+
+  /// Upper edge of the highest non-empty bucket (0 when empty): an upper
+  /// bound on the largest recorded (clamped) sample.
+  [[nodiscard]] std::uint64_t max_estimate() const;
+
+  /// Bucket-wise addition; `other` must have the same layout.
+  void merge(const HistogramSnapshot& other);
+};
+
+/// Cheap handle for a registered histogram; copyable, trivially
+/// destructible. record() is lock-free on the calling thread's shard and
+/// never throws (a sample is dropped if its shard cannot be allocated).
+class LatencyHistogram {
+ public:
+  void record(std::uint64_t value) noexcept { detail::hist_record(id_, value); }
+
+ private:
+  friend class MetricsRegistry;
+  explicit LatencyHistogram(std::uint32_t id) noexcept : id_(id) {}
+  std::uint32_t id_;
+};
+
+namespace detail {
+std::uint32_t hist_register(const std::string& name);
+void hist_snapshot_into(std::vector<HistogramSnapshot>& out);
+void hist_reset();
+}  // namespace detail
+
+}  // namespace sweep::obs

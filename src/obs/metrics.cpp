@@ -1,11 +1,8 @@
 #include "obs/metrics.hpp"
 
 #include <algorithm>
-#include <cstdio>
-#include <fstream>
 #include <map>
 #include <mutex>
-#include <ostream>
 #include <stdexcept>
 
 namespace sweep::obs {
@@ -39,8 +36,11 @@ struct RegistryState {
   std::map<std::string, std::uint32_t> counter_ids;       // name -> slot
   std::vector<detail::CounterShard*> live_shards;
   std::array<std::uint64_t, detail::kMaxCounters> retired{};
-  std::map<std::string, StatAccum> stats;
+  std::map<std::string, std::uint32_t> stat_ids;          // name -> cell
+  std::array<detail::StatCell, detail::kMaxStats> stat_cells;
   std::map<std::string, StatAccum> timers;
+  std::map<std::string, std::uint32_t> gauge_ids;         // name -> cell
+  std::array<std::atomic<std::int64_t>, detail::kMaxGauges> gauge_cells{};
 };
 
 RegistryState& state() {
@@ -78,25 +78,6 @@ StatValue to_value(const std::string& name, const StatAccum& a) {
   v.min = a.min;
   v.max = a.max;
   return v;
-}
-
-void write_json_escaped(std::ostream& out, const std::string& text) {
-  for (char c : text) {
-    switch (c) {
-      case '"': out << "\\\""; break;
-      case '\\': out << "\\\\"; break;
-      case '\n': out << "\\n"; break;
-      case '\t': out << "\\t"; break;
-      default:
-        if (static_cast<unsigned char>(c) < 0x20) {
-          char buf[8];
-          std::snprintf(buf, sizeof buf, "\\u%04x", c);
-          out << buf;
-        } else {
-          out << c;
-        }
-    }
-  }
 }
 
 }  // namespace
@@ -137,14 +118,44 @@ Counter MetricsRegistry::counter(const std::string& name) {
   return Counter(it->second);
 }
 
+Gauge MetricsRegistry::gauge(const std::string& name) {
+  RegistryState& s = state();
+  std::lock_guard<std::mutex> lock(s.mutex);
+  auto it = s.gauge_ids.find(name);
+  if (it == s.gauge_ids.end()) {
+    const auto id = static_cast<std::uint32_t>(s.gauge_ids.size());
+    if (id >= detail::kMaxGauges) {
+      throw std::runtime_error("MetricsRegistry: too many gauges");
+    }
+    it = s.gauge_ids.emplace(name, id).first;
+  }
+  return Gauge(&s.gauge_cells[it->second]);
+}
+
+LatencyHistogram MetricsRegistry::latency_histogram(const std::string& name) {
+  return LatencyHistogram(detail::hist_register(name));
+}
+
 void MetricsRegistry::add(const std::string& name, std::uint64_t n) {
   counter(name).add(n);
 }
 
-void MetricsRegistry::observe(const std::string& name, double value) {
+Stat MetricsRegistry::stat(const std::string& name) {
   RegistryState& s = state();
   std::lock_guard<std::mutex> lock(s.mutex);
-  s.stats[name].observe(value);
+  auto it = s.stat_ids.find(name);
+  if (it == s.stat_ids.end()) {
+    const auto id = static_cast<std::uint32_t>(s.stat_ids.size());
+    if (id >= detail::kMaxStats) {
+      throw std::runtime_error("MetricsRegistry: too many stats");
+    }
+    it = s.stat_ids.emplace(name, id).first;
+  }
+  return Stat(&s.stat_cells[it->second]);
+}
+
+void MetricsRegistry::observe(const std::string& name, double value) {
+  stat(name).observe(value);
 }
 
 void MetricsRegistry::observe_duration_ns(const std::string& name, double ns) {
@@ -165,12 +176,25 @@ MetricsSnapshot MetricsRegistry::snapshot() {
     }
     snap.counters.emplace_back(name, total);
   }
-  for (const auto& [name, accum] : s.stats) {
+  for (const auto& [name, id] : s.stat_ids) {
+    detail::StatCell& cell = s.stat_cells[id];
+    const std::lock_guard<std::mutex> cell_lock(cell.mutex);
+    StatAccum accum;
+    accum.count = cell.count;
+    accum.sum = cell.sum;
+    accum.min = cell.min;
+    accum.max = cell.max;
     snap.stats.push_back(to_value(name, accum));
   }
   for (const auto& [name, accum] : s.timers) {
     snap.timers.push_back(to_value(name, accum));
   }
+  snap.gauges.reserve(s.gauge_ids.size());
+  for (const auto& [name, id] : s.gauge_ids) {
+    snap.gauges.emplace_back(
+        name, s.gauge_cells[id].load(std::memory_order_relaxed));
+  }
+  detail::hist_snapshot_into(snap.histograms);
   return snap;
 }
 
@@ -181,55 +205,14 @@ void MetricsRegistry::reset() {
   for (detail::CounterShard* shard : s.live_shards) {
     for (auto& slot : shard->slots) slot.store(0, std::memory_order_relaxed);
   }
-  for (auto& [name, accum] : s.stats) accum = StatAccum{};
+  for (auto& cell : s.stat_cells) {
+    const std::lock_guard<std::mutex> cell_lock(cell.mutex);
+    cell.count = 0;
+    cell.sum = cell.min = cell.max = 0.0;
+  }
   for (auto& [name, accum] : s.timers) accum = StatAccum{};
-}
-
-namespace {
-
-void write_stat_block(
-    std::ostream& out, const std::vector<StatValue>& values, bool as_timer) {
-  bool first = true;
-  for (const StatValue& v : values) {
-    if (!first) out << ",";
-    first = false;
-    out << "\"";
-    write_json_escaped(out, v.name);
-    // Timers are recorded in nanoseconds; report milliseconds.
-    const double unit = as_timer ? 1e-6 : 1.0;
-    out << "\":{\"count\":" << v.count
-        << (as_timer ? ",\"total_ms\":" : ",\"sum\":") << v.sum * unit
-        << (as_timer ? ",\"mean_ms\":" : ",\"mean\":") << v.mean() * unit
-        << (as_timer ? ",\"min_ms\":" : ",\"min\":") << v.min * unit
-        << (as_timer ? ",\"max_ms\":" : ",\"max\":") << v.max * unit << "}";
-  }
-}
-
-}  // namespace
-
-void write_metrics_json(std::ostream& out) {
-  const MetricsSnapshot snap = MetricsRegistry::instance().snapshot();
-  out << "{\"counters\":{";
-  bool first = true;
-  for (const auto& [name, value] : snap.counters) {
-    if (!first) out << ",";
-    first = false;
-    out << "\"";
-    write_json_escaped(out, name);
-    out << "\":" << value;
-  }
-  out << "},\"stats\":{";
-  write_stat_block(out, snap.stats, /*as_timer=*/false);
-  out << "},\"timers\":{";
-  write_stat_block(out, snap.timers, /*as_timer=*/true);
-  out << "}}\n";
-}
-
-bool write_metrics_json(const std::string& path) {
-  std::ofstream out(path);
-  if (!out) return false;
-  write_metrics_json(out);
-  return out.good();
+  for (auto& cell : s.gauge_cells) cell.store(0, std::memory_order_relaxed);
+  detail::hist_reset();
 }
 
 }  // namespace sweep::obs

@@ -1,12 +1,16 @@
 #pragma once
-// Process-wide metrics registry: named counters, value stats, and timers.
+// Process-wide metrics registry: named counters, value stats, timers,
+// gauges, and latency histograms (latency_histogram.hpp).
 //
 // Hot-path design: counters write to a per-thread shard (a fixed array of
 // relaxed atomics indexed by counter id), so concurrent add() never takes a
 // lock; a snapshot merges the live shards plus the values folded in from
-// exited threads. Stats and timers are observed at call granularity (one
-// schedule run, one trial) and go through a single registry mutex — the
-// simplicity is worth far more than the ~20ns lock at that rate.
+// exited threads. Value stats keep min/max, which relaxed atomics cannot,
+// so each stat owns a tiny per-cell mutex; a cached Stat handle observes
+// with one uncontended ~20ns lock and no name lookup. Timers are observed
+// at call granularity (one schedule run, one trial) and go through the
+// single registry mutex — the simplicity is worth far more than the lock
+// at that rate.
 //
 // Collection is off by default: every instrumentation macro first checks
 // metrics_enabled() (one relaxed atomic load), so an un-instrumented run
@@ -23,9 +27,12 @@
 #include <atomic>
 #include <cstddef>
 #include <cstdint>
-#include <iosfwd>
+#include <mutex>
 #include <string>
+#include <utility>
 #include <vector>
+
+#include "obs/latency_histogram.hpp"
 
 namespace sweep::obs {
 
@@ -39,11 +46,30 @@ namespace detail {
 /// thread that touches a counter owns one shard (8 KiB).
 constexpr std::size_t kMaxCounters = 1024;
 
+/// Upper bound on distinct gauge names; registering more throws. Gauges
+/// are single process-wide cells (set() semantics cannot shard).
+constexpr std::size_t kMaxGauges = 256;
+
+/// Upper bound on distinct value-stat names; registering more throws.
+constexpr std::size_t kMaxStats = 256;
+
 struct CounterShard {
   std::array<std::atomic<std::uint64_t>, kMaxCounters> slots{};
 };
 
 CounterShard& tls_counter_shard();
+
+/// One value stat's accumulator behind its own tiny mutex, so a cached
+/// handle can observe without the registry mutex or a name lookup. min/max
+/// cannot be maintained with relaxed atomics, and the uncontended lock is
+/// ~20ns — cheap enough for per-request call sites.
+struct StatCell {
+  std::mutex mutex;
+  std::uint64_t count = 0;
+  double sum = 0.0;
+  double min = 0.0;
+  double max = 0.0;
+};
 }  // namespace detail
 
 /// Cheap value handle for a registered counter; copyable, trivially
@@ -63,6 +89,48 @@ class Counter {
   std::uint32_t id_;
 };
 
+/// Last-value metric (in-flight requests, queue depth, ...). Unlike
+/// counters, a gauge is one process-wide relaxed atomic: set() overwrites
+/// and add() is a fetch_add, so concurrent +1/-1 pairs balance exactly.
+/// Obtain via MetricsRegistry::gauge() (or the SWEEP_OBS_GAUGE_* macros).
+class Gauge {
+ public:
+  void set(std::int64_t value) noexcept {
+    cell_->store(value, std::memory_order_relaxed);
+  }
+  void add(std::int64_t delta) noexcept {
+    cell_->fetch_add(delta, std::memory_order_relaxed);
+  }
+
+ private:
+  friend class MetricsRegistry;
+  explicit Gauge(std::atomic<std::int64_t>* cell) noexcept : cell_(cell) {}
+  std::atomic<std::int64_t>* cell_;
+};
+
+/// Cheap handle for a registered value stat (merged count/sum/min/max).
+/// Obtain via MetricsRegistry::stat() (or the SWEEP_OBS_OBSERVE macro,
+/// which caches one in a function-local static per call site).
+class Stat {
+ public:
+  void observe(double v) noexcept {
+    const std::lock_guard<std::mutex> lock(cell_->mutex);
+    if (cell_->count == 0) {
+      cell_->min = cell_->max = v;
+    } else {
+      cell_->min = cell_->min < v ? cell_->min : v;
+      cell_->max = cell_->max > v ? cell_->max : v;
+    }
+    ++cell_->count;
+    cell_->sum += v;
+  }
+
+ private:
+  friend class MetricsRegistry;
+  explicit Stat(detail::StatCell* cell) noexcept : cell_(cell) {}
+  detail::StatCell* cell_;
+};
+
 /// Merged view of one stat/timer: count plus sum/min/max of the observed
 /// values (nanoseconds for timers).
 struct StatValue {
@@ -80,6 +148,8 @@ struct MetricsSnapshot {
   std::vector<std::pair<std::string, std::uint64_t>> counters;  // name-sorted
   std::vector<StatValue> stats;                                 // name-sorted
   std::vector<StatValue> timers;                                // name-sorted
+  std::vector<std::pair<std::string, std::int64_t>> gauges;     // name-sorted
+  std::vector<HistogramSnapshot> histograms;                    // name-sorted
 };
 
 class MetricsRegistry {
@@ -90,8 +160,18 @@ class MetricsRegistry {
   /// Registers `name` (idempotent) and returns its counter handle.
   Counter counter(const std::string& name);
 
+  /// Registers `name` (idempotent) and returns its gauge handle.
+  Gauge gauge(const std::string& name);
+
+  /// Registers `name` (idempotent) and returns its value-stat handle.
+  Stat stat(const std::string& name);
+
+  /// Registers `name` (idempotent) and returns its histogram handle (see
+  /// latency_histogram.hpp for the bucket layout and error bound).
+  LatencyHistogram latency_histogram(const std::string& name);
+
   /// Slow-path conveniences: name lookup under the registry mutex on every
-  /// call. Fine at per-run granularity; use Counter handles in loops.
+  /// call. Fine at per-run granularity; use Counter/Stat handles in loops.
   void add(const std::string& name, std::uint64_t n);
   void observe(const std::string& name, double value);
   void observe_duration_ns(const std::string& name, double ns);
@@ -109,11 +189,7 @@ class MetricsRegistry {
   MetricsRegistry() = default;
 };
 
-/// Writes the current snapshot as a JSON object:
-///   {"counters":{...},"stats":{name:{count,sum,mean,min,max}},
-///    "timers":{name:{count,total_ms,mean_ms,min_ms,max_ms}}}
-void write_metrics_json(std::ostream& out);
-/// Returns false (and logs nothing) if the file cannot be opened.
-bool write_metrics_json(const std::string& path);
+// Snapshot writers (JSON + Prometheus text exposition) live in
+// obs/export.hpp; obs/obs.hpp includes both.
 
 }  // namespace sweep::obs

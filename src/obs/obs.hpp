@@ -15,6 +15,7 @@
 //    granularity (one schedule, one trial, one partition), never per-task.
 //  - Names must be string literals (spans store the pointer).
 
+#include "obs/export.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
 
@@ -81,6 +82,18 @@ class PhaseSpan {
   do {                                 \
     (void)sizeof(value);               \
   } while (0)
+#define SWEEP_OBS_GAUGE_ADD(name, delta) \
+  do {                                   \
+    (void)sizeof(delta);                 \
+  } while (0)
+#define SWEEP_OBS_GAUGE_SET(name, value) \
+  do {                                   \
+    (void)sizeof(value);                 \
+  } while (0)
+#define SWEEP_OBS_HIST_RECORD(name, value) \
+  do {                                     \
+    (void)sizeof(value);                   \
+  } while (0)
 #define SWEEP_OBS_TIMER(name) \
   do {                        \
   } while (0)
@@ -103,12 +116,47 @@ class PhaseSpan {
   } while (0)
 
 /// Records one observation of value stat `name` (merged min/mean/max).
-#define SWEEP_OBS_OBSERVE(name, value)                            \
+/// The name lookup happens once per call site; the observe is one
+/// uncontended per-cell lock.
+#define SWEEP_OBS_OBSERVE(name, value)                           \
+  do {                                                           \
+    if (::sweep::obs::metrics_enabled()) {                       \
+      static ::sweep::obs::Stat sweep_obs_stat =                 \
+          ::sweep::obs::MetricsRegistry::instance().stat(name);  \
+      sweep_obs_stat.observe(static_cast<double>(value));        \
+    }                                                            \
+  } while (0)
+
+/// Adds `delta` (signed) to gauge `name`; +1/-1 pairs balance exactly.
+#define SWEEP_OBS_GAUGE_ADD(name, delta)                          \
   do {                                                            \
     if (::sweep::obs::metrics_enabled()) {                        \
-      ::sweep::obs::MetricsRegistry::instance().observe(          \
-          name, static_cast<double>(value));                      \
+      static ::sweep::obs::Gauge sweep_obs_gauge =                \
+          ::sweep::obs::MetricsRegistry::instance().gauge(name);  \
+      sweep_obs_gauge.add(static_cast<std::int64_t>(delta));      \
     }                                                             \
+  } while (0)
+
+/// Overwrites gauge `name` with `value`.
+#define SWEEP_OBS_GAUGE_SET(name, value)                          \
+  do {                                                            \
+    if (::sweep::obs::metrics_enabled()) {                        \
+      static ::sweep::obs::Gauge sweep_obs_gauge =                \
+          ::sweep::obs::MetricsRegistry::instance().gauge(name);  \
+      sweep_obs_gauge.set(static_cast<std::int64_t>(value));      \
+    }                                                             \
+  } while (0)
+
+/// Records one sample into latency histogram `name` (lock-free on the
+/// calling thread's shard; see latency_histogram.hpp).
+#define SWEEP_OBS_HIST_RECORD(name, value)                             \
+  do {                                                                 \
+    if (::sweep::obs::metrics_enabled()) {                             \
+      static ::sweep::obs::LatencyHistogram sweep_obs_hist =           \
+          ::sweep::obs::MetricsRegistry::instance().latency_histogram( \
+              name);                                                   \
+      sweep_obs_hist.record(static_cast<std::uint64_t>(value));        \
+    }                                                                  \
   } while (0)
 
 namespace sweep::obs::detail {

@@ -9,6 +9,7 @@
 #include <stdexcept>
 #include <utility>
 
+#include "obs/obs.hpp"
 #include "serve/frame.hpp"
 
 namespace sweep::serve {
@@ -52,12 +53,24 @@ Client& Client::operator=(Client&& other) noexcept {
 }
 
 Response Client::call(const Request& request) {
+  SWEEP_OBS_SPAN_ARGS("client.call", "type",
+                      static_cast<std::int64_t>(request.type));
+#if !defined(SWEEP_OBS_DISABLE)
+  const bool obs_armed = obs::metrics_enabled();
+  const std::uint64_t t0 = obs_armed ? obs::detail::now_ns() : 0;
+#endif
   write_frame(fd_, encode_request(request));
   std::vector<std::byte> payload;
   if (!read_frame(fd_, payload)) {
     throw std::runtime_error("serve client: server closed the connection");
   }
-  return decode_response(payload);
+  Response response = decode_response(payload);
+#if !defined(SWEEP_OBS_DISABLE)
+  if (obs_armed) {
+    SWEEP_OBS_HIST_RECORD("client.rtt_ns", obs::detail::now_ns() - t0);
+  }
+#endif
+  return response;
 }
 
 }  // namespace sweep::serve

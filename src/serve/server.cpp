@@ -11,6 +11,7 @@
 
 #include "obs/obs.hpp"
 #include "serve/frame.hpp"
+#include "util/log.hpp"
 
 namespace sweep::serve {
 namespace {
@@ -102,7 +103,15 @@ void Server::accept_loop() {
 }
 
 void Server::serve_connection(int fd) {
+#if !defined(SWEEP_OBS_DISABLE)
+  obs::TraceSpan connection_span("serve.connection", "fd",
+                                 static_cast<std::int64_t>(fd));
+  SWEEP_OBS_GAUGE_ADD("serve.open_connections", 1);
+#endif
   bool shutdown_requested = false;
+#if !defined(SWEEP_OBS_DISABLE)
+  bool obs_inflight = false;  // rebalances the gauge if a frame throws
+#endif
   try {
     std::vector<std::byte> payload;
     while (read_frame(fd, payload)) {
@@ -112,11 +121,39 @@ void Server::serve_connection(int fd) {
         std::lock_guard<std::mutex> lock(state_mutex_);
         SWEEP_OBS_OBSERVE("serve.queue_depth",
                           static_cast<double>(open_fds_.size()));
+        SWEEP_OBS_GAUGE_SET("serve.queue_depth",
+                            static_cast<std::int64_t>(open_fds_.size()));
       }
+#if !defined(SWEEP_OBS_DISABLE)
+      // Phase clocks share one read per boundary; `armed` is captured once
+      // per frame so a mid-request arm/disarm cannot tear the laps.
+      const bool obs_armed = obs::metrics_enabled();
+      const std::uint64_t request_id =
+          next_request_id_.fetch_add(1, std::memory_order_relaxed);
+      obs::TraceSpan request_span("serve.request", "id",
+                                  static_cast<std::int64_t>(request_id));
+      std::uint64_t t_start = 0;
+      std::uint64_t t_lap = 0;
+      if (obs_armed) {
+        SWEEP_OBS_GAUGE_ADD("serve.inflight_requests", 1);
+        obs_inflight = true;
+        t_start = obs::detail::now_ns();
+        t_lap = t_start;
+      }
+      const auto obs_lap = [&t_lap]() {
+        const std::uint64_t t1 = obs::detail::now_ns();
+        const std::uint64_t dt = t1 - t_lap;
+        t_lap = t1;
+        return dt;
+      };
+#endif
       Response response;
       MsgType type = MsgType::kPing;
       try {
         const Request request = decode_request(payload);
+#if !defined(SWEEP_OBS_DISABLE)
+        if (obs_armed) SWEEP_OBS_HIST_RECORD("serve.decode_ns", obs_lap());
+#endif
         type = request.type;
         response = service_.handle(request);
       } catch (const WireError& e) {
@@ -125,7 +162,43 @@ void Server::serve_connection(int fd) {
         response.type = MsgType::kPing;
         response.error = e.what();
       }
-      write_frame(fd, encode_response(response));
+#if !defined(SWEEP_OBS_DISABLE)
+      if (obs_armed) (void)obs_lap();  // reset the lap clock post-handle
+#endif
+      std::vector<std::byte> encoded = encode_response(response);
+#if !defined(SWEEP_OBS_DISABLE)
+      if (obs_armed) SWEEP_OBS_HIST_RECORD("serve.encode_ns", obs_lap());
+#endif
+      write_frame(fd, encoded);
+#if !defined(SWEEP_OBS_DISABLE)
+      if (obs_armed) {
+        SWEEP_OBS_HIST_RECORD("serve.write_ns", obs_lap());
+        const std::uint64_t total_ns = t_lap - t_start;
+        SWEEP_OBS_HIST_RECORD("serve.request_ns", total_ns);
+        if (response.status == 0) {
+          SWEEP_OBS_COUNTER_ADD("serve.status.ok", 1);
+        } else {
+          SWEEP_OBS_COUNTER_ADD("serve.status.error", 1);
+        }
+        SWEEP_OBS_GAUGE_ADD("serve.inflight_requests", -1);
+        obs_inflight = false;
+        if (options_.slow_request_ns != 0 &&
+            total_ns >= options_.slow_request_ns) {
+          // Sampled: the first slow request always logs, then every 8th,
+          // so a persistently slow daemon cannot flood stderr.
+          const std::uint64_t seen =
+              slow_requests_.fetch_add(1, std::memory_order_relaxed);
+          if (seen % 8 == 0) {
+            util::log_warn(
+                "serve slow request id=" + std::to_string(request_id) +
+                " type=" + std::to_string(static_cast<std::uint32_t>(type)) +
+                " status=" + std::to_string(response.status) +
+                " total_ns=" + std::to_string(total_ns) +
+                " sampled=1/8");
+          }
+        }
+      }
+#endif
       if (type == MsgType::kShutdown && response.status == 0) {
         shutdown_requested = true;
         break;
@@ -135,6 +208,10 @@ void Server::serve_connection(int fd) {
     // IO error or hostile framing: drop this connection, keep serving.
     SWEEP_OBS_COUNTER_ADD("serve.dropped_connections", 1);
   }
+#if !defined(SWEEP_OBS_DISABLE)
+  if (obs_inflight) SWEEP_OBS_GAUGE_ADD("serve.inflight_requests", -1);
+  SWEEP_OBS_GAUGE_ADD("serve.open_connections", -1);
+#endif
   {
     std::lock_guard<std::mutex> lock(state_mutex_);
     open_fds_.erase(std::remove(open_fds_.begin(), open_fds_.end(), fd),

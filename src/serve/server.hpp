@@ -17,6 +17,7 @@
 #include <atomic>
 #include <condition_variable>
 #include <cstddef>
+#include <cstdint>
 #include <memory>
 #include <mutex>
 #include <string>
@@ -32,6 +33,10 @@ struct ServerOptions {
   std::string socket_path;     ///< filesystem path of the AF_UNIX socket
   std::size_t threads = 0;     ///< pool workers; 0 = hardware concurrency
   bool unlink_existing = true; ///< remove a stale socket file before bind
+  /// Requests slower than this get a sampled structured warn line (the
+  /// first, then every 8th per server). 0 disables; ignored when the obs
+  /// layer is compiled out or metrics are unarmed.
+  std::uint64_t slow_request_ns = 50'000'000;
 };
 
 class Server {
@@ -78,6 +83,11 @@ class Server {
   bool stopping_ = false;
   bool accept_done_ = false;
   std::vector<int> open_fds_;  ///< live connection sockets (for wakeup)
+
+  /// Monotonic per-server request id (trace spans + slow-request lines).
+  std::atomic<std::uint64_t> next_request_id_{0};
+  /// Slow requests seen so far; drives the 1st-then-every-8th log sampling.
+  std::atomic<std::uint64_t> slow_requests_{0};
 };
 
 }  // namespace sweep::serve

@@ -1,5 +1,6 @@
 #include "serve/service.hpp"
 
+#include <algorithm>
 #include <exception>
 #include <utility>
 #include <vector>
@@ -109,6 +110,21 @@ Response ServeService::handle_info() {
 
 Response ServeService::handle_query(const QueryRequest& query) {
   SWEEP_OBS_TIMER("serve.query_ns");
+  SWEEP_OBS_SPAN_ARGS("serve.query", "scheme",
+                      static_cast<std::int64_t>(query.scheme), "m",
+                      static_cast<std::int64_t>(query.m));
+#if !defined(SWEEP_OBS_DISABLE)
+  // Phase laps share one clock read per boundary; everything below the
+  // `armed` check vanishes when metrics are off.
+  const bool obs_armed = obs::metrics_enabled();
+  std::uint64_t obs_lap_t0 = obs_armed ? obs::detail::now_ns() : 0;
+  const auto obs_lap = [&obs_lap_t0]() {
+    const std::uint64_t t1 = obs::detail::now_ns();
+    const std::uint64_t dt = t1 - obs_lap_t0;
+    obs_lap_t0 = t1;
+    return dt;
+  };
+#endif
   // Snapshot once: this whole query runs against one artifact even if a
   // swap lands mid-flight.
   const std::shared_ptr<const dag::Artifact> a = artifact();
@@ -131,6 +147,9 @@ Response ServeService::handle_query(const QueryRequest& query) {
     if (m == 0) throw std::invalid_argument("query: m must be positive");
     assignment = core::random_assignment(n, m, rng);
   }
+#if !defined(SWEEP_OBS_DISABLE)
+  if (obs_armed) SWEEP_OBS_HIST_RECORD("serve.lookup_ns", obs_lap());
+#endif
 
   // Priority vectors replicate core/priorities.cpp exactly, including rng
   // stream consumption, so the result is bit-identical to the in-process
@@ -173,12 +192,51 @@ Response ServeService::handle_query(const QueryRequest& query) {
   options.priorities = priorities;
   const core::Schedule schedule =
       core::list_schedule(tg, assignment, m, options);
+#if !defined(SWEEP_OBS_DISABLE)
+  if (obs_armed) SWEEP_OBS_HIST_RECORD("serve.schedule_ns", obs_lap());
+#endif
   const core::C1Cost c1 = core::comm_cost_c1(tg, assignment);
   const core::C2Cost c2 = core::comm_cost_c2(tg, schedule);
+  // makespan() scans every task's start time; computed once and shared by
+  // the quality telemetry and the response (a second scan would make the
+  // armed path visibly slower than disarmed — the overhead bench caught
+  // exactly that).
+  const std::uint64_t makespan = schedule.makespan();
+#if !defined(SWEEP_OBS_DISABLE)
+  if (obs_armed) {
+    SWEEP_OBS_HIST_RECORD("serve.cost_ns", obs_lap());
+    // Schedule-quality telemetry for daemon-served queries. The lower
+    // bound is the coarse closed-form one (work / m, direction count,
+    // critical path) — computable from the task graph alone, no
+    // SweepInstance needed.
+    const auto n_tasks = static_cast<std::uint64_t>(tg.n_tasks());
+    const std::uint64_t lb =
+        std::max({(n_tasks + m - 1) / m, static_cast<std::uint64_t>(k),
+                  static_cast<std::uint64_t>(tg.max_level()) + 1});
+    SWEEP_OBS_OBSERVE("quality.makespan", makespan);
+    if (lb > 0) {
+      SWEEP_OBS_OBSERVE("quality.makespan_over_lb",
+                        static_cast<double>(makespan) /
+                            static_cast<double>(lb));
+    }
+    if (makespan > 0) {
+      SWEEP_OBS_OBSERVE(
+          "quality.idle_fraction",
+          1.0 - static_cast<double>(n_tasks) /
+                    (static_cast<double>(makespan) * static_cast<double>(m)));
+    }
+    if (c1.total_edges > 0) {
+      SWEEP_OBS_OBSERVE("quality.c1_fraction",
+                        static_cast<double>(c1.cross_edges) /
+                            static_cast<double>(c1.total_edges));
+    }
+    SWEEP_OBS_OBSERVE("quality.c2_total_delay", c2.total_delay);
+  }
+#endif
 
   Response response;
   response.type = MsgType::kQuery;
-  response.query.makespan = schedule.makespan();
+  response.query.makespan = makespan;
   response.query.c1_cross_edges = c1.cross_edges;
   response.query.c1_total_edges = c1.total_edges;
   response.query.c2_total_delay = c2.total_delay;
@@ -197,11 +255,39 @@ Response ServeService::handle_query(const QueryRequest& query) {
 Response ServeService::handle_stats() {
   Response response;
   response.type = MsgType::kStats;
+  // The daemon always speaks stats v2; the extra telemetry below it is
+  // populated only when the obs layer is compiled in AND armed, so an
+  // obs-off build answers with the legacy entries plus the version tag.
+  response.stats.proto_version = kStatsProtoVersion;
   response.stats.entries = {
       {"queries", queries_.load(std::memory_order_relaxed)},
       {"swaps", swaps_.load(std::memory_order_relaxed)},
       {"errors", errors_.load(std::memory_order_relaxed)},
   };
+#if !defined(SWEEP_OBS_DISABLE)
+  if (obs::metrics_enabled()) {
+    const obs::MetricsSnapshot snap =
+        obs::MetricsRegistry::instance().snapshot();
+    for (const auto& [name, value] : snap.counters) {
+      if (name.starts_with("serve.")) {
+        response.stats.entries.emplace_back(name, value);
+      }
+    }
+    response.stats.gauges = snap.gauges;
+    response.stats.histograms.reserve(snap.histograms.size());
+    for (const obs::HistogramSnapshot& h : snap.histograms) {
+      StatsHistogram out;
+      out.name = h.name;
+      out.count = h.count;
+      out.p50 = h.quantile(0.50);
+      out.p90 = h.quantile(0.90);
+      out.p99 = h.quantile(0.99);
+      out.p999 = h.quantile(0.999);
+      out.max = h.max_estimate();
+      response.stats.histograms.push_back(std::move(out));
+    }
+  }
+#endif
   return response;
 }
 

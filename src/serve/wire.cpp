@@ -1,7 +1,10 @@
 #include "serve/wire.hpp"
 
+#include <algorithm>
 #include <cstring>
 #include <limits>
+#include <map>
+#include <string_view>
 
 namespace sweep::serve {
 namespace {
@@ -83,6 +86,57 @@ class Reader {
   std::span<const std::byte> bytes_;
   std::size_t pos_ = 0;
 };
+
+/// Routes one decoded stats entry: namespaced keys (wire.hpp) land in the
+/// typed views, everything else stays a plain entry. Purely syntactic on
+/// already length-checked strings, so hostile keys (empty names, bogus
+/// suffixes, duplicates) degrade to plain entries or overwrites — never a
+/// throw beyond allocation, never a read out of bounds. `hist_index` maps
+/// histogram name -> position in stats.histograms; the caller owns it so
+/// a frame stuffed with millions of distinct hist.* keys stays O(n log n)
+/// instead of quadratic.
+void lift_stats_entry(StatsResponse& stats,
+                      std::map<std::string, std::size_t>& hist_index,
+                      std::string key, std::uint64_t value) {
+  constexpr std::string_view kGaugePrefix = "gauge.";
+  constexpr std::string_view kHistPrefix = "hist.";
+  if (key == kStatsVersionKey) {
+    stats.proto_version = value;
+    return;
+  }
+  if (key.size() > kGaugePrefix.size() && key.starts_with(kGaugePrefix)) {
+    stats.gauges.emplace_back(key.substr(kGaugePrefix.size()),
+                              static_cast<std::int64_t>(value));
+    return;
+  }
+  if (key.size() > kHistPrefix.size() && key.starts_with(kHistPrefix)) {
+    const std::size_t dot = key.rfind('.');
+    if (dot > kHistPrefix.size() && dot != std::string::npos) {
+      const std::string name =
+          key.substr(kHistPrefix.size(), dot - kHistPrefix.size());
+      const std::string_view suffix = std::string_view(key).substr(dot + 1);
+      std::uint64_t StatsHistogram::*field = nullptr;
+      if (suffix == "count") field = &StatsHistogram::count;
+      else if (suffix == "p50") field = &StatsHistogram::p50;
+      else if (suffix == "p90") field = &StatsHistogram::p90;
+      else if (suffix == "p99") field = &StatsHistogram::p99;
+      else if (suffix == "p999") field = &StatsHistogram::p999;
+      else if (suffix == "max") field = &StatsHistogram::max;
+      if (field != nullptr) {
+        auto [it, inserted] =
+            hist_index.try_emplace(name, stats.histograms.size());
+        if (inserted) {
+          StatsHistogram fresh;
+          fresh.name = name;
+          stats.histograms.push_back(std::move(fresh));
+        }
+        stats.histograms[it->second].*field = value;
+        return;
+      }
+    }
+  }
+  stats.entries.emplace_back(std::move(key), value);
+}
 
 MsgType decode_type(std::uint32_t raw) {
   if (raw < static_cast<std::uint32_t>(MsgType::kPing) ||
@@ -169,13 +223,47 @@ std::vector<std::byte> encode_response(const Response& response) {
       w.put(response.query.schedule_hash);
       w.put_array(response.query.starts);
       break;
-    case MsgType::kStats:
-      w.put(static_cast<std::uint64_t>(response.stats.entries.size()));
-      for (const auto& [key, value] : response.stats.entries) {
+    case MsgType::kStats: {
+      // Fold the typed views back into namespaced entries (wire.hpp). The
+      // plain entries go first, unchanged, so a pre-bump consumer decodes
+      // the same pairs it always did; a version-1 response with empty
+      // views encodes byte-identically to the pre-bump writer. Non-empty
+      // views force the v2 block regardless of the version field —
+      // carrying typed telemetry IS speaking v2 — which keeps
+      // decode(encode(x)) idempotent.
+      const StatsResponse& stats = response.stats;
+      const bool v2 = stats.proto_version >= 2 || !stats.gauges.empty() ||
+                      !stats.histograms.empty();
+      const std::uint64_t extra =
+          v2 ? 1 + stats.gauges.size() + stats.histograms.size() * 6 : 0;
+      w.put(static_cast<std::uint64_t>(stats.entries.size()) + extra);
+      for (const auto& [key, value] : stats.entries) {
         w.put_string(key);
         w.put(value);
       }
+      if (v2) {
+        w.put_string(kStatsVersionKey);
+        w.put(std::max(stats.proto_version, kStatsProtoVersion));
+        for (const auto& [name, value] : stats.gauges) {
+          w.put_string("gauge." + name);
+          w.put(static_cast<std::uint64_t>(value));
+        }
+        for (const StatsHistogram& h : stats.histograms) {
+          const auto put_field = [&](const char* suffix,
+                                     std::uint64_t value) {
+            w.put_string("hist." + h.name + suffix);
+            w.put(value);
+          };
+          put_field(".count", h.count);
+          put_field(".p50", h.p50);
+          put_field(".p90", h.p90);
+          put_field(".p99", h.p99);
+          put_field(".p999", h.p999);
+          put_field(".max", h.max);
+        }
+      }
       break;
+    }
     default:
       break;  // ping/swap/shutdown acks carry no body
   }
@@ -219,10 +307,11 @@ Response decode_response(std::span<const std::byte> payload) {
         throw WireError("wire: stats count too large");
       }
       response.stats.entries.reserve(static_cast<std::size_t>(count));
+      std::map<std::string, std::size_t> hist_index;
       for (std::uint64_t i = 0; i < count; ++i) {
         std::string key = r.get_string("stats key");
         const auto value = r.get<std::uint64_t>("stats value");
-        response.stats.entries.emplace_back(std::move(key), value);
+        lift_stats_entry(response.stats, hist_index, std::move(key), value);
       }
       break;
     }

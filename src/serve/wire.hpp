@@ -94,8 +94,48 @@ struct QueryResponse {
   std::vector<std::uint32_t> starts;  ///< filled iff want_starts
 };
 
+/// Stats wire evolution (v2). The only stats payload on the wire is the
+/// count-prefixed (key, u64) entry list — that is the invariant old
+/// decoders enforce with expect_end(), so new telemetry NEVER appends
+/// typed fields after it. Instead, a v2 daemon appends *namespaced
+/// entries* to the same list:
+///   "proto.version"          = kStatsProtoVersion
+///   "gauge.<name>"           = gauge value (two's-complement int64)
+///   "hist.<name>.count|p50|p90|p99|p999|max" = histogram quantiles (ns)
+/// A pre-bump client decodes a v2 daemon's response unchanged (the extra
+/// entries are just more pairs, every one length-checked); a v2 client
+/// decoding a pre-bump daemon sees no namespaced entries and reports
+/// proto_version = 1 with empty typed views. decode_response() lifts the
+/// namespaced entries into the typed fields below and removes them from
+/// `entries`; encode_response() folds them back, so v2<->v2 round trips
+/// are exact and the v1 byte stream is a strict prefix shape of v2.
+/// Non-empty typed views force the v2 block on encode even if
+/// proto_version was left at 1 — carrying telemetry is speaking v2 —
+/// which keeps encode(decode(bytes)) stable for hostile peers that send
+/// namespaced keys without announcing a version.
+inline constexpr std::uint64_t kStatsProtoVersion = 2;
+inline constexpr const char* kStatsVersionKey = "proto.version";
+
+/// Quantile ladder of one serve-side latency histogram (values in ns).
+struct StatsHistogram {
+  std::string name;
+  std::uint64_t count = 0;
+  std::uint64_t p50 = 0;
+  std::uint64_t p90 = 0;
+  std::uint64_t p99 = 0;
+  std::uint64_t p999 = 0;
+  std::uint64_t max = 0;
+
+  bool operator==(const StatsHistogram&) const = default;
+};
+
 struct StatsResponse {
   std::vector<std::pair<std::string, std::uint64_t>> entries;
+  /// Typed views of the namespaced entries (see above). proto_version is
+  /// 1 when the peer never announced one (pre-bump daemon).
+  std::uint64_t proto_version = 1;
+  std::vector<std::pair<std::string, std::int64_t>> gauges;
+  std::vector<StatsHistogram> histograms;
 };
 
 struct Response {

@@ -17,6 +17,7 @@
 #include "core/comm_cost.hpp"
 #include "core/list_scheduler.hpp"
 #include "core/priorities.hpp"
+#include "obs/obs.hpp"
 #include "serve/service.hpp"
 #include "serve/wire.hpp"
 #include "sweep/artifact.hpp"
@@ -152,6 +153,227 @@ TEST(Wire, MalformedFramesAreRejected) {
   const std::uint32_t huge = 1u << 20;
   std::memcpy(lying.data() + 4, &huge, 4);
   EXPECT_THROW(decode_request(lying), WireError);
+}
+
+// ---------------------------------------------------------------------------
+// Stats wire v2 evolution. The pre-bump (v1) stats payload was exactly:
+//   u32 status, u32 type, u64 count, count x (u32 len + bytes, u64 value)
+// The helpers below ARE that old peer, hand-rolled byte for byte, so the
+// interop tests pin the published format rather than today's code.
+
+void put_u32(std::vector<std::byte>& out, std::uint32_t v) {
+  const auto* p = reinterpret_cast<const std::byte*>(&v);
+  out.insert(out.end(), p, p + sizeof v);
+}
+
+void put_u64(std::vector<std::byte>& out, std::uint64_t v) {
+  const auto* p = reinterpret_cast<const std::byte*>(&v);
+  out.insert(out.end(), p, p + sizeof v);
+}
+
+/// What a pre-bump daemon put on the wire for a kStats response.
+std::vector<std::byte> v1_encode_stats(
+    const std::vector<std::pair<std::string, std::uint64_t>>& entries) {
+  std::vector<std::byte> out;
+  put_u32(out, 0);  // status ok
+  put_u32(out, static_cast<std::uint32_t>(MsgType::kStats));
+  put_u64(out, entries.size());
+  for (const auto& [key, value] : entries) {
+    put_u32(out, static_cast<std::uint32_t>(key.size()));
+    const auto* p = reinterpret_cast<const std::byte*>(key.data());
+    out.insert(out.end(), p, p + key.size());
+    put_u64(out, value);
+  }
+  return out;
+}
+
+/// What a pre-bump client did with a kStats response: read count pairs,
+/// reject trailing bytes. Throws std::runtime_error on any truncation.
+std::vector<std::pair<std::string, std::uint64_t>> v1_decode_stats(
+    std::span<const std::byte> bytes) {
+  std::size_t pos = 0;
+  const auto need = [&](std::size_t n) {
+    if (bytes.size() - pos < n) throw std::runtime_error("v1: truncated");
+  };
+  const auto read_u32 = [&] {
+    need(4);
+    std::uint32_t v;
+    std::memcpy(&v, bytes.data() + pos, 4);
+    pos += 4;
+    return v;
+  };
+  const auto read_u64 = [&] {
+    need(8);
+    std::uint64_t v;
+    std::memcpy(&v, bytes.data() + pos, 8);
+    pos += 8;
+    return v;
+  };
+  if (read_u32() != 0) throw std::runtime_error("v1: error status");
+  if (read_u32() != static_cast<std::uint32_t>(MsgType::kStats)) {
+    throw std::runtime_error("v1: not stats");
+  }
+  const std::uint64_t count = read_u64();
+  std::vector<std::pair<std::string, std::uint64_t>> entries;
+  for (std::uint64_t i = 0; i < count; ++i) {
+    const std::uint32_t len = read_u32();
+    need(len);
+    std::string key(reinterpret_cast<const char*>(bytes.data() + pos), len);
+    pos += len;
+    entries.emplace_back(std::move(key), read_u64());
+  }
+  if (pos != bytes.size()) throw std::runtime_error("v1: trailing bytes");
+  return entries;
+}
+
+TEST(WireV2, TypedViewsRoundTripExactly) {
+  Response r;
+  r.status = 0;
+  r.type = MsgType::kStats;
+  r.stats.proto_version = kStatsProtoVersion;
+  r.stats.entries = {{"queries", 10}, {"swaps", 1}, {"errors", 2}};
+  r.stats.gauges = {{"serve.open_connections", 3},
+                    {"serve.inflight_requests", -1}};  // negatives survive
+  StatsHistogram h;
+  h.name = "serve.request_ns";
+  h.count = 1000;
+  h.p50 = 52000;
+  h.p90 = 90000;
+  h.p99 = 200000;
+  h.p999 = 350000;
+  h.max = 600000;
+  r.stats.histograms = {h};
+
+  const Response back = decode_response(encode_response(r));
+  EXPECT_EQ(back.stats.proto_version, kStatsProtoVersion);
+  EXPECT_EQ(back.stats.entries, r.stats.entries);
+  EXPECT_EQ(back.stats.gauges, r.stats.gauges);
+  EXPECT_EQ(back.stats.histograms, r.stats.histograms);
+}
+
+TEST(WireV2, Version1ResponseEncodesByteIdenticalToPreBumpWriter) {
+  // A response that never sets proto_version >= 2 must hit the wire in the
+  // exact pre-bump byte layout — no version entry, no namespaced keys.
+  Response r;
+  r.status = 0;
+  r.type = MsgType::kStats;
+  r.stats.entries = {{"queries", 7}, {"swaps", 0}};
+  ASSERT_EQ(r.stats.proto_version, 1u);  // the default
+  EXPECT_EQ(encode_response(r), v1_encode_stats(r.stats.entries));
+}
+
+TEST(WireV2, OldClientDecodesNewDaemon) {
+  // The v1 decoder enforces expect_end(), so this passes only because the
+  // new telemetry rides inside the count-prefixed list.
+  Response r;
+  r.status = 0;
+  r.type = MsgType::kStats;
+  r.stats.proto_version = kStatsProtoVersion;
+  r.stats.entries = {{"queries", 5}};
+  r.stats.gauges = {{"g", 1}};
+  StatsHistogram h;
+  h.name = "x";
+  h.count = 2;
+  r.stats.histograms = {h};
+
+  const auto old_view = v1_decode_stats(encode_response(r));
+  // 1 plain + 1 version + 1 gauge + 6 histogram fields.
+  EXPECT_EQ(old_view.size(), 9u);
+  EXPECT_EQ(old_view[0], (std::pair<std::string, std::uint64_t>{"queries", 5}));
+  EXPECT_EQ(old_view[1].first, std::string(kStatsVersionKey));
+  EXPECT_EQ(old_view[1].second, kStatsProtoVersion);
+}
+
+TEST(WireV2, NewClientDecodesOldDaemon) {
+  const std::vector<std::pair<std::string, std::uint64_t>> legacy = {
+      {"queries", 11}, {"swaps", 2}, {"errors", 0}};
+  const Response back = decode_response(v1_encode_stats(legacy));
+  EXPECT_EQ(back.status, 0u);
+  EXPECT_EQ(back.stats.proto_version, 1u);  // never announced -> v1
+  EXPECT_EQ(back.stats.entries, legacy);
+  EXPECT_TRUE(back.stats.gauges.empty());
+  EXPECT_TRUE(back.stats.histograms.empty());
+}
+
+TEST(WireV2, NonStatsEncodingsUnchanged) {
+  // Pin the ping response layout byte for byte: the bump must not leak
+  // into other message types.
+  Response ping;
+  ping.status = 0;
+  ping.type = MsgType::kPing;
+  std::vector<std::byte> expected;
+  put_u32(expected, 0);
+  put_u32(expected, static_cast<std::uint32_t>(MsgType::kPing));
+  EXPECT_EQ(encode_response(ping), expected);
+
+  // And a query request: u32 type, u32 scheme, u32 m, u64 seed,
+  // i64 partition, u8 want_starts.
+  Request query;
+  query.type = MsgType::kQuery;
+  query.query.scheme = Scheme::kRandomDelay;
+  query.query.m = 6;
+  query.query.seed = 99;
+  query.query.partition = -1;
+  query.query.want_starts = true;
+  std::vector<std::byte> expected_q;
+  put_u32(expected_q, static_cast<std::uint32_t>(MsgType::kQuery));
+  put_u32(expected_q, static_cast<std::uint32_t>(Scheme::kRandomDelay));
+  put_u32(expected_q, 6);
+  put_u64(expected_q, 99);
+  put_u64(expected_q, static_cast<std::uint64_t>(std::int64_t{-1}));
+  expected_q.push_back(std::byte{1});
+  EXPECT_EQ(encode_request(query), expected_q);
+}
+
+TEST(WireV2, HostileNamespacedKeysStayPlainEntries) {
+  // Keys that look telemetry-ish but are not well-formed must neither
+  // crash the decoder nor vanish — they stay visible as plain entries.
+  const std::vector<std::pair<std::string, std::uint64_t>> hostile = {
+      {"gauge.", 1},         // empty gauge name
+      {"hist.", 2},          // bare prefix
+      {"hist.x", 3},         // no suffix
+      {"hist..p50", 4},      // empty histogram name
+      {"hist.x.bogus", 5},   // unknown suffix
+      {"histogram.x.p50", 6},  // wrong prefix
+  };
+  const Response back = decode_response(v1_encode_stats(hostile));
+  EXPECT_EQ(back.stats.entries, hostile);
+  EXPECT_TRUE(back.stats.gauges.empty());
+  EXPECT_TRUE(back.stats.histograms.empty());
+
+  // Duplicate well-formed keys: last write wins, nothing accumulates.
+  const std::vector<std::pair<std::string, std::uint64_t>> dup = {
+      {"hist.a.p50", 10}, {"hist.a.p50", 20}};
+  const Response d = decode_response(v1_encode_stats(dup));
+  ASSERT_EQ(d.stats.histograms.size(), 1u);
+  EXPECT_EQ(d.stats.histograms[0].p50, 20u);
+  EXPECT_TRUE(d.stats.entries.empty());
+}
+
+TEST(WireV2, TruncatedQuantileBlockIsRejected) {
+  Response r;
+  r.status = 0;
+  r.type = MsgType::kStats;
+  r.stats.proto_version = kStatsProtoVersion;
+  r.stats.entries = {{"queries", 1}};
+  StatsHistogram h;
+  h.name = "serve.request_ns";
+  h.count = 5;
+  h.p50 = 100;
+  r.stats.histograms = {h};
+  const std::vector<std::byte> valid = encode_response(r);
+  // Every strict prefix is truncated somewhere inside the v2 block.
+  for (std::size_t keep = 8; keep < valid.size(); ++keep) {
+    EXPECT_THROW(
+        decode_response(std::span<const std::byte>(valid.data(), keep)),
+        WireError)
+        << "prefix " << keep;
+  }
+  // An absurd count that the remaining bytes cannot possibly satisfy.
+  std::vector<std::byte> absurd = valid;
+  const std::uint64_t huge = ~0ull;
+  std::memcpy(absurd.data() + 8, &huge, 8);
+  EXPECT_THROW(decode_response(absurd), WireError);
 }
 
 // ---------------------------------------------------------------------------
@@ -339,9 +561,63 @@ TEST(ServeService, PingStatsAndShutdownAck) {
   const Response s = service.handle(stats);
   ASSERT_EQ(s.status, 0u);
   EXPECT_FALSE(s.stats.entries.empty());
+  EXPECT_EQ(s.stats.proto_version, kStatsProtoVersion);
   Request shutdown;
   shutdown.type = MsgType::kShutdown;
   EXPECT_EQ(service.handle(shutdown).status, 0u);
+}
+
+TEST(ServeService, ArmedStatsCarryHistogramsAndQuality) {
+  // Armed metrics: queries must feed the serve-phase histograms and the
+  // quality.* stats, and handle_stats must serve them over wire v2. Under
+  // an obs-off build the same request path must yield empty typed views.
+  obs::MetricsRegistry::instance().reset();
+  obs::set_metrics_enabled(true);
+  ServeService service = make_service(make_instance());
+  for (std::uint64_t seed = 1; seed <= 5; ++seed) {
+    ASSERT_EQ(service.handle(query_request(Scheme::kLevel, 4, seed)).status,
+              0u);
+  }
+  Request stats;
+  stats.type = MsgType::kStats;
+  const Response s = service.handle(stats);
+  obs::set_metrics_enabled(false);
+  ASSERT_EQ(s.status, 0u);
+  EXPECT_EQ(s.stats.proto_version, kStatsProtoVersion);
+#if !defined(SWEEP_OBS_DISABLE)
+  bool found_schedule_hist = false;
+  for (const auto& h : s.stats.histograms) {
+    EXPECT_TRUE(h.p50 <= h.p90 && h.p90 <= h.p99 && h.p99 <= h.p999 &&
+                h.p999 <= h.max)
+        << h.name;
+    if (h.name == "serve.schedule_ns") {
+      found_schedule_hist = true;
+      EXPECT_EQ(h.count, 5u);
+      EXPECT_GT(h.p50, 0u);
+    }
+  }
+  EXPECT_TRUE(found_schedule_hist);
+  // The round-trip must preserve the views bit-exactly.
+  const Response back = decode_response(encode_response(s));
+  EXPECT_EQ(back.stats.entries, s.stats.entries);
+  EXPECT_EQ(back.stats.gauges, s.stats.gauges);
+  EXPECT_EQ(back.stats.histograms, s.stats.histograms);
+  // Quality metrics landed in the in-process registry (not on the wire).
+  const auto snap = obs::MetricsRegistry::instance().snapshot();
+  bool found_quality = false;
+  for (const auto& v : snap.stats) {
+    if (v.name == "quality.makespan_over_lb") {
+      found_quality = true;
+      EXPECT_EQ(v.count, 5u);
+      EXPECT_GE(v.min, 1.0);  // a makespan can never beat the lower bound
+    }
+  }
+  EXPECT_TRUE(found_quality);
+#else
+  EXPECT_TRUE(s.stats.histograms.empty());
+  EXPECT_TRUE(s.stats.gauges.empty());
+#endif
+  obs::MetricsRegistry::instance().reset();
 }
 
 }  // namespace

@@ -1,0 +1,240 @@
+// serve_latency_smoke: concurrency smoke test for the serve-path telemetry
+// (stats wire v2). In one process — so the tsan-concurrency preset
+// instruments the recorder shards, gauges, and stats snapshotting — it:
+//
+//   1. packs a small artifact and starts a real Server,
+//   2. arms metrics and hammers queries from 4 client threads while a 5th
+//      thread concurrently polls kStats (snapshots race live recording),
+//   3. asserts the final stats frame: proto v2, request counts that match
+//      what the clients sent, a monotone non-decreasing quantile ladder
+//      (p50 <= p90 <= p99 <= p999 <= max) on every histogram, balanced
+//      gauges (0 in-flight, 0 open connections after the clients leave),
+//   4. shuts down cleanly through the protocol.
+//
+// Under an obs-off build the telemetry sections compile away; the test
+// then asserts the degenerate contract instead: stats still decode, the
+// daemon still announces v2, and the typed views are empty.
+//
+// Exit 0 = pass; any violated assertion prints a diagnostic and exits 1.
+
+#include <unistd.h>
+
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "obs/obs.hpp"
+#include "serve/client.hpp"
+#include "serve/server.hpp"
+#include "serve/service.hpp"
+#include "sweep/artifact.hpp"
+#include "sweep/random_dag.hpp"
+
+namespace {
+
+using namespace sweep;
+
+int failures = 0;
+
+void check(bool ok, const std::string& what) {
+  if (!ok) {
+    std::fprintf(stderr, "FAIL: %s\n", what.c_str());
+    ++failures;
+  }
+}
+
+std::uint64_t entry_value(const serve::StatsResponse& stats,
+                          const std::string& key) {
+  for (const auto& [k, v] : stats.entries) {
+    if (k == key) return v;
+  }
+  return 0;
+}
+
+std::int64_t gauge_value(const serve::StatsResponse& stats,
+                         const std::string& name) {
+  for (const auto& [k, v] : stats.gauges) {
+    if (k == name) return v;
+  }
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const std::string scratch = argc > 1 ? argv[1] : "/tmp";
+  const std::string tag = std::to_string(static_cast<long>(::getpid()));
+  const std::string artifact_path =
+      scratch + "/latency_smoke." + tag + ".sweepart";
+  const std::string socket_path = "/tmp/sweep_latency." + tag + ".sock";
+
+#if !defined(SWEEP_OBS_DISABLE)
+  obs::set_metrics_enabled(true);
+#endif
+
+  const dag::SweepInstance instance = dag::random_instance(160, 3, 5, 1.8, 17);
+  const dag::ArtifactWriteOptions pack_options;
+  dag::save_artifact(instance, artifact_path, pack_options);
+
+  serve::ServeService service(dag::Artifact::map_file(artifact_path));
+  serve::ServerOptions server_options;
+  server_options.socket_path = socket_path;
+  server_options.threads = 4;
+  server_options.slow_request_ns = 0;  // keep stderr quiet under TSan
+  serve::Server server(service, server_options);
+  server.start();
+
+  constexpr int kHammerThreads = 4;
+  constexpr int kRoundsPerThread = 30;
+  std::atomic<int> io_failures{0};
+  std::atomic<std::uint64_t> ok_queries{0};
+  std::atomic<std::uint64_t> rejected_queries{0};
+  std::atomic<bool> hammering{true};
+
+  // Concurrent stats poller: snapshots must be consistent (decodable, sane
+  // quantiles) even while every shard is being written to.
+  std::thread poller([&] {
+    try {
+      serve::Client client(socket_path);
+      serve::Request request;
+      request.type = serve::MsgType::kStats;
+      while (hammering.load(std::memory_order_relaxed)) {
+        const serve::Response r = client.call(request);
+        if (r.status != 0) {
+          io_failures.fetch_add(1);
+          return;
+        }
+        for (const auto& h : r.stats.histograms) {
+          if (!(h.p50 <= h.p90 && h.p90 <= h.p99 && h.p99 <= h.p999 &&
+                h.p999 <= h.max)) {
+            std::fprintf(stderr, "mid-run quantile ladder broken: %s\n",
+                         h.name.c_str());
+            io_failures.fetch_add(1);
+          }
+        }
+      }
+    } catch (const std::exception& e) {
+      std::fprintf(stderr, "poller: %s\n", e.what());
+      io_failures.fetch_add(1);
+    }
+  });
+
+  std::vector<std::thread> hammer;
+  for (int w = 0; w < kHammerThreads; ++w) {
+    hammer.emplace_back([&, w] {
+      try {
+        serve::Client client(socket_path);
+        for (int round = 0; round < kRoundsPerThread; ++round) {
+          serve::Request request;
+          request.type = serve::MsgType::kQuery;
+          request.query.scheme = (round % 2 == 0)
+                                     ? serve::Scheme::kLevel
+                                     : serve::Scheme::kRandomDelay;
+          // Every 10th request is intentionally invalid (m = 0) so the
+          // error counters and the error-rate path get real traffic.
+          request.query.m = (round % 10 == 9)
+                                ? 0u
+                                : static_cast<std::uint32_t>(1 + w);
+          request.query.seed = static_cast<std::uint64_t>(w * 1000 + round);
+          const serve::Response r = client.call(request);
+          if (r.status == 0) {
+            ok_queries.fetch_add(1);
+          } else if (request.query.m == 0) {
+            rejected_queries.fetch_add(1);  // expected rejection
+          } else {
+            io_failures.fetch_add(1);
+          }
+        }
+      } catch (const std::exception& e) {
+        std::fprintf(stderr, "hammer: %s\n", e.what());
+        io_failures.fetch_add(1000);
+      }
+    });
+  }
+  for (std::thread& t : hammer) t.join();
+  hammering.store(false, std::memory_order_relaxed);
+  poller.join();
+  check(io_failures.load() == 0, "no IO failures or torn mid-run snapshots");
+
+  const auto expected_ok = static_cast<std::uint64_t>(
+      kHammerThreads * (kRoundsPerThread - kRoundsPerThread / 10));
+  const auto expected_rejected =
+      static_cast<std::uint64_t>(kHammerThreads * (kRoundsPerThread / 10));
+  check(ok_queries.load() == expected_ok, "client-side ok count");
+  check(rejected_queries.load() == expected_rejected,
+        "client-side rejection count");
+
+  // Final stats frame, taken after every hammer connection has closed. The
+  // in-flight decrement in the server runs just after the response bytes
+  // hit the socket, so give the workers a moment to settle before treating
+  // a non-zero gauge as a leak.
+  {
+    serve::Client client(socket_path);
+    serve::Request request;
+    request.type = serve::MsgType::kStats;
+    serve::Response r = client.call(request);
+    for (int attempt = 0;
+         attempt < 100 && r.status == 0 &&
+         gauge_value(r.stats, "serve.inflight_requests") != 1;
+         ++attempt) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(10));
+      r = client.call(request);
+    }
+    check(r.status == 0, "final stats respond");
+    const serve::StatsResponse& stats = r.stats;
+    check(stats.proto_version == serve::kStatsProtoVersion,
+          "daemon announces stats proto v2");
+    check(entry_value(stats, "queries") == expected_ok,
+          "daemon query counter matches the traffic");
+    check(entry_value(stats, "errors") == expected_rejected,
+          "daemon error counter matches the traffic");
+
+#if !defined(SWEEP_OBS_DISABLE)
+    check(!stats.histograms.empty(), "armed daemon serves histograms");
+    bool saw_request_hist = false;
+    for (const auto& h : stats.histograms) {
+      check(h.p50 <= h.p90 && h.p90 <= h.p99 && h.p99 <= h.p999 &&
+                h.p999 <= h.max,
+            "final quantile ladder monotone: " + h.name);
+      if (h.name == "serve.request_ns") {
+        saw_request_hist = true;
+        check(h.count >= expected_ok + expected_rejected,
+              "serve.request_ns counted every hammer frame");
+        check(h.p50 > 0, "serve.request_ns p50 is non-zero");
+      }
+    }
+    check(saw_request_hist, "serve.request_ns histogram present");
+    // A stats request observes itself mid-flight, so a balanced gauge
+    // reads exactly 1 here — anything above means a hammer frame leaked.
+    check(gauge_value(stats, "serve.inflight_requests") == 1,
+          "in-flight gauge balanced after the hammer");
+    check(entry_value(stats, "serve.status.error") >= expected_rejected,
+          "serve.status.error counted the rejects");
+#else
+    check(stats.histograms.empty(), "obs-off daemon serves no histograms");
+    check(stats.gauges.empty(), "obs-off daemon serves no gauges");
+#endif
+  }
+
+  {
+    serve::Client client(socket_path);
+    check(client.shutdown_server().status == 0, "shutdown acked");
+  }
+  server.wait();
+  server.stop();
+
+  std::remove(artifact_path.c_str());
+  if (failures == 0) {
+    std::printf("serve_latency_smoke: all checks passed (%llu ok, %llu "
+                "rejected)\n",
+                static_cast<unsigned long long>(ok_queries.load()),
+                static_cast<unsigned long long>(rejected_queries.load()));
+    return 0;
+  }
+  std::fprintf(stderr, "serve_latency_smoke: %d failures\n", failures);
+  return 1;
+}

@@ -9,6 +9,7 @@
 #include <cstdio>
 #include <string>
 
+#include "obs/obs.hpp"
 #include "serve/client.hpp"
 #include "util/cli.hpp"
 #include "util/main_guard.hpp"
@@ -38,7 +39,17 @@ static int run_main(int argc, char** argv) {
                  "embedded partition index (query; -1 = random assignment)");
   cli.add_flag("starts", "fetch the full per-task start array");
   cli.add_option("path", "", "replacement artifact (swap)");
+  cli.add_option("metrics-out", "",
+                 "write this client's metrics registry as JSON after the "
+                 "call (.prom extension = Prometheus text format)");
+  cli.add_option("trace-out", "",
+                 "write a Chrome trace-event JSON of this call");
   if (!cli.parse(argc, argv)) return 1;
+
+#if !defined(SWEEP_OBS_DISABLE)
+  if (!cli.str("metrics-out").empty()) obs::set_metrics_enabled(true);
+  if (!cli.str("trace-out").empty()) obs::start_tracing();
+#endif
 
   serve::Client client(cli.str("socket"));
   serve::Request request;
@@ -112,12 +123,50 @@ static int run_main(int argc, char** argv) {
       break;
     }
     case serve::MsgType::kStats:
+      std::printf("proto_version: %llu\n",
+                  static_cast<unsigned long long>(
+                      response.stats.proto_version));
       for (const auto& [key, value] : response.stats.entries) {
         std::printf("%s: %llu\n", key.c_str(),
                     static_cast<unsigned long long>(value));
       }
+      for (const auto& [name, value] : response.stats.gauges) {
+        std::printf("gauge %s: %lld\n", name.c_str(),
+                    static_cast<long long>(value));
+      }
+      for (const auto& h : response.stats.histograms) {
+        std::printf(
+            "hist %s: count=%llu p50=%llu p90=%llu p99=%llu p999=%llu "
+            "max=%llu (ns)\n",
+            h.name.c_str(), static_cast<unsigned long long>(h.count),
+            static_cast<unsigned long long>(h.p50),
+            static_cast<unsigned long long>(h.p90),
+            static_cast<unsigned long long>(h.p99),
+            static_cast<unsigned long long>(h.p999),
+            static_cast<unsigned long long>(h.max));
+      }
       break;
   }
+
+#if !defined(SWEEP_OBS_DISABLE)
+  const std::string metrics_out = cli.str("metrics-out");
+  if (!metrics_out.empty()) {
+    const bool prometheus = metrics_out.ends_with(".prom");
+    const bool ok = prometheus ? obs::write_metrics_prometheus(metrics_out)
+                               : obs::write_metrics_json(metrics_out);
+    if (!ok) {
+      std::fprintf(stderr, "FAILED to write metrics to %s\n",
+                   metrics_out.c_str());
+    }
+  }
+  const std::string trace_out = cli.str("trace-out");
+  if (!trace_out.empty()) {
+    obs::stop_tracing();
+    if (!obs::write_trace_json(trace_out)) {
+      std::fprintf(stderr, "FAILED to write trace to %s\n", trace_out.c_str());
+    }
+  }
+#endif
   return 0;
 }
 

@@ -13,6 +13,7 @@
 #include <cstdio>
 #include <string>
 
+#include "obs/obs.hpp"
 #include "serve/server.hpp"
 #include "serve/service.hpp"
 #include "util/cli.hpp"
@@ -26,11 +27,27 @@ static int run_main(int argc, char** argv) {
   cli.add_option("artifact", "", "packed artifact to serve (required)");
   cli.add_option("socket", "/tmp/sweep_serve.sock", "Unix socket path");
   cli.add_option("threads", "0", "worker threads (0 = hardware concurrency)");
+  cli.add_option("slow-request-ms", "50",
+                 "log requests slower than this, sampled (0 disables)");
+  cli.add_option("metrics-out", "",
+                 "write the metrics registry at shutdown (.prom extension "
+                 "= Prometheus text format, anything else = JSON)");
+  cli.add_option("trace-out", "",
+                 "record trace spans and write Chrome trace-event JSON at "
+                 "shutdown");
   if (!cli.parse(argc, argv)) return 1;
   if (cli.str("artifact").empty()) {
     std::fprintf(stderr, "--artifact is required\n");
     return 1;
   }
+
+  // The daemon arms metrics unconditionally: latency histograms are what
+  // the kStats endpoint (and sweep_top) serve, and the armed overhead is
+  // bounded by bench/obs_overhead. Tracing stays opt-in (it buffers).
+#if !defined(SWEEP_OBS_DISABLE)
+  obs::set_metrics_enabled(true);
+  if (!cli.str("trace-out").empty()) obs::start_tracing();
+#endif
 
   serve::ServeService service =
       serve::ServeService::from_file(cli.str("artifact"));
@@ -49,6 +66,8 @@ static int run_main(int argc, char** argv) {
   serve::ServerOptions options;
   options.socket_path = cli.str("socket");
   options.threads = static_cast<std::size_t>(cli.integer("threads"));
+  options.slow_request_ns =
+      static_cast<std::uint64_t>(cli.integer("slow-request-ms")) * 1'000'000;
   serve::Server server(service, options);
   server.start();
   std::printf("listening on %s\n", options.socket_path.c_str());
@@ -59,6 +78,31 @@ static int run_main(int argc, char** argv) {
               static_cast<unsigned long long>(service.queries_served()),
               static_cast<unsigned long long>(service.swaps_completed()),
               static_cast<unsigned long long>(service.errors_returned()));
+
+#if !defined(SWEEP_OBS_DISABLE)
+  const std::string metrics_out = cli.str("metrics-out");
+  if (!metrics_out.empty()) {
+    const bool prometheus = metrics_out.ends_with(".prom");
+    const bool ok = prometheus ? obs::write_metrics_prometheus(metrics_out)
+                               : obs::write_metrics_json(metrics_out);
+    if (ok) {
+      std::printf("metrics written to %s (%s)\n", metrics_out.c_str(),
+                  prometheus ? "prometheus" : "json");
+    } else {
+      std::fprintf(stderr, "FAILED to write metrics to %s\n",
+                   metrics_out.c_str());
+    }
+  }
+  const std::string trace_out = cli.str("trace-out");
+  if (!trace_out.empty()) {
+    obs::stop_tracing();
+    if (obs::write_trace_json(trace_out)) {
+      std::printf("trace written to %s\n", trace_out.c_str());
+    } else {
+      std::fprintf(stderr, "FAILED to write trace to %s\n", trace_out.c_str());
+    }
+  }
+#endif
   return 0;
 }
 

@@ -1,0 +1,167 @@
+// sweep_top: live terminal dashboard for a running sweep_serve daemon.
+//
+//   sweep_top --socket /tmp/sweep_serve.sock --interval-ms 1000
+//
+// Polls the kStats endpoint on one persistent connection and redraws in
+// place (when stdout is a tty): query/error rates from counter deltas,
+// current gauges (open connections, in-flight requests, queue depth), and
+// the per-phase latency quantile ladder served over stats wire v2. Works
+// against a pre-bump daemon too — it just shows the legacy counters and an
+// empty ladder. --iterations bounds the loop for scripted use.
+
+#include <unistd.h>
+
+#include <algorithm>
+#include <chrono>
+#include <cstdint>
+#include <cstdio>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "serve/client.hpp"
+#include "util/cli.hpp"
+#include "util/main_guard.hpp"
+
+namespace {
+
+std::uint64_t entry_value(const sweep::serve::StatsResponse& stats,
+                          const std::string& key) {
+  for (const auto& [k, v] : stats.entries) {
+    if (k == key) return v;
+  }
+  return 0;
+}
+
+/// "12345678" -> "12.35M" style short form so the ladder stays aligned.
+std::string short_num(double v) {
+  char buf[32];
+  if (v >= 1e9) {
+    std::snprintf(buf, sizeof buf, "%.2fG", v / 1e9);
+  } else if (v >= 1e6) {
+    std::snprintf(buf, sizeof buf, "%.2fM", v / 1e6);
+  } else if (v >= 1e4) {
+    std::snprintf(buf, sizeof buf, "%.1fk", v / 1e3);
+  } else {
+    std::snprintf(buf, sizeof buf, "%.0f", v);
+  }
+  return buf;
+}
+
+std::string short_ns(std::uint64_t ns) {
+  char buf[32];
+  const double v = static_cast<double>(ns);
+  if (v >= 1e9) {
+    std::snprintf(buf, sizeof buf, "%.2fs", v / 1e9);
+  } else if (v >= 1e6) {
+    std::snprintf(buf, sizeof buf, "%.2fms", v / 1e6);
+  } else if (v >= 1e3) {
+    std::snprintf(buf, sizeof buf, "%.1fus", v / 1e3);
+  } else {
+    std::snprintf(buf, sizeof buf, "%lluns",
+                  static_cast<unsigned long long>(ns));
+  }
+  return buf;
+}
+
+}  // namespace
+
+static int run_main(int argc, char** argv) {
+  using namespace sweep;
+  util::CliParser cli("sweep_top",
+                      "Live stats dashboard for a sweep_serve daemon");
+  cli.add_option("socket", "/tmp/sweep_serve.sock", "Unix socket path");
+  cli.add_option("interval-ms", "1000", "poll interval");
+  cli.add_option("iterations", "0", "stop after N polls (0 = run forever)");
+  if (!cli.parse(argc, argv)) return 1;
+
+  const auto interval_ms =
+      std::max<std::int64_t>(1, cli.integer("interval-ms"));
+  const std::int64_t iterations = cli.integer("iterations");
+  const bool tty = ::isatty(STDOUT_FILENO) != 0;
+
+  serve::Client client(cli.str("socket"));
+  serve::Request stats_request;
+  stats_request.type = serve::MsgType::kStats;
+
+  std::uint64_t prev_queries = 0;
+  std::uint64_t prev_errors = 0;
+  bool have_prev = false;
+  auto prev_time = std::chrono::steady_clock::now();
+
+  for (std::int64_t iter = 0; iterations == 0 || iter < iterations; ++iter) {
+    if (iter > 0) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(interval_ms));
+    }
+    const serve::Response response = client.call(stats_request);
+    if (response.status != 0) {
+      std::fprintf(stderr, "daemon error: %s\n", response.error.c_str());
+      return 1;
+    }
+    const serve::StatsResponse& stats = response.stats;
+    const auto now = std::chrono::steady_clock::now();
+    const double dt =
+        std::chrono::duration<double>(now - prev_time).count();
+
+    const std::uint64_t queries = entry_value(stats, "queries");
+    const std::uint64_t errors = entry_value(stats, "errors");
+    const std::uint64_t swaps = entry_value(stats, "swaps");
+    const double qps =
+        (have_prev && dt > 0 && queries >= prev_queries)
+            ? static_cast<double>(queries - prev_queries) / dt
+            : 0.0;
+    const double eps =
+        (have_prev && dt > 0 && errors >= prev_errors)
+            ? static_cast<double>(errors - prev_errors) / dt
+            : 0.0;
+    const double error_pct =
+        queries + errors > 0
+            ? 100.0 * static_cast<double>(errors) /
+                  static_cast<double>(queries + errors)
+            : 0.0;
+
+    if (tty) std::printf("\x1b[H\x1b[J");  // home + clear; redraw in place
+    std::printf("sweep_top  %s  proto v%llu  every %lldms\n",
+                cli.str("socket").c_str(),
+                static_cast<unsigned long long>(stats.proto_version),
+                static_cast<long long>(interval_ms));
+    std::printf(
+        "queries %s (%.1f/s)   errors %s (%.1f/s, %.2f%%)   swaps %llu\n",
+        short_num(static_cast<double>(queries)).c_str(), qps,
+        short_num(static_cast<double>(errors)).c_str(), eps, error_pct,
+        static_cast<unsigned long long>(swaps));
+
+    if (!stats.gauges.empty()) {
+      std::printf("gauges ");
+      for (const auto& [name, value] : stats.gauges) {
+        std::printf(" %s=%lld", name.c_str(), static_cast<long long>(value));
+      }
+      std::printf("\n");
+    }
+
+    if (!stats.histograms.empty()) {
+      std::printf("%-22s %10s %10s %10s %10s %10s %10s\n", "latency", "count",
+                  "p50", "p90", "p99", "p999", "max");
+      for (const auto& h : stats.histograms) {
+        std::printf("%-22s %10s %10s %10s %10s %10s %10s\n", h.name.c_str(),
+                    short_num(static_cast<double>(h.count)).c_str(),
+                    short_ns(h.p50).c_str(), short_ns(h.p90).c_str(),
+                    short_ns(h.p99).c_str(), short_ns(h.p999).c_str(),
+                    short_ns(h.max).c_str());
+      }
+    } else {
+      std::printf("(no latency histograms: pre-v2 daemon or obs-off build)\n");
+    }
+    std::fflush(stdout);
+
+    prev_queries = queries;
+    prev_errors = errors;
+    have_prev = true;
+    prev_time = now;
+  }
+  return 0;
+}
+
+int main(int argc, char** argv) {
+  return sweep::util::guarded_main([&] { return run_main(argc, argv); });
+}
