@@ -9,6 +9,14 @@
 //   serve_latency [--n 2000] [--reqs 400] [--threads 1,4,8]
 //                 [--json serve_latency.json]
 //
+// --mode cache benches the schedule cache (DESIGN.md §15) instead: a COLD
+// phase where every query is a distinct key (every request runs
+// list_schedule) against a HOT phase where four clients hammer a small
+// pre-warmed key set (every request is a cache hit), both measured off the
+// daemon's own serve.request_ns ladder, with the hit rate read from the
+// serve.cache.* stats v2 entries. The report lands in the --json path
+// (committed as results/BENCH_serve_cache.json).
+//
 // Requires an instrumented build; under SWEEP_OBS=OFF there is no histogram
 // to read and the bench exits 0 with a note.
 
@@ -58,6 +66,222 @@ struct Row {
   serve::StatsHistogram hist;  // serve.request_ns ladder off the wire
 };
 
+#if !defined(SWEEP_OBS_DISABLE)
+
+std::uint64_t entry_value(const serve::StatsResponse& stats,
+                          const std::string& key) {
+  for (const auto& [k, v] : stats.entries) {
+    if (k == key) return v;
+  }
+  return 0;
+}
+
+/// One measured phase of the cache bench: `clients` threads each issue
+/// `reqs` level-scheme queries with seeds from `seed_for`, then the
+/// serve.request_ns ladder is polled off the stats wire until it has seen
+/// every request. The server must be started fresh (registry reset) by the
+/// caller. Returns false on any failed request or stats mismatch.
+struct PhaseResult {
+  double wall_seconds = 0.0;
+  serve::StatsHistogram hist;
+  serve::StatsResponse stats;
+};
+
+template <typename SeedFn>
+bool run_phase(const std::string& socket_path, std::size_t clients,
+               std::size_t reqs, std::uint32_t m, SeedFn seed_for,
+               PhaseResult& out) {
+  util::Timer wall;
+  std::atomic<int> io_failures{0};
+  std::vector<std::thread> swarm;
+  for (std::size_t w = 0; w < clients; ++w) {
+    swarm.emplace_back([&, w] {
+      try {
+        serve::Client client(socket_path);
+        for (std::size_t i = 0; i < reqs; ++i) {
+          serve::Request request;
+          request.type = serve::MsgType::kQuery;
+          request.query.scheme = serve::Scheme::kLevel;
+          request.query.m = m;
+          request.query.seed = seed_for(w, i);
+          if (client.call(request).status != 0) io_failures.fetch_add(1);
+        }
+      } catch (const std::exception& e) {
+        std::fprintf(stderr, "client: %s\n", e.what());
+        io_failures.fetch_add(1000);
+      }
+    });
+  }
+  for (std::thread& t : swarm) t.join();
+  out.wall_seconds = wall.seconds();
+
+  const auto expected = static_cast<std::uint64_t>(clients) * reqs;
+  serve::Client client(socket_path);
+  serve::Request stats_request;
+  stats_request.type = serve::MsgType::kStats;
+  for (int attempt = 0; attempt < 100; ++attempt) {
+    const serve::Response r = client.call(stats_request);
+    if (r.status != 0) return false;
+    out.hist = serve::StatsHistogram{};
+    for (const serve::StatsHistogram& h : r.stats.histograms) {
+      if (h.name == "serve.request_ns") out.hist = h;
+    }
+    out.stats = r.stats;
+    if (out.hist.count >= expected) break;
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  }
+  return io_failures.load() == 0 && out.hist.count >= expected;
+}
+
+/// The schedule-cache bench: cold (all-distinct keys, every request
+/// computes) vs hot (pre-warmed key set, every request hits). Fresh
+/// ServeService per phase so the hot phase's hit rate is its own, not
+/// diluted by the cold phase's misses.
+int run_cache_mode(const std::string& artifact_path, std::size_t clients,
+                   std::size_t reqs, std::uint32_t m, std::size_t warm_keys,
+                   std::size_t n, std::size_t k, std::uint64_t seed,
+                   const std::string& json_path, const std::string& tag) {
+  PhaseResult cold;
+  {
+    serve::ServeService service(dag::Artifact::map_file(artifact_path));
+    obs::MetricsRegistry::instance().reset();
+    const std::string socket_path = "/tmp/serve_cache." + tag + ".cold.sock";
+    serve::ServerOptions options;
+    options.socket_path = socket_path;
+    options.threads = clients;
+    options.slow_request_ns = 0;
+    serve::Server server(service, options);
+    server.start();
+    const bool ok = run_phase(
+        socket_path, clients, reqs, m,
+        [](std::size_t w, std::size_t i) { return w * 1000003 + i + 1; },
+        cold);
+    {
+      serve::Client client(socket_path);
+      (void)client.shutdown_server();
+    }
+    server.wait();
+    server.stop();
+    if (!ok) {
+      std::fprintf(stderr, "FATAL: cold phase failed\n");
+      return 2;
+    }
+    const std::uint64_t hits = entry_value(cold.stats, "serve.cache.hits");
+    if (hits != 0) {
+      std::fprintf(stderr, "FATAL: cold phase saw %llu cache hits\n",
+                   static_cast<unsigned long long>(hits));
+      return 2;
+    }
+  }
+
+  PhaseResult hot;
+  std::uint64_t hot_hit_rate = 0;
+  {
+    serve::ServeService service(dag::Artifact::map_file(artifact_path));
+    const std::string socket_path = "/tmp/serve_cache." + tag + ".hot.sock";
+    serve::ServerOptions options;
+    options.socket_path = socket_path;
+    options.threads = clients;
+    options.slow_request_ns = 0;
+    serve::Server server(service, options);
+    server.start();
+    {
+      // Warm the key set, then reset the registry while the daemon is
+      // idle so the measured ladder holds hot samples only. The cache
+      // counters live in the service (not the registry) and survive the
+      // reset — warm misses stay visible in the reported hit rate.
+      serve::Client client(socket_path);
+      for (std::size_t key = 0; key < warm_keys; ++key) {
+        serve::Request request;
+        request.type = serve::MsgType::kQuery;
+        request.query.scheme = serve::Scheme::kLevel;
+        request.query.m = m;
+        request.query.seed = key + 1;
+        if (client.call(request).status != 0) {
+          std::fprintf(stderr, "FATAL: warmup query failed\n");
+          return 2;
+        }
+      }
+      obs::MetricsRegistry::instance().reset();
+    }
+    const bool ok = run_phase(
+        socket_path, clients, reqs, m,
+        [warm_keys](std::size_t w, std::size_t i) {
+          return (w + i) % warm_keys + 1;
+        },
+        hot);
+    hot_hit_rate = entry_value(hot.stats, "serve.cache.hit_rate_pct");
+    {
+      serve::Client client(socket_path);
+      (void)client.shutdown_server();
+    }
+    server.wait();
+    server.stop();
+    if (!ok) {
+      std::fprintf(stderr, "FATAL: hot phase failed\n");
+      return 2;
+    }
+  }
+
+  const double speedup_p50 =
+      hot.hist.p50 > 0 ? static_cast<double>(cold.hist.p50) /
+                             static_cast<double>(hot.hist.p50)
+                       : 0.0;
+  const double speedup_p99 =
+      hot.hist.p99 > 0 ? static_cast<double>(cold.hist.p99) /
+                             static_cast<double>(hot.hist.p99)
+                       : 0.0;
+  std::printf("[cache] cold  p50 %8.1fus  p99 %8.1fus  (%llu reqs, all "
+              "computed)\n",
+              static_cast<double>(cold.hist.p50) / 1e3,
+              static_cast<double>(cold.hist.p99) / 1e3,
+              static_cast<unsigned long long>(cold.hist.count));
+  std::printf("[cache] hot   p50 %8.1fus  p99 %8.1fus  (%llu reqs, "
+              "hit rate %llu%%)\n",
+              static_cast<double>(hot.hist.p50) / 1e3,
+              static_cast<double>(hot.hist.p99) / 1e3,
+              static_cast<unsigned long long>(hot.hist.count),
+              static_cast<unsigned long long>(hot_hit_rate));
+  std::printf("[cache] speedup  p50 %.1fx  p99 %.1fx\n", speedup_p50,
+              speedup_p99);
+
+  std::ofstream out(json_path);
+  out << "{\n"
+      << "  \"bench\": \"serve_cache\",\n"
+      << "  \"histogram\": \"serve.request_ns\",\n"
+      << "  \"instance\": {\"n_cells\": " << n << ", \"k\": " << k
+      << ", \"m\": " << m << ", \"seed\": " << seed << "},\n"
+      << "  \"clients\": " << clients << ",\n"
+      << "  \"requests_per_client\": " << reqs << ",\n"
+      << "  \"warm_keys\": " << warm_keys << ",\n"
+      << "  \"cold\": {\"p50_ns\": " << cold.hist.p50 << ", \"p90_ns\": "
+      << cold.hist.p90 << ", \"p99_ns\": " << cold.hist.p99
+      << ", \"p999_ns\": " << cold.hist.p999 << ", \"max_ns\": "
+      << cold.hist.max << ", \"count\": " << cold.hist.count
+      << ", \"wall_seconds\": " << cold.wall_seconds << "},\n"
+      << "  \"hot\": {\"p50_ns\": " << hot.hist.p50 << ", \"p90_ns\": "
+      << hot.hist.p90 << ", \"p99_ns\": " << hot.hist.p99
+      << ", \"p999_ns\": " << hot.hist.p999 << ", \"max_ns\": "
+      << hot.hist.max << ", \"count\": " << hot.hist.count
+      << ", \"wall_seconds\": " << hot.wall_seconds
+      << ", \"hit_rate_pct\": " << hot_hit_rate << ", \"hits\": "
+      << entry_value(hot.stats, "serve.cache.hits") << ", \"misses\": "
+      << entry_value(hot.stats, "serve.cache.misses")
+      << ", \"inflight_waits\": "
+      << entry_value(hot.stats, "serve.cache.inflight_waits") << "},\n"
+      << "  \"speedup\": {\"p50\": " << speedup_p50 << ", \"p99\": "
+      << speedup_p99 << "}\n"
+      << "}\n";
+  if (!out) {
+    std::fprintf(stderr, "FATAL: could not write %s\n", json_path.c_str());
+    return 2;
+  }
+  std::printf("wrote %s\n", json_path.c_str());
+  return 0;
+}
+
+#endif  // !defined(SWEEP_OBS_DISABLE)
+
 }  // namespace
 
 static int run_main(int argc, char** argv) {
@@ -71,6 +295,12 @@ static int run_main(int argc, char** argv) {
   cli.add_option("threads", "1,4,8", "server thread counts to sweep");
   cli.add_option("seed", "2024", "RNG seed");
   cli.add_option("json", "serve_latency.json", "JSON report path");
+  cli.add_option("mode", "latency",
+                 "latency = request-latency sweep; cache = hot (cached) vs "
+                 "cold (computed) phases of the schedule cache");
+  cli.add_option("clients", "4", "client threads in --mode cache");
+  cli.add_option("warm-keys", "16",
+                 "distinct keys the hot phase draws from (--mode cache)");
   if (!cli.parse(argc, argv)) return 1;
 
 #if defined(SWEEP_OBS_DISABLE)
@@ -95,9 +325,19 @@ static int run_main(int argc, char** argv) {
   const dag::SweepInstance instance = dag::random_instance(n, k, 7, 2.0, seed);
   const dag::ArtifactWriteOptions pack_options;
   dag::save_artifact(instance, artifact_path, pack_options);
-  serve::ServeService service(dag::Artifact::map_file(artifact_path));
 
   obs::set_metrics_enabled(true);
+
+  if (cli.str("mode") == "cache") {
+    const int rc = run_cache_mode(
+        artifact_path, static_cast<std::size_t>(cli.integer("clients")), reqs,
+        m, static_cast<std::size_t>(cli.integer("warm-keys")), n, k, seed,
+        cli.str("json"), tag);
+    std::remove(artifact_path.c_str());
+    return rc;
+  }
+
+  serve::ServeService service(dag::Artifact::map_file(artifact_path));
 
   std::vector<Row> rows;
   for (const std::size_t threads : thread_counts) {

@@ -1,6 +1,7 @@
 #include "serve/client.hpp"
 
 #include <sys/socket.h>
+#include <sys/time.h>
 #include <sys/un.h>
 #include <unistd.h>
 
@@ -14,11 +15,24 @@
 
 namespace sweep::serve {
 
-Client::Client(const std::string& socket_path) {
+Client::Client(const std::string& socket_path, ClientOptions options) {
   fd_ = ::socket(AF_UNIX, SOCK_STREAM | SOCK_CLOEXEC, 0);
   if (fd_ < 0) {
     throw std::runtime_error(std::string("serve client: socket: ") +
                              std::strerror(errno));
+  }
+  if (options.timeout_ms > 0) {
+    timeval tv{};
+    tv.tv_sec = static_cast<time_t>(options.timeout_ms / 1000);
+    tv.tv_usec =
+        static_cast<suseconds_t>((options.timeout_ms % 1000) * 1000);
+    if (::setsockopt(fd_, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv)) != 0) {
+      const int err = errno;
+      ::close(fd_);
+      fd_ = -1;
+      throw std::runtime_error(std::string("serve client: SO_RCVTIMEO: ") +
+                               std::strerror(err));
+    }
   }
   sockaddr_un addr{};
   addr.sun_family = AF_UNIX;

@@ -3,17 +3,26 @@
 // the sweep_query CLI, the smoke test, and anything else that wants typed
 // request/response instead of raw frames.
 
+#include <cstdint>
 #include <string>
 
 #include "serve/wire.hpp"
 
 namespace sweep::serve {
 
+struct ClientOptions {
+  /// Receive deadline per recv(2), in milliseconds (SO_RCVTIMEO). 0 means
+  /// block forever — the historical behavior, where a stalled daemon hangs
+  /// the caller. With a deadline, a stalled read throws
+  /// "serve: receive timed out" instead.
+  std::uint64_t timeout_ms = 0;
+};
+
 class Client {
  public:
   /// Connects to the daemon's AF_UNIX socket; throws std::runtime_error if
   /// the daemon is not there.
-  explicit Client(const std::string& socket_path);
+  explicit Client(const std::string& socket_path, ClientOptions options = {});
   ~Client();
   Client(const Client&) = delete;
   Client& operator=(const Client&) = delete;

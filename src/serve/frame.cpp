@@ -25,6 +25,11 @@ bool read_exact(int fd, void* buf, std::size_t len, bool eof_ok) {
     }
     if (r < 0) {
       if (errno == EINTR) continue;
+      if (errno == EAGAIN || errno == EWOULDBLOCK) {
+        // Only reachable when the caller armed SO_RCVTIMEO (Client's
+        // receive deadline); plain blocking sockets never return these.
+        throw std::runtime_error("serve: receive timed out");
+      }
       throw std::runtime_error(std::string("serve: recv: ") +
                                std::strerror(errno));
     }

@@ -6,6 +6,7 @@
 
 #include <algorithm>
 #include <cerrno>
+#include <chrono>
 #include <cstring>
 #include <stdexcept>
 
@@ -15,6 +16,19 @@
 
 namespace sweep::serve {
 namespace {
+
+/// Balances active_frames_ on every exit path of a frame iteration
+/// (normal completion, WireError response, IO exception unwinding).
+class FrameCountGuard {
+ public:
+  explicit FrameCountGuard(std::atomic<std::int64_t>& count) : count_(count) {}
+  ~FrameCountGuard() { count_.fetch_sub(1, std::memory_order_relaxed); }
+  FrameCountGuard(const FrameCountGuard&) = delete;
+  FrameCountGuard& operator=(const FrameCountGuard&) = delete;
+
+ private:
+  std::atomic<std::int64_t>& count_;
+};
 
 sockaddr_un make_address(const std::string& path) {
   sockaddr_un addr{};
@@ -27,6 +41,23 @@ sockaddr_un make_address(const std::string& path) {
 }
 
 }  // namespace
+
+bool is_transient_accept_error(int err) {
+  switch (err) {
+    case ECONNABORTED:  // peer gave up mid-handshake; next accept is fine
+    case EAGAIN:        // spurious wakeup / kernel-level retry hint
+#if defined(EWOULDBLOCK) && EWOULDBLOCK != EAGAIN
+    case EWOULDBLOCK:
+#endif
+    case EMFILE:   // process fd table full — recoverable once one closes
+    case ENFILE:   // system fd table full
+    case ENOBUFS:  // transient kernel buffer exhaustion
+    case ENOMEM:
+      return true;
+    default:
+      return false;
+  }
+}
 
 Server::Server(ServeService& service, ServerOptions options)
     : service_(service), options_(std::move(options)), pool_(options_.threads) {
@@ -64,14 +95,39 @@ void Server::start() {
 
 void Server::accept_loop() {
   const int lfd = listen_fd_.load(std::memory_order_acquire);
+  // Doubling backoff for transient accept failures (fd/buffer exhaustion):
+  // long enough to let a connection close and free a slot, short enough
+  // that the daemon recovers promptly. Reset on every successful accept.
+  constexpr std::chrono::milliseconds kBackoffFloor{1};
+  constexpr std::chrono::milliseconds kBackoffCeiling{100};
+  std::chrono::milliseconds backoff = kBackoffFloor;
   for (;;) {
     const int fd = ::accept4(lfd, nullptr, nullptr, SOCK_CLOEXEC);
     if (fd < 0) {
-      if (errno == EINTR) continue;
+      const int err = errno;
+      if (err == EINTR) continue;
+      if (is_transient_accept_error(err)) {
+        // EMFILE/ENFILE/ECONNABORTED/ENOMEM/... must not kill the accept
+        // loop — the daemon would look alive but never take another
+        // connection. Count it, back off, retry; bail early if stop()
+        // lands during the wait.
+        accept_errors_.fetch_add(1, std::memory_order_relaxed);
+        SWEEP_OBS_COUNTER_ADD("serve.accept_errors", 1);
+        util::log_warn(std::string("serve accept retry: ") +
+                       std::strerror(err));
+        std::unique_lock<std::mutex> lock(state_mutex_);
+        if (stopped_cv_.wait_for(lock, backoff,
+                                 [this] { return stopping_; })) {
+          break;
+        }
+        backoff = std::min(backoff * 2, kBackoffCeiling);
+        continue;
+      }
       // EINVAL after close_listener() shut the socket down, or a real
       // error: either way the loop is done (stop() owns cleanup).
       break;
     }
+    backoff = kBackoffFloor;
     SWEEP_OBS_COUNTER_ADD("serve.connections", 1);
     bool submitted = false;
     {
@@ -115,15 +171,16 @@ void Server::serve_connection(int fd) {
   try {
     std::vector<std::byte> payload;
     while (read_frame(fd, payload)) {
-      {
-        // Queue depth = connections currently inside a handler; sampled per
-        // frame so the stats show how loaded the pool is.
-        std::lock_guard<std::mutex> lock(state_mutex_);
-        SWEEP_OBS_OBSERVE("serve.queue_depth",
-                          static_cast<double>(open_fds_.size()));
-        SWEEP_OBS_GAUGE_SET("serve.queue_depth",
-                            static_cast<std::int64_t>(open_fds_.size()));
-      }
+      // Queue depth = connections currently inside a frame handler RIGHT
+      // NOW (this one included) — actual in-flight work, not open sockets.
+      // One lock-free atomic bump per frame; the old implementation took
+      // state_mutex_ here and sampled open_fds_.size(), which counted idle
+      // connections as load.
+      const std::int64_t depth =
+          active_frames_.fetch_add(1, std::memory_order_relaxed) + 1;
+      const FrameCountGuard depth_guard(active_frames_);
+      SWEEP_OBS_OBSERVE("serve.queue_depth", static_cast<double>(depth));
+      SWEEP_OBS_GAUGE_SET("serve.queue_depth", depth);
 #if !defined(SWEEP_OBS_DISABLE)
       // Phase clocks share one read per boundary; `armed` is captured once
       // per frame so a mid-request arm/disarm cannot tear the laps.
@@ -158,6 +215,10 @@ void Server::serve_connection(int fd) {
         response = service_.handle(request);
       } catch (const WireError& e) {
         SWEEP_OBS_COUNTER_ADD("serve.wire_errors", 1);
+        // Count against the service's `errors` total too: the stats
+        // frame's `errors` entry must agree with serve.status.error, and
+        // this malformed frame is about to go on the wire as status=1.
+        service_.record_protocol_error();
         response.status = 1;
         response.type = MsgType::kPing;
         response.error = e.what();

@@ -29,6 +29,13 @@
 
 namespace sweep::serve {
 
+/// True for accept(2) errnos that mean "this connection (or this moment)
+/// failed, the listener is still fine": the peer aborted the handshake, or
+/// a resource (fds, buffers, memory) is temporarily exhausted. The accept
+/// loop retries these with backoff; anything else (EBADF, EINVAL after
+/// shutdown, ...) is fatal and ends the loop.
+[[nodiscard]] bool is_transient_accept_error(int err);
+
 struct ServerOptions {
   std::string socket_path;     ///< filesystem path of the AF_UNIX socket
   std::size_t threads = 0;     ///< pool workers; 0 = hardware concurrency
@@ -63,6 +70,12 @@ class Server {
     return options_.socket_path;
   }
 
+  /// Transient accept(2) failures survived so far (also exported as the
+  /// serve.accept_errors counter).
+  [[nodiscard]] std::uint64_t accept_errors() const {
+    return accept_errors_.load(std::memory_order_relaxed);
+  }
+
  private:
   void accept_loop();
   void serve_connection(int fd);
@@ -88,6 +101,13 @@ class Server {
   std::atomic<std::uint64_t> next_request_id_{0};
   /// Slow requests seen so far; drives the 1st-then-every-8th log sampling.
   std::atomic<std::uint64_t> slow_requests_{0};
+  /// Transient accept(2) errnos survived (see is_transient_accept_error).
+  std::atomic<std::uint64_t> accept_errors_{0};
+  /// Connections currently inside a frame handler. Lock-free source for
+  /// serve.queue_depth — the old implementation sampled open_fds_.size()
+  /// under state_mutex_ on every frame, which measured open connections
+  /// (not queued work) and put a mutex on the hot path.
+  std::atomic<std::int64_t> active_frames_{0};
 };
 
 }  // namespace sweep::serve

@@ -24,18 +24,43 @@ Response error_response(MsgType type, std::string what) {
   return response;
 }
 
+/// Builds the wire response from a (possibly cached) payload. Both the hit
+/// and the cold path go through here, so a hit is byte-identical to a cold
+/// response by construction: same fields, same assembly, starts included
+/// exactly when asked for.
+Response assemble_query_response(const QueryResponse& payload,
+                                 bool want_starts) {
+  Response response;
+  response.type = MsgType::kQuery;
+  response.query.makespan = payload.makespan;
+  response.query.c1_cross_edges = payload.c1_cross_edges;
+  response.query.c1_total_edges = payload.c1_total_edges;
+  response.query.c2_total_delay = payload.c2_total_delay;
+  response.query.c2_max_step_degree = payload.c2_max_step_degree;
+  response.query.c2_busy_steps = payload.c2_busy_steps;
+  response.query.schedule_hash = payload.schedule_hash;
+  if (want_starts) response.query.starts = payload.starts;
+  return response;
+}
+
 }  // namespace
 
-ServeService::ServeService(std::shared_ptr<const dag::Artifact> artifact)
+ServeService::ServeService(std::shared_ptr<const dag::Artifact> artifact,
+                           ScheduleCacheOptions cache_options)
     : artifact_(std::move(artifact)) {
   if (artifact_ == nullptr) {
     throw std::invalid_argument("ServeService: null artifact");
   }
+  if (cache_options.enabled()) {
+    cache_ = std::make_unique<ScheduleCache>(cache_options);
+    cache_->invalidate(artifact_->content_hash());
+  }
 }
 
-ServeService ServeService::from_file(const std::string& path) {
+ServeService ServeService::from_file(const std::string& path,
+                                     ScheduleCacheOptions cache_options) {
   SWEEP_OBS_TIMER("serve.load_ns");
-  return ServeService(dag::Artifact::map_file(path));
+  return ServeService(dag::Artifact::map_file(path), cache_options);
 }
 
 std::shared_ptr<const dag::Artifact> ServeService::artifact() const {
@@ -51,14 +76,29 @@ void ServeService::swap_to(const std::string& path) {
     SWEEP_OBS_TIMER("serve.load_ns");
     fresh = dag::Artifact::map_file(path);
   }
+  const std::uint64_t new_hash = fresh->content_hash();
   {
     std::lock_guard<std::mutex> lock(artifact_mutex_);
     artifact_.swap(fresh);
   }
   // `fresh` now holds the OLD artifact; it unmaps when the last in-flight
-  // query that grabbed it before the flip finishes.
+  // query that grabbed it before the flip finishes. The cache epoch flips
+  // AFTER the pointer: a probe that already snapshotted the old artifact
+  // keys under the old hash (consistent with its snapshot, same semantics
+  // as an in-flight query), while every post-swap probe keys under the new
+  // hash and can never match an old entry.
+  if (cache_ != nullptr) cache_->invalidate(new_hash);
   swaps_.fetch_add(1, std::memory_order_relaxed);
   SWEEP_OBS_COUNTER_ADD("serve.swaps", 1);
+}
+
+void ServeService::record_protocol_error() {
+  errors_.fetch_add(1, std::memory_order_relaxed);
+  SWEEP_OBS_COUNTER_ADD("serve.errors", 1);
+}
+
+ScheduleCacheStats ServeService::cache_stats() const {
+  return cache_ != nullptr ? cache_->stats() : ScheduleCacheStats{};
 }
 
 Response ServeService::handle(const Request& request) {
@@ -113,6 +153,46 @@ Response ServeService::handle_query(const QueryRequest& query) {
   SWEEP_OBS_SPAN_ARGS("serve.query", "scheme",
                       static_cast<std::int64_t>(query.scheme), "m",
                       static_cast<std::int64_t>(query.m));
+  // Snapshot once: this whole query (cache key included) runs against one
+  // artifact even if a swap lands mid-flight.
+  const std::shared_ptr<const dag::Artifact> a = artifact();
+  if (cache_ == nullptr) {
+    const QueryResponse payload = compute_query(*a, query);
+    queries_.fetch_add(1, std::memory_order_relaxed);
+    SWEEP_OBS_COUNTER_ADD("serve.queries", 1);
+    return assemble_query_response(payload, query.want_starts);
+  }
+
+  CacheKey key;
+  key.content_hash = a->content_hash();
+  key.scheme = static_cast<std::uint32_t>(query.scheme);
+  // The computation ignores m when an embedded partition is selected;
+  // normalize it out of the key so such queries share one entry.
+  key.m = query.partition >= 0 ? 0u : query.m;
+  key.partition = query.partition;
+  key.seed = query.seed;
+
+  // May block on a leader in flight and rethrows the leader's failure —
+  // handle() turns it into the same error response a solo query gets.
+  ScheduleCache::Probe probe = cache_->lookup_or_join(key);
+  if (probe.kind == ScheduleCache::ProbeKind::kMiss) {
+    QueryResponse payload;
+    try {
+      payload = compute_query(*a, query);
+    } catch (...) {
+      cache_->fail(std::move(probe.ticket), std::current_exception());
+      throw;
+    }
+    probe.value = std::make_shared<const QueryResponse>(std::move(payload));
+    cache_->fill(std::move(probe.ticket), probe.value);
+  }
+  queries_.fetch_add(1, std::memory_order_relaxed);
+  SWEEP_OBS_COUNTER_ADD("serve.queries", 1);
+  return assemble_query_response(*probe.value, query.want_starts);
+}
+
+QueryResponse ServeService::compute_query(const dag::Artifact& artifact,
+                                          const QueryRequest& query) {
 #if !defined(SWEEP_OBS_DISABLE)
   // Phase laps share one clock read per boundary; everything below the
   // `armed` check vanishes when metrics are off.
@@ -125,10 +205,8 @@ Response ServeService::handle_query(const QueryRequest& query) {
     return dt;
   };
 #endif
-  // Snapshot once: this whole query runs against one artifact even if a
-  // swap lands mid-flight.
-  const std::shared_ptr<const dag::Artifact> a = artifact();
-  const dag::TaskGraph& tg = a->task_graph();
+  const dag::Artifact& a = artifact;
+  const dag::TaskGraph& tg = a.task_graph();
   const std::size_t n = tg.n_cells();
   const std::size_t k = tg.n_directions();
 
@@ -137,11 +215,11 @@ Response ServeService::handle_query(const QueryRequest& query) {
   std::size_t m = query.m;
   if (query.partition >= 0) {
     const auto j = static_cast<std::uint64_t>(query.partition);
-    if (j >= a->n_partitions()) {
+    if (j >= a.n_partitions()) {
       throw std::invalid_argument("query: partition index out of range");
     }
-    m = static_cast<std::size_t>(a->partition_parts(j));
-    const std::span<const std::uint32_t> part = a->partition(j);
+    m = static_cast<std::size_t>(a.partition_parts(j));
+    const std::span<const std::uint32_t> part = a.partition(j);
     assignment.assign(part.begin(), part.end());
   } else {
     if (m == 0) throw std::invalid_argument("query: m must be positive");
@@ -173,14 +251,14 @@ Response ServeService::handle_query(const QueryRequest& query) {
       break;
     }
     case Scheme::kDescendant: {
-      if (!a->has_descendants()) {
+      if (!a.has_descendants()) {
         throw std::invalid_argument(
             "query: artifact was packed without descendant counts");
       }
       // Consume the stream-split draw exactly like descendant_priorities
       // (which burns it even on the exact path) to keep rng state aligned.
       (void)rng();
-      const std::span<const std::uint64_t> counts = a->descendant_counts_flat();
+      const std::span<const std::uint64_t> counts = a.descendant_counts_flat();
       for (std::size_t t = 0; t < priorities.size(); ++t) {
         priorities[t] = -static_cast<std::int64_t>(counts[t]);
       }
@@ -234,22 +312,20 @@ Response ServeService::handle_query(const QueryRequest& query) {
   }
 #endif
 
-  Response response;
-  response.type = MsgType::kQuery;
-  response.query.makespan = makespan;
-  response.query.c1_cross_edges = c1.cross_edges;
-  response.query.c1_total_edges = c1.total_edges;
-  response.query.c2_total_delay = c2.total_delay;
-  response.query.c2_max_step_degree = c2.max_step_degree;
-  response.query.c2_busy_steps = c2.busy_steps;
-  response.query.schedule_hash = util::fnv1a_span<core::TimeStep>(
+  QueryResponse payload;
+  payload.makespan = makespan;
+  payload.c1_cross_edges = c1.cross_edges;
+  payload.c1_total_edges = c1.total_edges;
+  payload.c2_total_delay = c2.total_delay;
+  payload.c2_max_step_degree = c2.max_step_degree;
+  payload.c2_busy_steps = c2.busy_steps;
+  payload.schedule_hash = util::fnv1a_span<core::TimeStep>(
       schedule.starts(),
       util::fnv1a_span<core::ProcessorId>(schedule.assignment()));
-  if (query.want_starts) response.query.starts = schedule.starts();
-
-  queries_.fetch_add(1, std::memory_order_relaxed);
-  SWEEP_OBS_COUNTER_ADD("serve.queries", 1);
-  return response;
+  // Starts are ALWAYS materialized: the cache stores the full payload so a
+  // want_starts probe hits the same entry a scalar probe filled.
+  payload.starts = schedule.starts();
+  return payload;
 }
 
 Response ServeService::handle_stats() {
@@ -264,6 +340,27 @@ Response ServeService::handle_stats() {
       {"swaps", swaps_.load(std::memory_order_relaxed)},
       {"errors", errors_.load(std::memory_order_relaxed)},
   };
+  // Cache counters come from the cache's own atomics (present even in
+  // obs-off builds), never from the obs registry — the serve.-prefix copy
+  // below would otherwise duplicate them.
+  if (cache_ != nullptr) {
+    const ScheduleCacheStats cs = cache_->stats();
+    response.stats.entries.emplace_back("serve.cache.hits", cs.hits);
+    response.stats.entries.emplace_back("serve.cache.misses", cs.misses);
+    response.stats.entries.emplace_back("serve.cache.inflight_waits",
+                                        cs.inflight_waits);
+    response.stats.entries.emplace_back("serve.cache.evictions", cs.evictions);
+    response.stats.entries.emplace_back("serve.cache.invalidations",
+                                        cs.invalidations);
+    response.stats.entries.emplace_back("serve.cache.entries", cs.entries);
+    response.stats.entries.emplace_back("serve.cache.bytes", cs.bytes);
+    response.stats.entries.emplace_back("serve.cache.hit_rate_pct",
+                                        cs.hit_rate_pct());
+    // Mirror the hit rate as an obs gauge (armed builds only) so exporters
+    // that scrape the registry see it without parsing the stats frame.
+    SWEEP_OBS_GAUGE_SET("serve.cache.hit_rate_pct",
+                        static_cast<std::int64_t>(cs.hit_rate_pct()));
+  }
 #if !defined(SWEEP_OBS_DISABLE)
   if (obs::metrics_enabled()) {
     const obs::MetricsSnapshot snap =

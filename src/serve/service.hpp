@@ -22,6 +22,15 @@
 // The descendant scheme uses the artifact's packed exact counts and matches
 // core::descendant_priorities when that function takes its exact path
 // (n_cells <= dag::kDefaultExactThreshold).
+//
+// Schedule cache (DESIGN.md §15): handle_query probes a sharded concurrent
+// ScheduleCache keyed by (artifact content hash, scheme, m-or-partition,
+// seed) before computing. A hit assembles the wire response from the same
+// cached payload fields the cold path produced, so hits are byte-identical
+// to cold responses; concurrent identical misses coalesce onto one
+// list_schedule via the cache's single-flight tickets. swap_to() flips the
+// cache's epoch to the new content hash, so a hot swap can never serve a
+// stale schedule.
 
 #include <atomic>
 #include <cstdint>
@@ -29,6 +38,7 @@
 #include <mutex>
 #include <string>
 
+#include "serve/schedule_cache.hpp"
 #include "serve/wire.hpp"
 #include "sweep/artifact.hpp"
 
@@ -36,10 +46,12 @@ namespace sweep::serve {
 
 class ServeService {
  public:
-  explicit ServeService(std::shared_ptr<const dag::Artifact> artifact);
+  explicit ServeService(std::shared_ptr<const dag::Artifact> artifact,
+                        ScheduleCacheOptions cache_options = {});
 
   /// Convenience: map_file + construct.
-  static ServeService from_file(const std::string& path);
+  static ServeService from_file(const std::string& path,
+                                ScheduleCacheOptions cache_options = {});
 
   /// Answers one request. Never throws: every failure (bad scheme, missing
   /// section, unloadable swap target) becomes a status != 0 response so the
@@ -65,13 +77,32 @@ class ServeService {
     return errors_.load(std::memory_order_relaxed);
   }
 
+  /// Counts a transport-layer protocol failure (malformed frame) against
+  /// the same `errors` total that handler failures feed, so the stats
+  /// frame's `errors` entry agrees with serve.status.error: both count
+  /// every non-ok response the daemon puts on the wire.
+  void record_protocol_error();
+
+  /// Schedule-cache counters; all zeros when the cache is disabled.
+  [[nodiscard]] ScheduleCacheStats cache_stats() const;
+  [[nodiscard]] bool cache_enabled() const {
+    return cache_ != nullptr && cache_->enabled();
+  }
+
  private:
   Response handle_query(const QueryRequest& query);
   Response handle_info();
   Response handle_stats();
 
+  /// The cold path: one full schedule + cost evaluation against `artifact`.
+  /// Always populates `starts` (the cache stores the full payload so
+  /// want_starts probes hit the same entry).
+  QueryResponse compute_query(const dag::Artifact& artifact,
+                              const QueryRequest& query);
+
   mutable std::mutex artifact_mutex_;
   std::shared_ptr<const dag::Artifact> artifact_;
+  std::unique_ptr<ScheduleCache> cache_;  ///< null when disabled by options
 
   std::atomic<std::uint64_t> queries_{0};
   std::atomic<std::uint64_t> swaps_{0};

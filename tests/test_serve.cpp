@@ -5,12 +5,21 @@
 // through a kSwap request.
 
 #include <gtest/gtest.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
 
+#include <atomic>
+#include <chrono>
 #include <cstdint>
 #include <cstring>
 #include <filesystem>
+#include <future>
+#include <optional>
 #include <span>
+#include <stdexcept>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "core/assignment.hpp"
@@ -18,6 +27,10 @@
 #include "core/list_scheduler.hpp"
 #include "core/priorities.hpp"
 #include "obs/obs.hpp"
+#include "serve/client.hpp"
+#include "serve/frame.hpp"
+#include "serve/schedule_cache.hpp"
+#include "serve/server.hpp"
 #include "serve/service.hpp"
 #include "serve/wire.hpp"
 #include "sweep/artifact.hpp"
@@ -384,11 +397,27 @@ dag::SweepInstance make_instance() {
 }
 
 ServeService make_service(const dag::SweepInstance& instance,
-                          bool descendants = true) {
+                          bool descendants = true,
+                          ScheduleCacheOptions cache_options = {}) {
   dag::ArtifactWriteOptions options;
   options.include_descendants = descendants;
   return ServeService(
-      dag::Artifact::from_memory(dag::pack_artifact(instance, options)));
+      dag::Artifact::from_memory(dag::pack_artifact(instance, options)),
+      cache_options);
+}
+
+/// Cache options that disable caching entirely — the cold reference path.
+ScheduleCacheOptions no_cache() {
+  ScheduleCacheOptions options;
+  options.max_entries = 0;
+  return options;
+}
+
+std::uint64_t entry_value(const StatsResponse& stats, const std::string& key) {
+  for (const auto& [k, v] : stats.entries) {
+    if (k == key) return v;
+  }
+  return 0;
 }
 
 Request query_request(Scheme scheme, std::uint32_t m, std::uint64_t seed) {
@@ -618,6 +647,439 @@ TEST(ServeService, ArmedStatsCarryHistogramsAndQuality) {
   EXPECT_TRUE(s.stats.gauges.empty());
 #endif
   obs::MetricsRegistry::instance().reset();
+}
+
+// ---------------------------------------------------------------------------
+// ScheduleCache unit tests (DESIGN.md §15)
+
+CacheKey test_key(std::uint64_t content_hash, std::uint64_t seed) {
+  CacheKey key;
+  key.content_hash = content_hash;
+  key.scheme = 0;
+  key.m = 4;
+  key.partition = -1;
+  key.seed = seed;
+  return key;
+}
+
+ScheduleCache::Value test_payload(std::uint64_t makespan,
+                                  std::size_t n_starts = 8) {
+  auto payload = std::make_shared<QueryResponse>();
+  payload->makespan = makespan;
+  payload->schedule_hash = makespan * 31;
+  payload->starts.assign(n_starts, 1);
+  return payload;
+}
+
+TEST(ScheduleCache, SingleFlightCoalescesConcurrentProbes) {
+  ScheduleCache cache{ScheduleCacheOptions{}};
+  cache.invalidate(7);
+  const CacheKey key = test_key(7, 1);
+
+  constexpr int kThreads = 8;
+  std::atomic<int> arrived{0};
+  std::vector<std::future<std::uint64_t>> results;
+  results.reserve(kThreads);
+  for (int i = 0; i < kThreads; ++i) {
+    results.push_back(std::async(std::launch::async, [&] {
+      arrived.fetch_add(1);
+      ScheduleCache::Probe probe = cache.lookup_or_join(key);
+      if (probe.kind == ScheduleCache::ProbeKind::kMiss) {
+        // The leader waits for the pack so most others park on the
+        // in-flight entry rather than hitting after the fill.
+        while (arrived.load() < kThreads) std::this_thread::yield();
+        probe.value = test_payload(42);
+        cache.fill(std::move(probe.ticket), probe.value);
+      }
+      return probe.value->makespan;
+    }));
+  }
+  for (auto& r : results) EXPECT_EQ(r.get(), 42u);
+
+  const ScheduleCacheStats stats = cache.stats();
+  EXPECT_EQ(stats.misses, 1u);  // exactly one computation
+  EXPECT_EQ(stats.hits + stats.inflight_waits,
+            static_cast<std::uint64_t>(kThreads - 1));
+  EXPECT_EQ(stats.entries, 1u);
+}
+
+TEST(ScheduleCache, LeaderFailurePropagatesToWaitersAndIsNotCached) {
+  ScheduleCache cache{ScheduleCacheOptions{}};
+  cache.invalidate(7);
+  const CacheKey key = test_key(7, 2);
+
+  ScheduleCache::Probe leader = cache.lookup_or_join(key);
+  ASSERT_EQ(leader.kind, ScheduleCache::ProbeKind::kMiss);
+  std::atomic<bool> parked{false};
+  auto waiter = std::async(std::launch::async, [&] {
+    parked.store(true);
+    cache.lookup_or_join(key);  // throws the leader's exception
+  });
+  while (!parked.load()) std::this_thread::yield();
+  cache.fail(std::move(leader.ticket),
+             std::make_exception_ptr(std::runtime_error("boom")));
+  try {
+    waiter.get();
+    FAIL() << "waiter should rethrow the leader's failure";
+  } catch (const std::runtime_error& e) {
+    EXPECT_STREQ(e.what(), "boom");
+  }
+  // Failures are never cached: the next probe is a fresh miss.
+  ScheduleCache::Probe retry = cache.lookup_or_join(key);
+  EXPECT_EQ(retry.kind, ScheduleCache::ProbeKind::kMiss);
+  cache.fill(std::move(retry.ticket), test_payload(1));
+  EXPECT_EQ(cache.stats().entries, 1u);
+}
+
+TEST(ScheduleCache, AbandonedTicketFailsWaitersInsteadOfHangingThem) {
+  ScheduleCache cache{ScheduleCacheOptions{}};
+  cache.invalidate(7);
+  const CacheKey key = test_key(7, 3);
+  std::optional<ScheduleCache::Probe> leader(cache.lookup_or_join(key));
+  ASSERT_EQ(leader->kind, ScheduleCache::ProbeKind::kMiss);
+  auto waiter = std::async(std::launch::async, [&] {
+    // Parks on the leader's in-flight entry; the Ticket destructor must
+    // wake it with an error — never leave it blocked forever.
+    ScheduleCache::Probe probe = cache.lookup_or_join(key);
+    if (probe.kind == ScheduleCache::ProbeKind::kMiss) {
+      // Raced past the destruction and became a leader itself: resolve
+      // the ticket so nothing leaks, and still report "did not hang".
+      cache.fail(std::move(probe.ticket),
+                 std::make_exception_ptr(std::runtime_error("late")));
+      throw std::runtime_error("late");
+    }
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  leader.reset();  // unresolved Ticket unwinds — waiters must be failed
+  EXPECT_THROW(waiter.get(), std::runtime_error);
+}
+
+TEST(ScheduleCache, EvictionRespectsEntryBound) {
+  ScheduleCacheOptions options;
+  options.max_entries = 8;
+  options.shards = 1;  // single shard makes the bounds exact
+  ScheduleCache cache{options};
+  cache.invalidate(7);
+  for (std::uint64_t seed = 0; seed < 32; ++seed) {
+    ScheduleCache::Probe probe = cache.lookup_or_join(test_key(7, seed));
+    ASSERT_EQ(probe.kind, ScheduleCache::ProbeKind::kMiss);
+    cache.fill(std::move(probe.ticket), test_payload(seed));
+  }
+  const ScheduleCacheStats stats = cache.stats();
+  EXPECT_EQ(stats.entries, 8u);
+  EXPECT_EQ(stats.evictions, 24u);
+  // LRU: the most recent keys survived.
+  EXPECT_EQ(cache.lookup_or_join(test_key(7, 31)).kind,
+            ScheduleCache::ProbeKind::kHit);
+}
+
+TEST(ScheduleCache, EvictionRespectsByteBoundAndOversizedEntriesAreSkipped) {
+  ScheduleCacheOptions options;
+  options.max_entries = 1u << 20;
+  options.max_bytes = 4096;
+  options.shards = 1;
+  ScheduleCache cache{options};
+  cache.invalidate(7);
+  for (std::uint64_t seed = 0; seed < 16; ++seed) {
+    ScheduleCache::Probe probe = cache.lookup_or_join(test_key(7, seed));
+    ASSERT_EQ(probe.kind, ScheduleCache::ProbeKind::kMiss);
+    cache.fill(std::move(probe.ticket), test_payload(seed, /*n_starts=*/128));
+  }
+  ScheduleCacheStats stats = cache.stats();
+  EXPECT_LE(stats.bytes, 4096u);
+  EXPECT_GT(stats.evictions, 0u);
+  EXPECT_GT(stats.entries, 0u);
+
+  // A payload bigger than the whole byte budget is never admitted (and
+  // must not thrash out resident entries).
+  const std::uint64_t resident = stats.entries;
+  ScheduleCache::Probe big = cache.lookup_or_join(test_key(7, 999));
+  ASSERT_EQ(big.kind, ScheduleCache::ProbeKind::kMiss);
+  cache.fill(std::move(big.ticket), test_payload(999, /*n_starts=*/100'000));
+  stats = cache.stats();
+  EXPECT_EQ(stats.entries, resident);
+  EXPECT_EQ(cache.lookup_or_join(test_key(7, 999)).kind,
+            ScheduleCache::ProbeKind::kMiss);
+}
+
+TEST(ScheduleCache, InvalidateSweepsOldEpochAndDropsStaleFills) {
+  ScheduleCache cache{ScheduleCacheOptions{}};
+  cache.invalidate(1);
+  for (std::uint64_t seed = 0; seed < 6; ++seed) {
+    ScheduleCache::Probe probe = cache.lookup_or_join(test_key(1, seed));
+    cache.fill(std::move(probe.ticket), test_payload(seed));
+  }
+  EXPECT_EQ(cache.stats().entries, 6u);
+
+  // A leader starts computing under hash 1, then the swap lands.
+  ScheduleCache::Probe racing = cache.lookup_or_join(test_key(1, 100));
+  ASSERT_EQ(racing.kind, ScheduleCache::ProbeKind::kMiss);
+  cache.invalidate(2);
+  EXPECT_EQ(cache.stats().entries, 0u);
+  EXPECT_EQ(cache.stats().invalidations, 6u);
+  // The racing fill still wakes its waiters but is NOT admitted: its epoch
+  // is stale, so the swap can never be beaten by an in-flight computation.
+  cache.fill(std::move(racing.ticket), test_payload(100));
+  EXPECT_EQ(cache.stats().entries, 0u);
+  // New-epoch entries admit normally.
+  ScheduleCache::Probe fresh = cache.lookup_or_join(test_key(2, 0));
+  cache.fill(std::move(fresh.ticket), test_payload(0));
+  EXPECT_EQ(cache.stats().entries, 1u);
+}
+
+TEST(ScheduleCache, DisabledCacheComputesEveryProbeWithInertTickets) {
+  ScheduleCache cache{no_cache()};
+  EXPECT_FALSE(cache.enabled());
+  for (int i = 0; i < 3; ++i) {
+    ScheduleCache::Probe probe = cache.lookup_or_join(test_key(7, 1));
+    EXPECT_EQ(probe.kind, ScheduleCache::ProbeKind::kMiss);
+    cache.fill(std::move(probe.ticket), test_payload(1));
+  }
+  const ScheduleCacheStats stats = cache.stats();
+  EXPECT_EQ(stats.misses, 3u);
+  EXPECT_EQ(stats.hits, 0u);
+  EXPECT_EQ(stats.entries, 0u);
+}
+
+// ---------------------------------------------------------------------------
+// ServeService x ScheduleCache
+
+TEST(ServeService, CacheHitIsByteIdenticalToTheColdPath) {
+  const dag::SweepInstance instance = make_instance();
+  ServeService cached = make_service(instance);
+  ServeService cold = make_service(instance, true, no_cache());
+
+  for (const Scheme scheme :
+       {Scheme::kLevel, Scheme::kRandomDelay, Scheme::kDescendant}) {
+    for (const bool want_starts : {false, true}) {
+      Request request = query_request(scheme, 4, 17);
+      request.query.want_starts = want_starts;
+      const std::vector<std::byte> cold_bytes =
+          encode_response(cold.handle(request));
+      // First probe misses and computes; every later one must hit and
+      // still put the exact same bytes on the wire.
+      for (int round = 0; round < 3; ++round) {
+        EXPECT_EQ(encode_response(cached.handle(request)), cold_bytes)
+            << "scheme=" << static_cast<int>(scheme)
+            << " want_starts=" << want_starts << " round=" << round;
+      }
+    }
+  }
+  const ScheduleCacheStats stats = cached.cache_stats();
+  // 3 schemes x (1 miss + 5 hits): the want_starts=true probe hits the
+  // entry its scalar twin filled — starts are cached unconditionally.
+  EXPECT_EQ(stats.misses, 3u);
+  EXPECT_EQ(stats.hits, 15u);
+  EXPECT_EQ(stats.hit_rate_pct(), 83u);
+}
+
+TEST(ServeService, ConcurrentIdenticalQueriesComputeOnce) {
+  ServeService service = make_service(make_instance());
+  const Request request = query_request(Scheme::kLevel, 4, 5);
+  const std::vector<std::byte> expected =
+      encode_response(service.handle(request));  // warm reference
+
+  ServeService hammered = make_service(make_instance());
+  constexpr int kThreads = 8;
+  std::atomic<int> mismatches{0};
+  {
+    std::vector<std::thread> threads;
+    threads.reserve(kThreads);
+    for (int i = 0; i < kThreads; ++i) {
+      threads.emplace_back([&] {
+        if (encode_response(hammered.handle(request)) != expected) {
+          mismatches.fetch_add(1);
+        }
+      });
+    }
+    for (auto& t : threads) t.join();
+  }
+  EXPECT_EQ(mismatches.load(), 0);
+  const ScheduleCacheStats stats = hammered.cache_stats();
+  EXPECT_EQ(stats.misses, 1u);  // single flight: one list_schedule total
+  EXPECT_EQ(stats.hits + stats.inflight_waits,
+            static_cast<std::uint64_t>(kThreads - 1));
+}
+
+TEST(ServeService, SwapUnderHammerServesZeroStaleResponses) {
+  const dag::SweepInstance inst_a = make_instance();
+  const dag::SweepInstance inst_b = dag::random_instance(50, 2, 4, 1.5, 31);
+  const std::string path_b =
+      (std::filesystem::path(::testing::TempDir()) / "hammer_b.sweepart")
+          .string();
+  dag::save_artifact(inst_b, path_b);
+
+  // Cold references: the only two byte-exact answers a query may get.
+  ServeService cold_a = make_service(inst_a, true, no_cache());
+  ServeService cold_b(dag::Artifact::map_file(path_b), no_cache());
+  constexpr std::uint64_t kSeeds = 4;
+  std::vector<std::vector<std::byte>> expect_a, expect_b;
+  for (std::uint64_t seed = 0; seed < kSeeds; ++seed) {
+    const Request request = query_request(Scheme::kLevel, 4, seed);
+    expect_a.push_back(encode_response(cold_a.handle(request)));
+    expect_b.push_back(encode_response(cold_b.handle(request)));
+    ASSERT_NE(expect_a.back(), expect_b.back());  // the test can detect staleness
+  }
+
+  ServeService service = make_service(inst_a);
+  std::atomic<bool> go{false};
+  std::atomic<int> bad{0};
+  std::vector<std::thread> hammer;
+  for (int t = 0; t < 4; ++t) {
+    hammer.emplace_back([&, t] {
+      while (!go.load()) std::this_thread::yield();
+      for (int i = 0; i < 200; ++i) {
+        const auto seed = static_cast<std::uint64_t>((i + t) % kSeeds);
+        const std::vector<std::byte> got = encode_response(
+            service.handle(query_request(Scheme::kLevel, 4, seed)));
+        // Snapshot consistency: every response is a full, correct answer
+        // for ONE of the two artifacts — never a mix, never garbage.
+        if (got != expect_a[seed] && got != expect_b[seed]) bad.fetch_add(1);
+      }
+    });
+  }
+  go.store(true);
+  service.swap_to(path_b);
+  for (auto& t : hammer) t.join();
+  EXPECT_EQ(bad.load(), 0);
+
+  // The swap has fully settled: every post-swap response must be B's —
+  // a cached A-answer surviving here would be a stale serve.
+  for (std::uint64_t seed = 0; seed < kSeeds; ++seed) {
+    EXPECT_EQ(encode_response(
+                  service.handle(query_request(Scheme::kLevel, 4, seed))),
+              expect_b[seed])
+        << "stale response after swap, seed " << seed;
+  }
+  std::filesystem::remove(path_b);
+}
+
+TEST(ServeService, StatsCarryCacheCountersAndDisabledCacheOmitsThem) {
+  ServeService service = make_service(make_instance());
+  const Request request = query_request(Scheme::kLevel, 4, 9);
+  ASSERT_EQ(service.handle(request).status, 0u);  // miss
+  ASSERT_EQ(service.handle(request).status, 0u);  // hit
+  Request stats_request;
+  stats_request.type = MsgType::kStats;
+  const Response s = service.handle(stats_request);
+  ASSERT_EQ(s.status, 0u);
+  EXPECT_EQ(entry_value(s.stats, "serve.cache.hits"), 1u);
+  EXPECT_EQ(entry_value(s.stats, "serve.cache.misses"), 1u);
+  EXPECT_EQ(entry_value(s.stats, "serve.cache.hit_rate_pct"), 50u);
+  EXPECT_EQ(entry_value(s.stats, "serve.cache.entries"), 1u);
+  EXPECT_GT(entry_value(s.stats, "serve.cache.bytes"), 0u);
+
+  ServeService uncached = make_service(make_instance(), true, no_cache());
+  EXPECT_FALSE(uncached.cache_enabled());
+  ASSERT_EQ(uncached.handle(request).status, 0u);
+  const Response u = uncached.handle(stats_request);
+  for (const auto& [key, value] : u.stats.entries) {
+    EXPECT_FALSE(key.starts_with("serve.cache.")) << key;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Server satellites: accept-errno classification, wire-error accounting,
+// client receive deadline.
+
+TEST(ServeServer, TransientAcceptErrnoClassification) {
+  for (const int transient :
+       {ECONNABORTED, EAGAIN, EMFILE, ENFILE, ENOBUFS, ENOMEM}) {
+    EXPECT_TRUE(is_transient_accept_error(transient)) << transient;
+  }
+  for (const int fatal : {0, EBADF, EINVAL, ENOTSOCK, EOPNOTSUPP}) {
+    EXPECT_FALSE(is_transient_accept_error(fatal)) << fatal;
+  }
+}
+
+TEST(ServeServer, WireErrorsCountTowardTheStatsErrorsEntry) {
+  // The invariant pinned here: the stats frame's `errors` entry counts
+  // EVERY non-ok response the daemon puts on the wire — handler failures
+  // AND malformed frames — so it agrees with serve.status.error.
+  ServeService service = make_service(make_instance());
+  ServerOptions options;
+  options.socket_path =
+      (std::filesystem::path(::testing::TempDir()) / "wire_err.sock").string();
+  options.threads = 2;
+#if !defined(SWEEP_OBS_DISABLE)
+  obs::MetricsRegistry::instance().reset();
+  obs::set_metrics_enabled(true);
+#endif
+  Server server(service, options);
+  server.start();
+
+  const int fd = ::socket(AF_UNIX, SOCK_STREAM | SOCK_CLOEXEC, 0);
+  ASSERT_GE(fd, 0);
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  std::memcpy(addr.sun_path, options.socket_path.c_str(),
+              options.socket_path.size() + 1);
+  ASSERT_EQ(
+      ::connect(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)),
+      0);
+
+  // A framed payload that cannot decode: WireError inside serve_connection.
+  const std::vector<std::byte> garbage(3, std::byte{0xff});
+  write_frame(fd, garbage);
+  std::vector<std::byte> payload;
+  ASSERT_TRUE(read_frame(fd, payload));
+  EXPECT_NE(decode_response(payload).status, 0u);
+
+  // Same connection, valid stats request: the error above must be visible.
+  write_frame(fd, encode_request([] {
+                Request r;
+                r.type = MsgType::kStats;
+                return r;
+              }()));
+  ASSERT_TRUE(read_frame(fd, payload));
+  const Response stats = decode_response(payload);
+  ASSERT_EQ(stats.status, 0u);
+  EXPECT_EQ(entry_value(stats.stats, "errors"), 1u);
+  EXPECT_EQ(service.errors_returned(), 1u);
+#if !defined(SWEEP_OBS_DISABLE)
+  // The two books agree: service-level errors == wire-level status.error.
+  EXPECT_EQ(entry_value(stats.stats, "errors"),
+            entry_value(stats.stats, "serve.status.error"));
+  obs::set_metrics_enabled(false);
+  obs::MetricsRegistry::instance().reset();
+#endif
+  ::close(fd);
+  server.stop();
+}
+
+TEST(ServeClient, ReceiveDeadlineThrowsInsteadOfHangingForever) {
+  // A daemon that accepts the connection into its listen backlog but never
+  // reads: without a deadline, call() blocks forever.
+  const std::string path =
+      (std::filesystem::path(::testing::TempDir()) / "stalled.sock").string();
+  ::unlink(path.c_str());
+  const int lfd = ::socket(AF_UNIX, SOCK_STREAM | SOCK_CLOEXEC, 0);
+  ASSERT_GE(lfd, 0);
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  std::memcpy(addr.sun_path, path.c_str(), path.size() + 1);
+  ASSERT_EQ(::bind(lfd, reinterpret_cast<const sockaddr*>(&addr),
+                   sizeof(addr)),
+            0);
+  ASSERT_EQ(::listen(lfd, 4), 0);
+
+  ClientOptions client_options;
+  client_options.timeout_ms = 200;
+  Client client(path, client_options);
+  const auto t0 = std::chrono::steady_clock::now();
+  try {
+    client.ping();
+    FAIL() << "expected a receive timeout";
+  } catch (const std::runtime_error& e) {
+    EXPECT_NE(std::string(e.what()).find("timed out"), std::string::npos)
+        << e.what();
+  }
+  const auto elapsed = std::chrono::steady_clock::now() - t0;
+  EXPECT_LT(std::chrono::duration_cast<std::chrono::milliseconds>(elapsed)
+                .count(),
+            5000);
+  ::close(lfd);
+  ::unlink(path.c_str());
 }
 
 }  // namespace

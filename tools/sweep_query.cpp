@@ -6,6 +6,7 @@
 //   sweep_query --socket /tmp/sweep.sock --op swap --path new.sweepart
 //   sweep_query --socket /tmp/sweep.sock --op shutdown
 
+#include <cstdint>
 #include <cstdio>
 #include <string>
 
@@ -39,6 +40,9 @@ static int run_main(int argc, char** argv) {
                  "embedded partition index (query; -1 = random assignment)");
   cli.add_flag("starts", "fetch the full per-task start array");
   cli.add_option("path", "", "replacement artifact (swap)");
+  cli.add_option("timeout-ms", "0",
+                 "receive deadline per response; a stalled daemon throws "
+                 "instead of hanging (0 = wait forever)");
   cli.add_option("metrics-out", "",
                  "write this client's metrics registry as JSON after the "
                  "call (.prom extension = Prometheus text format)");
@@ -51,7 +55,10 @@ static int run_main(int argc, char** argv) {
   if (!cli.str("trace-out").empty()) obs::start_tracing();
 #endif
 
-  serve::Client client(cli.str("socket"));
+  serve::ClientOptions client_options;
+  client_options.timeout_ms =
+      static_cast<std::uint64_t>(cli.integer("timeout-ms"));
+  serve::Client client(cli.str("socket"), client_options);
   serve::Request request;
   const std::string op = cli.str("op");
   if (op == "ping") {

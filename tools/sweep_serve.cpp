@@ -29,6 +29,11 @@ static int run_main(int argc, char** argv) {
   cli.add_option("threads", "0", "worker threads (0 = hardware concurrency)");
   cli.add_option("slow-request-ms", "50",
                  "log requests slower than this, sampled (0 disables)");
+  cli.add_option("cache-entries", "4096",
+                 "schedule cache entry bound across shards (0 disables "
+                 "caching and single-flight coalescing)");
+  cli.add_option("cache-bytes", "268435456",
+                 "schedule cache approximate byte bound (0 disables)");
   cli.add_option("metrics-out", "",
                  "write the metrics registry at shutdown (.prom extension "
                  "= Prometheus text format, anything else = JSON)");
@@ -49,8 +54,13 @@ static int run_main(int argc, char** argv) {
   if (!cli.str("trace-out").empty()) obs::start_tracing();
 #endif
 
+  serve::ScheduleCacheOptions cache_options;
+  cache_options.max_entries =
+      static_cast<std::size_t>(cli.integer("cache-entries"));
+  cache_options.max_bytes =
+      static_cast<std::size_t>(cli.integer("cache-bytes"));
   serve::ServeService service =
-      serve::ServeService::from_file(cli.str("artifact"));
+      serve::ServeService::from_file(cli.str("artifact"), cache_options);
   {
     const auto artifact = service.artifact();
     std::printf("serving '%.*s': %zu cells x %zu directions, %zu edges, "
@@ -78,6 +88,16 @@ static int run_main(int argc, char** argv) {
               static_cast<unsigned long long>(service.queries_served()),
               static_cast<unsigned long long>(service.swaps_completed()),
               static_cast<unsigned long long>(service.errors_returned()));
+  if (service.cache_enabled()) {
+    const serve::ScheduleCacheStats cs = service.cache_stats();
+    std::printf("cache: %llu hits, %llu misses (%llu%% hit rate), "
+                "%llu coalesced waits, %llu evictions\n",
+                static_cast<unsigned long long>(cs.hits),
+                static_cast<unsigned long long>(cs.misses),
+                static_cast<unsigned long long>(cs.hit_rate_pct()),
+                static_cast<unsigned long long>(cs.inflight_waits),
+                static_cast<unsigned long long>(cs.evictions));
+  }
 
 #if !defined(SWEEP_OBS_DISABLE)
   const std::string metrics_out = cli.str("metrics-out");

@@ -73,6 +73,9 @@ static int run_main(int argc, char** argv) {
   cli.add_option("socket", "/tmp/sweep_serve.sock", "Unix socket path");
   cli.add_option("interval-ms", "1000", "poll interval");
   cli.add_option("iterations", "0", "stop after N polls (0 = run forever)");
+  cli.add_option("timeout-ms", "0",
+                 "receive deadline per poll; a stalled daemon throws "
+                 "instead of freezing the dashboard (0 = wait forever)");
   if (!cli.parse(argc, argv)) return 1;
 
   const auto interval_ms =
@@ -80,7 +83,10 @@ static int run_main(int argc, char** argv) {
   const std::int64_t iterations = cli.integer("iterations");
   const bool tty = ::isatty(STDOUT_FILENO) != 0;
 
-  serve::Client client(cli.str("socket"));
+  serve::ClientOptions client_options;
+  client_options.timeout_ms =
+      static_cast<std::uint64_t>(cli.integer("timeout-ms"));
+  serve::Client client(cli.str("socket"), client_options);
   serve::Request stats_request;
   stats_request.type = serve::MsgType::kStats;
 
@@ -130,6 +136,33 @@ static int run_main(int argc, char** argv) {
         short_num(static_cast<double>(queries)).c_str(), qps,
         short_num(static_cast<double>(errors)).c_str(), eps, error_pct,
         static_cast<unsigned long long>(swaps));
+
+    // Schedule-cache row: entries come straight off the stats frame, so it
+    // works against obs-off daemons too; absent entries read as zero and a
+    // cache-disabled daemon shows an all-zero row only if it ever reported
+    // cache entries (pre-cache daemons just skip the row).
+    const std::uint64_t cache_hits = entry_value(stats, "serve.cache.hits");
+    const std::uint64_t cache_misses =
+        entry_value(stats, "serve.cache.misses");
+    if (cache_hits + cache_misses > 0) {
+      std::printf(
+          "cache   hits %s   misses %s   hit-rate %llu%%   waits %llu   "
+          "evictions %llu   resident %s/%sB\n",
+          short_num(static_cast<double>(cache_hits)).c_str(),
+          short_num(static_cast<double>(cache_misses)).c_str(),
+          static_cast<unsigned long long>(
+              entry_value(stats, "serve.cache.hit_rate_pct")),
+          static_cast<unsigned long long>(
+              entry_value(stats, "serve.cache.inflight_waits")),
+          static_cast<unsigned long long>(
+              entry_value(stats, "serve.cache.evictions")),
+          short_num(static_cast<double>(
+                        entry_value(stats, "serve.cache.entries")))
+              .c_str(),
+          short_num(
+              static_cast<double>(entry_value(stats, "serve.cache.bytes")))
+              .c_str());
+    }
 
     if (!stats.gauges.empty()) {
       std::printf("gauges ");
