@@ -1,0 +1,369 @@
+// Kernel-level engine benchmark (DESIGN.md §16): A/Bs the batched SIMD
+// decrement kernels (util/simd.hpp) against their forced-scalar fallbacks,
+// first in isolation (synthetic resolve batches, ns/id) and then end-to-end
+// through the scheduling engines on a prismtet instance at --scale/--order,
+// sweeping the engine worker count. Every engine configuration — every
+// thread count, SIMD on AND forced scalar — is FNV-1a-checksummed against
+// list_schedule_reference; any divergence exits nonzero, so the same binary
+// doubles as the bench_kernels_smoke ctest at tiny scale (default,
+// tsan-concurrency, and simd-off presets: the third proves the scalar build
+// reproduces the same schedules).
+//
+// Output: --json PATH (default BENCH_engine_kernels.json), schema:
+//   { "mesh": ..., "scale": ..., "n_tasks": ..., "hardware_concurrency": ...,
+//     "simd": {"detected_level": ..., "active_level": ...},
+//     "kernel_micro": [ {"batch": B, "duplication": D,
+//                        "scalar_ns_per_id": ..., "simd_ns_per_id": ...,
+//                        "speedup": ...}, ... ],
+//     "reference": {"seconds_per_run": ..., "tasks_per_sec": ...,
+//                   "checksum": "0x..."},
+//     "engine": [ {"threads": T,
+//                  "simd":   {"seconds_per_run": ..., "tasks_per_sec": ...,
+//                             "checksum": "0x...", "identical": true},
+//                  "scalar": { same fields }}, ... ],
+//     "baseline_jobs8_tasks_per_sec": N,     // --baseline8 (0 = not given)
+//     "speedup_vs_baseline_jobs8": X }
+// tasks_per_sec is the aggregate rate across all engine workers. Pass the
+// regenerated PR-5 sharded baseline's jobs=8 rate via --baseline8 so the
+// committed report carries the cross-PR comparison inline.
+
+#include <cstdint>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "core/list_scheduler.hpp"
+#include "core/priorities.hpp"
+#include "util/simd.hpp"
+
+namespace {
+
+using namespace sweep;
+using util::simd::Level;
+
+std::uint64_t fnv1a_mix(std::uint64_t hash, std::uint64_t value) {
+  for (int byte = 0; byte < 8; ++byte) {
+    hash ^= (value >> (8 * byte)) & 0xffu;
+    hash *= 1099511628211ull;
+  }
+  return hash;
+}
+
+template <typename T>
+std::uint64_t fnv1a(const std::vector<T>& values) {
+  std::uint64_t hash = 14695981039346656037ull;
+  for (const T& v : values) {
+    hash = fnv1a_mix(hash, static_cast<std::uint64_t>(v));
+  }
+  return hash;
+}
+
+/// Times fn() (one schedule run returning a checksum) `reps` times and
+/// returns the fastest; every rep's checksum must agree with the first.
+template <typename Fn>
+double time_runs(std::size_t reps, std::uint64_t& checksum, Fn&& fn) {
+  double best = -1.0;
+  for (std::size_t r = 0; r < std::max<std::size_t>(reps, 1); ++r) {
+    util::Timer timer;
+    const std::uint64_t h = fn();
+    const double s = timer.seconds();
+    if (r == 0) checksum = h;
+    if (h != checksum) {
+      std::fprintf(stderr, "FATAL: checksum unstable across repetitions\n");
+      std::exit(1);
+    }
+    if (best < 0.0 || s < best) best = s;
+  }
+  return best;
+}
+
+// ---------------------------------------------------------------------------
+// Micro A/B: the decrement kernel on synthetic resolve batches.
+
+struct MicroRow {
+  std::size_t batch = 0;
+  std::size_t duplication = 0;  // average occurrences per distinct id
+  double scalar_ns_per_id = 0.0;
+  double simd_ns_per_id = 0.0;
+};
+
+/// One micro measurement: batches of `batch` ids drawn over batch /
+/// duplication distinct counters, retired at `level`. Counters are refilled
+/// each round so the kernel always runs its full decrement + zero-detect
+/// path; reported as ns per id, min over `reps` timed rounds.
+double time_kernel(std::size_t batch, std::size_t duplication, Level level,
+                   std::size_t reps) {
+  const std::size_t n_counters =
+      std::max<std::size_t>(batch / std::max<std::size_t>(duplication, 1), 1);
+  util::Rng rng(0xD15C);
+  std::vector<std::uint32_t> ids(batch);
+  std::vector<std::uint32_t> base(n_counters, 0);
+  for (auto& id : ids) {
+    id = static_cast<std::uint32_t>(rng.next_below(n_counters));
+    ++base[id];  // exact multiplicity => every touched counter zero-crosses
+  }
+  std::size_t n_touched = 0;
+  for (const std::uint32_t b : base) n_touched += b > 0 ? 1 : 0;
+  std::vector<std::uint32_t> vals(n_counters);
+  std::vector<std::uint32_t> out(batch);
+  util::simd::BatchScratch scratch;
+  util::simd::force_level(level);
+
+  // ~4M retired ids per rep lifts tiny batches above timer resolution.
+  const std::size_t rounds = std::max<std::size_t>(1, (1u << 22) / batch);
+  double best = -1.0;
+  for (std::size_t r = 0; r < std::max<std::size_t>(reps, 1); ++r) {
+    double elapsed = 0.0;
+    std::size_t retired = 0;
+    for (std::size_t round = 0; round < rounds; ++round) {
+      vals = base;  // refill outside the timed section
+      util::Timer timer;
+      const std::size_t zeros = util::simd::decrement_to_zero(
+          vals.data(), ids.data(), batch, out.data(), scratch);
+      elapsed += timer.seconds();
+      retired += batch;
+      if (zeros != n_touched) {
+        std::fprintf(stderr, "FATAL: kernel missed zero-crossings\n");
+        std::exit(1);
+      }
+    }
+    const double ns_per_id = elapsed * 1e9 / static_cast<double>(retired);
+    if (best < 0.0 || ns_per_id < best) best = ns_per_id;
+  }
+  util::simd::force_level(util::simd::detected_level());
+  return best;
+}
+
+// ---------------------------------------------------------------------------
+
+struct EngineCell {
+  double seconds_per_run = 0.0;
+  std::uint64_t checksum = 0;
+  bool identical = false;
+};
+
+struct EngineRow {
+  std::size_t threads = 0;
+  EngineCell simd;
+  EngineCell scalar;
+};
+
+std::vector<std::size_t> parse_threads(const std::string& csv) {
+  std::vector<std::size_t> out;
+  std::stringstream ss(csv);
+  std::string item;
+  while (std::getline(ss, item, ',')) {
+    const auto v =
+        static_cast<std::size_t>(std::strtoul(item.c_str(), nullptr, 10));
+    if (v > 0) out.push_back(v);
+  }
+  return out;
+}
+
+void print_cell(const char* label, std::size_t threads, const EngineCell& c,
+                double n_tasks) {
+  std::printf("[kernels] threads=%-2zu %-6s %8.3fs  %12.0f tasks/s  %s\n",
+              threads, label, c.seconds_per_run,
+              n_tasks / c.seconds_per_run,
+              c.identical ? "identical" : "MISMATCH");
+}
+
+}  // namespace
+
+int main(int argc, const char** argv) {
+  util::CliParser cli("engine_kernels",
+                      "SIMD vs scalar kernel A/B: micro decrement batches + "
+                      "end-to-end engine runs, checksummed against "
+                      "list_schedule_reference");
+  bench::add_common_options(cli);
+  cli.add_option("order", "8", "Sn quadrature order (8 => 80 directions)");
+  cli.add_option("procs", "512", "simulated processors m");
+  cli.add_option("threads", "1,2,4,8", "engine worker counts to sweep");
+  cli.add_option("reps", "3", "timing repetitions per point (fastest wins)");
+  cli.add_option("baseline8", "0",
+                 "prior sharded baseline tasks/sec at jobs=8 (embedded in "
+                 "the report for the cross-PR speedup; 0 = omit)");
+  cli.add_flag("skip-micro", "skip the synthetic kernel micro A/B");
+  cli.add_option("json", "BENCH_engine_kernels.json", "output report path");
+  if (!cli.parse(argc, argv)) return 2;
+  bench::configure_jobs(cli);
+
+  const double scale = bench::resolve_scale(cli);
+  const auto order = static_cast<std::size_t>(cli.integer("order"));
+  const auto m = static_cast<std::size_t>(cli.integer("procs"));
+  const auto reps = static_cast<std::size_t>(cli.integer("reps"));
+  const auto seed = static_cast<std::uint64_t>(cli.integer("seed"));
+  const double baseline8 = cli.real("baseline8");
+  const std::vector<std::size_t> thread_counts =
+      parse_threads(cli.str("threads"));
+  if (thread_counts.empty()) {
+    std::fprintf(stderr, "FATAL: --threads parsed to an empty sweep\n");
+    return 2;
+  }
+
+  std::printf("[kernels] simd: detected=%s active=%s\n",
+              util::simd::level_name(util::simd::detected_level()),
+              util::simd::level_name(util::simd::active_level()));
+
+  // ---- Micro A/B over batch sizes straddling the engines' real resolve
+  // batches (a superstep drains up to one batch per shard; tail levels are
+  // tiny, bulk levels are tens of thousands of ids).
+  std::vector<MicroRow> micro;
+  if (!cli.flag("skip-micro")) {
+    for (const std::size_t batch : {64u, 512u, 4096u, 32768u}) {
+      for (const std::size_t dup : {1u, 4u}) {
+        MicroRow row;
+        row.batch = batch;
+        row.duplication = dup;
+        row.scalar_ns_per_id = time_kernel(batch, dup, Level::kScalar, reps);
+        row.simd_ns_per_id =
+            time_kernel(batch, dup, util::simd::detected_level(), reps);
+        micro.push_back(row);
+        std::printf(
+            "[kernels] micro batch=%-6zu dup=%zu  scalar %6.2f ns/id  "
+            "simd %6.2f ns/id  (%.2fx)\n",
+            batch, dup, row.scalar_ns_per_id, row.simd_ns_per_id,
+            row.simd_ns_per_id > 0.0
+                ? row.scalar_ns_per_id / row.simd_ns_per_id
+                : 0.0);
+      }
+    }
+  }
+
+  // ---- End-to-end engine A/B.
+  const bench::BenchInstance bi =
+      bench::make_instance("prismtet", scale, order, seed);
+  const dag::SweepInstance& inst = bi.instance;
+  (void)inst.task_graph();  // warm the lazy CSR outside every timer
+  const double n_tasks = static_cast<double>(inst.n_tasks());
+
+  util::Rng rng(seed);
+  const core::Assignment assignment =
+      core::random_assignment(inst.n_cells(), m, rng);
+  const std::vector<std::int64_t> priorities = core::level_priorities(inst);
+
+  std::uint64_t reference_checksum = 0;
+  double reference_seconds = 0.0;
+  {
+    core::ListScheduleOptions options;
+    options.priorities = priorities;
+    reference_seconds = time_runs(reps, reference_checksum, [&] {
+      return fnv1a(
+          core::list_schedule_reference(inst, assignment, m, options)
+              .starts());
+    });
+    std::printf("[kernels] reference          %8.3fs  %12.0f tasks/s\n",
+                reference_seconds, n_tasks / reference_seconds);
+  }
+
+  std::vector<EngineRow> rows;
+  bool all_identical = true;
+  for (const std::size_t threads : thread_counts) {
+    core::ListScheduleOptions options;
+    options.priorities = priorities;
+    options.jobs = threads;
+    EngineRow row;
+    row.threads = threads;
+
+    util::simd::force_level(util::simd::detected_level());
+    row.simd.seconds_per_run = time_runs(reps, row.simd.checksum, [&] {
+      return fnv1a(list_schedule(inst, assignment, m, options).starts());
+    });
+    row.simd.identical = row.simd.checksum == reference_checksum;
+    print_cell("simd", threads, row.simd, n_tasks);
+
+    util::simd::force_level(Level::kScalar);
+    row.scalar.seconds_per_run = time_runs(reps, row.scalar.checksum, [&] {
+      return fnv1a(list_schedule(inst, assignment, m, options).starts());
+    });
+    row.scalar.identical = row.scalar.checksum == reference_checksum;
+    util::simd::force_level(util::simd::detected_level());
+    print_cell("scalar", threads, row.scalar, n_tasks);
+
+    all_identical =
+        all_identical && row.simd.identical && row.scalar.identical;
+    rows.push_back(row);
+  }
+
+  double jobs8_tasks_per_sec = 0.0;
+  for (const EngineRow& r : rows) {
+    if (r.threads == 8) jobs8_tasks_per_sec = n_tasks / r.simd.seconds_per_run;
+  }
+
+  const std::string path = cli.str("json");
+  std::ofstream out(path);
+  if (!out) {
+    std::fprintf(stderr, "FATAL: cannot write %s\n", path.c_str());
+    return 1;
+  }
+  auto cell_json = [&](const EngineCell& c) {
+    std::ostringstream s;
+    s << "{\"seconds_per_run\": " << c.seconds_per_run
+      << ", \"tasks_per_sec\": "
+      << static_cast<std::uint64_t>(n_tasks / c.seconds_per_run)
+      << ", \"checksum\": \"0x" << std::hex << c.checksum << std::dec
+      << "\", \"identical\": " << (c.identical ? "true" : "false") << "}";
+    return s.str();
+  };
+  out << "{\n"
+      << "  \"mesh\": \"prismtet\",\n"
+      << "  \"scale\": " << scale << ",\n"
+      << "  \"n_cells\": " << inst.n_cells() << ",\n"
+      << "  \"n_directions\": " << inst.n_directions() << ",\n"
+      << "  \"n_tasks\": " << inst.n_tasks() << ",\n"
+      << "  \"n_edges\": " << inst.total_edges() << ",\n"
+      << "  \"n_processors\": " << m << ",\n"
+      << "  \"hardware_concurrency\": " << std::thread::hardware_concurrency()
+      << ",\n"
+      << "  \"simd\": {\"detected_level\": \""
+      << util::simd::level_name(util::simd::detected_level())
+      << "\", \"active_level\": \""
+      << util::simd::level_name(util::simd::active_level()) << "\"},\n"
+      << "  \"kernel_micro\": [\n";
+  for (std::size_t i = 0; i < micro.size(); ++i) {
+    const MicroRow& r = micro[i];
+    out << "    {\"batch\": " << r.batch
+        << ", \"duplication\": " << r.duplication
+        << ", \"scalar_ns_per_id\": " << r.scalar_ns_per_id
+        << ", \"simd_ns_per_id\": " << r.simd_ns_per_id << ", \"speedup\": "
+        << (r.simd_ns_per_id > 0.0 ? r.scalar_ns_per_id / r.simd_ns_per_id
+                                   : 0.0)
+        << "}" << (i + 1 < micro.size() ? "," : "") << "\n";
+  }
+  out << "  ],\n"
+      << "  \"reference\": {\"seconds_per_run\": " << reference_seconds
+      << ", \"tasks_per_sec\": "
+      << static_cast<std::uint64_t>(n_tasks / reference_seconds)
+      << ", \"checksum\": \"0x" << std::hex << reference_checksum << std::dec
+      << "\"},\n"
+      << "  \"engine\": [\n";
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    const EngineRow& r = rows[i];
+    out << "    {\"threads\": " << r.threads
+        << ", \"simd\": " << cell_json(r.simd)
+        << ", \"scalar\": " << cell_json(r.scalar) << "}"
+        << (i + 1 < rows.size() ? "," : "") << "\n";
+  }
+  out << "  ],\n"
+      << "  \"baseline_jobs8_tasks_per_sec\": "
+      << static_cast<std::uint64_t>(baseline8) << ",\n"
+      << "  \"speedup_vs_baseline_jobs8\": "
+      << (baseline8 > 0.0 && jobs8_tasks_per_sec > 0.0
+              ? jobs8_tasks_per_sec / baseline8
+              : 0.0)
+      << "\n}\n";
+  out.close();
+  std::printf("[kernels] wrote %s\n", path.c_str());
+
+  if (!all_identical) {
+    std::fprintf(stderr,
+                 "FATAL: an engine configuration diverged from the "
+                 "reference\n");
+    return 1;
+  }
+  return 0;
+}

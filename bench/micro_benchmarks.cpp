@@ -13,6 +13,9 @@
 //   skip: set SWEEP_BENCH_JSON=none
 //   reps: --reps N (default 5) — each report entry is the min over N
 //         repetitions (noise filter)
+//   csv:  --csv PATH (or --csv=PATH) — additionally write the throughput
+//         rows as CSV (name,seconds_per_run,tasks_per_sec) for spreadsheet
+//         / plotting pipelines that don't want to parse JSON
 
 #include <benchmark/benchmark.h>
 
@@ -258,6 +261,25 @@ struct ThroughputRow {
   double tasks_per_sec;
 };
 
+/// --csv PATH: mirror the throughput rows as CSV. Empty = off.
+std::string g_csv_path;
+
+void write_throughput_csv(const std::string& path,
+                          const std::vector<ThroughputRow>& rows) {
+  std::FILE* out = std::fopen(path.c_str(), "w");
+  if (out == nullptr) {
+    std::fprintf(stderr, "cannot write %s\n", path.c_str());
+    return;
+  }
+  std::fprintf(out, "name,seconds_per_run,tasks_per_sec\n");
+  for (const ThroughputRow& row : rows) {
+    std::fprintf(out, "%s,%.6f,%.0f\n", row.name.c_str(),
+                 row.seconds_per_run, row.tasks_per_sec);
+  }
+  std::fclose(out);
+  std::printf("[throughput] wrote %s\n", path.c_str());
+}
+
 void write_throughput_json(const std::string& path) {
   const auto& inst = bench_instance();
   const std::size_t m = 64;
@@ -343,6 +365,7 @@ void write_throughput_json(const std::string& path) {
   std::printf("[throughput] wrote %s (list_schedule %.2fx vs reference)\n",
               path.c_str(),
               engine_secs > 0.0 ? reference_secs / engine_secs : 0.0);
+  if (!g_csv_path.empty()) write_throughput_csv(g_csv_path, rows);
 }
 
 }  // namespace
@@ -357,6 +380,10 @@ int main(int argc, char** argv) {
       g_reps = std::max(1ul, std::strtoul(argv[++i], nullptr, 10));
     } else if (arg.rfind("--reps=", 0) == 0) {
       g_reps = std::max(1ul, std::strtoul(arg.c_str() + 7, nullptr, 10));
+    } else if (arg == "--csv" && i + 1 < argc) {
+      g_csv_path = argv[++i];
+    } else if (arg.rfind("--csv=", 0) == 0) {
+      g_csv_path = arg.substr(6);
     } else {
       argv[kept++] = argv[i];
     }

@@ -11,6 +11,7 @@
 #include "obs/obs.hpp"
 #include "sweep/task_graph.hpp"
 #include "util/arena.hpp"
+#include "util/simd.hpp"
 
 namespace sweep::core {
 namespace {
@@ -197,6 +198,9 @@ Schedule run_heap_engine(const dag::TaskGraph& tg, const Assignment& assignment,
 struct SlotScratch {
   std::vector<std::uint32_t> bucket_next;
   util::Arena arena;
+  std::vector<std::uint32_t> succ_batch;  // step's successor ids (ungated)
+  std::vector<std::uint32_t> ready_out;   // slots returned by the kernel
+  util::simd::BatchScratch batch_scratch;
 };
 
 SlotScratch& slot_scratch() {
@@ -346,6 +350,8 @@ std::optional<Schedule> run_slot_engine(const dag::TaskGraph& tg,
   still_active.reserve(n_processors);
   std::uint64_t scan_words = 0;
   std::size_t peak_active = 0;
+  const std::uint32_t* offsets = tg.offsets().data();
+  util::simd::BatchStats simd_stats;
 
   TimeStep now = 0;
   while (done < total) {
@@ -409,10 +415,35 @@ std::optional<Schedule> run_slot_engine(const dag::TaskGraph& tg,
           }
           if ((--packed[succ] & 0xFF) == 0) enqueue_ready(succ, now + 1);
         }
-      } else {
-        for (Task32 succ : tg.successors(task)) {
-          const std::uint32_t x = --packed[succ];
-          if ((x & 0xFF) == 0) push_slot(x >> 8);
+      }
+    }
+    if constexpr (!kGated) {
+      // Batch every finished task's successors and retire the step's edge
+      // set with the SIMD decrement kernel (util/simd.hpp). The kernel
+      // decrements each packed word's low indegree byte by the id's
+      // multiplicity and hands back the slot payloads (word >> 8) of the
+      // words that reached zero; the zero-crossing set is order-invariant
+      // under decrements, so batching cannot change which slots get
+      // pushed. Prefetch the next finished task's CSR row header one
+      // iteration ahead — finished ids jump across the offsets lane.
+      std::vector<std::uint32_t>& batch = scratch.succ_batch;
+      batch.clear();
+      for (std::size_t i = 0; i < finished.size(); ++i) {
+        if (i + 1 < finished.size()) {
+          util::simd::prefetch_read(offsets + finished[i + 1]);
+        }
+        const auto succs = tg.successors(finished[i]);
+        batch.insert(batch.end(), succs.begin(), succs.end());
+      }
+      if (!batch.empty()) {
+        if (scratch.ready_out.size() < batch.size()) {
+          scratch.ready_out.resize(batch.size());
+        }
+        const std::size_t zeros = util::simd::decrement_packed_to_zero(
+            packed, batch.data(), batch.size(), scratch.ready_out.data(),
+            scratch.batch_scratch, &simd_stats);
+        for (std::size_t i = 0; i < zeros; ++i) {
+          push_slot(scratch.ready_out[i]);
         }
       }
     }
@@ -421,6 +452,8 @@ std::optional<Schedule> run_slot_engine(const dag::TaskGraph& tg,
   run_phase.done();
   SWEEP_OBS_COUNTER_ADD("engine.slot.runs", 1);
   SWEEP_OBS_COUNTER_ADD("engine.slot.scan_words", scan_words);
+  SWEEP_OBS_COUNTER_ADD("engine.simd.batches", simd_stats.batches);
+  SWEEP_OBS_COUNTER_ADD("engine.simd.fallbacks", simd_stats.fallbacks);
   SWEEP_OBS_COUNTER_ADD("engine.pops", done);
   SWEEP_OBS_COUNTER_ADD("engine.steps", now);
   if (now > 0) {

@@ -54,8 +54,16 @@ Scenario sample_scenario(util::Rng& rng) {
     s.family = Family::kStructured;
   } else if (roll < 0.80) {
     s.family = Family::kExtruded;
-  } else if (roll < 0.86) {
+  } else if (roll < 0.84) {
     s.family = Family::kEdgeless;
+  } else if (roll < 0.90) {
+    // High fan-in funnels: sample n to straddle the packed engines'
+    // 255-indegree cap, so campaigns pin both sides of the slot -> heap
+    // fallback plus the SIMD decrement kernels' collapse/tail paths
+    // (one hub id repeated hundreds of times in a single resolve batch).
+    s.family = Family::kFanIn;
+    s.n = static_cast<std::uint32_t>(200 + rng.next_below(120));
+    return s;
   } else {
     // Hostile-input channel: feed malformed data to one untrusted path.
     // Draw {0..5} -> {1,2,3,5,6,7}: every channel except kNone and the
@@ -146,6 +154,29 @@ dag::SweepInstance materialize(const Scenario& s) {
       }
       return dag::SweepInstance(s.n, std::move(dags), "fuzz_edgeless");
     }
+    case Family::kFanIn: {
+      // Funnel: every source node feeds every hub sink, so each of the
+      // `hubs` last nodes has indegree n - hubs — sampled around the
+      // packed engines' 255-indegree cap. One finished front dumps the
+      // same hub id hundreds of times into a single resolve batch, the
+      // exact shape the SIMD kernels' duplicate collapse exists for.
+      const std::uint32_t n = std::max<std::uint32_t>(2, s.n);
+      const std::uint32_t k = std::max<std::uint32_t>(1, s.k);
+      const std::uint32_t hubs = std::min(n - 1, 1 + s.layers % 4);
+      std::vector<std::pair<dag::NodeId, dag::NodeId>> edges;
+      edges.reserve(static_cast<std::size_t>(n - hubs) * hubs);
+      for (std::uint32_t src = 0; src < n - hubs; ++src) {
+        for (std::uint32_t h = 0; h < hubs; ++h) {
+          edges.emplace_back(src, n - 1 - h);
+        }
+      }
+      std::vector<dag::SweepDag> dags;
+      dags.reserve(k);
+      for (std::uint32_t i = 0; i < k; ++i) {
+        dags.emplace_back(n, edges);
+      }
+      return dag::SweepInstance(n, std::move(dags), "fuzz_fanin");
+    }
   }
   throw std::logic_error("materialize: unknown scenario family");
 }
@@ -175,7 +206,7 @@ Scenario scenario_from_text(std::istream& in) {
   while (in >> key) {
     if (key == "family") {
       std::uint32_t v = 0;
-      if (!(in >> v) || v > static_cast<std::uint32_t>(Family::kEdgeless)) {
+      if (!(in >> v) || v > static_cast<std::uint32_t>(Family::kFanIn)) {
         throw std::runtime_error("sweepfuzz: bad family");
       }
       s.family = static_cast<Family>(v);

@@ -31,6 +31,7 @@ enum class Family : std::uint32_t {
   kStructured = 4,     ///< regular hex grid + Fibonacci directions
   kExtruded = 5,       ///< extruded triangulation + Fibonacci directions
   kEdgeless = 6,       ///< k empty DAGs (fully disconnected; n may be 0)
+  kFanIn = 7,          ///< funnel DAGs: hub sinks with indegree near 255
 };
 
 /// Hostile-input channels. kNone runs the correctness oracle bank; the other

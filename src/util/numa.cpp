@@ -1,0 +1,71 @@
+#include "util/numa.hpp"
+
+#include <cctype>
+#include <cstdint>
+#include <fstream>
+#include <string>
+
+namespace sweep::util::numa {
+namespace {
+
+/// Sanity cap: a parse that claims more nodes than this is treated as
+/// malformed (the kernel's nodelist for any real machine is tiny).
+constexpr std::uint64_t kMaxNodes = 4096;
+
+bool parse_number(std::string_view text, std::size_t& pos,
+                  std::uint64_t& out) {
+  if (pos >= text.size() ||
+      std::isdigit(static_cast<unsigned char>(text[pos])) == 0) {
+    return false;
+  }
+  std::uint64_t v = 0;
+  while (pos < text.size() &&
+         std::isdigit(static_cast<unsigned char>(text[pos])) != 0) {
+    v = v * 10 + static_cast<std::uint64_t>(text[pos] - '0');
+    if (v > kMaxNodes) return false;
+    ++pos;
+  }
+  out = v;
+  return true;
+}
+
+}  // namespace
+
+std::size_t parse_node_list(std::string_view text) {
+  // Trim trailing whitespace/newline (the /sys read keeps the '\n').
+  while (!text.empty() &&
+         std::isspace(static_cast<unsigned char>(text.back())) != 0) {
+    text.remove_suffix(1);
+  }
+  if (text.empty()) return 0;
+  std::size_t pos = 0;
+  std::uint64_t count = 0;
+  for (;;) {
+    std::uint64_t lo = 0;
+    if (!parse_number(text, pos, lo)) return 0;
+    std::uint64_t hi = lo;
+    if (pos < text.size() && text[pos] == '-') {
+      ++pos;
+      if (!parse_number(text, pos, hi) || hi < lo) return 0;
+    }
+    count += hi - lo + 1;
+    if (count > kMaxNodes) return 0;
+    if (pos == text.size()) return static_cast<std::size_t>(count);
+    if (text[pos] != ',') return 0;
+    ++pos;
+  }
+}
+
+std::size_t node_count() {
+  static const std::size_t count = [] {
+    std::ifstream in("/sys/devices/system/node/online");
+    if (!in) return std::size_t{1};
+    std::string line;
+    std::getline(in, line);
+    const std::size_t parsed = parse_node_list(line);
+    return parsed > 0 ? parsed : std::size_t{1};
+  }();
+  return count;
+}
+
+}  // namespace sweep::util::numa

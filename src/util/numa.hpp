@@ -1,0 +1,34 @@
+#pragma once
+// hwloc-free NUMA topology hints (DESIGN.md §16). The sharded scheduling
+// engine places every shard's hot lanes by first-touch — each worker
+// initializes its own shard's slot region before any cross-shard write —
+// so on a NUMA machine the OS backs each region with pages local to the
+// worker that owns it. This header only *observes* the topology (node
+// count from /sys, a round-robin shard->node hint); it never binds threads
+// or memory, so it needs neither libnuma nor hwloc and degrades to a
+// single-node view wherever /sys is absent (non-Linux, containers).
+
+#include <cstddef>
+#include <string_view>
+
+namespace sweep::util::numa {
+
+/// Parses the kernel's cpulist/nodelist syntax ("0", "0-3", "0-1,4") and
+/// returns the number of ids it names. Returns 0 on malformed input.
+/// Exposed for tests; node_count() applies the fallback-to-1.
+[[nodiscard]] std::size_t parse_node_list(std::string_view text);
+
+/// The number of online NUMA nodes per /sys/devices/system/node/online,
+/// probed once. Always >= 1: any read or parse failure means "treat the
+/// machine as one node".
+[[nodiscard]] std::size_t node_count();
+
+/// Round-robin shard->node placement hint: shard % node_count(). Purely
+/// advisory — recorded in metrics so operators can see how shards spread
+/// across nodes under first-touch.
+[[nodiscard]] inline std::size_t preferred_node(std::size_t shard,
+                                                std::size_t n_nodes) {
+  return n_nodes > 0 ? shard % n_nodes : 0;
+}
+
+}  // namespace sweep::util::numa

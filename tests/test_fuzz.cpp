@@ -62,7 +62,10 @@ TEST(FuzzRepro, CommittedReprosStayClean) {
   // the n=0 TaskGraph::n_directions collapse found by the fuzzer itself,
   // instance files whose claimed edge count pre-allocated unbounded memory,
   // artifact images with overflowing section offsets, and wire frames that
-  // decoded past their span.
+  // decoded past their span. fanin_indegree_boundary pins the engines one
+  // past the packed 255-indegree cap: the serial slot engine must fall back
+  // to the heap while the sharded engine (full u32 indegree lane) keeps
+  // running, and both must still match the reference bit-for-bit.
   const std::filesystem::path dir(SWEEP_FUZZ_DATA_DIR);
   const char* files[] = {
       "oob_assignment.sweepfuzz",
@@ -72,6 +75,7 @@ TEST(FuzzRepro, CommittedReprosStayClean) {
       "corrupt_instance_file.sweepfuzz",
       "corrupt_artifact.sweepfuzz",
       "wire_garbage.sweepfuzz",
+      "fanin_indegree_boundary.sweepfuzz",
   };
   for (const char* file : files) {
     const std::string path = (dir / file).string();
@@ -119,6 +123,20 @@ TEST(FuzzShrink, PassingScenarioIsReturnedUnchanged) {
   EXPECT_EQ(result.scenario, s);
   EXPECT_TRUE(result.oracle.empty());
   EXPECT_EQ(result.accepted, 0u);
+}
+
+TEST(FuzzScenario, FanInFamilyStraddlesThePackedIndegreeCap) {
+  // hubs = 1 + layers % 4; each hub's indegree is n - hubs, so n = 257 /
+  // layers = 0 sits exactly one past the slot engines' 255 cap and n = 256
+  // exactly at it — the two sides of the slot -> heap fallback.
+  Scenario s;
+  s.family = Family::kFanIn;
+  s.k = 1;
+  s.layers = 0;
+  s.n = 257;
+  EXPECT_EQ(materialize(s).task_graph().max_indegree(), 256u);
+  s.n = 256;
+  EXPECT_EQ(materialize(s).task_graph().max_indegree(), 255u);
 }
 
 TEST(FuzzScenario, TextRoundTripIsIdentity) {

@@ -189,6 +189,51 @@ TEST(ShardedEngine, WidePriorityRangeUsesSerialEngines) {
             list_schedule_reference(inst, assignment, 4, options).starts());
 }
 
+TEST(ShardedEngine, OutboxCapacityIsRetainedAcrossSupersteps) {
+  // The per-(worker, dest shard) outboxes and the resolve batch live in
+  // thread-local scratch: after a warm-up run on the same shape, a second
+  // run must not reallocate them mid-superstep. engine.sharded.outbox_growths
+  // counts capacity increases observed *within* one run, so the warm run
+  // must report zero.
+  const auto inst = dag::random_instance(200, 5, 10, 2.2, 57);
+  util::Rng rng(31);
+  const Assignment assignment = random_assignment(inst.n_cells(), 16, rng);
+  ListScheduleOptions options;
+  const auto level = level_priorities(inst);
+  options.priorities = level;
+  options.jobs = 4;
+  (void)list_schedule(inst, assignment, 16, options);  // warm the scratch
+
+  obs::MetricsRegistry::instance().reset();
+  obs::set_metrics_enabled(true);
+  (void)list_schedule(inst, assignment, 16, options);
+  const auto snap = obs::MetricsRegistry::instance().snapshot();
+  obs::set_metrics_enabled(false);
+#if !defined(SWEEP_OBS_DISABLE)
+  EXPECT_EQ(counter_value(snap, "engine.sharded.runs"), 1u);
+  EXPECT_EQ(counter_value(snap, "engine.sharded.outbox_growths"), 0u);
+#else
+  (void)snap;
+#endif
+}
+
+TEST(ShardedEngine, HighFanInPastPackedCapMatchesReference) {
+  // A funnel whose hub indegree (399) exceeds the serial slot engines'
+  // 255 cap: the sharded engine keeps a full u32 indegree lane, so it must
+  // stay on the sharded path and still match the reference — this also
+  // sends one hub id hundreds of times into a single resolve batch, the
+  // SIMD kernel's duplicate-collapse worst case.
+  std::vector<std::pair<dag::NodeId, dag::NodeId>> edges;
+  for (dag::NodeId src = 0; src < 399; ++src) edges.push_back({src, 399});
+  std::vector<dag::SweepDag> dags;
+  dags.emplace_back(400, edges);
+  dags.emplace_back(400, edges);
+  const auto inst = dag::SweepInstance(400, std::move(dags), "fanin");
+  util::Rng rng(13);
+  const Assignment assignment = random_assignment(inst.n_cells(), 8, rng);
+  expect_matches_reference(inst, assignment, 8, {}, "fan-in");
+}
+
 TEST(ShardedEngine, ThrowsOnCyclicInstance) {
   std::vector<dag::SweepDag> dags;
   dags.push_back(test::make_dag(3, {{0, 1}, {1, 2}, {2, 0}}));
